@@ -1,0 +1,148 @@
+(* Benchmark / reproduction harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. regenerates every figure/experiment of the paper as printed series
+      (the Figure 1 panels and experiments E4-E10; DESIGN.md §4 is the
+      index, EXPERIMENTS.md the paper-vs-measured record);
+   2. runs one Bechamel wall-clock micro-benchmark per experiment family
+      (a full consensus instance per protocol, each broadcast substrate,
+      and the probability kernels behind Figure 1).
+
+   Pass `--tables` or `--bench` to run only one half; `--quick` shrinks the
+   statistical workloads for smoke runs. *)
+
+module Runner = Vv_core.Runner
+module Strategy = Vv_core.Strategy
+module Oid = Vv_ballot.Option_id
+
+let winning = Vv_analysis.Witness.inputs ~ag:9 ~bg:2 ~cg:1
+
+let consensus_run protocol () =
+  let r =
+    Runner.simple ~protocol ~strategy:Strategy.Collude_second ~t:2 ~f:2 winning
+  in
+  assert r.Runner.termination
+
+let bb_run choice () =
+  let honest = Vv_analysis.Witness.inputs ~ag:6 ~bg:1 ~cg:0 in
+  let r =
+    Runner.simple ~protocol:Runner.Algo1 ~bb:choice
+      ~strategy:Strategy.Collude_second ~t:1 ~f:1 honest
+  in
+  assert r.Runner.termination
+
+let fig1b_exact_cell () =
+  let dist = Vv_dist.Profiles.(distribution d2) in
+  ignore (Vv_dist.Exact.pr_voting_validity dist ~t:2)
+
+let fig1b_mc_cell =
+  let rng = Vv_prelude.Rng.create 17 in
+  fun () ->
+    let dist = Vv_dist.Profiles.(distribution d2) in
+    ignore (Vv_dist.Montecarlo.pr_voting_validity dist ~t:2 ~samples:2_000 ~rng)
+
+let median_baseline () =
+  let cfg = Vv_sim.Config.with_byzantine ~n:11 ~t_max:2 [ 9; 10 ] () in
+  let s =
+    Vv_analysis.Baseline_runner.run_median cfg
+      ~inputs:(fun id -> 100 + id)
+      ~collude:true
+  in
+  assert (not s.Vv_analysis.Baseline_runner.stalled)
+
+let radio_ring () =
+  let topo = Vv_radio.Topology.ring ~k:2 12 in
+  let inputs =
+    List.init 12 (fun i -> Oid.of_int (if i mod 5 = 4 then 1 else 0))
+  in
+  let r =
+    Vv_radio.Radio_runner.run ~topology:topo ~t:1 ~byzantine:[ 11 ] inputs
+  in
+  assert r.Vv_radio.Radio_runner.termination
+
+let ledger_slot =
+  let cfg =
+    Vv_multishot.Ledger.config ~byzantine:[ 7; 8 ] ~n:9 ~t:2
+      ~protocol:Runner.Algo1 ()
+  in
+  let inputs =
+    List.init 7 (fun i -> Oid.of_int (if i = 6 then 1 else 0))
+    @ [ Oid.of_int 0; Oid.of_int 0 ]
+  in
+  fun () ->
+    let ledger = Vv_multishot.Ledger.create cfg in
+    let slot = Vv_multishot.Ledger.decide ledger ~subject:1 inputs in
+    assert (slot.Vv_multishot.Ledger.decision <> None)
+
+let tally_micro =
+  let inputs = List.init 1_000 (fun i -> Oid.of_int (i mod 5)) in
+  fun () ->
+    ignore
+      (Vv_ballot.Tally.plurality ~tie:Vv_ballot.Tie_break.default
+         (Vv_ballot.Tally.of_list inputs))
+
+let benches () =
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"voting-validity"
+      [
+        Test.make ~name:"algo1-consensus-n14"
+          (Staged.stage (consensus_run Runner.Algo1));
+        Test.make ~name:"algo2-sct-consensus-n14"
+          (Staged.stage (consensus_run Runner.Algo2_sct));
+        Test.make ~name:"algo3-incremental-n14"
+          (Staged.stage (consensus_run Runner.Algo3_incremental));
+        Test.make ~name:"algo4-local-n14"
+          (Staged.stage (consensus_run Runner.Algo4_local));
+        Test.make ~name:"cft-n14" (Staged.stage (consensus_run Runner.Cft));
+        Test.make ~name:"bb-dolev-strong-n8"
+          (Staged.stage (bb_run Vv_bb.Bb.Dolev_strong));
+        Test.make ~name:"bb-eig-n8" (Staged.stage (bb_run Vv_bb.Bb.Eig));
+        Test.make ~name:"bb-phase-king-n8"
+          (Staged.stage (bb_run Vv_bb.Bb.Phase_king));
+        Test.make ~name:"fig1b-exact-cell" (Staged.stage fig1b_exact_cell);
+        Test.make ~name:"fig1b-montecarlo-cell" (Staged.stage fig1b_mc_cell);
+        Test.make ~name:"baseline-median-n11" (Staged.stage median_baseline);
+        Test.make ~name:"radio-ring12-consensus" (Staged.stage radio_ring);
+        Test.make ~name:"ledger-slot-n9" (Staged.stage ledger_slot);
+        Test.make ~name:"tally-plurality-1k" (Staged.stage tally_micro);
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Fmt.pr "@.== Bechamel micro-benchmarks (ns per run) ==@.";
+  Hashtbl.iter
+    (fun measure per_test ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Fmt.pr "%-50s %12.1f %s@." name est measure
+          | Some [] | None -> Fmt.pr "%-50s %12s@." name "n/a")
+        rows)
+    merged
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tables_only = List.mem "--tables" args in
+  let bench_only = List.mem "--bench" args in
+  if not bench_only then begin
+    Fmt.pr "=== Reproduction harness: every figure/experiment of the paper \
+            ===@.";
+    Vv_analysis.Experiments.run_all ()
+  end;
+  if not tables_only then benches ()

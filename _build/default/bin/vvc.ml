@@ -1,0 +1,331 @@
+(* vvc — command-line driver for the voting-validity reproduction.
+
+   Subcommands:
+     list                        enumerate the experiments (DESIGN.md §4)
+     exp <id> [--csv]            regenerate one figure/experiment
+     all                         regenerate everything
+     bounds -n N -t T [...]      evaluate every tolerance bound at a point
+     run [...]                   one protocol execution with full control *)
+
+module C = Cmdliner
+module Oid = Vv_ballot.Option_id
+module Runner = Vv_core.Runner
+module Strategy = Vv_core.Strategy
+module Bounds = Vv_core.Bounds
+module Table = Vv_prelude.Table
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List available experiments." in
+  let run () =
+    List.iter
+      (fun (e : Vv_analysis.Experiments.experiment) ->
+        Fmt.pr "%-8s %s@." e.Vv_analysis.Experiments.id
+          e.Vv_analysis.Experiments.what)
+      Vv_analysis.Experiments.all
+  in
+  C.Cmd.v (C.Cmd.info "list" ~doc) C.Term.(const run $ const ())
+
+(* --- exp --- *)
+
+let exp_cmd =
+  let doc = "Run one experiment and print its table(s)." in
+  let id =
+    C.Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,vvc list)).")
+  in
+  let csv =
+    C.Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let run id csv =
+    match Vv_analysis.Experiments.find id with
+    | None ->
+        Fmt.epr "unknown experiment %S; try: %a@." id
+          Fmt.(list ~sep:sp string)
+          Vv_analysis.Experiments.ids;
+        exit 1
+    | Some e ->
+        List.iter
+          (fun t ->
+            if csv then print_string (Table.to_csv t) else Table.print t)
+          (e.Vv_analysis.Experiments.run ())
+  in
+  C.Cmd.v (C.Cmd.info "exp" ~doc) C.Term.(const run $ id $ csv)
+
+(* --- all --- *)
+
+let all_cmd =
+  let doc = "Run every experiment (the full reproduction harness)." in
+  let csv_dir =
+    C.Arg.(value
+           & opt (some string) None
+           & info [ "csv-dir" ]
+               ~doc:"Additionally write every table as CSV under this \
+                     directory (created if missing).")
+  in
+  let run csv_dir =
+    match csv_dir with
+    | None -> Vv_analysis.Experiments.run_all ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (e : Vv_analysis.Experiments.experiment) ->
+            Fmt.pr "@.### %s — %s@.@." e.Vv_analysis.Experiments.id
+              e.Vv_analysis.Experiments.what;
+            List.iteri
+              (fun i t ->
+                Table.print t;
+                let path =
+                  Filename.concat dir
+                    (Fmt.str "%s_%d.csv" e.Vv_analysis.Experiments.id i)
+                in
+                let oc = open_out path in
+                output_string oc (Table.to_csv t);
+                close_out oc;
+                Fmt.pr "[written %s]@." path)
+              (e.Vv_analysis.Experiments.run ()))
+          Vv_analysis.Experiments.all
+  in
+  C.Cmd.v (C.Cmd.info "all" ~doc) C.Term.(const run $ csv_dir)
+
+(* --- bounds --- *)
+
+let bounds_cmd =
+  let doc = "Evaluate the paper's tolerance bounds at one parameter point." in
+  let n = C.Arg.(required & opt (some int) None & info [ "n" ] ~doc:"Total nodes N.") in
+  let t = C.Arg.(required & opt (some int) None & info [ "t" ] ~doc:"Tolerance t.") in
+  let bg = C.Arg.(value & opt int 0 & info [ "bg" ] ~doc:"Honest runner-up votes B_G.") in
+  let cg = C.Arg.(value & opt int 0 & info [ "cg" ] ~doc:"Honest other votes C_G.") in
+  let run n t bg cg =
+    let tab =
+      Table.create ~title:(Fmt.str "Bounds at N=%d t=%d B_G=%d C_G=%d" n t bg cg)
+        ~headers:[ "kind"; "bound (N must exceed)"; "satisfied"; "t_vd"; "required gap" ]
+        ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+        ()
+    in
+    List.iter
+      (fun kind ->
+        Table.add_row tab
+          [
+            Fmt.str "%a" Bounds.pp_kind kind;
+            Table.icell (Bounds.bound kind ~t ~bg ~cg);
+            Table.bcell (Bounds.satisfied kind ~n ~t ~bg ~cg);
+            Table.fcell ~decimals:2 (Bounds.vote_dispersion_tolerance kind ~bg ~cg);
+            Table.icell (Bounds.required_gap kind ~t);
+          ])
+      [ Bounds.Bft; Bounds.Cft; Bounds.Sct ];
+    Table.print tab
+  in
+  C.Cmd.v (C.Cmd.info "bounds" ~doc) C.Term.(const run $ n $ t $ bg $ cg)
+
+(* --- run --- *)
+
+let protocol_conv =
+  let parse = function
+    | "algo1" -> Ok Runner.Algo1
+    | "algo2" | "sct" -> Ok Runner.Algo2_sct
+    | "algo3" | "incremental" -> Ok Runner.Algo3_incremental
+    | "algo4" | "local" -> Ok Runner.Algo4_local
+    | "cft" -> Ok Runner.Cft
+    | "sct-incremental" -> Ok Runner.Sct_incremental
+    | s -> Error (`Msg (Fmt.str "unknown protocol %S" s))
+  in
+  C.Arg.conv (parse, fun ppf p -> Fmt.string ppf (Runner.protocol_label p))
+
+let strategy_conv =
+  let parse s =
+    match Strategy.of_name s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Fmt.str "unknown strategy %S (one of: %s)" s
+                             (String.concat ", " Strategy.all_names)))
+  in
+  C.Arg.conv (parse, Strategy.pp)
+
+let bb_conv =
+  let parse s =
+    match Vv_bb.Bb.of_name s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Fmt.str "unknown substrate %S" s))
+  in
+  C.Arg.conv (parse, Vv_bb.Bb.pp)
+
+let inputs_conv =
+  let parse s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.map (fun x -> Oid.of_int (int_of_string (String.trim x))))
+    with _ -> Error (`Msg "inputs must be a comma-separated list of ints")
+  in
+  C.Arg.conv (parse, fun ppf l -> Fmt.(list ~sep:comma Oid.pp) ppf l)
+
+let run_cmd =
+  let doc = "Execute one consensus instance and report every property." in
+  let protocol =
+    C.Arg.(value & opt protocol_conv Runner.Algo1
+           & info [ "protocol"; "p" ] ~doc:"Protocol: algo1|algo2|algo3|algo4|cft.")
+  in
+  let strategy =
+    C.Arg.(value & opt strategy_conv Strategy.Collude_second
+           & info [ "strategy"; "s" ]
+               ~doc:"Adversary: passive|collude-second|split-top2|propose-second|random.")
+  in
+  let bb =
+    C.Arg.(value & opt bb_conv Vv_bb.Bb.Dolev_strong
+           & info [ "bb" ] ~doc:"Phase-1 substrate: dolev-strong|eig|phase-king.")
+  in
+  let t = C.Arg.(value & opt int 1 & info [ "t" ] ~doc:"Declared tolerance t.") in
+  let f = C.Arg.(value & opt (some int) None & info [ "f" ] ~doc:"Actual Byzantine count (default t).") in
+  let inputs =
+    C.Arg.(value
+           & opt inputs_conv
+               (List.map Oid.of_int [ 0; 0; 0; 1; 1; 2; 3 ])
+           & info [ "inputs"; "i" ] ~doc:"Honest inputs, e.g. 0,0,0,1.")
+  in
+  let delay_hi =
+    C.Arg.(value & opt int 1
+           & info [ "delay" ] ~doc:"Delay bound (1 = synchronous, k = uniform 1..k).")
+  in
+  let seed = C.Arg.(value & opt int 0x5eed & info [ "seed" ] ~doc:"PRNG seed.") in
+  let trace =
+    C.Arg.(value & flag
+           & info [ "trace" ] ~doc:"Print per-round engine activity to stderr.")
+  in
+  let run protocol strategy bb t f inputs delay_hi seed trace =
+    if trace then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.Src.set_level Vv_sim.Engine.log_src (Some Logs.Debug)
+    end;
+    let f = Option.value f ~default:t in
+    let delay =
+      if delay_hi <= 1 then Vv_sim.Delay.Synchronous
+      else Vv_sim.Delay.Uniform { lo = 1; hi = delay_hi }
+    in
+    let r = Runner.simple ~protocol ~strategy ~bb ~delay ~seed ~t ~f inputs in
+    let honest = r.Runner.honest_inputs in
+    Fmt.pr "protocol     : %s@." (Runner.protocol_label protocol);
+    Fmt.pr "adversary    : %a  (f=%d, t=%d)@." Strategy.pp strategy f t;
+    Fmt.pr "honest inputs: %a@." Fmt.(list ~sep:sp Oid.pp) honest;
+    (match Bounds.decompose ~tie:Vv_ballot.Tie_break.default honest with
+    | Some (w, ag, bg, cg) ->
+        Fmt.pr "honest tally : plurality=%a A_G=%d B_G=%d C_G=%d@." Oid.pp w ag
+          bg cg;
+        let n = List.length honest + f in
+        Fmt.pr "bounds       : BFT=%b CFT=%b SCT=%b (N=%d)@."
+          (Bounds.satisfied Bounds.Bft ~n ~t ~bg ~cg)
+          (Bounds.satisfied Bounds.Cft ~n ~t ~bg ~cg)
+          (Bounds.satisfied Bounds.Sct ~n ~t ~bg ~cg)
+          n
+    | None -> ());
+    Fmt.pr "outputs      : %a@."
+      Fmt.(list ~sep:sp (option ~none:(any "-") Oid.pp))
+      r.Runner.outputs;
+    Fmt.pr "termination  : %b@." r.Runner.termination;
+    Fmt.pr "agreement    : %b@." r.Runner.agreement;
+    Fmt.pr "voting valid : %b (tie-break-aware: %b)@." r.Runner.voting_validity
+      r.Runner.voting_validity_tb;
+    Fmt.pr "strong valid : %b@." r.Runner.strong_validity;
+    Fmt.pr "safety adm.  : %b@." r.Runner.safety_admissible;
+    Fmt.pr "rounds       : %d (stalled: %b)@." r.Runner.rounds r.Runner.stalled;
+    Fmt.pr "messages     : honest=%d byzantine=%d@." r.Runner.honest_msgs
+      r.Runner.byz_msgs
+  in
+  C.Cmd.v (C.Cmd.info "run" ~doc)
+    C.Term.(
+      const run $ protocol $ strategy $ bb $ t $ f $ inputs $ delay_hi $ seed
+      $ trace)
+
+(* --- ledger --- *)
+
+let ledger_cmd =
+  let doc = "Run a multi-shot voting ledger over random slot electorates." in
+  let n = C.Arg.(value & opt int 9 & info [ "n" ] ~doc:"Total nodes.") in
+  let t = C.Arg.(value & opt int 2 & info [ "t" ] ~doc:"Tolerance (the last t nodes are Byzantine).") in
+  let slots = C.Arg.(value & opt int 6 & info [ "slots" ] ~doc:"Number of subjects to decide.") in
+  let seed = C.Arg.(value & opt int 0x1ed9 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run n t slots seed =
+    let byzantine = List.init t (fun i -> n - 1 - i) in
+    let cfg =
+      Vv_multishot.Ledger.config ~byzantine
+        ~retry:(Vv_multishot.Ledger.Rotate_and_adjust (Vv_core.Session.Bandwagon, 6))
+        ~seed ~n ~t ()
+    in
+    let ledger = Vv_multishot.Ledger.create cfg in
+    let rng = Vv_prelude.Rng.create (seed + 1) in
+    let dist =
+      Vv_dist.Multinomial.create ~n:(n - t) ~p:[| 0.5; 0.3; 0.2 |]
+    in
+    for subject = 1 to slots do
+      let honest = Vv_dist.Montecarlo.sample_inputs dist rng in
+      let inputs = honest @ List.init t (fun _ -> Oid.of_int 0) in
+      let slot = Vv_multishot.Ledger.decide ledger ~subject inputs in
+      Fmt.pr "%a@." Vv_multishot.Ledger.pp_slot slot
+    done;
+    Fmt.pr "@.height=%d committed=%d all-committed-valid=%b@."
+      (Vv_multishot.Ledger.height ledger)
+      (List.length (Vv_multishot.Ledger.committed ledger))
+      (Vv_multishot.Ledger.all_committed_valid ledger)
+  in
+  C.Cmd.v (C.Cmd.info "ledger" ~doc) C.Term.(const run $ n $ t $ slots $ seed)
+
+(* --- radio --- *)
+
+let topology_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "complete"; n ] -> Ok (Vv_radio.Topology.complete (int_of_string n))
+    | [ "ring"; n ] -> Ok (Vv_radio.Topology.ring ~k:1 (int_of_string n))
+    | [ "ring2"; n ] -> Ok (Vv_radio.Topology.ring ~k:2 (int_of_string n))
+    | [ "grid"; w; h ] ->
+        Ok (Vv_radio.Topology.grid ~w:(int_of_string w) ~h:(int_of_string h))
+    | [ "geo"; n; r ] ->
+        Ok
+          (Vv_radio.Topology.random_geometric ~n:(int_of_string n)
+             ~radius:(float_of_string r) ~seed:7)
+    | _ ->
+        Error
+          (`Msg
+             "topology: complete:N | ring:N | ring2:N | grid:W:H | geo:N:R")
+  in
+  C.Arg.conv (parse, fun ppf t -> Fmt.pf ppf "<topology of %d>" (Vv_radio.Topology.size t))
+
+let radio_cmd =
+  let doc = "One multi-hop radio vote on a chosen topology." in
+  let topo =
+    C.Arg.(value & opt topology_conv (Vv_radio.Topology.ring ~k:2 9)
+           & info [ "topology" ] ~doc:"complete:N | ring:N | ring2:N | grid:W:H | geo:N:R.")
+  in
+  let t = C.Arg.(value & opt int 1 & info [ "t" ] ~doc:"Tolerance; the last t nodes are Byzantine.") in
+  let run topo t =
+    let n = Vv_radio.Topology.size topo in
+    let byzantine = List.init t (fun i -> n - 1 - i) in
+    let inputs =
+      List.init n (fun i -> Oid.of_int (if i mod 4 = 3 then 1 else 0))
+    in
+    let r =
+      Vv_radio.Radio_runner.run ~topology:topo ~t ~byzantine inputs
+    in
+    Fmt.pr "topology     : %d nodes, diameter %d, min degree %d@." n
+      (Vv_radio.Topology.diameter topo)
+      (Vv_radio.Topology.min_degree topo);
+    Fmt.pr "outputs      : %a@."
+      Fmt.(list ~sep:sp (option ~none:(any "-") Oid.pp))
+      r.Vv_radio.Radio_runner.outputs;
+    Fmt.pr "termination=%b agreement=%b validity=%b rounds=%d messages=%d@."
+      r.Vv_radio.Radio_runner.termination r.Vv_radio.Radio_runner.agreement
+      r.Vv_radio.Radio_runner.voting_validity r.Vv_radio.Radio_runner.rounds
+      r.Vv_radio.Radio_runner.messages
+  in
+  C.Cmd.v (C.Cmd.info "radio" ~doc) C.Term.(const run $ topo $ t)
+
+let () =
+  let doc = "Exact fault-tolerant consensus with voting validity (IPDPS 2023)" in
+  let info = C.Cmd.info "vvc" ~version:"1.0.0" ~doc in
+  exit
+    (C.Cmd.eval
+       (C.Cmd.group info
+          [ list_cmd; exp_cmd; all_cmd; bounds_cmd; run_cmd; ledger_cmd;
+            radio_cmd ]))

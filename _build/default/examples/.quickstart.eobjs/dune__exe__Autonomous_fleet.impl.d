@@ -1,0 +1,1 @@
+examples/autonomous_fleet.ml: Array Fmt List Vv_ballot Vv_core Vv_prelude Vv_sim

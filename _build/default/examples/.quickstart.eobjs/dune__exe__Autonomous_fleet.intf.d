@@ -1,0 +1,1 @@
+examples/autonomous_fleet.mli:

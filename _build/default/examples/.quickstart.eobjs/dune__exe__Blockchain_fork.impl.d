@@ -1,0 +1,1 @@
+examples/blockchain_fork.ml: Array Fmt Fun List Vv_ballot Vv_core

@@ -1,0 +1,1 @@
+examples/blockchain_fork.mli:

@@ -1,0 +1,1 @@
+examples/committee_ledger.ml: Array Fmt List Vv_ballot Vv_core Vv_multishot

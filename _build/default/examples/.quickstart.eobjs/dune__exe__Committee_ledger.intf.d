@@ -1,0 +1,1 @@
+examples/committee_ledger.mli:

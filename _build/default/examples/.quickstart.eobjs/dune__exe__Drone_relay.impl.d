@@ -1,0 +1,1 @@
+examples/drone_relay.ml: Array Fmt Fun List Vv_ballot Vv_radio

@@ -1,0 +1,1 @@
+examples/drone_relay.mli:

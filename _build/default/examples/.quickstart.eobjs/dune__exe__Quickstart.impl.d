@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Vv_ballot Vv_core

@@ -1,0 +1,1 @@
+examples/sensor_swarm.ml: Array Fmt Fun List Vv_analysis Vv_ballot Vv_core Vv_prelude Vv_sim

@@ -1,0 +1,1 @@
+lib/analysis/baseline_runner.ml: Adversary Engine Hashtbl List Types Vv_baselines Vv_sim

@@ -1,0 +1,1 @@
+lib/analysis/baseline_runner.mli: Vv_baselines Vv_sim

@@ -1,0 +1,1 @@
+lib/analysis/exp_baselines.ml: Array Baseline_runner Fmt Fun List Option Vv_ballot Vv_baselines Vv_bb Vv_core Vv_dist Vv_prelude Vv_sim Witness

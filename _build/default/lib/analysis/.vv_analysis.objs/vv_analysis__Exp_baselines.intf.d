@@ -1,0 +1,1 @@
+lib/analysis/exp_baselines.mli: Vv_prelude

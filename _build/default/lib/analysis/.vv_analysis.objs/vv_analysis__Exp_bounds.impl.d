@@ -1,0 +1,1 @@
+lib/analysis/exp_bounds.ml: Fmt List Vv_ballot Vv_core Vv_prelude Witness

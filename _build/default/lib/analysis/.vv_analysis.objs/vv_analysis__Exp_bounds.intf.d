@@ -1,0 +1,1 @@
+lib/analysis/exp_bounds.mli: Vv_prelude

@@ -1,0 +1,1 @@
+lib/analysis/exp_examples.ml: Fmt Fun List String Vv_ballot Vv_core Vv_prelude Vv_sim Witness

@@ -1,0 +1,1 @@
+lib/analysis/exp_examples.mli: Vv_prelude

@@ -1,0 +1,1 @@
+lib/analysis/exp_extensions.ml: Fmt Fun List Option Vv_ballot Vv_bb Vv_core Vv_prelude Vv_sim

@@ -1,0 +1,1 @@
+lib/analysis/exp_extensions.mli: Vv_prelude

@@ -1,0 +1,1 @@
+lib/analysis/exp_fig1.ml: Array Fmt List Vv_core Vv_dist Vv_prelude

@@ -1,0 +1,1 @@
+lib/analysis/exp_fig1.mli: Vv_dist Vv_prelude

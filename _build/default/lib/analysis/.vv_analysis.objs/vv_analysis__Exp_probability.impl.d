@@ -1,0 +1,1 @@
+lib/analysis/exp_probability.ml: Array Baseline_runner Fmt List String Vv_ballot Vv_baselines Vv_dist Vv_prelude Vv_sim

@@ -1,0 +1,1 @@
+lib/analysis/exp_probability.mli: Vv_prelude

@@ -1,0 +1,1 @@
+lib/analysis/exp_radio.ml: List Vv_ballot Vv_prelude Vv_radio

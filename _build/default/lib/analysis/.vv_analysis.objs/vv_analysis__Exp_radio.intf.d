@@ -1,0 +1,1 @@
+lib/analysis/exp_radio.mli: Vv_prelude

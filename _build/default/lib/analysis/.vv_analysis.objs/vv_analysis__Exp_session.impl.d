@@ -1,0 +1,1 @@
+lib/analysis/exp_session.ml: Fmt List Vv_core Vv_dist Vv_prelude

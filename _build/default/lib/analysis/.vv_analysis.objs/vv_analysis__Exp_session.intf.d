@@ -1,0 +1,1 @@
+lib/analysis/exp_session.mli: Vv_prelude

@@ -1,0 +1,1 @@
+lib/analysis/experiments.ml: Exp_baselines Exp_bounds Exp_examples Exp_extensions Exp_fig1 Exp_probability Exp_radio Exp_session Fmt List String Vv_prelude

@@ -1,0 +1,1 @@
+lib/analysis/experiments.mli: Format Vv_prelude

@@ -1,0 +1,1 @@
+lib/analysis/witness.ml: List Vv_ballot Vv_core

@@ -1,0 +1,1 @@
+lib/analysis/witness.mli: Vv_ballot

@@ -1,0 +1,115 @@
+(* Engine plumbing for the baseline protocols (experiment E8): run each
+   comparator on a shared workload against a matched adversary and return
+   substrate-independent summaries. *)
+
+open Vv_sim
+module B = Vv_baselines
+
+type summary = {
+  outputs : int option list;  (* honest, id order *)
+  rounds : int;
+  stalled : bool;
+}
+
+(* Adversary against the exchange-and-agree baselines: observe the honest
+   Raw values in round 0 and flood the runner-up (same collusion the voting
+   protocols face). *)
+let raw_collude () : B.Exchange_ba.msg Adversary.t =
+  Adversary.named "raw-collude" (fun view ->
+      if view.Adversary.round <> 0 then []
+      else
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun (d : B.Exchange_ba.msg Types.delivery) ->
+            match d.Types.msg with
+            | B.Exchange_ba.Raw v ->
+                if not (Hashtbl.mem seen d.Types.src) then
+                  Hashtbl.add seen d.Types.src v
+            | B.Exchange_ba.Ba _ -> ())
+          view.Adversary.honest_sent;
+        let counts = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun _ v ->
+            let c = try Hashtbl.find counts v with Not_found -> 0 in
+            Hashtbl.replace counts v (c + 1))
+          seen;
+        let ranked =
+          Hashtbl.fold (fun v c acc -> (c, v) :: acc) counts []
+          |> List.sort (fun (c1, v1) (c2, v2) ->
+                 if c1 <> c2 then compare c2 c1 else compare v1 v2)
+        in
+        match ranked with
+        | [] -> []
+        | [ (_, only) ] ->
+            List.concat_map
+              (fun src ->
+                List.init view.Adversary.n (fun dst ->
+                    { Adversary.src; dst; msg = B.Exchange_ba.Raw only }))
+              view.Adversary.byzantine
+        | _ :: (_, second) :: _ ->
+            List.concat_map
+              (fun src ->
+                List.init view.Adversary.n (fun dst ->
+                    { Adversary.src; dst; msg = B.Exchange_ba.Raw second }))
+              view.Adversary.byzantine)
+
+(* Adversary against approximate agreement: flood an extreme outlier every
+   round (the sensor-failure scenario of [5]). *)
+let approx_outlier ~value : float Adversary.t =
+  Adversary.named "approx-outlier" (fun view ->
+      List.concat_map
+        (fun src ->
+          List.init view.Adversary.n (fun dst ->
+              { Adversary.src; dst; msg = value }))
+        view.Adversary.byzantine)
+
+module Median_E = Engine.Make (B.Median_validity)
+module Interval_E = Engine.Make (B.Interval_validity)
+module Strong_E = Engine.Make (B.Strong_consensus)
+module Kset_E = Engine.Make (B.Kset)
+module Approx_E = Engine.Make (B.Approx)
+
+let run_median cfg ~inputs ~collude =
+  let adversary = if collude then Some (raw_collude ()) else None in
+  let res = Median_E.run cfg ~inputs ?adversary () in
+  {
+    outputs = Median_E.honest_outputs res;
+    rounds = res.Median_E.rounds_used;
+    stalled = res.Median_E.stalled;
+  }
+
+let run_interval cfg ~inputs ~collude =
+  let adversary = if collude then Some (raw_collude ()) else None in
+  let res = Interval_E.run cfg ~inputs ?adversary () in
+  {
+    outputs = Interval_E.honest_outputs res;
+    rounds = res.Interval_E.rounds_used;
+    stalled = res.Interval_E.stalled;
+  }
+
+let run_strong cfg ~inputs ~collude =
+  let adversary = if collude then Some (raw_collude ()) else None in
+  let res = Strong_E.run cfg ~inputs ?adversary () in
+  {
+    outputs = Strong_E.honest_outputs res;
+    rounds = res.Strong_E.rounds_used;
+    stalled = res.Strong_E.stalled;
+  }
+
+let run_kset cfg ~inputs =
+  let res = Kset_E.run cfg ~inputs () in
+  {
+    outputs = Kset_E.honest_outputs res;
+    rounds = res.Kset_E.rounds_used;
+    stalled = res.Kset_E.stalled;
+  }
+
+(* Approx keeps float outputs; expose them directly. *)
+let run_approx cfg ~inputs ~outlier =
+  let adversary =
+    match outlier with None -> None | Some v -> Some (approx_outlier ~value:v)
+  in
+  let res = Approx_E.run cfg ~inputs ?adversary () in
+  ( Approx_E.honest_outputs res,
+    res.Approx_E.rounds_used,
+    res.Approx_E.stalled )

@@ -1,0 +1,259 @@
+(* Experiments E8-E9: comparison against the approximate-validity baselines
+   and protocol cost accounting.
+
+   E8a: election workload — how often does each protocol deliver the exact
+        plurality of honest inputs under collusion? (the paper's Section I
+        claim: approximate validities cannot, voting validity can whenever
+        the dispersion bound holds).
+   E8b: sensor workload with Byzantine outliers — the converse: median /
+        approximate agreement shine on continuous values where plurality is
+        meaningless (all honest values distinct, Algorithm 1 stalls).
+   E9:  rounds and messages per protocol and substrate. *)
+
+module Table = Vv_prelude.Table
+module Runner = Vv_core.Runner
+module Strategy = Vv_core.Strategy
+module Oid = Vv_ballot.Option_id
+module Rng = Vv_prelude.Rng
+module Validity = Vv_ballot.Validity
+
+let plurality_of honest =
+  Validity.honest_plurality ~tie:Vv_ballot.Tie_break.default
+    ~honest_inputs:honest
+
+type rates = {
+  mutable exact : int;
+  mutable agree : int;
+  mutable term : int;
+  trials : int;
+}
+
+let new_rates trials = { exact = 0; agree = 0; term = 0; trials }
+
+let rate n r = float_of_int n /. float_of_int r.trials
+
+let record r ~honest ~outputs =
+  let target = plurality_of honest in
+  let decided = List.filter_map Fun.id outputs in
+  let term = List.length decided = List.length outputs in
+  let agree =
+    match decided with
+    | [] -> true
+    | x :: rest -> List.for_all (Oid.equal x) rest
+  in
+  let exact =
+    term && agree
+    && match (decided, target) with
+       | x :: _, Some p -> Oid.equal x p
+       | _ -> false
+  in
+  if term then r.term <- r.term + 1;
+  if agree then r.agree <- r.agree + 1;
+  if exact then r.exact <- r.exact + 1
+
+let e8_election ?(trials = 120) ?(ng = 10) ?(t = 2) ?(seed = 0xe8) () =
+  let rng = Rng.create seed in
+  let dist = Vv_dist.Profiles.distribution ~ng Vv_dist.Profiles.d2 in
+  let n = ng + t in
+  let byz = List.init t (fun i -> ng + i) in
+  let algo1 = new_rates trials
+  and sct = new_rates trials
+  and strong = new_rates trials
+  and median = new_rates trials
+  and interval = new_rates trials in
+  for _ = 1 to trials do
+    let honest = Vv_dist.Montecarlo.sample_inputs dist rng in
+    let seed = Rng.bits rng in
+    (* Voting-validity protocols. *)
+    let r1 =
+      Runner.simple ~protocol:Runner.Algo1 ~strategy:Strategy.Collude_second
+        ~seed ~t ~f:t honest
+    in
+    record algo1 ~honest ~outputs:r1.Runner.outputs;
+    let r2 =
+      Runner.simple ~protocol:Runner.Algo2_sct
+        ~strategy:Strategy.Collude_second ~seed ~t ~f:t honest
+    in
+    record sct ~honest ~outputs:r2.Runner.outputs;
+    (* Baselines: same workload as raw integers. *)
+    let cfg = Vv_sim.Config.with_byzantine ~seed ~n ~t_max:t byz () in
+    let input_arr = Array.of_list honest in
+    let as_int id = Oid.to_int input_arr.(min id (ng - 1)) in
+    let to_opts (s : Baseline_runner.summary) =
+      List.map
+        (Option.map (fun v -> Oid.of_int (max 0 v)))
+        s.Baseline_runner.outputs
+    in
+    let s = Baseline_runner.run_strong cfg ~inputs:as_int ~collude:true in
+    record strong ~honest ~outputs:(to_opts s);
+    let m = Baseline_runner.run_median cfg ~inputs:as_int ~collude:true in
+    record median ~honest ~outputs:(to_opts m);
+    let iv =
+      Baseline_runner.run_interval cfg
+        ~inputs:(fun id ->
+          { Vv_baselines.Interval_validity.value = as_int id; k = (ng + 1) / 2 })
+        ~collude:true
+    in
+    record interval ~honest ~outputs:(to_opts iv)
+  done;
+  let t_out =
+    Table.create
+      ~title:
+        (Fmt.str
+           "E8a: election workload (D2, N_G=%d, t=f=%d, colluding adversary) \
+            - exact-plurality rate"
+           ng t)
+      ~headers:[ "protocol"; "exact"; "agreement"; "termination" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun (name, r) ->
+      Table.add_row t_out
+        [
+          name;
+          Table.fcell ~decimals:3 (rate r.exact r);
+          Table.fcell ~decimals:3 (rate r.agree r);
+          Table.fcell ~decimals:3 (rate r.term r);
+        ])
+    [
+      ("algo1 (voting validity)", algo1);
+      ("algo2 (SCT)", sct);
+      ("strong-consensus", strong);
+      ("median-validity", median);
+      ("interval-validity", interval);
+    ];
+  t_out
+
+let e8_sensor ?(trials = 60) ?(ng = 9) ?(t = 2) ?(seed = 0x5e45) () =
+  let rng = Rng.create seed in
+  let n = ng + t in
+  let byz = List.init t (fun i -> ng + i) in
+  let abs_err = ref 0.0 and med_stall = ref 0 in
+  let approx_spread = ref 0.0 in
+  let algo1_stalls = ref 0 and algo1_err = ref 0.0 and algo1_decides = ref 0 in
+  let sct_stalls = ref 0 in
+  for _ = 1 to trials do
+    (* Distinct readings around 100: a plurality does not exist. *)
+    let base = Array.init ng (fun i -> 90 + i + Rng.int rng 3) in
+    let values = Array.to_list base in
+    let sorted = List.sort compare values in
+    let true_median = List.nth sorted (ng / 2) in
+    let seed = Rng.bits rng in
+    let cfg = Vv_sim.Config.with_byzantine ~seed ~n ~t_max:t byz () in
+    let m =
+      Baseline_runner.run_median cfg
+        ~inputs:(fun id -> base.(min id (ng - 1)))
+        ~collude:true
+    in
+    (match List.filter_map Fun.id m.Baseline_runner.outputs with
+    | [] -> incr med_stall
+    | out :: _ ->
+        abs_err := !abs_err +. abs_float (float_of_int (out - true_median)));
+    let outs, _, _ =
+      Baseline_runner.run_approx cfg
+        ~inputs:(fun id ->
+          { Vv_baselines.Approx.value = float_of_int base.(min id (ng - 1));
+            rounds = 8 })
+        ~outlier:(Some 1e6)
+    in
+    approx_spread := !approx_spread +. Vv_baselines.Approx.spread outs;
+    let r1 =
+      Runner.simple ~protocol:Runner.Algo1 ~strategy:Strategy.Collude_second
+        ~seed ~t ~f:t
+        (List.map Oid.of_int values)
+    in
+    if not r1.Runner.termination then incr algo1_stalls
+    else begin
+      (match List.filter_map Fun.id r1.Runner.outputs with
+      | out :: _ ->
+          incr algo1_decides;
+          algo1_err :=
+            !algo1_err
+            +. abs_float (float_of_int (Oid.to_int out - true_median))
+      | [] -> ())
+    end;
+    let r2 =
+      Runner.simple ~protocol:Runner.Algo2_sct ~strategy:Strategy.Collude_second
+        ~seed ~t ~f:t
+        (List.map Oid.of_int values)
+    in
+    if not r2.Runner.termination then incr sct_stalls
+  done;
+  let tt =
+    Table.create
+      ~title:
+        (Fmt.str
+           "E8b: sensor workload (distinct readings + Byzantine outliers, \
+            N_G=%d, t=f=%d)"
+           ng t)
+      ~headers:[ "metric"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ]
+      ()
+  in
+  Table.add_row tt
+    [
+      "median baseline: mean |output - true median|";
+      Table.fcell ~decimals:2 (!abs_err /. float_of_int (max 1 (trials - !med_stall)));
+    ];
+  Table.add_row tt
+    [
+      "approximate agreement: mean honest spread (outliers trimmed)";
+      Table.fcell ~decimals:4 (!approx_spread /. float_of_int trials);
+    ];
+  Table.add_row tt
+    [
+      "algo1 stall rate (no plurality exists on distinct readings)";
+      Table.fcell ~decimals:2
+        (float_of_int !algo1_stalls /. float_of_int trials);
+    ];
+  Table.add_row tt
+    [
+      "algo1 mean |output - true median| when the adversary forces a decision";
+      Table.fcell ~decimals:2 (!algo1_err /. float_of_int (max 1 !algo1_decides));
+    ];
+  Table.add_row tt
+    [
+      "algo2 (SCT) stall rate (refuses to guess)";
+      Table.fcell ~decimals:2 (float_of_int !sct_stalls /. float_of_int trials);
+    ];
+  tt
+
+let e9 ?(t = 1) () =
+  let tt =
+    Table.create
+      ~title:"E9: protocol cost (decisive inputs A*(N_G-1),B; t=f=1)"
+      ~headers:
+        [ "protocol"; "substrate"; "N"; "rounds"; "honest msgs"; "byz msgs" ]
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  let add protocol bb label ng =
+    let honest = Witness.inputs ~ag:(ng - 1) ~bg:1 ~cg:0 in
+    let r =
+      Runner.simple ~protocol ~bb ~strategy:Strategy.Collude_second ~t ~f:t
+        honest
+    in
+    Table.add_row tt
+      [
+        Runner.protocol_label protocol;
+        label;
+        Table.icell (ng + t);
+        Table.icell r.Runner.rounds;
+        Table.icell r.Runner.honest_msgs;
+        Table.icell r.Runner.byz_msgs;
+      ]
+  in
+  List.iter
+    (fun ng ->
+      add Runner.Algo1 Vv_bb.Bb.Dolev_strong "dolev-strong" ng;
+      add Runner.Algo1 Vv_bb.Bb.Eig "eig" ng;
+      add Runner.Algo1 Vv_bb.Bb.Phase_king "phase-king" ng;
+      add Runner.Algo2_sct Vv_bb.Bb.Dolev_strong "dolev-strong" ng;
+      add Runner.Algo3_incremental Vv_bb.Bb.Dolev_strong "dolev-strong" ng;
+      add Runner.Algo4_local Vv_bb.Bb.Dolev_strong "plain/local" ng;
+      add Runner.Cft Vv_bb.Bb.Dolev_strong "plain" ng)
+    [ 6; 9; 12 ];
+  tt

@@ -1,0 +1,15 @@
+(** Experiments E8-E9: baseline comparison and protocol cost. *)
+
+val e8_election :
+  ?trials:int -> ?ng:int -> ?t:int -> ?seed:int -> unit -> Vv_prelude.Table.t
+(** Election workload: exact-plurality / agreement / termination rates of
+    the voting-validity protocols vs the approximate baselines under
+    collusion. *)
+
+val e8_sensor :
+  ?trials:int -> ?ng:int -> ?t:int -> ?seed:int -> unit -> Vv_prelude.Table.t
+(** Sensor workload with Byzantine outliers: where median/approximate
+    agreement win and plurality voting has nothing to find. *)
+
+val e9 : ?t:int -> unit -> Vv_prelude.Table.t
+(** Rounds and messages per protocol and substrate across system sizes. *)

@@ -1,0 +1,22 @@
+(** Experiments E6, E7, E10 and E11: the tolerance bounds, executed. *)
+
+val e6 : unit -> Vv_prelude.Table.t
+(** Algorithm 4 under local broadcast at points with [N <= 3t]
+    (Inequality 15). *)
+
+val e7_lemma2 : unit -> Vv_prelude.Table.t
+(** Sweep of {!Witness.lemma2_cell} over (t, B_G, C_G, gap). *)
+
+val e7_theorem10 : unit -> Vv_prelude.Table.t
+(** {!Witness.theorem10_demo} for t = 1..3. *)
+
+val e10_frontier : ?n:int -> unit -> Vv_prelude.Table.t
+(** Theorem 12: max tolerable t vs vote dispersion for K = 2 and K = 3. *)
+
+val e10_third_option : unit -> Vv_prelude.Table.t
+(** Section VI-A's remark: moving hesitant votes from the runner-up to
+    third options shrinks the bound (B_G weighs double). *)
+
+val e11_judgment_ablation : ?t:int -> unit -> Vv_prelude.Table.t
+(** Ablation of delta_P x quorum: liveness on a decisive electorate vs
+    safety under the Theorem 10 tie attack. *)

@@ -1,0 +1,16 @@
+(** Experiments E4-E5: the paper's worked examples. *)
+
+val e4 : unit -> Vv_prelude.Table.t
+(** Section I / IV example: Algorithm 1 fooled below the bound, SCT stalls
+    safely; both exact above it. *)
+
+val e5_firing : unit -> Vv_prelude.Table.t
+(** Section VII-A: the incremental threshold fires after 7 of 10 votes. *)
+
+val e5_delay_sweep : ?seeds:int -> unit -> Vv_prelude.Table.t
+(** Mean rounds-to-decision of Algorithms 1 vs 3 under uniform delays
+    1..delta. *)
+
+val e5_adversarial_schedule : ?delta:int -> unit -> Vv_prelude.Table.t
+(** Worst-case scheduling: leader votes delayed to the bound. Algorithm 3
+    degrades to Algorithm 1's synchronous wait, never beyond. *)

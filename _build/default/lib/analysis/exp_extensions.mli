@@ -1,0 +1,12 @@
+(** Experiment E14: the library extensions in action. *)
+
+val e14_weighted : unit -> Vv_prelude.Table.t
+(** Stake-weighted thresholds: max tolerable adversary weight per stake
+    profile. *)
+
+val e14_approval : unit -> Vv_prelude.Table.t
+(** Approval voting under collusion: the endorsement-gap exactness
+    condition on the live protocol. *)
+
+val e14_multidim : unit -> Vv_prelude.Table.t
+(** Multi-dimensional subjects with per-coordinate SCT verdicts. *)

@@ -1,0 +1,23 @@
+(** Experiments E1-E3: regenerate Figure 1 (Section VI-B). *)
+
+val fig1a : ?ng:int -> unit -> Vv_prelude.Table.t
+(** Figure 1(a): the D1-D4 profiles and initial system entropy H_0. *)
+
+val empirical_success :
+  trials:int -> t:int -> rng:Vv_prelude.Rng.t -> Vv_dist.Multinomial.t -> float
+(** Fraction of Algorithm-1 runs (inputs sampled from the profile, f = t
+    colluders) that terminated with the exact honest plurality. *)
+
+val fig1b :
+  ?ng:int ->
+  ?t_max:int ->
+  ?mc_samples:int ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Vv_prelude.Table.t
+(** Figure 1(b): [Pr(A_G - B_G > t)] per profile and tolerance, computed by
+    exact enumeration, Monte-Carlo, and live protocol runs. *)
+
+val fig1c : ?ng:int -> ?f_max:int -> unit -> Vv_prelude.Table.t
+(** Figure 1(c): system entropy H_s vs actual faults f. *)

@@ -1,0 +1,112 @@
+(* Experiment E13: two probability companions to Figure 1.
+
+   E13a: Pr(BFT exactness) = Pr(A_G - B_G > t) vs Pr(SCT termination) =
+         Pr(A_G - B_G > 2t) per profile — quantifying the price of the
+         safety guarantee (Inequality 6 vs Property 2) on the same
+         electorate distributions.
+   E13b: Neiger's strong-consensus bound N > mt, demonstrated empirically
+         on the strong-consensus baseline: with honest inputs maximally
+         dispersed over m options and N <= mt, a coalition of t nodes
+         flooding a value NOBODY honest holds wins the plurality — strong
+         validity itself collapses, which voting validity (a fortiori)
+         rules out by stalling. *)
+
+module Table = Vv_prelude.Table
+module Profiles = Vv_dist.Profiles
+module Exact = Vv_dist.Exact
+module Oid = Vv_ballot.Option_id
+
+let e13_sct_price ?(ng = Profiles.default_ng) ?(t_max = 3) () =
+  let tab =
+    Table.create
+      ~title:
+        "E13a: the price of the safety guarantee - Pr(gap > t) vs \
+         Pr(gap > 2t) per profile"
+      ~headers:
+        ([ "profile" ]
+        @ List.concat_map
+            (fun t -> [ Fmt.str "BFT t=%d" t; Fmt.str "SCT t=%d" t ])
+            (List.init t_max (fun i -> i + 1)))
+      ~aligns:(Table.Left :: List.init (2 * t_max) (fun _ -> Table.Right))
+      ()
+  in
+  List.iter
+    (fun (pr : Profiles.t) ->
+      let dist = Profiles.distribution ~ng pr in
+      let cells =
+        List.concat_map
+          (fun t ->
+            [
+              Table.fcell (Exact.pr_voting_validity dist ~t);
+              Table.fcell (Exact.pr_sct_termination dist ~t);
+            ])
+          (List.init t_max (fun i -> i + 1))
+      in
+      Table.add_row tab (pr.Profiles.name :: cells))
+    Profiles.all;
+  tab
+
+let e13_neiger ?(t = 3) ?(m = 4) () =
+  let tab =
+    Table.create
+      ~title:
+        (Fmt.str
+           "E13b: Neiger's N > mt bound, empirically (m=%d options, t=f=%d, \
+            coalition floods a value no honest node holds)"
+           m t)
+      ~headers:
+        [ "N"; "N > mt"; "honest spread"; "strong validity"; "alien won" ]
+      ~aligns:[ Table.Right; Table.Right; Table.Left; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let ng = n - t in
+      (* Spread honest inputs as evenly as possible over options 0..m-1;
+         the adversary floods option [m] (held by nobody honest). *)
+      let honest = List.init ng (fun i -> i mod m) in
+      let cfg = Vv_sim.Config.with_byzantine ~n ~t_max:t
+          (List.init t (fun i -> ng + i)) ()
+      in
+      let arr = Array.of_list honest in
+      let module A = Vv_sim.Adversary in
+      let alien = m in
+      let adversary =
+        A.named "alien-flood" (fun view ->
+            if view.A.round <> 0 then []
+            else
+              List.concat_map
+                (fun src ->
+                  List.init view.A.n (fun dst ->
+                      { A.src; dst; msg = Vv_baselines.Exchange_ba.Raw alien }))
+                view.A.byzantine)
+      in
+      let module E = Baseline_runner.Strong_E in
+      let res =
+        E.run cfg ~inputs:(fun id -> arr.(min id (ng - 1))) ~adversary ()
+      in
+      let outputs = E.honest_outputs res in
+      let strong_ok =
+        List.for_all
+          (function None -> true | Some v -> List.mem v honest)
+          outputs
+      in
+      let alien_won =
+        List.exists (function Some v -> v = alien | None -> false) outputs
+      in
+      let spread =
+        let counts = Array.make (m + 1) 0 in
+        List.iter (fun v -> counts.(v) <- counts.(v) + 1) honest;
+        String.concat "/"
+          (List.init m (fun i -> string_of_int counts.(i)))
+      in
+      Table.add_row tab
+        [
+          Table.icell n;
+          Table.bcell (n > m * t);
+          spread;
+          Table.bcell strong_ok;
+          Table.bcell alien_won;
+        ])
+    [ (m * t) - 1; m * t; (m * t) + 1; (m * t) + 3; (m * t) + 6 ];
+  tab

@@ -1,0 +1,12 @@
+(** Experiment E15: convergence of Section V-B revote sessions. *)
+
+val e15 :
+  ?trials:int ->
+  ?ng:int ->
+  ?t:int ->
+  ?max_sessions:int ->
+  ?seed:int ->
+  unit ->
+  Vv_prelude.Table.t
+(** Success rate, mean sessions to decision and first-try rate per
+    preference profile and adjustment policy. *)

@@ -1,0 +1,16 @@
+(** The experiment registry: every figure/experiment of the paper keyed by
+    id (DESIGN.md §4 is the index, EXPERIMENTS.md the paper-vs-measured
+    record). *)
+
+type experiment = {
+  id : string;
+  what : string;
+  run : unit -> Vv_prelude.Table.t list;
+}
+
+val all : experiment list
+val find : string -> experiment option
+val ids : string list
+
+val run_all : ?out:Format.formatter -> unit -> unit
+(** Print every experiment's tables (the [bench/main.exe] harness). *)

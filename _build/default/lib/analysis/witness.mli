@@ -1,0 +1,44 @@
+(** Constructive scenario builders for the impossibility/possibility
+    sweeps (experiment E7) and the paper's worked examples. *)
+
+module Oid = Vv_ballot.Option_id
+
+val inputs : ag:int -> bg:int -> cg:int -> Oid.t list
+(** Honest inputs with exactly [ag] votes on option 0, [bg] on option 1,
+    and [cg] spread over further options so option 1 stays the runner-up.
+    Raises [Invalid_argument] on inconsistent requests ([ag < bg], or
+    [cg > 0] with [bg = 0]). *)
+
+val section1_example : Oid.t list
+(** The Section I / IV motivating electorate {0,0,0,1,1,2,3}. *)
+
+val section7_sequence : int list
+(** The Section VII-A arrival order {0,0,1,0,0,0,2,3,0,1}. *)
+
+val incremental_firing_point : ?delta_p:int -> n:int -> int list -> int option
+(** Feed an arrival sequence one vote at a time; the receipt count at which
+    Inequality (14) first fires, or [None]. *)
+
+type cell = {
+  gap : int;
+  n : int;
+  bound_ok : bool;
+  terminated : bool;
+  valid : bool;  (** tie-break-aware voting validity *)
+  exact : bool;  (** terminated && valid *)
+  matches_theory : bool;
+      (** Lemma 2 below/at the gap threshold, Theorem 9 above it *)
+}
+
+val lemma2_cell : t:int -> bg:int -> cg:int -> gap:int -> cell
+(** One Algorithm-1-vs-colluders run at a prescribed honest gap. *)
+
+type theorem10_result = {
+  lax_violates : bool;
+      (** delta_P = t-1 decided against the established tie-break *)
+  strict_safe : bool;  (** delta_P = t stalled, staying admissible *)
+}
+
+val theorem10_demo : t:int -> theorem10_result
+(** The two-case indistinguishability argument of Theorem 10, executed.
+    Raises [Invalid_argument] when [t < 1]. *)

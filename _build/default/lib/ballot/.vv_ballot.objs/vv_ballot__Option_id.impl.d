@@ -1,0 +1,1 @@
+lib/ballot/option_id.ml: Array Fmt Int

@@ -1,0 +1,1 @@
+lib/ballot/tally.ml: Fmt Int List Map Option_id Tie_break

@@ -1,0 +1,1 @@
+lib/ballot/tally.mli: Fmt Option_id Tie_break

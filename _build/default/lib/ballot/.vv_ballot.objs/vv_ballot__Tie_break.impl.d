@@ -1,0 +1,1 @@
+lib/ballot/tie_break.ml: Fmt Option_id

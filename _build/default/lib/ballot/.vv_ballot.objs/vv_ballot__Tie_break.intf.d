@@ -1,0 +1,1 @@
+lib/ballot/tie_break.mli: Fmt Option_id

@@ -1,0 +1,1 @@
+lib/ballot/validity.ml: Fun List Option Option_id Tally Tie_break

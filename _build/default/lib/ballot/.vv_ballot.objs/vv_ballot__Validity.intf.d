@@ -1,0 +1,1 @@
+lib/ballot/validity.mli: Option_id Tally Tie_break

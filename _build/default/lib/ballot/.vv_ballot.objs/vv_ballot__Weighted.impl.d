@@ -1,0 +1,1 @@
+lib/ballot/weighted.ml: List Option_id Tally

@@ -1,0 +1,1 @@
+lib/ballot/weighted.mli: Option_id Tally Tie_break

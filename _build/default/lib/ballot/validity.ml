@@ -1,0 +1,97 @@
+(* The paper's correctness properties (Section III-C) as executable
+   predicates over honest inputs, local views and protocol outputs.  The
+   experiment harness and tests use these to classify every run. *)
+
+let honest_tally inputs = Tally.of_list inputs
+
+(* Definition III.1: A > B iff strictly more non-faulty nodes support A. *)
+let voting_preference ~honest_inputs a b =
+  let t = honest_tally honest_inputs in
+  Tally.count t a > Tally.count t b
+
+let honest_plurality ~tie ~honest_inputs =
+  Tally.plurality ~tie (honest_tally honest_inputs)
+
+(* A_G - B_G: the gap between the two most supported honest options. *)
+let honest_gap ~tie ~honest_inputs =
+  Tally.gap ~tie (honest_tally honest_inputs)
+
+(* True when one option strictly beats every other honest option, i.e. the
+   premise of Definition III.3 holds without needing the tie-break rule. *)
+let has_strict_plurality ~honest_inputs =
+  match Tally.ranked ~tie:Tie_break.default (honest_tally honest_inputs) with
+  | [] -> false
+  | [ _ ] -> true
+  | (_, ca) :: (_, cb) :: _ -> ca > cb
+
+(* Definition III.3 (strict form): whenever a strict plurality A exists,
+   every produced output must be A.  Outputs are [None] for nodes that have
+   not decided; non-termination does not violate validity (that distinction
+   is what safety-guaranteed protocols exploit, Definition V.1). *)
+let voting_validity ~tie ~honest_inputs ~outputs =
+  if not (has_strict_plurality ~honest_inputs) then true
+  else
+    match honest_plurality ~tie ~honest_inputs with
+    | None -> true
+    | Some a ->
+        List.for_all
+          (function None -> true | Some v -> Option_id.equal v a)
+          outputs
+
+(* Tie-break-aware form: the required output is the tie-break winner even
+   when honest counts tie.  Used when all nodes share the established rule. *)
+let voting_validity_tb ~tie ~honest_inputs ~outputs =
+  match honest_plurality ~tie ~honest_inputs with
+  | None -> true
+  | Some a ->
+      List.for_all
+        (function None -> true | Some v -> Option_id.equal v a)
+        outputs
+
+(* Strong validity (Neiger): every decided output is some honest input. *)
+let strong_validity ~honest_inputs ~outputs =
+  List.for_all
+    (function
+      | None -> true
+      | Some v -> List.exists (Option_id.equal v) honest_inputs)
+    outputs
+
+(* Agreement: all decided outputs are identical. *)
+let agreement ~outputs =
+  let decided = List.filter_map Fun.id outputs in
+  match decided with
+  | [] -> true
+  | x :: rest -> List.for_all (Option_id.equal x) rest
+
+(* Termination (for a single run): every honest node decided. *)
+let termination ~outputs = List.for_all Option.is_some outputs
+
+(* Definition III.2 (integrity): a non-faulty node must not output A while
+   its local view shows some other option with at least as many votes. *)
+let integrity_allows ~view ~output =
+  let a = Tally.count view output in
+  List.for_all
+    (fun (x, c) -> Option_id.equal x output || c < a)
+    (Tally.support view)
+
+(* Definition V.1: a run of a safety-guaranteed protocol is admissible when
+   every decided output equals the honest plurality — deciding nothing is
+   always admissible. *)
+let safety_guaranteed_admissible ~tie ~honest_inputs ~outputs =
+  voting_validity_tb ~tie ~honest_inputs ~outputs
+
+(* delta-differential validity (Fitzi-Garay [23], discussed in Section II):
+   no option may beat the decided output by more than [delta] honest votes.
+   Voting validity is exactly the delta = 0 case restricted to strict
+   pluralities; any voting-valid output is delta-differential for all
+   delta >= 0. *)
+let differential_validity ~delta ~honest_inputs ~outputs =
+  if delta < 0 then invalid_arg "differential_validity: negative delta";
+  let t = honest_tally honest_inputs in
+  List.for_all
+    (function
+      | None -> true
+      | Some v ->
+          let cv = Tally.count t v in
+          List.for_all (fun (_, c) -> c <= cv + delta) (Tally.support t))
+    outputs

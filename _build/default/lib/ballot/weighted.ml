@@ -1,0 +1,78 @@
+(* Weighted plurality voting (library extension).
+
+   In stake-weighted settings (validator stake, shareholder votes) each
+   voter carries a positive integer weight and the winner is the option
+   with the greatest total honest weight.  The paper's analysis transfers
+   once counts are read as weights: a Byzantine coalition of total weight
+   W_F can add at most W_F to any single option and remove nothing, so the
+   Property-2 argument gives exactness iff the honest weighted gap exceeds
+   W_F, and a safety-guaranteed deployment needs a gap above 2 W_F.
+
+   This module provides the weighted tallying, validity checking and
+   threshold arithmetic; to run a weighted election over the unweighted
+   protocols, replicate each identity once per unit of weight (weights
+   must then be part of the common subject so all nodes agree on them). *)
+
+type vote = { choice : Option_id.t; weight : int }
+
+let vote ~choice ~weight =
+  if weight <= 0 then invalid_arg "Weighted.vote: weight must be positive";
+  { choice; weight }
+
+let tally votes =
+  List.fold_left
+    (fun acc { choice; weight } -> Tally.add_many acc choice weight)
+    Tally.empty votes
+
+let plurality ~tie votes = Tally.plurality ~tie (tally votes)
+
+let gap ~tie votes = Tally.gap ~tie (tally votes)
+
+let total_weight votes =
+  List.fold_left (fun acc v -> acc + v.weight) 0 votes
+
+(* Exactness condition: the honest weighted gap must exceed the adversary's
+   total weight (the weighted Property 2 / Lemma 2 threshold). *)
+let exactness_guaranteed ~tie ~byz_weight votes =
+  if byz_weight < 0 then invalid_arg "Weighted.exactness_guaranteed";
+  match gap ~tie votes with None -> false | Some g -> g > byz_weight
+
+(* Safety-guaranteed analogue: gap above twice the adversary weight
+   (Inequality 6 with weights). *)
+let sct_guaranteed ~tie ~byz_weight votes =
+  if byz_weight < 0 then invalid_arg "Weighted.sct_guaranteed";
+  match gap ~tie votes with None -> false | Some g -> g > 2 * byz_weight
+
+(* Weighted voting validity: every decided output equals the weighted
+   honest plurality. *)
+let voting_validity ~tie ~honest_votes ~outputs =
+  match plurality ~tie honest_votes with
+  | None -> true
+  | Some w ->
+      List.for_all
+        (function None -> true | Some v -> Option_id.equal v w)
+        outputs
+
+(* Constructive worst case: the heaviest option the adversary can fabricate
+   is the runner-up boosted by its full weight; returns the option an
+   adversary of [byz_weight] can force every honest view to prefer, when
+   exactness is not guaranteed. *)
+let adversary_target ~tie ~byz_weight votes =
+  let t = tally votes in
+  match Tally.top ~tie t with
+  | None -> None
+  | Some { Tally.a; a_count; b; b_count; _ } -> (
+      match b with
+      | Some b when b_count + byz_weight >= a_count &&
+                    not (exactness_guaranteed ~tie ~byz_weight votes) ->
+          Some b
+      | _ ->
+          if exactness_guaranteed ~tie ~byz_weight votes then None
+          else Some a)
+
+(* Replicate identities per unit weight, for running a weighted election
+   on the unweighted protocols.  Total replicas = total weight. *)
+let expand votes =
+  List.concat_map
+    (fun { choice; weight } -> List.init weight (fun _ -> choice))
+    votes

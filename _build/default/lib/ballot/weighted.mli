@@ -1,0 +1,38 @@
+(** Weighted plurality voting (stake-weighted extension).
+
+    Counts become weights: an adversary coalition of total weight [W_F]
+    adds at most [W_F] to any option, so exactness needs a weighted honest
+    gap above [W_F] (and above [2 W_F] for safety-guaranteed behaviour).
+    To execute a weighted election over the unweighted protocols,
+    {!expand} replicates each identity once per unit of weight. *)
+
+type vote = { choice : Option_id.t; weight : int }
+
+val vote : choice:Option_id.t -> weight:int -> vote
+(** Raises [Invalid_argument] on non-positive weight. *)
+
+val tally : vote list -> Tally.t
+val plurality : tie:Tie_break.t -> vote list -> Option_id.t option
+val gap : tie:Tie_break.t -> vote list -> int option
+val total_weight : vote list -> int
+
+val exactness_guaranteed : tie:Tie_break.t -> byz_weight:int -> vote list -> bool
+(** Weighted Lemma-2 threshold: honest gap strictly above the adversary's
+    total weight. *)
+
+val sct_guaranteed : tie:Tie_break.t -> byz_weight:int -> vote list -> bool
+(** Weighted Inequality (6): gap above twice the adversary weight. *)
+
+val voting_validity :
+  tie:Tie_break.t ->
+  honest_votes:vote list ->
+  outputs:Option_id.t option list ->
+  bool
+
+val adversary_target :
+  tie:Tie_break.t -> byz_weight:int -> vote list -> Option_id.t option
+(** The option a weight-[byz_weight] adversary can force when exactness is
+    not guaranteed; [None] when the gap is safe. *)
+
+val expand : vote list -> Option_id.t list
+(** One unweighted ballot entry per unit of weight. *)

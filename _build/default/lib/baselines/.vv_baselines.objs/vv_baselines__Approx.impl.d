@@ -1,0 +1,1 @@
+lib/baselines/approx.ml: Fun List Protocol Types Vv_sim

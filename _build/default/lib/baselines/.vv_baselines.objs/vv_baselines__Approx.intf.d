@@ -1,0 +1,1 @@
+lib/baselines/approx.mli: Vv_sim

@@ -1,0 +1,1 @@
+lib/baselines/exchange_ba.ml: Hashtbl List Protocol Types Vv_bb Vv_sim

@@ -1,0 +1,1 @@
+lib/baselines/exchange_ba.mli: Vv_bb Vv_sim

@@ -1,0 +1,1 @@
+lib/baselines/interval_validity.ml: Exchange_ba List Median_validity Vv_bb

@@ -1,0 +1,1 @@
+lib/baselines/interval_validity.mli: Exchange_ba Vv_sim

@@ -1,0 +1,1 @@
+lib/baselines/kset.ml: Fun List Protocol Types Vv_sim

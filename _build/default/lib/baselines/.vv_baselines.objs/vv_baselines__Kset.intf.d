@@ -1,0 +1,1 @@
+lib/baselines/kset.mli: Vv_sim

@@ -1,0 +1,1 @@
+lib/baselines/median_validity.ml: Exchange_ba List Vv_bb

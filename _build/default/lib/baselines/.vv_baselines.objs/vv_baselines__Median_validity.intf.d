@@ -1,0 +1,1 @@
+lib/baselines/median_validity.mli: Exchange_ba Vv_sim

@@ -1,0 +1,1 @@
+lib/baselines/strong_consensus.ml: Exchange_ba Hashtbl List Vv_bb

@@ -1,0 +1,1 @@
+lib/baselines/strong_consensus.mli: Exchange_ba Vv_sim

@@ -1,0 +1,61 @@
+(* Synchronous approximate agreement (Dolev-Lynch-Pinter-Stark-Weihl [18])
+   on scalar values: each round, broadcast the current value, drop the t
+   lowest and t highest received, and move to the midpoint of the rest.
+   The honest range contracts geometrically; after enough rounds all
+   honest values are within epsilon — close, never exact.  The other
+   classic relaxation the paper contrasts with (Section I: "allowing each
+   node to output a single value ... within a distance of epsilon"). *)
+
+open Vv_sim
+
+type input = { value : float; rounds : int }
+
+type msg = float
+type output = float
+
+type state = {
+  mutable current : float;
+  total_rounds : int;
+  mutable decided : float option;
+}
+
+let name = "baseline/approx"
+
+let midpoint ~t values =
+  let sorted = List.sort compare values in
+  let m = List.length sorted in
+  let kept =
+    if m <= 2 * t then sorted
+    else List.filteri (fun i _ -> i >= t && i < m - t) sorted
+  in
+  match kept with
+  | [] -> nan
+  | l ->
+      let lo = List.hd l and hi = List.nth l (List.length l - 1) in
+      (lo +. hi) /. 2.0
+
+let init (_ : Protocol.ctx) { value; rounds } =
+  if rounds < 1 then invalid_arg "approx: rounds must be >= 1";
+  ( { current = value; total_rounds = rounds; decided = None },
+    [ Types.broadcast value ] )
+
+let step (ctx : Protocol.ctx) st ~round ~inbox =
+  let values = List.map snd inbox in
+  if values <> [] then st.current <- midpoint ~t:ctx.t values;
+  if round < st.total_rounds then (st, [ Types.broadcast st.current ])
+  else begin
+    if st.decided = None then st.decided <- Some st.current;
+    (st, [])
+  end
+
+let output st = st.decided
+
+(* Maximum pairwise distance between decided honest values. *)
+let spread outputs =
+  let decided = List.filter_map Fun.id outputs in
+  match decided with
+  | [] -> 0.0
+  | l ->
+      let lo = List.fold_left min (List.hd l) l in
+      let hi = List.fold_left max (List.hd l) l in
+      hi -. lo

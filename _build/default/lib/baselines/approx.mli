@@ -1,0 +1,32 @@
+(** Synchronous approximate agreement (Dolev et al. [18]) on scalars.
+
+    Each round: broadcast, drop the [t] lowest and highest received, move
+    to the midpoint of the rest. The honest range contracts geometrically
+    — close, never exact (the other classic relaxation contrasted in
+    Section I). *)
+
+type input = { value : float; rounds : int }
+type msg = float
+type output = float
+type state
+
+val name : string
+
+val midpoint : t:int -> float list -> float
+(** Midpoint of the t-trimmed list ([nan] when empty). *)
+
+val init :
+  Vv_sim.Protocol.ctx -> input -> state * msg Vv_sim.Types.envelope list
+(** Raises [Invalid_argument] when [rounds < 1]. *)
+
+val step :
+  Vv_sim.Protocol.ctx ->
+  state ->
+  round:int ->
+  inbox:(Vv_sim.Types.node_id * msg) list ->
+  state * msg Vv_sim.Types.envelope list
+
+val output : state -> output option
+
+val spread : float option list -> float
+(** Maximum pairwise distance between decided values. *)

@@ -1,0 +1,97 @@
+(* Generic "exchange, pick a candidate, agree" baseline skeleton.
+
+   Round 0: every node broadcasts its (encoded) input.
+   Round 1: collect one value per sender, compute a local candidate with
+            the baseline-specific rule (trimmed median, k-th smallest,
+            plurality, ...).
+   Rounds 2..2(t+1)+1: King_ba aligns the candidates (n > 4t).
+
+   This is the common shape of the approximate-validity comparators the
+   paper discusses in Sections I-II: the output is an *agreed* value close
+   to the desired statistic, but — unlike the voting-validity protocols —
+   not guaranteed to be the exact plurality of honest inputs. *)
+
+open Vv_sim
+
+(* Exposed so experiment adversaries can inject crafted values. *)
+type msg = Raw of int | Ba of Vv_bb.King_ba.msg
+
+module type CANDIDATE = sig
+  val name : string
+
+  type input
+
+  val encode : input -> int
+  (** How the raw input is broadcast (must be non-negative). *)
+
+  val candidate : n:int -> t:int -> received:int list -> input -> int
+  (** Local rule applied to the per-sender deduplicated, ascending-sorted
+      received values. *)
+end
+
+module Make (C : CANDIDATE) :
+  Protocol.S
+    with type input = C.input
+     and type msg = msg
+     and type output = int = struct
+  type input = C.input
+  type nonrec msg = msg
+  type output = int
+
+  type state = {
+    own : C.input;
+    raw : (Types.node_id, int) Hashtbl.t;
+    mutable ba : Vv_bb.King_ba.state option;
+    ba_rounds : int;
+    mutable decided : int option;
+  }
+
+  let name = C.name
+
+  let init (ctx : Protocol.ctx) own =
+    ( {
+        own;
+        raw = Hashtbl.create 16;
+        ba = None;
+        ba_rounds = Vv_bb.King_ba.rounds ~t:ctx.t;
+        decided = None;
+      },
+      [ Types.broadcast (Raw (C.encode own)) ] )
+
+  let wrap (e : Vv_bb.King_ba.msg Types.envelope) =
+    { Types.dest = e.Types.dest; payload = Ba e.Types.payload }
+
+  let step (ctx : Protocol.ctx) st ~round ~inbox =
+    let ba_inbox = ref [] in
+    List.iter
+      (fun (src, m) ->
+        match m with
+        | Raw v ->
+            if round = 1 && not (Hashtbl.mem st.raw src) then
+              Hashtbl.add st.raw src v
+        | Ba b -> ba_inbox := (src, b) :: !ba_inbox)
+      inbox;
+    let ba_inbox = List.rev !ba_inbox in
+    if round = 1 then begin
+      let received =
+        Hashtbl.fold (fun _ v acc -> v :: acc) st.raw [] |> List.sort compare
+      in
+      let cand = C.candidate ~n:ctx.n ~t:ctx.t ~received st.own in
+      let ba, out = Vv_bb.King_ba.start cand in
+      st.ba <- Some ba;
+      (st, List.map wrap out)
+    end
+    else
+      match st.ba with
+      | Some ba when round - 1 <= st.ba_rounds ->
+          let lround = round - 1 in
+          let ba, out =
+            Vv_bb.King_ba.step ~n:ctx.n ~t:ctx.t ~me:ctx.me ba ~lround ~inbox:ba_inbox
+          in
+          st.ba <- Some ba;
+          if lround = st.ba_rounds then st.decided <- Some (Vv_bb.King_ba.result ba);
+          (st, List.map wrap out)
+      | Some _ | None -> (st, [])
+
+  let output st = st.decided
+end

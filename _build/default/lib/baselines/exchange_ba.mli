@@ -1,0 +1,28 @@
+(** Generic "exchange, pick a candidate, agree" baseline skeleton.
+
+    Round 0 broadcasts the encoded input; round 1 computes a local
+    candidate with the baseline's rule; Phase-King BA ([n > 4t]) aligns
+    the candidates. The common shape of the approximate-validity
+    comparators of Sections I-II. *)
+
+type msg = Raw of int | Ba of Vv_bb.King_ba.msg
+(** Exposed so experiment adversaries can inject crafted [Raw] values. *)
+
+module type CANDIDATE = sig
+  val name : string
+
+  type input
+
+  val encode : input -> int
+  (** How the raw input is broadcast (must be non-negative). *)
+
+  val candidate : n:int -> t:int -> received:int list -> input -> int
+  (** Local rule over the per-sender deduplicated, ascending received
+      values. *)
+end
+
+module Make (C : CANDIDATE) :
+  Vv_sim.Protocol.S
+    with type input = C.input
+     and type msg = msg
+     and type output = int

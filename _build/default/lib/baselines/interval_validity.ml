@@ -1,0 +1,25 @@
+(* Interval-validity agreement in the style of Melnyk-Wattenhofer [6]: the
+   target statistic is the k-th smallest honest value; nodes exchange
+   values, take the k-th smallest of the t-trimmed received multiset, and
+   agree.  The output lands in an interval around the true k-th smallest
+   rather than hitting it exactly. *)
+
+type query = { value : int; k : int }
+
+include Exchange_ba.Make (struct
+  let name = "baseline/interval"
+
+  type input = query
+
+  let encode q =
+    if q.value < 0 then invalid_arg "interval baseline: negative input"
+    else q.value
+
+  let candidate ~n:_ ~t ~received own =
+    let trimmed = Median_validity.trim ~t received in
+    match trimmed with
+    | [] -> Vv_bb.Bb_intf.bottom
+    | l ->
+        let idx = min (max 0 (own.k - 1)) (List.length l - 1) in
+        List.nth l idx
+end)

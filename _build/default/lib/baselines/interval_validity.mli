@@ -1,0 +1,14 @@
+(** Interval-validity agreement (Melnyk-Wattenhofer [6] style baseline).
+
+    Targets the k-th smallest honest value: exchange, take the k-th
+    smallest of the t-trimmed received multiset, agree via Phase-King BA.
+    Output lands in an interval around the target, never guaranteed exact.
+    Implements {!Vv_sim.Protocol.S} over {!Exchange_ba.msg}. *)
+
+type query = { value : int; k : int }
+
+include
+  Vv_sim.Protocol.S
+    with type input = query
+     and type msg = Exchange_ba.msg
+     and type output = int

@@ -1,0 +1,53 @@
+(* k-set consensus (Chaudhuri [17]) under crash faults: the agreement
+   property is *weakened* to "at most k distinct outputs".  Classic
+   synchronous flood-min: floor(t/k) + 1 rounds of broadcasting the
+   smallest value seen; each crash that matters costs the adversary one
+   round's worth of partition, so at most k values survive.
+
+   Included to illustrate the paper's taxonomy (Section I): relaxing
+   agreement is the other escape from the impossibility results, and it
+   gives up exactly what voting validity is designed to keep. *)
+
+open Vv_sim
+
+type input = { value : int; k : int }
+
+type msg = int
+type output = int
+
+type state = {
+  k : int;
+  mutable current : int;
+  total_rounds : int;
+  mutable decided : int option;
+}
+
+let name = "baseline/kset"
+
+let rounds ~t ~k = (t / k) + 1
+
+let init (ctx : Protocol.ctx) { value; k } =
+  if k < 1 then invalid_arg "kset: k must be >= 1";
+  if value < 0 then invalid_arg "kset: negative input";
+  ( { k; current = value; total_rounds = rounds ~t:ctx.t ~k; decided = None },
+    [ Types.broadcast value ] )
+
+let step (_ : Protocol.ctx) st ~round ~inbox =
+  List.iter
+    (fun (_, v) -> if v >= 0 && v < st.current then st.current <- v)
+    inbox;
+  if round < st.total_rounds then (st, [ Types.broadcast st.current ])
+  else begin
+    if st.decided = None && round >= st.total_rounds then
+      st.decided <- Some st.current;
+    (st, [])
+  end
+
+let output st = st.decided
+
+(* The weakened agreement property: number of distinct decided values. *)
+let distinct_outputs outputs =
+  outputs
+  |> List.filter_map Fun.id
+  |> List.sort_uniq compare
+  |> List.length

@@ -1,0 +1,30 @@
+(** k-set consensus (Chaudhuri [17]) under crash faults: flood-min for
+    [floor(t/k) + 1] rounds; at most [k] distinct outputs survive.
+
+    The "relax agreement" escape from the impossibility results — it gives
+    up exactly what voting validity keeps (Section I taxonomy). *)
+
+type input = { value : int; k : int }
+type msg = int
+type output = int
+type state
+
+val name : string
+
+val rounds : t:int -> k:int -> int
+
+val init :
+  Vv_sim.Protocol.ctx -> input -> state * msg Vv_sim.Types.envelope list
+(** Raises [Invalid_argument] when [k < 1] or the value is negative. *)
+
+val step :
+  Vv_sim.Protocol.ctx ->
+  state ->
+  round:int ->
+  inbox:(Vv_sim.Types.node_id * msg) list ->
+  state * msg Vv_sim.Types.envelope list
+
+val output : state -> output option
+
+val distinct_outputs : int option list -> int
+(** Number of distinct decided values — the weakened agreement metric. *)

@@ -1,0 +1,28 @@
+(* Median-validity agreement in the style of Stolz-Wattenhofer [5]: nodes
+   exchange values, locally take the median of the t-trimmed received
+   multiset, and agree on the result.  With f <= t faults the output is
+   guaranteed close to (within t positions of) the true honest median but
+   not exact — the contrast motivating the paper's Section I. *)
+
+let trim ~t values =
+  (* Drop the t smallest and t largest; keep at least one value. *)
+  let n = List.length values in
+  if n = 0 then []
+  else if n <= 2 * t then [ List.nth values (n / 2) ]
+  else
+    values |> List.filteri (fun i _ -> i >= t && i < n - t)
+
+let median_of = function
+  | [] -> Vv_bb.Bb_intf.bottom
+  | l -> List.nth l (List.length l / 2)
+
+include Exchange_ba.Make (struct
+  let name = "baseline/median"
+
+  type input = int
+
+  let encode v =
+    if v < 0 then invalid_arg "median baseline: negative input" else v
+
+  let candidate ~n:_ ~t ~received _own = median_of (trim ~t received)
+end)

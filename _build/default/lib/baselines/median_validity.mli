@@ -1,0 +1,20 @@
+(** Median-validity agreement (Stolz-Wattenhofer [5] style baseline).
+
+    Exchange values, take the median of the t-trimmed received multiset,
+    agree via Phase-King BA ([n > 4t]). With [f <= t] faults the output is
+    close to (within [t] positions of) the honest median, never guaranteed
+    exact — the contrast motivating the paper's Section I. Implements
+    {!Vv_sim.Protocol.S} over {!Exchange_ba.msg} with integer inputs. *)
+
+val trim : t:int -> int list -> int list
+(** Drop the [t] smallest and [t] largest of an ascending list (keeps at
+    least one element). *)
+
+val median_of : int list -> int
+(** Middle element of an ascending list; {!Vv_bb.Bb_intf.bottom} on []. *)
+
+include
+  Vv_sim.Protocol.S
+    with type input = int
+     and type msg = Exchange_ba.msg
+     and type output = int

@@ -1,0 +1,31 @@
+(* Strong-consensus-style baseline (Neiger [3]): nodes exchange inputs,
+   take the plurality of what they received (Byzantine votes included —
+   there is no dispersion-aware judgment condition), and agree on the
+   result.  Satisfies strong validity in the regimes of [3] but, unlike
+   Algorithm 1, offers no guarantee that the output is the plurality of
+   *honest* inputs: t colluding votes swing it (the Section I example). *)
+
+let plurality values =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let c = try Hashtbl.find counts v with Not_found -> 0 in
+      Hashtbl.replace counts v (c + 1))
+    values;
+  Hashtbl.fold
+    (fun v c (bv, bc) ->
+      if c > bc || (c = bc && v < bv) then (v, c) else (bv, bc))
+    counts
+    (Vv_bb.Bb_intf.bottom, 0)
+  |> fst
+
+include Exchange_ba.Make (struct
+  let name = "baseline/strong"
+
+  type input = int
+
+  let encode v =
+    if v < 0 then invalid_arg "strong baseline: negative input" else v
+
+  let candidate ~n:_ ~t:_ ~received _own = plurality received
+end)

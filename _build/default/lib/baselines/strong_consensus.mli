@@ -1,0 +1,17 @@
+(** Strong-consensus-style baseline (Neiger [3]).
+
+    Exchange inputs, take the plurality of everything received (Byzantine
+    votes included — no dispersion-aware judgment condition), agree via
+    Phase-King BA. Satisfies strong validity in the regimes of [3] but [t]
+    colluding votes can swing the winner (the Section I example); compare
+    against Algorithm 1's exactness guarantee in experiment E8. *)
+
+val plurality : int list -> int
+(** Most frequent value (ties to the smaller); {!Vv_bb.Bb_intf.bottom} on
+    the empty list. *)
+
+include
+  Vv_sim.Protocol.S
+    with type input = int
+     and type msg = Exchange_ba.msg
+     and type output = int

@@ -1,0 +1,1 @@
+lib/bb/auth.ml: Hashtbl List Vv_prelude Vv_sim

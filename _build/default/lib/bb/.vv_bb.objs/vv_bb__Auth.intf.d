@@ -1,0 +1,1 @@
+lib/bb/auth.mli: Vv_sim

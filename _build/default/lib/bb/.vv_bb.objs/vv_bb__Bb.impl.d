@@ -1,0 +1,1 @@
+lib/bb/bb.ml: Bb_intf Dolev_strong Eig Fmt Phase_king

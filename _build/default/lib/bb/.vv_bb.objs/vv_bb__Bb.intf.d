@@ -1,0 +1,1 @@
+lib/bb/bb.mli: Bb_intf Fmt

@@ -1,0 +1,1 @@
+lib/bb/bb_intf.ml: Vv_sim

@@ -1,0 +1,1 @@
+lib/bb/dolev_strong.ml: Auth Bb_intf List Types Vv_sim

@@ -1,0 +1,1 @@
+lib/bb/dolev_strong.mli: Auth Vv_sim

@@ -1,0 +1,1 @@
+lib/bb/eig.ml: Bb_intf Hashtbl List Types Vv_sim

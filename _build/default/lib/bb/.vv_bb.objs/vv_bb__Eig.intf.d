@@ -1,0 +1,1 @@
+lib/bb/eig.mli: Vv_sim

@@ -1,0 +1,1 @@
+lib/bb/king_ba.ml: Bb_intf Hashtbl List Types Vv_sim

@@ -1,0 +1,1 @@
+lib/bb/king_ba.mli: Vv_sim

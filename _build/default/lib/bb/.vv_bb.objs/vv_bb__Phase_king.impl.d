@@ -1,0 +1,1 @@
+lib/bb/phase_king.ml: Bb_intf Hashtbl List Types Vv_sim

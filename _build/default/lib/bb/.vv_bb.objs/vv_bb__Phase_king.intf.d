@@ -1,0 +1,1 @@
+lib/bb/phase_king.mli: Vv_sim

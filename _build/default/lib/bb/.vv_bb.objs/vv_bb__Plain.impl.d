@@ -1,0 +1,1 @@
+lib/bb/plain.ml: Bb_intf List Types Vv_sim

@@ -1,0 +1,1 @@
+lib/bb/plain.mli: Vv_sim

@@ -1,0 +1,1 @@
+lib/bb/protocol_of.ml: Bb_intf List Protocol Types Vv_sim

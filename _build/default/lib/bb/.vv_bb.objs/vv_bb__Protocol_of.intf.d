@@ -1,0 +1,1 @@
+lib/bb/protocol_of.mli: Bb_intf Vv_sim

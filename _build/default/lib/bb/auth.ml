@@ -1,0 +1,56 @@
+(* Simulated message authentication for Dolev-Strong.
+
+   A signature is a (signer, tag) pair where the tag is a keyed digest of
+   the signed data under the signer's per-identity secret.  This is not
+   cryptography — it simulates the *interface invariant* Dolev-Strong
+   needs: a verifier can check that a given identity vouched for given
+   data, and the Byzantine adversaries implemented in this repository never
+   call [sign] on behalf of honest identities (see DESIGN.md §3). *)
+
+type signature = { signer : Vv_sim.Types.node_id; tag : int }
+
+(* Per-identity secret, derived deterministically so that signing is a pure
+   function and simulations stay reproducible. *)
+let secret signer =
+  let r = Vv_prelude.Rng.create (0x5170_0000 + signer) in
+  Vv_prelude.Rng.bits r
+
+let sign ~signer ~data = { signer; tag = Hashtbl.hash (secret signer, data) }
+
+let verify ~data s = s.tag = Hashtbl.hash (secret s.signer, data)
+
+let signer s = s.signer
+
+(* A signature chain over a value: the Dolev-Strong message format.  The
+   chain lists signatures in signing order (sender first). *)
+type 'a chain = { value : 'a; sigs : signature list }
+
+let chain_data value prior_signers = (value, prior_signers)
+
+let initial ~sender value =
+  { value; sigs = [ sign ~signer:sender ~data:(chain_data value []) ] }
+
+let extend chain ~signer =
+  let prior = List.map (fun s -> s.signer) chain.sigs in
+  { chain with
+    sigs = chain.sigs @ [ sign ~signer ~data:(chain_data chain.value prior) ] }
+
+let signers chain = List.map (fun s -> s.signer) chain.sigs
+
+(* A chain is valid for [sender] at relay depth [len] when it has exactly
+   [len] signatures from distinct identities, the first being the sender,
+   and each signature verifies against the value and the prefix before it. *)
+let valid chain ~sender ~len =
+  let sigs = chain.sigs in
+  List.length sigs = len
+  && (match sigs with [] -> false | s :: _ -> s.signer = sender)
+  && (let ids = List.map (fun s -> s.signer) sigs in
+      List.length (List.sort_uniq compare ids) = len)
+  &&
+  let rec check prior = function
+    | [] -> true
+    | s :: rest ->
+        verify ~data:(chain_data chain.value (List.rev prior)) s
+        && check (s.signer :: prior) rest
+  in
+  check [] sigs

@@ -1,0 +1,26 @@
+(** Simulated message authentication (signature chains) for Dolev-Strong.
+
+    Not cryptography: it simulates the unforgeability *interface* the
+    protocol needs; adversaries in this repository never sign on behalf of
+    honest identities (DESIGN.md §3). *)
+
+type signature
+
+val sign : signer:Vv_sim.Types.node_id -> data:'a -> signature
+val verify : data:'a -> signature -> bool
+val signer : signature -> Vv_sim.Types.node_id
+
+type 'a chain = private { value : 'a; sigs : signature list }
+(** A value carrying signatures in signing order (sender first). *)
+
+val initial : sender:Vv_sim.Types.node_id -> 'a -> 'a chain
+(** The sender's round-0 message: value signed once. *)
+
+val extend : 'a chain -> signer:Vv_sim.Types.node_id -> 'a chain
+(** Append the relay's signature. *)
+
+val signers : 'a chain -> Vv_sim.Types.node_id list
+
+val valid : 'a chain -> sender:Vv_sim.Types.node_id -> len:int -> bool
+(** Exactly [len] distinct signers, sender first, all signatures verifying
+    against the value and their prefix. *)

@@ -1,0 +1,45 @@
+(* Facade: choose a Byzantine Broadcast substrate by name.
+
+   | substrate    | assumption      | tolerance | rounds | messages    |
+   |--------------|-----------------|-----------|--------|-------------|
+   | dolev-strong | signatures      | n > t     | t+1    | polynomial  |
+   | phase-king   | none            | n > 4t    | 2t+3   | polynomial  |
+   | eig          | none            | n > 3t    | t+2    | exponential |
+
+   Algorithms 1-3 default to Dolev-Strong: the paper's Inequality (3)
+   already imposes N > 3t for the voting phases, so the substrate is never
+   the binding constraint. *)
+
+type choice = Dolev_strong | Phase_king | Eig
+
+let default = Dolev_strong
+
+let sub : choice -> (module Bb_intf.S) = function
+  | Dolev_strong -> (module Dolev_strong)
+  | Phase_king -> (module Phase_king)
+  | Eig -> (module Eig)
+
+(* Minimum system size for the substrate's guarantees at tolerance [t]. *)
+let min_n choice ~t =
+  match choice with
+  | Dolev_strong -> t + 2
+  | Phase_king -> (4 * t) + 1
+  | Eig -> (3 * t) + 1
+
+let rounds choice ~n ~t =
+  let (module Sub) = sub choice in
+  Sub.rounds ~n ~t
+
+let name choice =
+  let (module Sub) = sub choice in
+  Sub.name
+
+let of_name = function
+  | "dolev-strong" | "ds" -> Some Dolev_strong
+  | "phase-king" | "pk" -> Some Phase_king
+  | "eig" -> Some Eig
+  | _ -> None
+
+let all = [ Dolev_strong; Phase_king; Eig ]
+
+let pp ppf c = Fmt.string ppf (name c)

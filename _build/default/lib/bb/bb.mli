@@ -1,0 +1,29 @@
+(** Facade: choose a Byzantine Broadcast substrate.
+
+    {v
+    | substrate    | assumption | tolerance | rounds | messages    |
+    |--------------|------------|-----------|--------|-------------|
+    | dolev-strong | signatures | n > t     | t+1    | polynomial  |
+    | phase-king   | none       | n > 4t    | 2t+3   | polynomial  |
+    | eig          | none       | n > 3t    | t+2    | exponential |
+    v}
+
+    Algorithms 1-3 default to Dolev-Strong: Inequality (3) already imposes
+    [N > 3t] on the voting phases, so the substrate is never the binding
+    constraint. *)
+
+type choice = Dolev_strong | Phase_king | Eig
+
+val default : choice
+(** [Dolev_strong]. *)
+
+val sub : choice -> (module Bb_intf.S)
+
+val min_n : choice -> t:int -> int
+(** Smallest system size for the substrate's guarantees at tolerance [t]. *)
+
+val rounds : choice -> n:int -> t:int -> int
+val name : choice -> string
+val of_name : string -> choice option
+val all : choice list
+val pp : choice Fmt.t

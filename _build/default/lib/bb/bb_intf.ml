@@ -1,0 +1,45 @@
+(* Common interface of the Byzantine Broadcast / Agreement sub-machines.
+
+   A sub-machine is a fixed-duration round protocol that can be embedded
+   inside a larger protocol (Phase 1 of Algorithms 1-3 embeds one to
+   broadcast the subject) or wrapped into a full Protocol.S for direct
+   execution (Protocol_of).  Values are integers; [bottom] (-1) encodes the
+   absence of a valid value, on which nodes may also agree when the sender
+   is faulty. *)
+
+let bottom = -1
+
+module type S = sig
+  val name : string
+
+  type state
+  type msg
+
+  val rounds : n:int -> t:int -> int
+  (** Total local rounds: [result] is defined after the inbox of local round
+      [rounds n t] has been processed by [step]. *)
+
+  val start :
+    n:int ->
+    t:int ->
+    me:Vv_sim.Types.node_id ->
+    sender:Vv_sim.Types.node_id ->
+    value:int option ->
+    state * msg Vv_sim.Types.envelope list
+  (** Local round 0. [value] must be [Some v] (with [v >= 0]) exactly at the
+      designated sender. *)
+
+  val step :
+    n:int ->
+    t:int ->
+    me:Vv_sim.Types.node_id ->
+    state ->
+    lround:int ->
+    inbox:(Vv_sim.Types.node_id * msg) list ->
+    state * msg Vv_sim.Types.envelope list
+  (** Local rounds 1 .. [rounds n t]. *)
+
+  val result : state -> int
+  (** The agreed value, or [bottom]. Defined once all rounds have run;
+      querying earlier returns the current tentative value. *)
+end

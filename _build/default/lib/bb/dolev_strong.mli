@@ -1,0 +1,37 @@
+(** Dolev-Strong authenticated Byzantine Broadcast.
+
+    [t+1] rounds; agreement and (honest-sender) validity for any [t < n]
+    given unforgeable signatures ({!Auth}). The default Phase-1 substrate
+    of Algorithms 1-3. Implements {!Bb_intf.S}. *)
+
+val name : string
+
+type msg = int Auth.chain
+(** Signature chains over the broadcast value; exposed so Byzantine-sender
+    adversaries can craft equivocating initial chains via
+    {!Auth.initial}. *)
+
+type state
+
+val rounds : n:int -> t:int -> int
+(** [t + 1]. *)
+
+val start :
+  n:int ->
+  t:int ->
+  me:Vv_sim.Types.node_id ->
+  sender:Vv_sim.Types.node_id ->
+  value:int option ->
+  state * msg Vv_sim.Types.envelope list
+
+val step :
+  n:int ->
+  t:int ->
+  me:Vv_sim.Types.node_id ->
+  state ->
+  lround:int ->
+  inbox:(Vv_sim.Types.node_id * msg) list ->
+  state * msg Vv_sim.Types.envelope list
+
+val result : state -> int
+(** The unique accepted value, or {!Bb_intf.bottom} on none/equivocation. *)

@@ -1,0 +1,42 @@
+(** Exponential-Information-Gathering Byzantine Broadcast (unauthenticated).
+
+    Sender round plus [t+1] exchange rounds over repetition-free relay
+    paths, resolved bottom-up by strict majority; the tight unauthenticated
+    bound [n > 3t] at exponential message cost (guarded by
+    {!max_tree_size}). Implements {!Bb_intf.S}. *)
+
+val name : string
+val max_tree_size : int
+
+type msg =
+  | Init of int  (** the sender's round-0 value *)
+  | Report of { path : Vv_sim.Types.node_id list; value : int }
+
+type state
+
+val tree_size : n:int -> t:int -> int
+(** Number of repetition-free paths of length [<= t+1] over [n] ids. *)
+
+val rounds : n:int -> t:int -> int
+(** [t + 2]. *)
+
+val start :
+  n:int ->
+  t:int ->
+  me:Vv_sim.Types.node_id ->
+  sender:Vv_sim.Types.node_id ->
+  value:int option ->
+  state * msg Vv_sim.Types.envelope list
+(** Raises [Invalid_argument] when the EIG tree would exceed
+    {!max_tree_size}. *)
+
+val step :
+  n:int ->
+  t:int ->
+  me:Vv_sim.Types.node_id ->
+  state ->
+  lround:int ->
+  inbox:(Vv_sim.Types.node_id * msg) list ->
+  state * msg Vv_sim.Types.envelope list
+
+val result : state -> int

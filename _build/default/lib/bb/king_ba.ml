@@ -1,0 +1,73 @@
+(* Phase-King Byzantine *Agreement* (every node holds an input value).
+
+   The BA core of Phase_king without the sender round: t+1 two-round
+   phases, each broadcasting current values, computing the plurality and
+   deferring to the phase king unless the local multiplicity clears
+   n/2 + t.  Same n > 4t requirement as Phase_king; used by the baseline
+   protocols (median/interval/strong consensus) to agree on locally
+   computed candidates. *)
+
+open Vv_sim
+
+type msg = Val of { phase : int; value : int } | King of { phase : int; value : int }
+
+type state = { current : int; maj : int; mult : int }
+
+(* Total local rounds; a node started at local round 0 must be stepped for
+   rounds 1 .. rounds. *)
+let rounds ~t = 2 * (t + 1)
+
+let king_of ~n phase = phase mod n
+
+let start value = ({ current = value; maj = Bb_intf.bottom; mult = 0 }, [ Types.broadcast (Val { phase = 0; value }) ])
+
+let plurality counts =
+  Hashtbl.fold
+    (fun v c (bv, bc) ->
+      if c > bc || (c = bc && v < bv) then (v, c) else (bv, bc))
+    counts (Bb_intf.bottom, 0)
+
+let step ~n ~t ~me st ~lround ~inbox =
+  (* Round layout: 2k+1 = receive Val(k), king sends King(k);
+     2k+2 = receive King(k), update, send Val(k+1) unless k = t. *)
+  if lround mod 2 = 1 then begin
+    let k = (lround - 1) / 2 in
+    let counts = Hashtbl.create 8 in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (src, m) ->
+        match m with
+        | Val { phase; value } when phase = k && not (Hashtbl.mem seen src) ->
+            Hashtbl.replace seen src ();
+            let c = try Hashtbl.find counts value with Not_found -> 0 in
+            Hashtbl.replace counts value (c + 1)
+        | Val _ | King _ -> ())
+      inbox;
+    let maj, mult = plurality counts in
+    let st = { st with maj; mult } in
+    if me = king_of ~n k then
+      (st, [ Types.broadcast (King { phase = k; value = maj }) ])
+    else (st, [])
+  end
+  else begin
+    let k = (lround - 2) / 2 in
+    let king = king_of ~n k in
+    let king_value =
+      List.fold_left
+        (fun acc (src, m) ->
+          match m with
+          | King { phase; value } when phase = k && src = king && acc = None ->
+              Some value
+          | King _ | Val _ -> acc)
+        None inbox
+    in
+    let v =
+      if 2 * st.mult > n + (2 * t) then st.maj
+      else match king_value with Some kv -> kv | None -> st.current
+    in
+    let st = { st with current = v } in
+    if k < t then (st, [ Types.broadcast (Val { phase = k + 1; value = v }) ])
+    else (st, [])
+  end
+
+let result st = st.current

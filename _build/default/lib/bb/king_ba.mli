@@ -1,0 +1,30 @@
+(** Phase-King Byzantine {e Agreement} (every node holds an input).
+
+    The BA core of {!Phase_king} without the sender round: [2(t+1)] local
+    rounds, [n > 4t]. Used by the baseline protocols to align locally
+    computed candidates. *)
+
+type msg =
+  | Val of { phase : int; value : int }
+  | King of { phase : int; value : int }
+
+type state
+
+val rounds : t:int -> int
+(** [2(t+1)]; step local rounds [1 .. rounds] after [start] at round 0. *)
+
+val king_of : n:int -> int -> Vv_sim.Types.node_id
+
+val start : int -> state * msg Vv_sim.Types.envelope list
+(** [start own_value]. *)
+
+val step :
+  n:int ->
+  t:int ->
+  me:Vv_sim.Types.node_id ->
+  state ->
+  lround:int ->
+  inbox:(Vv_sim.Types.node_id * msg) list ->
+  state * msg Vv_sim.Types.envelope list
+
+val result : state -> int

@@ -1,0 +1,113 @@
+(* Phase-King Byzantine Broadcast (unauthenticated, polynomial messages).
+
+   Round 0: the designated sender broadcasts its value; every node adopts
+   what it received (bottom if nothing).  Then t+1 two-round phases of the
+   Berman-Garay-Perry king algorithm run: in round A every node broadcasts
+   its current value and computes the plurality [maj] with multiplicity
+   [mult]; in round B the phase's king broadcasts its [maj] and every node
+   keeps [maj] if [mult > n/2 + t], otherwise adopts the king's value.
+
+   This simple two-round-per-phase variant requires n > 4t (the persistence
+   argument needs n - t > n/2 + t).  For the tight unauthenticated bound
+   n > 3t use Eig; for arbitrary t with authentication use Dolev_strong.
+   Validity: if the sender is honest every honest node starts with its
+   value and keeps it through every phase; agreement: at least one of the
+   t+1 kings is honest, and its phase aligns all honest values. *)
+
+open Vv_sim
+
+let name = "phase-king"
+
+type msg = Val of { phase : int; value : int } | King of { phase : int; value : int }
+
+type state = {
+  sender : Types.node_id;
+  current : int;
+  maj : int;
+  mult : int;
+}
+
+let rounds ~n:_ ~t = (2 * (t + 1)) + 1
+
+let king_of ~n phase = phase mod n
+
+let start ~n:_ ~t:_ ~me ~sender ~value =
+  match value with
+  | Some v when me = sender ->
+      if v < 0 then invalid_arg "Phase_king.start: negative value";
+      ({ sender; current = v; maj = Bb_intf.bottom; mult = 0 },
+       [ Types.broadcast (Val { phase = -1; value = v }) ])
+  | None when me <> sender ->
+      ({ sender; current = Bb_intf.bottom; maj = Bb_intf.bottom; mult = 0 }, [])
+  | Some _ -> invalid_arg "Phase_king.start: value supplied at non-sender"
+  | None -> invalid_arg "Phase_king.start: sender has no value"
+
+(* Plurality of an association list value -> count; ties to the smaller
+   value so all honest nodes break ties identically. *)
+let plurality counts =
+  Hashtbl.fold
+    (fun v c (bv, bc) ->
+      if c > bc || (c = bc && v < bv) then (v, c) else (bv, bc))
+    counts (Bb_intf.bottom, 0)
+
+let step ~n ~t ~me st ~lround ~inbox =
+  (* Local round layout: 1 = receive sender value, send Val(0);
+     2k+2 = receive Val(k), king sends King(k);
+     2k+3 = receive King(k), update, send Val(k+1) unless k = t. *)
+  if lround = 1 then begin
+    let v =
+      (* The value the designated sender sent us in round 0, if any. *)
+      List.fold_left
+        (fun acc (src, m) ->
+          match m with
+          | Val { phase = -1; value } when src = st.sender -> value
+          | Val _ | King _ -> acc)
+        st.current inbox
+    in
+    ({ st with current = v }, [ Types.broadcast (Val { phase = 0; value = v }) ])
+  end
+  else if lround mod 2 = 0 then begin
+    let k = (lround - 2) / 2 in
+    let counts = Hashtbl.create 8 in
+    (* One Val per sender per phase: first message wins. *)
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (src, m) ->
+        match m with
+        | Val { phase; value } when phase = k && not (Hashtbl.mem seen src) ->
+            Hashtbl.replace seen src ();
+            let c = try Hashtbl.find counts value with Not_found -> 0 in
+            Hashtbl.replace counts value (c + 1)
+        | Val _ | King _ -> ())
+      inbox;
+    let maj, mult = plurality counts in
+    let st = { st with maj; mult } in
+    if me = king_of ~n k then
+      (st, [ Types.broadcast (King { phase = k; value = maj }) ])
+    else (st, [])
+  end
+  else begin
+    let k = (lround - 3) / 2 in
+    let king = king_of ~n k in
+    let king_value =
+      List.fold_left
+        (fun acc (src, m) ->
+          match m with
+          | King { phase; value } when phase = k && src = king && acc = None ->
+              Some value
+          | King _ | Val _ -> acc)
+        None inbox
+    in
+    (* Keep maj on strong multiplicity, else follow the king (a silent
+       Byzantine king leaves the current value unchanged). *)
+    let v =
+      if 2 * st.mult > n + (2 * t) then st.maj
+      else match king_value with Some kv -> kv | None -> st.current
+    in
+    let st = { st with current = v } in
+    if k < t then
+      (st, [ Types.broadcast (Val { phase = k + 1; value = v }) ])
+    else (st, [])
+  end
+
+let result st = st.current

@@ -1,0 +1,35 @@
+(** Plain (unprotected) sender broadcast as a degenerate BB sub-machine.
+
+    Reliable only when the sender cannot equivocate: honest or
+    crash-faulty senders, or any sender under the local broadcast model
+    (Property 6). Phase-1 substrate of Algorithm 4 and the CFT protocol —
+    which is exactly why they shed Inequality (3)'s [3t] term. Implements
+    {!Bb_intf.S}. *)
+
+val name : string
+
+type msg = int
+
+type state
+
+val rounds : n:int -> t:int -> int
+(** 1. *)
+
+val start :
+  n:int ->
+  t:int ->
+  me:Vv_sim.Types.node_id ->
+  sender:Vv_sim.Types.node_id ->
+  value:int option ->
+  state * msg Vv_sim.Types.envelope list
+
+val step :
+  n:int ->
+  t:int ->
+  me:Vv_sim.Types.node_id ->
+  state ->
+  lround:int ->
+  inbox:(Vv_sim.Types.node_id * msg) list ->
+  state * msg Vv_sim.Types.envelope list
+
+val result : state -> int

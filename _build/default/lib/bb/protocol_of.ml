@@ -1,0 +1,68 @@
+(* Wrap a Byzantine Broadcast sub-machine as a full engine protocol, for
+   direct testing and benchmarking of the substrate.
+
+   Sub-machines are specified in lock-step local rounds where every message
+   sent in local round r arrives by local round r+1.  To run them under a
+   bounded delay delta > 1 the wrapper batches engine rounds: local round r
+   spans engine rounds (r-1)*delta+1 .. r*delta, buffering arrivals and
+   stepping the sub-machine at the end of each batch — the standard
+   timeout-per-round realisation of a synchronous protocol. *)
+
+open Vv_sim
+
+type bb_input = { sender : Types.node_id; value : int option }
+
+module Make (Sub : Bb_intf.S) :
+  Protocol.S
+    with type input = bb_input
+     and type msg = Sub.msg
+     and type output = int = struct
+  type input = bb_input
+  type msg = Sub.msg
+  type output = int
+
+  type state = {
+    sub : Sub.state;
+    delta : int;
+    total_engine_rounds : int;
+    buffer : (Types.node_id * msg) list;  (* arrivals of the current batch, reversed *)
+    finished : bool;
+  }
+
+  let name = Sub.name
+
+  let init (ctx : Protocol.ctx) { sender; value } =
+    let delta =
+      match ctx.delta with
+      | Some d -> d
+      | None ->
+          invalid_arg
+            (Sub.name ^ ": requires a known delay bound (synchronous network)")
+    in
+    let sub, out = Sub.start ~n:ctx.n ~t:ctx.t ~me:ctx.me ~sender ~value in
+    ( {
+        sub;
+        delta;
+        total_engine_rounds = Sub.rounds ~n:ctx.n ~t:ctx.t * delta;
+        buffer = [];
+        finished = false;
+      },
+      out )
+
+  let step (ctx : Protocol.ctx) st ~round ~inbox =
+    if st.finished then (st, [])
+    else
+      let buffer = List.rev_append inbox st.buffer in
+      if round mod st.delta = 0 then begin
+        let lround = round / st.delta in
+        let sub, out =
+          Sub.step ~n:ctx.n ~t:ctx.t ~me:ctx.me st.sub ~lround
+            ~inbox:(List.rev buffer)
+        in
+        ( { st with sub; buffer = []; finished = round >= st.total_engine_rounds },
+          out )
+      end
+      else ({ st with buffer }, [])
+
+  let output st = if st.finished then Some (Sub.result st.sub) else None
+end

@@ -1,0 +1,14 @@
+(** Wrap a {!Bb_intf.S} sub-machine as a full {!Vv_sim.Protocol.S} for
+    direct execution, batching lock-step local rounds by the known delay
+    bound delta (the timeout-per-round realisation of synchrony). *)
+
+type bb_input = {
+  sender : Vv_sim.Types.node_id;
+  value : int option;  (** [Some v] exactly at the sender *)
+}
+
+module Make (Sub : Bb_intf.S) :
+  Vv_sim.Protocol.S
+    with type input = bb_input
+     and type msg = Sub.msg
+     and type output = int

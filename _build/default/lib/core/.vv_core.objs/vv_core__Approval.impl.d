@@ -1,0 +1,1 @@
+lib/core/approval.ml: Adversary Engine Hashtbl List Protocol Types Vv_ballot Vv_bb Vv_sim

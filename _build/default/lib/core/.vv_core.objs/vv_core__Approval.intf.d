@@ -1,0 +1,1 @@
+lib/core/approval.mli: Vv_ballot Vv_bb Vv_sim

@@ -1,0 +1,1 @@
+lib/core/bounds.mli: Fmt Vv_ballot

@@ -1,0 +1,1 @@
+lib/core/multidim.ml: Fun List Runner Strategy Vv_ballot Vv_bb

@@ -1,0 +1,1 @@
+lib/core/multidim.mli: Runner Strategy Vv_ballot Vv_bb

@@ -1,0 +1,1 @@
+lib/core/quittable.ml: Fmt List Runner Strategy Vv_ballot

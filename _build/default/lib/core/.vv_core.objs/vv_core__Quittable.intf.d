@@ -1,0 +1,1 @@
+lib/core/quittable.mli: Fmt Runner Strategy Vv_ballot

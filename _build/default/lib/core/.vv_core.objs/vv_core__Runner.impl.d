@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Config Delay Fault List Strategy Types Variant Voting Vv_ballot Vv_bb Vv_sim

@@ -1,0 +1,1 @@
+lib/core/session.ml: Fmt Fun List Runner Strategy Vv_ballot Vv_prelude

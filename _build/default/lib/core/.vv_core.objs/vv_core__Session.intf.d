@@ -1,0 +1,1 @@
+lib/core/session.mli: Fmt Runner Strategy Vv_ballot Vv_prelude

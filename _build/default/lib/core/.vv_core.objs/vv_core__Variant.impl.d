@@ -1,0 +1,1 @@
+lib/core/variant.ml: Fmt Vv_ballot

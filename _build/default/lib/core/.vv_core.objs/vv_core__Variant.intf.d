@@ -1,0 +1,1 @@
+lib/core/variant.mli: Fmt Vv_ballot

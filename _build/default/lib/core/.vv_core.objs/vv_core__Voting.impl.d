@@ -1,0 +1,1 @@
+lib/core/voting.ml: Adversary Array Bounds Config Engine Hashtbl List Metrics Option Protocol Strategy Types Variant Vv_ballot Vv_bb Vv_prelude Vv_sim

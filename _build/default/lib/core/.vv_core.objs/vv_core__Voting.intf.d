@@ -1,0 +1,1 @@
+lib/core/voting.mli: Strategy Variant Vv_ballot Vv_bb Vv_sim

@@ -1,0 +1,250 @@
+(* Approval voting with voting validity (extension).
+
+   Parhami's taxonomy [16] — which the paper cites for the plurality
+   scheme — also covers approval voting: each voter endorses a *set* of
+   acceptable options and the option with the most endorsements wins.  The
+   paper's machinery transfers: a Byzantine node can add at most t bogus
+   endorsements to any single option and remove none, so the Property-2
+   argument gives exactness whenever the honest endorsement gap between
+   the winner and the runner-up exceeds t (delta_P = 0, quorum N - t), and
+   a safety-guaranteed variant needs a gap above 2t.
+
+   Structurally a sibling of Voting.Make: Phase 1 broadcasts the subject
+   through a BB substrate; Phase 2 broadcasts approval sets; Phase 3
+   proposes the local endorsement leader after the 2*delta wait; Phase 4
+   decides on a quorum of matching proposes. *)
+
+open Vv_sim
+module Oid = Vv_ballot.Option_id
+module Tally = Vv_ballot.Tally
+
+type subject = int
+
+type exec = {
+  outputs : Oid.t option list;
+  rounds : int;
+  stalled : bool;
+}
+
+(* The honest-endorsement analogue of Definition III.3. *)
+let honest_leader ~tie approvals =
+  let tally =
+    List.fold_left
+      (fun acc set -> List.fold_left Tally.add acc (List.sort_uniq Oid.compare set))
+      Tally.empty approvals
+  in
+  Tally.top ~tie tally
+
+let approval_validity ~tie ~honest_approvals ~outputs =
+  match honest_leader ~tie honest_approvals with
+  | Some { Tally.a; a_count; b_count; _ } when a_count > b_count ->
+      List.for_all
+        (function None -> true | Some v -> Oid.equal v a)
+        outputs
+  | Some _ | None -> true
+
+module Make (Sub : Vv_bb.Bb_intf.S) = struct
+  type msg =
+    | Prepare of Sub.msg
+    | Approve of { subject : subject; choices : Oid.t list }
+    | Propose of { subject : subject; choice : Oid.t }
+
+  type input = {
+    speaker : Types.node_id;
+    subject : subject;
+    approvals : Oid.t list;  (** non-empty set of endorsed options *)
+    quorum_gap : int;  (** delta_P: 0 for BFT, t for safety-guaranteed *)
+    tie : Vv_ballot.Tie_break.t;
+  }
+
+  module P = struct
+    type nonrec input = input
+    type nonrec msg = msg
+    type output = Oid.t
+
+    type state = {
+      cfg : input;
+      delta : int;
+      bb_rounds : int;
+      mutable bb : Sub.state;
+      mutable bb_buffer : (Types.node_id * Sub.msg) list;
+      mutable subject : subject option;
+      ballots : (Types.node_id, subject * Oid.t list) Hashtbl.t;
+      proposes : (Types.node_id, subject * Oid.t) Hashtbl.t;
+      mutable deadline : int option;
+      mutable proposed : bool;
+      mutable decided : Oid.t option;
+    }
+
+    let name = "approval/" ^ Sub.name
+
+    let init (ctx : Protocol.ctx) cfg =
+      if cfg.approvals = [] then
+        invalid_arg "Approval: empty approval set";
+      let delta =
+        match ctx.delta with
+        | Some d -> d
+        | None -> invalid_arg (name ^ ": requires a known delay bound")
+      in
+      let value = if ctx.me = cfg.speaker then Some cfg.subject else None in
+      let bb, bb_out =
+        Sub.start ~n:ctx.n ~t:ctx.t ~me:ctx.me ~sender:cfg.speaker ~value
+      in
+      let st =
+        {
+          cfg;
+          delta;
+          bb_rounds = Sub.rounds ~n:ctx.n ~t:ctx.t;
+          bb;
+          bb_buffer = [];
+          subject = None;
+          ballots = Hashtbl.create 16;
+          proposes = Hashtbl.create 16;
+          deadline = None;
+          proposed = false;
+          decided = None;
+        }
+      in
+      let wrap (e : Sub.msg Types.envelope) =
+        { Types.dest = e.Types.dest; payload = Prepare e.Types.payload }
+      in
+      (st, List.map wrap bb_out)
+
+    let endorsements st s =
+      Hashtbl.fold
+        (fun _src (subj, choices) acc ->
+          if subj = s then
+            List.fold_left Tally.add acc (List.sort_uniq Oid.compare choices)
+          else acc)
+        st.ballots Tally.empty
+
+    let senders_for st s =
+      Hashtbl.fold
+        (fun _src (subj, _) acc -> if subj = s then acc + 1 else acc)
+        st.ballots 0
+
+    let propose_tally st s =
+      Hashtbl.fold
+        (fun _src (subj, choice) acc ->
+          if subj = s then Tally.add acc choice else acc)
+        st.proposes Tally.empty
+
+    let step (ctx : Protocol.ctx) st ~round ~inbox =
+      let outbox = ref [] in
+      let emit e = outbox := e :: !outbox in
+      List.iter
+        (fun (src, m) ->
+          match m with
+          | Prepare b ->
+              if st.subject = None then st.bb_buffer <- (src, b) :: st.bb_buffer
+          | Approve { subject; choices } ->
+              if not (Hashtbl.mem st.ballots src) then
+                Hashtbl.add st.ballots src (subject, choices)
+          | Propose { subject; choice } ->
+              if not (Hashtbl.mem st.proposes src) then
+                Hashtbl.add st.proposes src (subject, choice))
+        inbox;
+      if st.subject = None && round mod st.delta = 0 then begin
+        let lround = round / st.delta in
+        if lround >= 1 && lround <= st.bb_rounds then begin
+          let sub, bb_out =
+            Sub.step ~n:ctx.n ~t:ctx.t ~me:ctx.me st.bb ~lround
+              ~inbox:(List.rev st.bb_buffer)
+          in
+          st.bb <- sub;
+          st.bb_buffer <- [];
+          List.iter
+            (fun (e : Sub.msg Types.envelope) ->
+              emit { Types.dest = e.Types.dest; payload = Prepare e.Types.payload })
+            bb_out;
+          if lround = st.bb_rounds then begin
+            let s = Sub.result sub in
+            st.subject <- Some s;
+            if s >= 0 then
+              emit
+                (Types.broadcast
+                   (Approve { subject = s; choices = st.cfg.approvals }))
+          end
+        end
+      end;
+      (match st.subject with
+      | Some s when s >= 0 && (not st.proposed) && st.decided = None ->
+          if st.deadline = None && senders_for st s >= ctx.t + 1 then
+            st.deadline <- Some (round + (2 * st.delta));
+          (match st.deadline with
+          | Some d when round >= d -> begin
+              st.proposed <- true;
+              match Tally.top ~tie:st.cfg.tie (endorsements st s) with
+              | Some { Tally.a; a_count; b_count; _ }
+                when a_count - b_count > st.cfg.quorum_gap ->
+                  emit (Types.broadcast (Propose { subject = s; choice = a }))
+              | Some _ | None -> ()
+            end
+          | Some _ | None -> ())
+      | Some _ | None -> ());
+      (match st.subject with
+      | Some s when s >= 0 && st.decided = None -> begin
+          match Tally.ranked ~tie:st.cfg.tie (propose_tally st s) with
+          | (choice, c) :: _ when c >= ctx.n - ctx.t -> st.decided <- Some choice
+          | _ -> ()
+        end
+      | Some _ | None -> ());
+      (st, List.rev !outbox)
+
+    let output st = st.decided
+  end
+
+  module E = Engine.Make (P)
+
+  (* Colluding adversary: endorse the honest runner-up (and only it). *)
+  let collude_second ?(tie = Vv_ballot.Tie_break.default) () :
+      msg Adversary.t =
+    let acted = ref false in
+    Adversary.named "approval-collude-second" (fun view ->
+        if !acted then []
+        else
+          let seen = Hashtbl.create 16 in
+          List.iter
+            (fun (d : msg Types.delivery) ->
+              match d.Types.msg with
+              | Approve { subject; choices } ->
+                  if not (Hashtbl.mem seen d.Types.src) then
+                    Hashtbl.add seen d.Types.src (subject, choices)
+              | Prepare _ | Propose _ -> ())
+            view.Adversary.honest_sent;
+          let ballots =
+            Hashtbl.fold (fun _ b acc -> b :: acc) seen [] |> List.sort compare
+          in
+          match ballots with
+          | [] -> []
+          | (s, _) :: _ -> (
+              let approvals = List.map snd ballots in
+              match honest_leader ~tie approvals with
+              | Some { Tally.b = Some b; _ } ->
+                  acted := true;
+                  List.concat_map
+                    (fun src ->
+                      List.init view.Adversary.n (fun dst ->
+                          {
+                            Adversary.src;
+                            dst;
+                            msg = Approve { subject = s; choices = [ b ] };
+                          }))
+                    view.Adversary.byzantine
+              | Some _ | None -> []))
+
+  let execute cfg ~speaker ~subject ~approvals ~quorum_gap
+      ?(tie = Vv_ballot.Tie_break.default) ~collude () =
+    let inputs id =
+      { speaker; subject; approvals = approvals id; quorum_gap; tie }
+    in
+    let adversary =
+      if collude then collude_second ~tie () else Adversary.passive
+    in
+    let res = E.run cfg ~inputs ~adversary () in
+    {
+      outputs = E.honest_outputs res;
+      rounds = res.E.rounds_used;
+      stalled = res.E.stalled;
+    }
+end

@@ -1,0 +1,34 @@
+(** Multi-dimensional voting validity (the paper's future-work direction,
+    citing Mendes et al. [25]).
+
+    A d-dimensional subject collects a preference vector from every node;
+    one voting-validity instance runs per coordinate (independent derived
+    seeds) and the combined verdict requires coordinate-wise voting
+    validity. Plurality aggregation is separable across coordinates, so
+    composition preserves each instance's guarantees. *)
+
+module Oid = Vv_ballot.Option_id
+
+type outcome = {
+  per_coordinate : Runner.outcome list;
+  output_vector : Oid.t option list;
+      (** agreed value per coordinate; [None] where it stalled *)
+  termination : bool;  (** every coordinate terminated *)
+  agreement : bool;
+  voting_validity : bool;  (** coordinate-wise Definition III.3 *)
+  safety_admissible : bool;
+}
+
+val run :
+  ?protocol:Runner.protocol ->
+  ?strategy:Strategy.t ->
+  ?bb:Vv_bb.Bb.choice ->
+  ?tie:Vv_ballot.Tie_break.t ->
+  ?seed:int ->
+  t:int ->
+  f:int ->
+  Oid.t list list ->
+  outcome
+(** [run ~t ~f vectors] with one preference vector per honest node. Raises
+    [Invalid_argument] on an empty electorate, zero dimensions, or ragged
+    vectors. *)

@@ -1,0 +1,88 @@
+(** One-stop experiment runner: specify a system, execute a protocol
+    against an adversary, and classify the outcome against every property
+    of Section III-C. *)
+
+module Oid = Vv_ballot.Option_id
+
+type protocol =
+  | Algo1  (** BFT voting, Inequality (3) *)
+  | Algo2_sct  (** safety-guaranteed, Inequality (7) *)
+  | Algo3_incremental  (** optimistic responsiveness, Inequality (14) *)
+  | Algo4_local  (** local broadcast model, Inequality (15) *)
+  | Cft  (** crash faults only; plain Phase 1 *)
+  | Sct_incremental  (** Algorithm 2 with the Algorithm 3 trigger *)
+
+val protocol_label : protocol -> string
+val variant_of : protocol -> Variant.t
+
+type spec = private {
+  n : int;
+  t : int;
+  inputs : Oid.t list;  (** length [n]; entries at Byzantine ids ignored *)
+  byzantine : Vv_sim.Types.node_id list;
+  crash : (Vv_sim.Types.node_id * int * Vv_sim.Types.node_id list) list;
+      (** (node, crash round, recipients of its final broadcast) *)
+  protocol : protocol;
+  bb : Vv_bb.Bb.choice;
+  strategy : Strategy.t;
+  tie : Vv_ballot.Tie_break.t;
+  delay : Vv_sim.Delay.t;
+  seed : int;
+  max_rounds : int;
+  subject : int;
+  speaker : Vv_sim.Types.node_id;
+  judgment_override : Variant.judgment option;
+}
+
+val spec :
+  ?byzantine:Vv_sim.Types.node_id list ->
+  ?crash:(Vv_sim.Types.node_id * int * Vv_sim.Types.node_id list) list ->
+  ?protocol:protocol ->
+  ?bb:Vv_bb.Bb.choice ->
+  ?strategy:Strategy.t ->
+  ?tie:Vv_ballot.Tie_break.t ->
+  ?delay:Vv_sim.Delay.t ->
+  ?seed:int ->
+  ?max_rounds:int ->
+  ?subject:int ->
+  ?speaker:Vv_sim.Types.node_id ->
+  ?judgment_override:Variant.judgment ->
+  n:int ->
+  t:int ->
+  Oid.t list ->
+  spec
+(** Raises [Invalid_argument] when [inputs] does not have length [n]. *)
+
+type outcome = {
+  outputs : Oid.t option list;  (** honest nodes, node-id order *)
+  honest_inputs : Oid.t list;
+  termination : bool;
+  agreement : bool;
+  voting_validity : bool;  (** strict form, Definition III.3 *)
+  voting_validity_tb : bool;  (** tie-break-aware form *)
+  strong_validity : bool;
+  safety_admissible : bool;  (** Definition V.1 *)
+  stalled : bool;
+  rounds : int;
+  honest_msgs : int;
+  byz_msgs : int;
+  decision_rounds : int option list;
+}
+
+val run : spec -> outcome
+
+val simple :
+  ?protocol:protocol ->
+  ?strategy:Strategy.t ->
+  ?bb:Vv_bb.Bb.choice ->
+  ?tie:Vv_ballot.Tie_break.t ->
+  ?delay:Vv_sim.Delay.t ->
+  ?seed:int ->
+  ?max_rounds:int ->
+  t:int ->
+  f:int ->
+  Oid.t list ->
+  outcome
+(** The paper's standard setup: the given honest inputs first, then [f]
+    Byzantine nodes, honest node 0 as speaker, [Collude_second] adversary
+    by default. *)

@@ -1,0 +1,54 @@
+(* Adversary strategies for the voting protocols, as data.
+
+   The strategies are defined here as a plain enumeration so experiment
+   specifications can name them independently of the Voting functor
+   instance; Voting.Make turns a strategy into a concrete
+   Vv_sim.Adversary.t over its own message type. *)
+
+type t =
+  | Passive
+      (** Byzantine nodes stay silent — stresses that quorums are reachable
+          from honest nodes alone (Lemma 6). *)
+  | Collude_second
+      (** All Byzantine nodes vote for the honest runner-up B — the
+          worst-case strategy behind Lemma 2 / Theorem 3. *)
+  | Collude_fixed of int
+      (** All Byzantine nodes vote for a fixed option id. *)
+  | Split_top2
+      (** Equivocation: each Byzantine node votes A to even-numbered nodes
+          and B to odd ones (point-to-point only). *)
+  | Propose_second
+      (** Collude_second, plus matching [propose B] messages — attacks the
+          decide quorum directly (max t < t+1 forged proposes, Thm 11). *)
+  | Random_votes of int
+      (** Independent uniform votes over the observed option domain, seeded
+          for reproducibility. *)
+  | Late_collude of int
+      (** Collude_second, but withhold the Byzantine votes for the given
+          number of rounds after observing the honest ballot — exercises
+          the strong adversary's message-delaying power against the
+          protocols' wait windows. *)
+
+let pp ppf = function
+  | Passive -> Fmt.string ppf "passive"
+  | Collude_second -> Fmt.string ppf "collude-second"
+  | Collude_fixed v -> Fmt.pf ppf "collude-fixed:%d" v
+  | Split_top2 -> Fmt.string ppf "split-top2"
+  | Propose_second -> Fmt.string ppf "propose-second"
+  | Random_votes s -> Fmt.pf ppf "random:%d" s
+  | Late_collude d -> Fmt.pf ppf "late-collude:%d" d
+
+let of_name = function
+  | "passive" -> Some Passive
+  | "collude-second" -> Some Collude_second
+  | "split-top2" -> Some Split_top2
+  | "propose-second" -> Some Propose_second
+  | "random" -> Some (Random_votes 7)
+  | "late-collude" -> Some (Late_collude 3)
+  | _ -> None
+
+let all_names =
+  [
+    "passive"; "collude-second"; "split-top2"; "propose-second"; "random";
+    "late-collude";
+  ]

@@ -1,0 +1,32 @@
+(** Adversary strategies, as data.
+
+    A plain enumeration so experiment specifications can name strategies
+    independently of the {!Voting.Make} functor instance; each instance's
+    [adversary_of] turns one into a concrete {!Vv_sim.Adversary.t} over its
+    own message type. *)
+
+type t =
+  | Passive
+      (** Byzantine nodes stay silent — exercises Lemma 6's claim that
+          quorums are reachable from honest nodes alone. *)
+  | Collude_second
+      (** All Byzantine nodes vote for the honest runner-up: the worst-case
+          strategy behind Lemma 2 / Theorem 3. *)
+  | Collude_fixed of int  (** All Byzantine nodes vote a fixed option id. *)
+  | Split_top2
+      (** Equivocation: vote the leader to even-numbered recipients and the
+          runner-up to odd ones. Rejected by the engine under the local
+          broadcast model. *)
+  | Propose_second
+      (** [Collude_second] plus forged [propose] messages for the runner-up
+          — attacks the decide quorum directly (Theorem 11's argument that
+          [t < t+1] forged proposes cannot decide). *)
+  | Random_votes of int  (** Seeded uniform votes over the observed domain. *)
+  | Late_collude of int
+      (** [Collude_second] delayed by the given number of rounds — the
+          strong adversary's message-withholding power aimed at the wait
+          windows. *)
+
+val pp : t Fmt.t
+val of_name : string -> t option
+val all_names : string list

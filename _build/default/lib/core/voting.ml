@@ -1,0 +1,358 @@
+(* The paper's voting protocols (Algorithms 1-4 and the CFT variant) as one
+   state machine parameterised by a Phase-1 broadcast substrate and a
+   {!Variant}.
+
+   Phase 1 (Prepare)  — the speaker reliably broadcasts the subject through
+                        [Sub] (Dolev-Strong / EIG / Phase-King for the BFT
+                        algorithms, Plain for Algorithm 4 and CFT);
+   Phase 2 (Vote)     — on outputting a valid subject every node broadcasts
+                        its preference;
+   Phase 3 (Propose)  — After_wait: once t+1 votes arrive, wait 2*delta_t,
+                        Sort the ballot and propose A_i if A_i - B_i >
+                        delta_P (Algorithm 1 Line 10-15);
+                        Incremental: propose as soon as Inequality (14)
+                        fires (Algorithm 3);
+   Phase 4 (Decide)   — output on a quorum of matching proposes (N - t for
+                        Algorithms 1/3/4, t + 1 for the safety-guaranteed
+                        Algorithm 2).
+
+   Sub-machine rounds are batched by the known delay bound delta so the
+   lock-step substrates also run under Fixed/Uniform delays. *)
+
+open Vv_sim
+module Oid = Vv_ballot.Option_id
+module Tally = Vv_ballot.Tally
+
+type subject = int
+
+(* Substrate-independent execution summary, so callers can dispatch over
+   differently-typed Make instances and still get one result type. *)
+type exec = {
+  outputs : Oid.t option list;  (** honest nodes, in node-id order *)
+  decision_rounds : int option list;  (** honest nodes, in node-id order *)
+  rounds : int;
+  stalled : bool;
+  honest_msgs : int;
+  byz_msgs : int;
+}
+
+module Make (Sub : Vv_bb.Bb_intf.S) = struct
+  type msg =
+    | Prepare of Sub.msg
+    | Vote of { subject : subject; choice : Oid.t }
+    | Propose of { subject : subject; choice : Oid.t }
+
+  type input = {
+    variant : Variant.t;
+    speaker : Types.node_id;
+    subject : subject;  (** consulted at the speaker only *)
+    preference : Oid.t;  (** this node's vote v_i *)
+  }
+
+  module P = struct
+    type nonrec input = input
+    type nonrec msg = msg
+    type output = Oid.t
+
+    type state = {
+      variant : Variant.t;
+      preference : Oid.t;
+      delta : int;
+      bb_rounds : int;
+      mutable bb : Sub.state;
+      mutable bb_buffer : (Types.node_id * Sub.msg) list;  (* reversed *)
+      mutable subject : subject option;  (* set once; may be Bb_intf.bottom *)
+      votes : (Types.node_id, subject * Oid.t) Hashtbl.t;  (* first per sender *)
+      proposes : (Types.node_id, subject * Oid.t) Hashtbl.t;
+      mutable vote_deadline : int option;
+      mutable propose_done : bool;
+      mutable decided : Oid.t option;
+    }
+
+    let name = "voting/" ^ Sub.name
+
+    let init (ctx : Protocol.ctx) input =
+      let delta =
+        match ctx.delta with
+        | Some d -> d
+        | None -> invalid_arg (name ^ ": requires a known delay bound")
+      in
+      let value = if ctx.me = input.speaker then Some input.subject else None in
+      let bb, bb_out =
+        Sub.start ~n:ctx.n ~t:ctx.t ~me:ctx.me ~sender:input.speaker ~value
+      in
+      let st =
+        {
+          variant = input.variant;
+          preference = input.preference;
+          delta;
+          bb_rounds = Sub.rounds ~n:ctx.n ~t:ctx.t;
+          bb;
+          bb_buffer = [];
+          subject = None;
+          votes = Hashtbl.create 16;
+          proposes = Hashtbl.create 16;
+          vote_deadline = None;
+          propose_done = false;
+          decided = None;
+        }
+      in
+      let wrap (e : Sub.msg Types.envelope) =
+        { Types.dest = e.Types.dest; payload = Prepare e.Types.payload }
+      in
+      (st, List.map wrap bb_out)
+
+    (* Tally of the first votes per sender matching subject [s]. *)
+    let tally_for table s =
+      Hashtbl.fold
+        (fun _src (subj, choice) acc ->
+          if subj = s then Tally.add acc choice else acc)
+        table Tally.empty
+
+    let step (ctx : Protocol.ctx) st ~round ~inbox =
+      let outbox = ref [] in
+      let emit e = outbox := e :: !outbox in
+      (* Ingest. *)
+      List.iter
+        (fun (src, m) ->
+          match m with
+          | Prepare b ->
+              if st.subject = None then st.bb_buffer <- (src, b) :: st.bb_buffer
+          | Vote { subject; choice } ->
+              if not (Hashtbl.mem st.votes src) then
+                Hashtbl.add st.votes src (subject, choice)
+          | Propose { subject; choice } ->
+              if not (Hashtbl.mem st.proposes src) then
+                Hashtbl.add st.proposes src (subject, choice))
+        inbox;
+      (* Phase 1: progress the broadcast sub-machine (batched by delta). *)
+      if st.subject = None && round mod st.delta = 0 then begin
+        let lround = round / st.delta in
+        if lround >= 1 && lround <= st.bb_rounds then begin
+          let sub, bb_out =
+            Sub.step ~n:ctx.n ~t:ctx.t ~me:ctx.me st.bb ~lround
+              ~inbox:(List.rev st.bb_buffer)
+          in
+          st.bb <- sub;
+          st.bb_buffer <- [];
+          List.iter
+            (fun (e : Sub.msg Types.envelope) ->
+              emit { Types.dest = e.Types.dest; payload = Prepare e.Types.payload })
+            bb_out;
+          if lround = st.bb_rounds then begin
+            let s = Sub.result sub in
+            st.subject <- Some s;
+            (* Phase 2: a valid subject triggers the vote (Line 7-9). *)
+            if s >= 0 then
+              emit (Types.broadcast (Vote { subject = s; choice = st.preference }))
+          end
+        end
+      end;
+      let tolerance = ctx.t in
+      (* Phase 3: propose. *)
+      (match st.subject with
+      | Some s when s >= 0 && (not st.propose_done) && st.decided = None ->
+          let ballot = tally_for st.votes s in
+          let total = Tally.total ballot in
+          let dp = Variant.delta_p st.variant ~tolerance in
+          let tie = st.variant.Variant.tie in
+          (match st.variant.Variant.propose with
+          | Variant.After_wait ->
+              if st.vote_deadline = None && total >= tolerance + 1 then
+                st.vote_deadline <- Some (round + (2 * st.delta));
+              (match st.vote_deadline with
+              | Some d when round >= d -> begin
+                  st.propose_done <- true;
+                  match Tally.top ~tie ballot with
+                  | Some { Tally.a; a_count; b_count; _ }
+                    when a_count - b_count > dp ->
+                      emit (Types.broadcast (Propose { subject = s; choice = a }))
+                  | Some _ | None -> ()
+                end
+              | Some _ | None -> ())
+          | Variant.Incremental ->
+              if total >= tolerance + 1 then begin
+                match Tally.top ~tie ballot with
+                | Some { Tally.a; a_count; c_count; _ }
+                  when Bounds.incremental_ready ~n:ctx.n ~delta_p:dp
+                         ~a_i:a_count ~c_i:c_count ->
+                    st.propose_done <- true;
+                    emit (Types.broadcast (Propose { subject = s; choice = a }))
+                | Some _ | None -> ()
+              end)
+      | Some _ | None -> ());
+      (* Phase 4: decide on a quorum of matching proposes (Line 16-17). *)
+      (match st.subject with
+      | Some s when s >= 0 && st.decided = None -> begin
+          let quorum = Variant.quorum_size st.variant ~n:ctx.n ~tolerance in
+          let counts = tally_for st.proposes s in
+          match Tally.ranked ~tie:st.variant.Variant.tie counts with
+          | (choice, c) :: _ when c >= quorum -> st.decided <- Some choice
+          | _ -> ()
+        end
+      | Some _ | None -> ());
+      (st, List.rev !outbox)
+
+    let output st = st.decided
+  end
+
+  module E = Engine.Make (P)
+
+  (* --- Adversary strategies over this message type --- *)
+
+  (* First vote per honest sender observed in the current round's traffic
+     (a broadcast appears once per recipient; deduplicate by source). *)
+  let observed_votes (view : msg Adversary.view) =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (d : msg Types.delivery) ->
+        match d.Types.msg with
+        | Vote { subject; choice } ->
+            if not (Hashtbl.mem seen d.Types.src) then
+              Hashtbl.add seen d.Types.src (subject, choice)
+        | Prepare _ | Propose _ -> ())
+      view.Adversary.honest_sent;
+    Hashtbl.fold (fun src sv acc -> (src, sv) :: acc) seen []
+    |> List.sort compare
+
+  let broadcast_from_all (view : msg Adversary.view) m =
+    List.concat_map
+      (fun src ->
+        List.init view.Adversary.n (fun dst -> { Adversary.src; dst; msg = m }))
+      view.Adversary.byzantine
+
+  (* Rank the observed honest ballot and return (subject, winner,
+     runner-up); the runner-up defaults to the winner when unique. *)
+  let observed_top2 ~tie votes =
+    match votes with
+    | [] -> None
+    | (_, (s, _)) :: _ ->
+        let ballot =
+          Tally.of_list
+            (List.filter_map
+               (fun (_, (subj, choice)) -> if subj = s then Some choice else None)
+               votes)
+        in
+        (match Tally.top ~tie ballot with
+        | Some { Tally.a; b; _ } ->
+            Some (s, a, Option.value b ~default:a)
+        | None -> None)
+
+  let adversary_of ?(tie = Vv_ballot.Tie_break.default) (spec : Strategy.t) :
+      msg Adversary.t =
+    match spec with
+    | Strategy.Passive -> Adversary.passive
+    | Strategy.Collude_second ->
+        let acted = ref false in
+        Adversary.named "collude-second" (fun view ->
+            if !acted then []
+            else
+              match observed_top2 ~tie (observed_votes view) with
+              | None -> []
+              | Some (s, _, second) ->
+                  acted := true;
+                  broadcast_from_all view (Vote { subject = s; choice = second }))
+    | Strategy.Collude_fixed target ->
+        let acted = ref false in
+        Adversary.named "collude-fixed" (fun view ->
+            if !acted then []
+            else
+              match observed_votes view with
+              | [] -> []
+              | (_, (s, _)) :: _ ->
+                  acted := true;
+                  broadcast_from_all view
+                    (Vote { subject = s; choice = Oid.of_int target }))
+    | Strategy.Split_top2 ->
+        let acted = ref false in
+        Adversary.named "split-top2" (fun view ->
+            if !acted then []
+            else
+              match observed_top2 ~tie (observed_votes view) with
+              | None -> []
+              | Some (s, first, second) ->
+                  acted := true;
+                  List.concat_map
+                    (fun src ->
+                      List.init view.Adversary.n (fun dst ->
+                          let choice = if dst mod 2 = 0 then first else second in
+                          {
+                            Adversary.src;
+                            dst;
+                            msg = Vote { subject = s; choice };
+                          }))
+                    view.Adversary.byzantine)
+    | Strategy.Propose_second ->
+        let acted = ref false in
+        Adversary.named "propose-second" (fun view ->
+            if !acted then []
+            else
+              match observed_top2 ~tie (observed_votes view) with
+              | None -> []
+              | Some (s, _, second) ->
+                  acted := true;
+                  broadcast_from_all view (Vote { subject = s; choice = second })
+                  @ broadcast_from_all view
+                      (Propose { subject = s; choice = second }))
+    | Strategy.Late_collude delay_rounds ->
+        (* Observe the honest ballot, then sit on the colluding votes for
+           [delay_rounds] rounds before releasing them. *)
+        let pending = ref None in
+        let acted = ref false in
+        Adversary.named "late-collude" (fun view ->
+            (match (!pending, !acted) with
+            | None, false -> (
+                match observed_top2 ~tie (observed_votes view) with
+                | Some (s, _, second) ->
+                    pending := Some (view.Adversary.round + delay_rounds, s, second)
+                | None -> ())
+            | _ -> ());
+            match !pending with
+            | Some (release, s, second)
+              when view.Adversary.round >= release && not !acted ->
+                acted := true;
+                broadcast_from_all view (Vote { subject = s; choice = second })
+            | _ -> [])
+    | Strategy.Random_votes seed ->
+        let acted = ref false in
+        let rng = Vv_prelude.Rng.create seed in
+        Adversary.named "random-votes" (fun view ->
+            if !acted then []
+            else
+              let votes = observed_votes view in
+              match votes with
+              | [] -> []
+              | (_, (s, _)) :: _ ->
+                  acted := true;
+                  let domain =
+                    List.sort_uniq Oid.compare
+                      (List.map (fun (_, (_, c)) -> c) votes)
+                  in
+                  List.concat_map
+                    (fun src ->
+                      let choice = Vv_prelude.Rng.choose rng domain in
+                      List.init view.Adversary.n (fun dst ->
+                          {
+                            Adversary.src;
+                            dst;
+                            msg = Vote { subject = s; choice };
+                          }))
+                    view.Adversary.byzantine)
+
+  (* One full run, summarised substrate-independently. *)
+  let execute cfg ~variant ~speaker ~subject ~preferences ~strategy =
+    let inputs id =
+      { variant; speaker; subject; preference = preferences id }
+    in
+    let adversary = adversary_of ~tie:variant.Variant.tie strategy in
+    let res = E.run cfg ~inputs ~adversary () in
+    let honest = Config.honest_ids cfg in
+    {
+      outputs = List.map (fun id -> res.E.outputs.(id)) honest;
+      decision_rounds = List.map (fun id -> res.E.decision_round.(id)) honest;
+      rounds = res.E.rounds_used;
+      stalled = res.E.stalled;
+      honest_msgs = res.E.metrics.Metrics.honest_messages;
+      byz_msgs = res.E.metrics.Metrics.byzantine_messages;
+    }
+end

@@ -1,0 +1,1 @@
+lib/dist/entropy.ml: Array

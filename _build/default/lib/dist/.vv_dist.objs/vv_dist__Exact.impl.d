@@ -1,0 +1,1 @@
+lib/dist/exact.ml: Array Entropy Multinomial

@@ -1,0 +1,1 @@
+lib/dist/exact.mli: Multinomial

@@ -1,0 +1,1 @@
+lib/dist/montecarlo.ml: Array Exact Multinomial Vv_ballot Vv_prelude

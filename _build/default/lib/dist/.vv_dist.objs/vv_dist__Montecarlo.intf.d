@@ -1,0 +1,1 @@
+lib/dist/montecarlo.mli: Multinomial Vv_ballot Vv_prelude

@@ -1,0 +1,1 @@
+lib/dist/multinomial.ml: Array Float Vv_prelude

@@ -1,0 +1,1 @@
+lib/dist/multinomial.mli: Vv_prelude

@@ -1,0 +1,1 @@
+lib/dist/profiles.ml: Entropy Fmt List Multinomial String

@@ -1,0 +1,1 @@
+lib/dist/profiles.mli: Fmt Multinomial

@@ -1,0 +1,23 @@
+(* Entropy measures used in Figure 1.  All entropies are in bits (log base
+   2), so the binary system entropy H_s of Figure 1(c) lies in [0, 1]. *)
+
+let log2 x = log x /. log 2.0
+
+let term p = if p <= 0.0 then 0.0 else -.p *. log2 p
+
+let shannon p = Array.fold_left (fun acc pi -> acc +. term pi) 0.0 p
+
+(* Binary entropy H(p) = -p log p - (1-p) log (1-p). *)
+let binary p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Entropy.binary: p outside [0,1]";
+  term p +. term (1.0 -. p)
+
+(* The legend of Figure 1 reports the initial system entropy H_0 as the
+   preference entropy multiplied by the number of good nodes. *)
+let initial_system ~ng p = float_of_int ng *. shannon p
+
+(* Figure 1(c): system entropy of achieving voting validity.  p_v is
+   Pr(A_G - B_G > f) for f <> 0, and achieving validity is deterministic
+   when f = 0, giving H_s = 0. *)
+let system_of_success ~f ~p_v =
+  if f = 0 then 0.0 else binary p_v

@@ -1,0 +1,16 @@
+(** Entropy measures for Figure 1, in bits (log base 2). *)
+
+val shannon : float array -> float
+(** Shannon entropy of a probability vector; zero-probability entries
+    contribute 0. *)
+
+val binary : float -> float
+(** Binary entropy [H(p)]. Raises [Invalid_argument] outside [\[0,1\]]. *)
+
+val initial_system : ng:int -> float array -> float
+(** Figure 1(a) legend's [H_0]: preference entropy times the number of good
+    nodes. *)
+
+val system_of_success : f:int -> p_v:float -> float
+(** Figure 1(c)'s [H_s]: 0 when [f = 0] (validity is deterministic),
+    [binary p_v] otherwise, where [p_v = Pr(A_G - B_G > f)]. *)

@@ -1,0 +1,55 @@
+(* Exact computation of Pr(A_G - B_G > t) (Equation 11) and related
+   quantities by full enumeration of the multinomial support.  The paper
+   derives the probability through c.d.f. manipulations (Equations 10-13);
+   enumerating the support computes the identical quantity directly and
+   exactly, which also serves as an oracle for the Monte-Carlo estimator
+   and for empirical protocol runs. *)
+
+(* Top-two counts of an outcome: (A_G, B_G).  B_G is 0 when only one option
+   received votes. *)
+let top2 counts =
+  let a = ref 0 and b = ref 0 in
+  Array.iter
+    (fun x ->
+      if x >= !a then begin
+        b := !a;
+        a := x
+      end
+      else if x > !b then b := x)
+    counts;
+  (!a, !b)
+
+let gap counts =
+  let a, b = top2 counts in
+  a - b
+
+let pr_gap_gt dist ~threshold =
+  Multinomial.probability_of dist (fun counts -> gap counts > threshold)
+
+(* Distribution of the gap A_G - B_G: index g holds Pr(gap = g). *)
+let gap_distribution dist =
+  let n = Multinomial.n dist in
+  let acc = Array.make (n + 1) 0.0 in
+  Multinomial.iter_support dist (fun counts ->
+      let g = gap counts in
+      acc.(g) <- acc.(g) +. Multinomial.pmf dist counts);
+  acc
+
+(* Equation 11 instantiated for the BFT/CFT bound (Theorem 12, K = 2):
+   voting validity is guaranteed exactly when A_G - B_G > t. *)
+let pr_voting_validity dist ~t = pr_gap_gt dist ~threshold:t
+
+(* The SCT bound needs A_G - B_G > 2t (Inequality 6). *)
+let pr_sct_termination dist ~t = pr_gap_gt dist ~threshold:(2 * t)
+
+(* Figure 1(c): H_s as a function of the actual number of faults f. *)
+let system_entropy dist ~f =
+  let p_v = if f = 0 then 1.0 else pr_gap_gt dist ~threshold:f in
+  Entropy.system_of_success ~f ~p_v
+
+(* Expected values of A_G and B_G, for reporting. *)
+let expected_top2 dist =
+  Multinomial.fold_support dist ~init:(0.0, 0.0) ~f:(fun (ea, eb) counts ->
+      let a, b = top2 counts in
+      let p = Multinomial.pmf dist counts in
+      (ea +. (p *. float_of_int a), eb +. (p *. float_of_int b)))

@@ -1,0 +1,30 @@
+(** Exact probabilities for Figure 1 via full support enumeration.
+
+    Computes the same quantity as the paper's Equations 10-13 directly:
+    sum the multinomial p.m.f. over outcomes satisfying the event. *)
+
+val top2 : int array -> int * int
+(** [(A_G, B_G)]: the largest and second-largest counts (0 if absent). *)
+
+val gap : int array -> int
+(** [A_G - B_G]. *)
+
+val pr_gap_gt : Multinomial.t -> threshold:int -> float
+(** Exact [Pr(A_G - B_G > threshold)] (Equation 11 generalised). *)
+
+val gap_distribution : Multinomial.t -> float array
+(** Index [g] holds [Pr(A_G - B_G = g)]; length [n+1]. *)
+
+val pr_voting_validity : Multinomial.t -> t:int -> float
+(** [Pr(A_G - B_G > t)]: the probability that the BFT/CFT voting-validity
+    condition of Theorem 12 (K = 2) holds. *)
+
+val pr_sct_termination : Multinomial.t -> t:int -> float
+(** [Pr(A_G - B_G > 2t)]: the probability that a safety-guaranteed protocol
+    terminates (Inequality 6). *)
+
+val system_entropy : Multinomial.t -> f:int -> float
+(** Figure 1(c)'s [H_s] at actual fault count [f]. *)
+
+val expected_top2 : Multinomial.t -> float * float
+(** [(E A_G, E B_G)]. *)

@@ -1,0 +1,33 @@
+(* Monte-Carlo estimators mirroring Exact; used to cross-check the exact
+   enumeration and to scale the Figure 1 analysis to parameter ranges where
+   enumeration would be too large. *)
+
+let estimate dist ~samples ~rng pred =
+  if samples <= 0 then invalid_arg "Montecarlo.estimate: samples must be positive";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if pred (Multinomial.sample dist rng) then incr hits
+  done;
+  Vv_prelude.Stats.binomial_confidence ~successes:!hits ~trials:samples
+
+let pr_gap_gt dist ~threshold ~samples ~rng =
+  estimate dist ~samples ~rng (fun counts -> Exact.gap counts > threshold)
+
+let pr_voting_validity dist ~t ~samples ~rng =
+  pr_gap_gt dist ~threshold:t ~samples ~rng
+
+(* Draw one honest input assignment (a list of per-node options) from the
+   preference distribution; used to feed protocol runs in experiment E2. *)
+let sample_inputs dist rng =
+  let counts = Multinomial.sample dist rng in
+  let inputs = ref [] in
+  Array.iteri
+    (fun opt k ->
+      for _ = 1 to k do
+        inputs := Vv_ballot.Option_id.of_int opt :: !inputs
+      done)
+    counts;
+  (* Shuffle so node ids are not correlated with options. *)
+  let arr = Array.of_list !inputs in
+  Vv_prelude.Rng.shuffle rng arr;
+  Array.to_list arr

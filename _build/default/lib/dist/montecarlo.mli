@@ -1,0 +1,26 @@
+(** Monte-Carlo estimators mirroring {!Exact}, with 95% confidence
+    half-widths. *)
+
+val estimate :
+  Multinomial.t ->
+  samples:int ->
+  rng:Vv_prelude.Rng.t ->
+  (int array -> bool) ->
+  float * float
+(** [(p_hat, half_width)] for the event probability. Raises
+    [Invalid_argument] when [samples <= 0]. *)
+
+val pr_gap_gt :
+  Multinomial.t ->
+  threshold:int ->
+  samples:int ->
+  rng:Vv_prelude.Rng.t ->
+  float * float
+
+val pr_voting_validity :
+  Multinomial.t -> t:int -> samples:int -> rng:Vv_prelude.Rng.t -> float * float
+
+val sample_inputs :
+  Multinomial.t -> Vv_prelude.Rng.t -> Vv_ballot.Option_id.t list
+(** One honest input assignment drawn from the preference distribution, in
+    random node order. *)

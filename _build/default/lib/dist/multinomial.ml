@@ -1,0 +1,98 @@
+(* Multinomial distribution over option counts (Equation 9 of the paper):
+   N_G independent non-faulty nodes each vote for option i with probability
+   p_i; X_i is the number of honest votes on option i. *)
+
+type t = { n : int; p : float array }
+
+let create ~n ~p =
+  if n < 0 then invalid_arg "Multinomial.create: negative n";
+  if Array.length p = 0 then invalid_arg "Multinomial.create: empty p";
+  Array.iter
+    (fun x ->
+      if x < 0.0 || Float.is_nan x then
+        invalid_arg "Multinomial.create: negative probability")
+    p;
+  let total = Array.fold_left ( +. ) 0.0 p in
+  if abs_float (total -. 1.0) > 1e-9 then
+    invalid_arg "Multinomial.create: probabilities must sum to 1";
+  { n; p = Array.copy p }
+
+let n t = t.n
+let arity t = Array.length t.p
+let probabilities t = Array.copy t.p
+
+(* Log-factorials, memoised across calls; counts stay small (<= a few
+   thousand) in every experiment. *)
+let log_factorial =
+  let table = ref [| 0.0 |] in
+  fun k ->
+    if k < 0 then invalid_arg "log_factorial: negative";
+    let cur = !table in
+    if k < Array.length cur then cur.(k)
+    else begin
+      let len = max (k + 1) (2 * Array.length cur) in
+      let next = Array.make len 0.0 in
+      Array.blit cur 0 next 0 (Array.length cur);
+      for i = Array.length cur to len - 1 do
+        next.(i) <- next.(i - 1) +. log (float_of_int i)
+      done;
+      table := next;
+      next.(k)
+    end
+
+let log_pmf t counts =
+  if Array.length counts <> Array.length t.p then
+    invalid_arg "Multinomial.log_pmf: arity mismatch";
+  let total = Array.fold_left ( + ) 0 counts in
+  if total <> t.n then neg_infinity
+  else begin
+    let acc = ref (log_factorial t.n) in
+    Array.iteri
+      (fun i x ->
+        if x < 0 then invalid_arg "Multinomial.log_pmf: negative count";
+        if x > 0 && t.p.(i) = 0.0 then acc := neg_infinity
+        else if !acc > neg_infinity then
+          acc := !acc -. log_factorial x +. (float_of_int x *. log t.p.(i)))
+      counts;
+    !acc
+  end
+
+let pmf t counts = exp (log_pmf t counts)
+
+let sample t rng =
+  let counts = Array.make (Array.length t.p) 0 in
+  for _ = 1 to t.n do
+    let i = Vv_prelude.Rng.categorical rng t.p in
+    counts.(i) <- counts.(i) + 1
+  done;
+  counts
+
+(* Enumerate every composition (x_1, ..., x_m) with sum n, applying [f] to
+   each.  The count of compositions is C(n+m-1, m-1); callers are expected
+   to keep n and m small (Figure 1 uses n = 10, m = 4 -> 286 outcomes). *)
+let iter_support t f =
+  let m = Array.length t.p in
+  let counts = Array.make m 0 in
+  let rec go i remaining =
+    if i = m - 1 then begin
+      counts.(i) <- remaining;
+      f (Array.copy counts)
+    end
+    else
+      for x = 0 to remaining do
+        counts.(i) <- x;
+        go (i + 1) (remaining - x)
+      done
+  in
+  if m = 0 then () else go 0 t.n
+
+let fold_support t ~init ~f =
+  let acc = ref init in
+  iter_support t (fun counts -> acc := f !acc counts);
+  !acc
+
+(* Total probability of outcomes satisfying a predicate, by exact
+   enumeration. *)
+let probability_of t pred =
+  fold_support t ~init:0.0 ~f:(fun acc counts ->
+      if pred counts then acc +. pmf t counts else acc)

@@ -1,0 +1,32 @@
+(** Multinomial distribution over honest vote counts (Equation 9).
+
+    [n] independent non-faulty nodes each choose option [i] with probability
+    [p.(i)]; the random vector [X] counts honest votes per option. *)
+
+type t
+
+val create : n:int -> p:float array -> t
+(** Raises [Invalid_argument] when [n < 0], [p] is empty or contains a
+    negative entry, or the entries do not sum to 1 (tolerance 1e-9). *)
+
+val n : t -> int
+val arity : t -> int
+val probabilities : t -> float array
+
+val log_pmf : t -> int array -> float
+(** Log of Equation 9; [neg_infinity] when the counts do not sum to [n] or
+    put mass on a zero-probability option. *)
+
+val pmf : t -> int array -> float
+
+val sample : t -> Vv_prelude.Rng.t -> int array
+(** One draw of the count vector. *)
+
+val iter_support : t -> (int array -> unit) -> unit
+(** Enumerates every composition of [n] into [arity] parts (the full
+    support). The array passed to the callback is fresh. *)
+
+val fold_support : t -> init:'a -> f:('a -> int array -> 'a) -> 'a
+
+val probability_of : t -> (int array -> bool) -> float
+(** Exact probability of the event, by support enumeration. *)

@@ -1,0 +1,1 @@
+lib/multishot/ledger.ml: Fmt Fun List Vv_ballot Vv_bb Vv_core Vv_prelude Vv_sim

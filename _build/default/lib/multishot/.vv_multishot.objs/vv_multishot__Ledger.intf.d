@@ -1,0 +1,1 @@
+lib/multishot/ledger.mli: Fmt Vv_ballot Vv_bb Vv_core Vv_sim

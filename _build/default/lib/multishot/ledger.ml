@@ -1,0 +1,172 @@
+(* Multi-shot voting: a ledger of repeated single-shot instances.
+
+   The paper's protocols are single-shot ("thus not yet directly
+   applicable in some distributed scenarios" — Section VIII); this module
+   packages the future-work direction it sketches: a sequence of voting
+   slots, each deciding one subject, with
+
+   - round-robin speaker rotation: a Byzantine or crashed speaker stalls
+     its slot, and the slot is retried under the next speaker;
+   - optional electorate adjustment between retries (the Section V-B
+     remedy, via Vv_core.Session policies);
+   - per-slot property classification and ledger-level invariants (every
+     committed slot carries its validity verdict).
+
+   The Byzantine set persists across slots (the same adversary keeps
+   attacking); seeds are derived per attempt so the whole ledger replays
+   bit-for-bit. *)
+
+module Oid = Vv_ballot.Option_id
+module Runner = Vv_core.Runner
+
+type retry =
+  | No_retry  (** a stalled slot is recorded as skipped *)
+  | Rotate_speaker of int
+      (** retry under the next speaker, up to the given attempts *)
+  | Rotate_and_adjust of Vv_core.Session.policy * int
+      (** rotate and also apply an electorate adjustment between attempts *)
+
+type config = {
+  n : int;
+  t : int;
+  byzantine : Vv_sim.Types.node_id list;
+  crash : (Vv_sim.Types.node_id * int * Vv_sim.Types.node_id list) list;
+      (** per-slot crash plans: these nodes crash in *every* attempt at
+          the given round (e.g. an unreliable host) *)
+  protocol : Runner.protocol;
+  strategy : Vv_core.Strategy.t;
+  bb : Vv_bb.Bb.choice;
+  tie : Vv_ballot.Tie_break.t;
+  retry : retry;
+  seed : int;
+}
+
+let config ?(byzantine = []) ?(crash = []) ?(protocol = Runner.Algo2_sct)
+    ?(strategy = Vv_core.Strategy.Collude_second) ?(bb = Vv_bb.Bb.default)
+    ?(tie = Vv_ballot.Tie_break.default)
+    ?(retry = Rotate_speaker 4) ?(seed = 0x1ed9) ~n ~t () =
+  if n <= 0 then invalid_arg "Ledger.config: n must be positive";
+  List.iter
+    (fun id ->
+      if id < 0 || id >= n then
+        invalid_arg "Ledger.config: byzantine id out of range")
+    byzantine;
+  List.iter
+    (fun (id, _, _) ->
+      if id < 0 || id >= n then
+        invalid_arg "Ledger.config: crash id out of range")
+    crash;
+  { n; t; byzantine; crash; protocol; strategy; bb; tie; retry; seed }
+
+type slot = {
+  index : int;
+  subject : int;
+  decision : Oid.t option;  (** [None] = skipped after exhausting retries *)
+  speaker : Vv_sim.Types.node_id;  (** speaker of the deciding attempt *)
+  attempts : int;
+  valid : bool;  (** tie-break-aware voting validity of the final attempt *)
+  rounds_total : int;  (** simulation rounds summed over attempts *)
+}
+
+type t = {
+  cfg : config;
+  rng : Vv_prelude.Rng.t;
+  mutable slots : slot list;  (* reversed *)
+  mutable next_speaker : Vv_sim.Types.node_id;
+}
+
+let create cfg =
+  { cfg; rng = Vv_prelude.Rng.create cfg.seed; slots = []; next_speaker = 0 }
+
+let height t = List.length t.slots
+let slots t = List.rev t.slots
+
+let committed t =
+  List.filter_map
+    (fun s -> match s.decision with Some v -> Some (s.index, v) | None -> None)
+    (slots t)
+
+(* All committed slots carried voting validity — the ledger-level safety
+   invariant callers should assert. *)
+let all_committed_valid t =
+  List.for_all
+    (fun s -> match s.decision with Some _ -> s.valid | None -> true)
+    (slots t)
+
+let rotate t = t.next_speaker <- (t.next_speaker + 1) mod t.cfg.n
+
+let max_attempts cfg =
+  match cfg.retry with
+  | No_retry -> 1
+  | Rotate_speaker k | Rotate_and_adjust (_, k) ->
+      if k < 1 then invalid_arg "Ledger: retry attempts must be >= 1" else k
+
+(* Decide one slot: run attempts under rotating speakers until one
+   terminates or the retry budget is exhausted. *)
+let decide t ~subject inputs =
+  if List.length inputs <> t.cfg.n then
+    invalid_arg "Ledger.decide: inputs must have length n";
+  let cfg = t.cfg in
+  let budget = max_attempts cfg in
+  let index = height t in
+  let rec attempt k inputs rounds_acc =
+    let speaker = t.next_speaker in
+    rotate t;
+    let outcome =
+      Runner.run
+        (Runner.spec ~byzantine:cfg.byzantine ~crash:cfg.crash
+           ~protocol:cfg.protocol ~bb:cfg.bb ~strategy:cfg.strategy
+           ~tie:cfg.tie ~seed:(Vv_prelude.Rng.bits t.rng) ~subject ~speaker
+           ~n:cfg.n ~t:cfg.t inputs)
+    in
+    let rounds_acc = rounds_acc + outcome.Runner.rounds in
+    if outcome.Runner.termination then
+      let decision =
+        match List.filter_map Fun.id outcome.Runner.outputs with
+        | v :: _ -> Some v
+        | [] -> None
+      in
+      {
+        index;
+        subject;
+        decision;
+        speaker;
+        attempts = k;
+        valid = outcome.Runner.voting_validity_tb;
+        rounds_total = rounds_acc;
+      }
+    else if k >= budget then
+      {
+        index;
+        subject;
+        decision = None;
+        speaker;
+        attempts = k;
+        valid = true;  (* nothing decided, nothing violated *)
+        rounds_total = rounds_acc;
+      }
+    else
+      let inputs =
+        match cfg.retry with
+        | Rotate_and_adjust (policy, _) ->
+            (* Adjust honest entries only; Byzantine slots are ignored by
+               the runner anyway. *)
+            Vv_core.Session.adjust ~tie:cfg.tie ~rng:t.rng policy inputs
+        | No_retry | Rotate_speaker _ -> inputs
+      in
+      attempt (k + 1) inputs rounds_acc
+  in
+  let slot = attempt 1 inputs 0 in
+  t.slots <- slot :: t.slots;
+  slot
+
+let pp_slot ppf s =
+  Fmt.pf ppf "slot %d: subject=%d %a (speaker %d, %d attempt%s, %d rounds)"
+    s.index s.subject
+    (fun ppf -> function
+      | Some v -> Fmt.pf ppf "decided %a%s" Oid.pp v
+                    (if s.valid then "" else " [INVALID]")
+      | None -> Fmt.string ppf "skipped")
+    s.decision s.speaker s.attempts
+    (if s.attempts = 1 then "" else "s")
+    s.rounds_total

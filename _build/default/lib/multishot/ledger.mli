@@ -1,0 +1,76 @@
+(** Multi-shot voting: a ledger of repeated single-shot instances (the
+    Section VIII future-work direction).
+
+    Each slot decides one subject under a rotating speaker; stalled slots
+    (Byzantine/crashed speaker, or a safety-guaranteed protocol refusing a
+    thin margin) are retried under the next speaker, optionally with the
+    Section V-B electorate adjustment between attempts. Deterministic from
+    the config seed. *)
+
+module Oid = Vv_ballot.Option_id
+
+type retry =
+  | No_retry  (** a stalled slot is recorded as skipped *)
+  | Rotate_speaker of int  (** retry under the next speaker, max attempts *)
+  | Rotate_and_adjust of Vv_core.Session.policy * int
+      (** rotate and adjust the electorate between attempts *)
+
+type config = private {
+  n : int;
+  t : int;
+  byzantine : Vv_sim.Types.node_id list;  (** persists across slots *)
+  crash : (Vv_sim.Types.node_id * int * Vv_sim.Types.node_id list) list;
+      (** nodes that crash at the given round in every attempt *)
+  protocol : Vv_core.Runner.protocol;
+  strategy : Vv_core.Strategy.t;
+  bb : Vv_bb.Bb.choice;
+  tie : Vv_ballot.Tie_break.t;
+  retry : retry;
+  seed : int;
+}
+
+val config :
+  ?byzantine:Vv_sim.Types.node_id list ->
+  ?crash:(Vv_sim.Types.node_id * int * Vv_sim.Types.node_id list) list ->
+  ?protocol:Vv_core.Runner.protocol ->
+  ?strategy:Vv_core.Strategy.t ->
+  ?bb:Vv_bb.Bb.choice ->
+  ?tie:Vv_ballot.Tie_break.t ->
+  ?retry:retry ->
+  ?seed:int ->
+  n:int ->
+  t:int ->
+  unit ->
+  config
+(** Defaults: SCT protocol (exactness never sacrificed across the ledger),
+    colluding adversary, rotate-speaker with 4 attempts. *)
+
+type slot = {
+  index : int;
+  subject : int;
+  decision : Oid.t option;  (** [None] = skipped after exhausting retries *)
+  speaker : Vv_sim.Types.node_id;  (** speaker of the deciding attempt *)
+  attempts : int;
+  valid : bool;  (** tie-break-aware voting validity of the final attempt *)
+  rounds_total : int;
+}
+
+type t
+
+val create : config -> t
+val height : t -> int
+val slots : t -> slot list
+(** In slot order. *)
+
+val committed : t -> (int * Oid.t) list
+(** (slot index, decision) for every decided slot. *)
+
+val all_committed_valid : t -> bool
+(** The ledger safety invariant: every committed slot carried voting
+    validity. *)
+
+val decide : t -> subject:int -> Oid.t list -> slot
+(** Run one slot on the given per-node inputs (length [n]; Byzantine
+    entries ignored). Appends and returns the slot. *)
+
+val pp_slot : slot Fmt.t

@@ -1,0 +1,1 @@
+lib/prelude/table.ml: Array Float Fmt List Printf String

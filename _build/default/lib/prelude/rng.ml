@@ -1,0 +1,75 @@
+(* Splitmix64: a small, fast, high-quality deterministic PRNG.  We avoid
+   [Stdlib.Random] so that every simulation in this repository is
+   reproducible bit-for-bit across OCaml versions and runs. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  (* Derive an independent stream: a fresh generator seeded from this one. *)
+  { state = next_int64 t }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then go () else v
+  in
+  go ()
+
+let float t =
+  (* 53 random bits mapped to [0, 1). *)
+  let b = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int b *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t l =
+  match l with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let sample_without_replacement t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  Array.to_list (Array.sub a 0 k)
+
+let categorical t probabilities =
+  (* Draw an index according to the given probability vector.  The vector is
+     renormalised defensively so that slightly-off inputs still sample. *)
+  let total = Array.fold_left ( +. ) 0.0 probabilities in
+  if total <= 0.0 then invalid_arg "Rng.categorical: non-positive mass";
+  let u = float t *. total in
+  let n = Array.length probabilities in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. probabilities.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

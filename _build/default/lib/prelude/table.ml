@@ -1,0 +1,87 @@
+(* Aligned plain-text tables and CSV-like series, used by the bench harness
+   to print every figure/table of the paper as rows the reader can diff. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~headers ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length headers then
+          invalid_arg "Table.create: aligns/headers length mismatch";
+        a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { title; headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let rows t = List.rev t.rows
+
+let cell_widths t =
+  let all = t.headers :: rows t in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note row =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row
+  in
+  List.iter note all;
+  widths
+
+let pad align width s =
+  let missing = width - String.length s in
+  if missing <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+
+let pp ppf t =
+  let widths = cell_widths t in
+  let line row =
+    let cells =
+      List.mapi
+        (fun i c ->
+          let a = List.nth t.aligns i in
+          pad a widths.(i) c)
+        row
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Fmt.pf ppf "== %s ==@." t.title;
+  Fmt.pf ppf "%s@." (line t.headers);
+  Fmt.pf ppf "%s@." rule;
+  List.iter (fun r -> Fmt.pf ppf "%s@." (line r)) (rows t)
+
+let print t = pp Fmt.stdout t
+
+let to_csv t =
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line t.headers :: List.map line (rows t)) ^ "\n"
+
+let fcell ?(decimals = 4) v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.*f" decimals v
+
+let icell = string_of_int
+let bcell b = if b then "yes" else "no"

@@ -1,0 +1,30 @@
+(** Aligned plain-text tables; every reproduced figure/table is printed as
+    one of these so results can be compared against the paper by eye or
+    by diffing CSV output. *)
+
+type align = Left | Right
+type t
+
+val create : title:string -> headers:string list -> ?aligns:align list -> unit -> t
+(** A table with a title and column headers. Default alignment is [Right]
+    for every column. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. Raises [Invalid_argument] if the arity differs from the
+    headers. *)
+
+val rows : t -> string list list
+(** Rows in insertion order. *)
+
+val pp : t Fmt.t
+val print : t -> unit
+
+val to_csv : t -> string
+(** RFC-4180-style CSV rendering (headers first). *)
+
+val fcell : ?decimals:int -> float -> string
+(** Format a float cell ([decimals] defaults to 4; integral values print
+    without a fractional part). *)
+
+val icell : int -> string
+val bcell : bool -> string

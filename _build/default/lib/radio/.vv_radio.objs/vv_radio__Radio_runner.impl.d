@@ -1,0 +1,1 @@
+lib/radio/radio_runner.ml: Adversary Array Config Engine Fault Hashtbl List Metrics Radio_voting Topology Types Vv_ballot Vv_sim

@@ -1,0 +1,1 @@
+lib/radio/radio_runner.mli: Radio_voting Topology Vv_ballot Vv_sim

@@ -1,0 +1,1 @@
+lib/radio/radio_voting.ml: Hashtbl List Protocol Types Vv_ballot Vv_sim

@@ -1,0 +1,1 @@
+lib/radio/radio_voting.mli: Vv_ballot Vv_sim

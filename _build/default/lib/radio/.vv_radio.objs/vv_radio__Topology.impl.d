@@ -1,0 +1,1 @@
+lib/radio/topology.ml: Array Fmt Fun List Queue Vv_prelude Vv_sim

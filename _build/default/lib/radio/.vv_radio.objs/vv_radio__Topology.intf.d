@@ -1,0 +1,1 @@
+lib/radio/topology.mli: Fmt Vv_sim

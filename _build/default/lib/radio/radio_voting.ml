@@ -1,0 +1,160 @@
+(* Multi-hop voting over a radio network (extension of Algorithm 4).
+
+   Algorithm 4 assumes every node hears every other directly.  On a
+   multi-hop topology, each phase instead disseminates by flooding:
+   messages are tagged with their origin, nodes accept the first copy per
+   (origin, kind) — preferring a copy heard directly from the origin —
+   and rebroadcast on first acceptance.  With diameter D and delay bound
+   delta, a flood launched at round r reaches every honest-connected node
+   by r + D*delta, so the propose step runs at round 2*D*delta + 1 and
+   the decide quorum is evaluated on endorsement floods thereafter.
+
+   Guarantees, and their limits (documented, exercised in tests/E12):
+   - crash faults: exact voting validity as long as the residual honest
+     graph stays connected (a partition starves the quorum and the run
+     stalls — never decides wrongly);
+   - Byzantine faults: a Byzantine *relay* cannot equivocate (local
+     broadcast) but can consistently re-originate a fake copy of a remote
+     node's vote; first-accept flooding protects only direct neighbours,
+     so beyond one hop exactness additionally requires the connectivity
+     bound of Khan-Naqvi-Vaidya [36] and their relay protocol.  On the
+     complete graph this protocol degenerates exactly to Algorithm 4. *)
+
+open Vv_sim
+module Oid = Vv_ballot.Option_id
+module Tally = Vv_ballot.Tally
+
+type payload =
+  | Subject of int
+  | Ballot of { subject : int; choice : Oid.t }
+  | Endorse of { subject : int; choice : Oid.t }
+
+type msg = Flood of { origin : Types.node_id; payload : payload }
+type output = Oid.t
+
+type input = {
+  speaker : Types.node_id;
+  subject : int;
+  preference : Oid.t;
+  diameter : int;  (** of the deployment topology (part of common setup) *)
+  tie : Vv_ballot.Tie_break.t;
+}
+
+type state = {
+  cfg : input;
+  delta : int;
+  mutable subject : int option;
+  votes : (Types.node_id, int * Oid.t) Hashtbl.t;  (* first ballot per origin *)
+  endorses : (Types.node_id, int * Oid.t) Hashtbl.t;
+  mutable voted : bool;
+  mutable proposed : bool;
+  mutable decided : Oid.t option;
+}
+
+let name = "radio-voting"
+
+let flood ~origin payload = Types.broadcast (Flood { origin; payload })
+
+let init (ctx : Protocol.ctx) cfg =
+  if cfg.diameter < 1 then invalid_arg "Radio_voting: diameter must be >= 1";
+  let delta =
+    match ctx.delta with
+    | Some d -> d
+    | None -> invalid_arg (name ^ ": requires a known delay bound")
+  in
+  let st =
+    {
+      cfg;
+      delta;
+      subject = None;
+      votes = Hashtbl.create 16;
+      endorses = Hashtbl.create 16;
+      voted = false;
+      proposed = false;
+      decided = None;
+    }
+  in
+  if ctx.me = cfg.speaker then begin
+    st.subject <- Some cfg.subject;
+    (st, [ flood ~origin:ctx.me (Subject cfg.subject) ])
+  end
+  else (st, [])
+
+(* Accept an item into the local tables; true when it is new (and should
+   therefore be relayed). *)
+let accept st ~origin payload =
+  match payload with
+  | Subject s ->
+      if origin = st.cfg.speaker && st.subject = None && s >= 0 then begin
+        st.subject <- Some s;
+        true
+      end
+      else false
+  | Ballot { subject; choice } ->
+      if not (Hashtbl.mem st.votes origin) then begin
+        Hashtbl.add st.votes origin (subject, choice);
+        true
+      end
+      else false
+  | Endorse { subject; choice } ->
+      if not (Hashtbl.mem st.endorses origin) then begin
+        Hashtbl.add st.endorses origin (subject, choice);
+        true
+      end
+      else false
+
+let tally_of table s =
+  Hashtbl.fold
+    (fun _origin (subj, choice) acc ->
+      if subj = s then Tally.add acc choice else acc)
+    table Tally.empty
+
+let step (ctx : Protocol.ctx) st ~round ~inbox =
+  let outbox = ref [] in
+  let emit e = outbox := e :: !outbox in
+  (* First-accept with direct preference: copies heard from their origin
+     are processed before relayed copies of the same round. *)
+  let direct, relayed =
+    List.partition (fun (src, Flood f) -> src = f.origin) inbox
+  in
+  let ingest (_, Flood { origin; payload }) =
+    if accept st ~origin payload then emit (flood ~origin payload)
+  in
+  List.iter ingest direct;
+  List.iter ingest relayed;
+  (* Phase 2: vote as soon as the subject is known. *)
+  (match st.subject with
+  | Some s when not st.voted ->
+      st.voted <- true;
+      let payload = Ballot { subject = s; choice = st.cfg.preference } in
+      ignore (accept st ~origin:ctx.me payload);
+      emit (flood ~origin:ctx.me payload)
+  | Some _ | None -> ());
+  (* Phase 3: propose once every honest flood has had time to settle. *)
+  let propose_round = ((2 * st.cfg.diameter) * st.delta) + 1 in
+  (match st.subject with
+  | Some s
+    when (not st.proposed) && st.decided = None && round >= propose_round ->
+      st.proposed <- true;
+      let ballot = tally_of st.votes s in
+      if Tally.total ballot >= ctx.t + 1 then begin
+        match Tally.top ~tie:st.cfg.tie ballot with
+        | Some { Tally.a; a_count; b_count; _ } when a_count > b_count ->
+            let payload = Endorse { subject = s; choice = a } in
+            ignore (accept st ~origin:ctx.me payload);
+            emit (flood ~origin:ctx.me payload)
+        | Some _ | None -> ()
+      end
+  | Some _ | None -> ());
+  (* Phase 4: decide on N - t endorsements for one choice. *)
+  (match st.subject with
+  | Some s when st.decided = None -> begin
+      let quorum = ctx.n - ctx.t in
+      match Tally.ranked ~tie:st.cfg.tie (tally_of st.endorses s) with
+      | (choice, c) :: _ when c >= quorum -> st.decided <- Some choice
+      | _ -> ()
+    end
+  | Some _ | None -> ());
+  (st, List.rev !outbox)
+
+let output st = st.decided

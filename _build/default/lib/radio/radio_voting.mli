@@ -1,0 +1,44 @@
+(** Multi-hop voting over a radio network (extension of Algorithm 4).
+
+    Each phase disseminates by origin-tagged flooding with first-accept
+    (preferring copies heard directly from the origin); the propose step
+    waits [2 * diameter * delta] rounds. Exact under crash faults while
+    the residual honest graph stays connected; under Byzantine relays the
+    one-hop protection of first-accept is the limit — beyond it the
+    connectivity bound of Khan-Naqvi-Vaidya [36] applies (see
+    {!Radio_runner.strategy} and experiment E12). Degenerates to
+    Algorithm 4 on the complete graph. Implements {!Vv_sim.Protocol.S}. *)
+
+module Oid = Vv_ballot.Option_id
+
+type payload =
+  | Subject of int
+  | Ballot of { subject : int; choice : Oid.t }
+  | Endorse of { subject : int; choice : Oid.t }
+
+type msg = Flood of { origin : Vv_sim.Types.node_id; payload : payload }
+type output = Oid.t
+
+type input = {
+  speaker : Vv_sim.Types.node_id;
+  subject : int;
+  preference : Oid.t;
+  diameter : int;  (** of the deployment topology (common setup data) *)
+  tie : Vv_ballot.Tie_break.t;
+}
+
+type state
+
+val name : string
+
+val init :
+  Vv_sim.Protocol.ctx -> input -> state * msg Vv_sim.Types.envelope list
+
+val step :
+  Vv_sim.Protocol.ctx ->
+  state ->
+  round:int ->
+  inbox:(Vv_sim.Types.node_id * msg) list ->
+  state * msg Vv_sim.Types.envelope list
+
+val output : state -> output option

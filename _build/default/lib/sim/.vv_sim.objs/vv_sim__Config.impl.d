@@ -1,0 +1,1 @@
+lib/sim/config.ml: Array Delay Fault Fmt Fun List Option Types

@@ -1,0 +1,1 @@
+lib/sim/delay.ml: Fmt Types Vv_prelude

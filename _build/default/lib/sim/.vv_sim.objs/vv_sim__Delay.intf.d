@@ -1,0 +1,1 @@
+lib/sim/delay.mli: Fmt Types Vv_prelude

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary Array Config Delay Fault Fmt Hashtbl List Logs Metrics Protocol Types Vv_prelude

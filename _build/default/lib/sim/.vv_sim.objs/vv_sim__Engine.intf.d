@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Adversary Config Logs Metrics Protocol Types

@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Fmt List Types

@@ -1,0 +1,1 @@
+lib/sim/fault.mli: Fmt Types

@@ -1,0 +1,1 @@
+lib/sim/protocol.ml: Types Vv_prelude

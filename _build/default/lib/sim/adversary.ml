@@ -1,0 +1,55 @@
+(* The strong adversary of Section III-B1.
+
+   The adversary is full-information and rushing: each round it observes
+   every message honest (and crashing) nodes send in that round *before*
+   choosing the Byzantine nodes' messages, and it controls all Byzantine
+   nodes jointly (collusion).  Under point-to-point it may send different
+   messages to different recipients (the paper's k -i-> A notation); the
+   engine rejects that under the local broadcast model. *)
+
+type 'msg view = {
+  round : int;
+  honest_sent : 'msg Types.delivery list;
+      (** messages actually sent by non-Byzantine nodes this round, after
+          crash filtering — what a rushing adversary can observe *)
+  byz_inbox : (Types.node_id * (Types.node_id * 'msg) list) list;
+      (** per Byzantine node: messages it received this round *)
+  byzantine : Types.node_id list;
+  n : int;
+  reach : Types.node_id -> Types.node_id list;
+      (** broadcast recipients of a node: its neighbourhood plus itself
+          (all nodes under the complete graph) *)
+}
+
+type 'msg t = { name : string; act : 'msg view -> 'msg delivery_plan list }
+
+and 'msg delivery_plan = {
+  src : Types.node_id;  (** must be Byzantine *)
+  dst : Types.node_id;
+  msg : 'msg;
+}
+
+let passive = { name = "passive"; act = (fun _ -> []) }
+
+let named name act = { name; act }
+
+(* Broadcast [msg] from every Byzantine node to its whole neighbourhood,
+   each round that [when_round] accepts.  Legal under both communication
+   models and any topology. *)
+let broadcast_each_round ~name ~when_round msg_of =
+  let act view =
+    if not (when_round view.round) then []
+    else
+      List.concat_map
+        (fun src ->
+          match msg_of ~src view with
+          | None -> []
+          | Some msg ->
+              List.map (fun dst -> { src; dst; msg }) (view.reach src))
+        view.byzantine
+  in
+  { name; act }
+
+(* Compose: run both adversaries and concatenate their plans. *)
+let combine name a b =
+  { name; act = (fun view -> a.act view @ b.act view) }

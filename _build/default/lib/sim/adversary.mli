@@ -1,0 +1,43 @@
+(** The strong, full-information, rushing adversary of Section III-B1.
+
+    Controls all Byzantine nodes jointly; observes everything honest nodes
+    send in the current round before choosing its own messages; may
+    equivocate per-recipient under point-to-point (the engine enforces
+    identical messages under local broadcast). *)
+
+type 'msg view = {
+  round : int;
+  honest_sent : 'msg Types.delivery list;
+      (** what non-Byzantine nodes actually sent this round *)
+  byz_inbox : (Types.node_id * (Types.node_id * 'msg) list) list;
+      (** per Byzantine node: this round's received messages *)
+  byzantine : Types.node_id list;
+  n : int;
+  reach : Types.node_id -> Types.node_id list;
+      (** broadcast recipients of a node: its neighbourhood plus itself *)
+}
+
+type 'msg t = { name : string; act : 'msg view -> 'msg delivery_plan list }
+
+and 'msg delivery_plan = {
+  src : Types.node_id;  (** must be Byzantine; the engine validates *)
+  dst : Types.node_id;
+  msg : 'msg;
+}
+
+val passive : 'msg t
+(** Byzantine nodes stay silent. *)
+
+val named : string -> ('msg view -> 'msg delivery_plan list) -> 'msg t
+
+val broadcast_each_round :
+  name:string ->
+  when_round:(int -> bool) ->
+  (src:Types.node_id -> 'msg view -> 'msg option) ->
+  'msg t
+(** Every Byzantine node broadcasts the produced message to its whole
+    neighbourhood in accepted rounds; legal under both communication
+    models and any topology. *)
+
+val combine : string -> 'msg t -> 'msg t -> 'msg t
+(** Union of both adversaries' plans. *)

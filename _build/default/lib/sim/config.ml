@@ -1,0 +1,105 @@
+(* Static description of one simulated distributed system: size, declared
+   tolerance t, the actual fault plan of every node, the communication
+   model, and the delay model. *)
+
+type t = {
+  n : int;
+  t_max : int;  (** the tolerance t, known to every node *)
+  faults : Fault.t array;  (** length n; which nodes actually misbehave *)
+  comm : Types.comm_model;
+  delay : Delay.t;
+  max_rounds : int;
+  seed : int;
+  topology : Types.node_id list array option;
+      (** adjacency lists (undirected, no self-loops); [None] = complete
+          graph.  A broadcast reaches the sender's neighbours (plus the
+          sender itself); under [Local_broadcast] the radio constraint is
+          enforced per neighbourhood. *)
+}
+
+let validate_topology ~n adj =
+  if Array.length adj <> n then
+    invalid_arg "Config.make: topology must have length n";
+  Array.iteri
+    (fun u neighbours ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg "Config.make: topology neighbour out of range";
+          if v = u then invalid_arg "Config.make: topology self-loop";
+          if not (List.mem u adj.(v)) then
+            invalid_arg "Config.make: topology must be symmetric")
+        neighbours;
+      if List.length (List.sort_uniq compare neighbours) <> List.length neighbours
+      then invalid_arg "Config.make: duplicate topology neighbour")
+    adj
+
+let make ?faults ?(comm = Types.Point_to_point) ?(delay = Delay.Synchronous)
+    ?(max_rounds = 200) ?(seed = 0x5eed) ?topology ~n ~t_max () =
+  if n <= 0 then invalid_arg "Config.make: n must be positive";
+  if t_max < 0 then invalid_arg "Config.make: t must be non-negative";
+  Delay.validate delay;
+  Option.iter (validate_topology ~n) topology;
+  let faults =
+    match faults with
+    | None -> Array.make n Fault.Honest
+    | Some f ->
+        if Array.length f <> n then
+          invalid_arg "Config.make: faults array must have length n";
+        Array.copy f
+  in
+  Array.iter
+    (function
+      | Fault.Crash { at_round; deliver_to } ->
+          if at_round < 0 then invalid_arg "Config.make: negative crash round";
+          List.iter
+            (fun d ->
+              if d < 0 || d >= n then
+                invalid_arg "Config.make: crash deliver_to out of range")
+            deliver_to
+      | Fault.Honest | Fault.Byzantine -> ())
+    faults;
+  { n; t_max; faults; comm; delay; max_rounds; seed;
+    topology = Option.map Array.copy topology }
+
+(* Recipients of a broadcast from [src]: its neighbourhood plus itself. *)
+let reach cfg src =
+  match cfg.topology with
+  | None -> List.init cfg.n Fun.id
+  | Some adj -> List.sort compare (src :: adj.(src))
+
+let ids_where cfg pred =
+  let acc = ref [] in
+  for i = cfg.n - 1 downto 0 do
+    if pred cfg.faults.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let honest_ids cfg = ids_where cfg Fault.is_honest
+let byzantine_ids cfg = ids_where cfg Fault.is_byzantine
+
+let crash_ids cfg =
+  ids_where cfg (function Fault.Crash _ -> true | _ -> false)
+
+let faulty_count cfg = cfg.n - List.length (honest_ids cfg)
+
+let fault_of cfg id =
+  if id < 0 || id >= cfg.n then invalid_arg "Config.fault_of: id out of range";
+  cfg.faults.(id)
+
+let within_tolerance cfg = faulty_count cfg <= cfg.t_max
+
+(* Convenience: mark the given nodes Byzantine, all others honest. *)
+let with_byzantine ?comm ?delay ?max_rounds ?seed ?topology ~n ~t_max byz () =
+  let faults = Array.make n Fault.Honest in
+  List.iter
+    (fun id ->
+      if id < 0 || id >= n then
+        invalid_arg "Config.with_byzantine: id out of range";
+      faults.(id) <- Fault.Byzantine)
+    byz;
+  make ~faults ?comm ?delay ?max_rounds ?seed ?topology ~n ~t_max ()
+
+let pp ppf cfg =
+  Fmt.pf ppf "n=%d t=%d faulty=%d comm=%a delay=%a" cfg.n cfg.t_max
+    (faulty_count cfg) Types.pp_comm_model cfg.comm Delay.pp cfg.delay

@@ -1,0 +1,61 @@
+(** Static description of one simulated system run. *)
+
+type t = private {
+  n : int;  (** total number of nodes (the paper's N) *)
+  t_max : int;  (** declared tolerance t, known to all nodes *)
+  faults : Fault.t array;  (** actual per-node fault plans (defines f) *)
+  comm : Types.comm_model;
+  delay : Delay.t;
+  max_rounds : int;  (** engine cut-off; a stall is reported, not an error *)
+  seed : int;
+  topology : Types.node_id list array option;
+      (** undirected adjacency; [None] = complete graph. A broadcast
+          reaches the sender's neighbourhood (plus itself); the radio
+          constraint of [Local_broadcast] is enforced per neighbourhood. *)
+}
+
+val make :
+  ?faults:Fault.t array ->
+  ?comm:Types.comm_model ->
+  ?delay:Delay.t ->
+  ?max_rounds:int ->
+  ?seed:int ->
+  ?topology:Types.node_id list array ->
+  n:int ->
+  t_max:int ->
+  unit ->
+  t
+(** Validates sizes, crash plans and topology (length [n], symmetric, no
+    self-loops or duplicates). Defaults: all honest, point-to-point,
+    synchronous delay, 200 rounds, fixed seed, complete graph. *)
+
+val reach : t -> Types.node_id -> Types.node_id list
+(** Recipients of a broadcast from the node: its neighbourhood plus
+    itself (every node under the complete graph), ascending. *)
+
+val honest_ids : t -> Types.node_id list
+val byzantine_ids : t -> Types.node_id list
+val crash_ids : t -> Types.node_id list
+
+val faulty_count : t -> int
+(** The actual number of faulty nodes f (Byzantine + crash). *)
+
+val fault_of : t -> Types.node_id -> Fault.t
+
+val within_tolerance : t -> bool
+(** [f <= t]. *)
+
+val with_byzantine :
+  ?comm:Types.comm_model ->
+  ?delay:Delay.t ->
+  ?max_rounds:int ->
+  ?seed:int ->
+  ?topology:Types.node_id list array ->
+  n:int ->
+  t_max:int ->
+  Types.node_id list ->
+  unit ->
+  t
+(** All nodes honest except the listed Byzantine ones. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,58 @@
+(* Message delay models.
+
+   A message sent in round r is delivered at the start of round
+   r + delay, with delay >= 1.  [Synchronous] is the paper's lock-step
+   model; [Uniform] provides the staggered arrivals that make the
+   incremental-threshold protocol (Algorithm 3) interesting and models a
+   partially synchronous network with unknown-but-bounded delay. *)
+
+type schedule = round:int -> src:Types.node_id -> dst:Types.node_id -> int
+
+type t =
+  | Synchronous
+  | Fixed of int
+  | Uniform of { lo : int; hi : int }
+  | Per_message of schedule
+  | Adversarial of { bound : int; schedule : schedule }
+      (** a schedule that must respect a declared bound delta_t — the
+          strong adversary's message-delaying power under synchrony *)
+
+let validate = function
+  | Synchronous -> ()
+  | Fixed d -> if d < 1 then invalid_arg "Delay.Fixed: delay must be >= 1"
+  | Uniform { lo; hi } ->
+      if lo < 1 || hi < lo then invalid_arg "Delay.Uniform: need 1 <= lo <= hi"
+  | Per_message _ -> ()
+  | Adversarial { bound; _ } ->
+      if bound < 1 then invalid_arg "Delay.Adversarial: bound must be >= 1"
+
+(* The known delay upper bound delta_t (in rounds) honest protocols may rely
+   on under synchrony; [None] for unbounded user-supplied models. *)
+let bound = function
+  | Synchronous -> Some 1
+  | Fixed d -> Some d
+  | Uniform { hi; _ } -> Some hi
+  | Per_message _ -> None
+  | Adversarial { bound; _ } -> Some bound
+
+let resolve t rng ~round ~src ~dst =
+  match t with
+  | Synchronous -> 1
+  | Fixed d -> d
+  | Uniform { lo; hi } -> lo + Vv_prelude.Rng.int rng (hi - lo + 1)
+  | Per_message f ->
+      let d = f ~round ~src ~dst in
+      if d < 1 then invalid_arg "Delay.Per_message: delay must be >= 1";
+      d
+  | Adversarial { bound; schedule } ->
+      let d = schedule ~round ~src ~dst in
+      if d < 1 || d > bound then
+        invalid_arg "Delay.Adversarial: schedule exceeded its declared bound";
+      d
+
+let pp ppf = function
+  | Synchronous -> Fmt.string ppf "synchronous"
+  | Fixed d -> Fmt.pf ppf "fixed:%d" d
+  | Uniform { lo; hi } -> Fmt.pf ppf "uniform:%d..%d" lo hi
+  | Per_message _ -> Fmt.string ppf "per-message"
+  | Adversarial { bound; _ } -> Fmt.pf ppf "adversarial<=%d" bound

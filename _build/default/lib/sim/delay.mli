@@ -1,0 +1,30 @@
+(** Message delay models.
+
+    A message sent in round [r] arrives at the start of round [r + delay]
+    with [delay >= 1]. [Synchronous] is the paper's lock-step model;
+    [Uniform] staggers arrivals for the incremental-threshold protocol
+    (Algorithm 3) and models partial synchrony. *)
+
+type schedule = round:int -> src:Types.node_id -> dst:Types.node_id -> int
+
+type t =
+  | Synchronous  (** every message arrives the next round *)
+  | Fixed of int
+  | Uniform of { lo : int; hi : int }
+  | Per_message of schedule  (** unbounded user-supplied model *)
+  | Adversarial of { bound : int; schedule : schedule }
+      (** an adversary-chosen schedule under a declared bound [delta_t] —
+          the strong adversary's message-delaying power; [resolve] raises
+          when the schedule breaks its own bound *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on delays below 1 or inverted bounds. *)
+
+val bound : t -> int option
+(** The delay upper bound (the paper's [delta_t], in rounds) honest nodes
+    may rely on; [None] for [Per_message]. *)
+
+val resolve :
+  t -> Vv_prelude.Rng.t -> round:int -> src:Types.node_id -> dst:Types.node_id -> int
+
+val pp : t Fmt.t

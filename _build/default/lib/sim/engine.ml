@@ -1,0 +1,246 @@
+(* Deterministic round-based execution engine.
+
+   Round structure (per round r >= 0):
+     1. deliver all messages scheduled for r, forming each node's inbox;
+     2. step every honest and not-yet-crashed node in id order (round 0 is
+        [P.init]);
+     3. expand envelopes to per-recipient deliveries and apply the crash
+        filter (mid-broadcast crashes deliver to a subset, Lemma 4);
+     4. let the rushing adversary observe step 3's messages and inject the
+        Byzantine nodes' messages, validated against the communication
+        model (Property 6 relies on that validation);
+     5. assign each delivery a delay and schedule it.
+
+   Execution stops the round every honest node has decided, or at
+   [max_rounds] (reported as a stall, which is an admissible outcome for
+   safety-guaranteed protocols, Definition V.1). *)
+
+exception Invalid_adversary of string
+
+(* Round-level tracing: enable with `Logs.Src.set_level Engine.log_src
+   (Some Logs.Debug)` (the vvc CLI exposes this as --trace). *)
+let log_src = Logs.Src.create "vv.engine" ~doc:"simulation engine rounds"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Make (P : Protocol.S) = struct
+  type result = {
+    config : Config.t;
+    outputs : P.output option array;  (** indexed by node id; Byzantine slots stay [None] *)
+    decision_round : int option array;
+    rounds_used : int;
+    metrics : Metrics.t;
+    stalled : bool;  (** hit [max_rounds] with undecided honest nodes *)
+  }
+
+  let honest_outputs res =
+    List.map (fun id -> res.outputs.(id)) (Config.honest_ids res.config)
+
+  (* Validate one round of adversary output against the fault plan and the
+     communication model. *)
+  let validate_adversary (cfg : Config.t) (plans : P.msg Adversary.delivery_plan list) =
+    let module A = Adversary in
+    List.iter
+      (fun (p : P.msg A.delivery_plan) ->
+        if not (Fault.is_byzantine (Config.fault_of cfg p.A.src)) then
+          raise
+            (Invalid_adversary
+               (Fmt.str "adversary sent from non-Byzantine node %d" p.A.src));
+        if p.A.dst < 0 || p.A.dst >= cfg.n then
+          raise (Invalid_adversary "adversary destination out of range"))
+      plans;
+    match cfg.comm with
+    | Types.Point_to_point -> ()
+    | Types.Local_broadcast ->
+        (* Each Byzantine sender must send one identical message to its
+           whole neighbourhood, or nothing at all. *)
+        let by_src = Hashtbl.create 8 in
+        List.iter
+          (fun (p : P.msg Adversary.delivery_plan) ->
+            let cur =
+              match Hashtbl.find_opt by_src p.Adversary.src with
+              | None -> []
+              | Some l -> l
+            in
+            Hashtbl.replace by_src p.Adversary.src ((p.Adversary.dst, p.Adversary.msg) :: cur))
+          plans;
+        Hashtbl.iter
+          (fun src sends ->
+            let msgs = List.map snd sends in
+            (match msgs with
+            | [] -> ()
+            | m :: rest ->
+                if not (List.for_all (fun m' -> m' = m) rest) then
+                  raise
+                    (Invalid_adversary
+                       (Fmt.str
+                          "node %d equivocated under local broadcast" src)));
+            let dsts = List.sort_uniq compare (List.map fst sends) in
+            if dsts <> Config.reach cfg src then
+              raise
+                (Invalid_adversary
+                   (Fmt.str
+                      "node %d broadcast did not reach its whole \
+                       neighbourhood under local broadcast"
+                      src)))
+          by_src
+
+  let expand_envelopes cfg ~round ~src envelopes =
+    (* Honest nodes under local broadcast may only broadcast. *)
+    let expand (e : P.msg Types.envelope) =
+      match (e.Types.dest, cfg.Config.comm) with
+      | Types.Unicast _, Types.Local_broadcast ->
+          invalid_arg
+            (Fmt.str "%s: node %d attempted unicast under local broadcast"
+               P.name src)
+      | Types.Unicast dst, Types.Point_to_point ->
+          if not (List.mem dst (Config.reach cfg src)) then
+            invalid_arg
+              (Fmt.str "%s: node %d unicast to non-neighbour %d" P.name src dst);
+          [ { Types.src; dst; msg = e.Types.payload } ]
+      | Types.Broadcast, _ ->
+          List.map
+            (fun dst -> { Types.src; dst; msg = e.Types.payload })
+            (Config.reach cfg src)
+    in
+    let deliveries = List.concat_map expand envelopes in
+    (* Crash filter: a node crashing this round reaches only its chosen
+       subset; afterwards it is silent (the engine stops stepping it). *)
+    let plan = Config.fault_of cfg src in
+    List.filter (fun (d : P.msg Types.delivery) ->
+        Fault.delivers plan ~round ~dst:d.Types.dst)
+      deliveries
+
+  let run (cfg : Config.t) ~inputs ?(adversary = Adversary.passive) () =
+    let n = cfg.Config.n in
+    let master = Vv_prelude.Rng.create cfg.Config.seed in
+    let node_rngs = Array.init n (fun _ -> Vv_prelude.Rng.split master) in
+    let delay_rng = Vv_prelude.Rng.split master in
+    let delta = Delay.bound cfg.Config.delay in
+    let ctx_of id =
+      {
+        Protocol.n;
+        t = cfg.Config.t_max;
+        me = id;
+        comm = cfg.Config.comm;
+        delta;
+        rng = node_rngs.(id);
+      }
+    in
+    let metrics = Metrics.create () in
+    let states : P.state option array = Array.make n None in
+    let outputs : P.output option array = Array.make n None in
+    let decision_round : int option array = Array.make n None in
+    (* Messages scheduled for future rounds. *)
+    let pending : (int, P.msg Types.delivery list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let schedule ~round (d : P.msg Types.delivery) =
+      let arrival =
+        round + Delay.resolve cfg.Config.delay delay_rng ~round ~src:d.Types.src
+                  ~dst:d.Types.dst
+      in
+      let cur =
+        match Hashtbl.find_opt pending arrival with None -> [] | Some l -> l
+      in
+      Hashtbl.replace pending arrival (d :: cur)
+    in
+    let inbox_at round =
+      match Hashtbl.find_opt pending round with
+      | None -> [||]
+      | Some l ->
+          Hashtbl.remove pending round;
+          (* Stable per-recipient inboxes ordered by (sender, send order). *)
+          let boxes = Array.make n [] in
+          List.iter
+            (fun (d : P.msg Types.delivery) ->
+              boxes.(d.Types.dst) <- (d.Types.src, d.Types.msg) :: boxes.(d.Types.dst))
+            l;
+          Array.map
+            (List.stable_sort (fun (a, _) (b, _) -> compare a b))
+            boxes
+    in
+    let steps_node id = Fault.is_honest (Config.fault_of cfg id)
+                        || (match Config.fault_of cfg id with
+                            | Fault.Crash _ -> true
+                            | Fault.Honest | Fault.Byzantine -> false)
+    in
+    let honest = Config.honest_ids cfg in
+    let byzantine = Config.byzantine_ids cfg in
+    let all_honest_decided () =
+      List.for_all (fun id -> outputs.(id) <> None) honest
+    in
+    let rounds_used = ref 0 in
+    let stalled = ref false in
+    (try
+       for round = 0 to cfg.Config.max_rounds do
+         rounds_used := round;
+         let boxes = inbox_at round in
+         let honest_sent = ref [] in
+         (* Step honest and not-yet-crashed nodes in id order. *)
+         for id = 0 to n - 1 do
+           let plan = Config.fault_of cfg id in
+           if steps_node id && not (Fault.is_crashed plan ~round) then begin
+             let inbox = if Array.length boxes = 0 then [] else boxes.(id) in
+             let state', envelopes =
+               if round = 0 then P.init (ctx_of id) (inputs id)
+               else
+                 match states.(id) with
+                 | None -> assert false
+                 | Some s -> P.step (ctx_of id) s ~round ~inbox
+             in
+             states.(id) <- Some state';
+             (match P.output state' with
+             | Some _ as out when outputs.(id) = None ->
+                 outputs.(id) <- out;
+                 decision_round.(id) <- Some round;
+                 Log.debug (fun m ->
+                     m "%s: node %d decided at round %d" P.name id round)
+             | _ -> ());
+             let deliveries = expand_envelopes cfg ~round ~src:id envelopes in
+             metrics.Metrics.honest_messages <-
+               metrics.Metrics.honest_messages + List.length deliveries;
+             honest_sent := List.rev_append deliveries !honest_sent
+           end
+         done;
+         let honest_sent = List.rev !honest_sent in
+         (* Rushing adversary: observes this round's honest messages. *)
+         let byz_inbox =
+           List.map
+             (fun id ->
+               ( id,
+                 if Array.length boxes = 0 then [] else boxes.(id) ))
+             byzantine
+         in
+         let view =
+           { Adversary.round; honest_sent; byz_inbox; byzantine; n;
+             reach = Config.reach cfg }
+         in
+         let plans = adversary.Adversary.act view in
+         validate_adversary cfg plans;
+         metrics.Metrics.byzantine_messages <-
+           metrics.Metrics.byzantine_messages + List.length plans;
+         List.iter
+           (fun (p : P.msg Adversary.delivery_plan) ->
+             schedule ~round
+               { Types.src = p.Adversary.src; dst = p.Adversary.dst; msg = p.Adversary.msg })
+           plans;
+         List.iter (fun d -> schedule ~round d) honest_sent;
+         Log.debug (fun m ->
+             m "%s: round %d sent honest=%d byzantine=%d (%s)" P.name round
+               (List.length honest_sent) (List.length plans)
+               adversary.Adversary.name);
+         metrics.Metrics.rounds <- round + 1;
+         if all_honest_decided () then raise Exit
+       done;
+       stalled := not (all_honest_decided ())
+     with Exit -> ());
+    {
+      config = cfg;
+      outputs;
+      decision_round;
+      rounds_used = !rounds_used;
+      metrics;
+      stalled = !stalled;
+    }
+end

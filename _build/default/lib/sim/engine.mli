@@ -1,0 +1,42 @@
+(** Deterministic round-based execution engine.
+
+    Executes a {!Protocol.S} state machine on every honest (and
+    not-yet-crashed) node, delivers messages according to the configured
+    delay model, applies the crash filter of {!Fault}, and hands a rushing
+    full-information adversary this round's honest traffic before letting it
+    inject Byzantine messages. The engine validates adversary output against
+    the communication model: equivocation or partial broadcast under
+    {!Types.Local_broadcast} raises {!Invalid_adversary} (this is the
+    restriction behind Property 6). *)
+
+exception Invalid_adversary of string
+
+val log_src : Logs.src
+(** Round-level tracing source ("vv.engine"); set its level to [Debug] to
+    watch sends and decisions per round. *)
+
+module Make (P : Protocol.S) : sig
+  type result = {
+    config : Config.t;
+    outputs : P.output option array;
+        (** indexed by node id; Byzantine slots stay [None] *)
+    decision_round : int option array;
+    rounds_used : int;
+    metrics : Metrics.t;
+    stalled : bool;
+        (** true when [max_rounds] elapsed with undecided honest nodes — an
+            admissible outcome for safety-guaranteed protocols (Def. V.1) *)
+  }
+
+  val honest_outputs : result -> P.output option list
+  (** Outputs of the honest nodes, in node-id order. *)
+
+  val run :
+    Config.t ->
+    inputs:(Types.node_id -> P.input) ->
+    ?adversary:P.msg Adversary.t ->
+    unit ->
+    result
+  (** Runs to decision or [max_rounds]. [inputs] is consulted for honest and
+      crash-faulty nodes (Byzantine inputs are the adversary's business). *)
+end

@@ -1,0 +1,35 @@
+(* Fault plans for individual nodes (Section III-B1).
+
+   A crash-faulty node runs the honest protocol until its crash round; in
+   the crash round its outgoing messages reach only an adversary-chosen
+   subset of recipients, after which it is silent forever.  This realises
+   the mid-broadcast crash used in the proof of Lemma 4 (X_i <> X_G). *)
+
+type t =
+  | Honest
+  | Byzantine
+  | Crash of { at_round : int; deliver_to : Types.node_id list }
+
+let is_byzantine = function Byzantine -> true | Honest | Crash _ -> false
+let is_honest = function Honest -> true | Byzantine | Crash _ -> false
+
+let is_crashed plan ~round =
+  match plan with
+  | Honest | Byzantine -> false
+  | Crash { at_round; _ } -> round > at_round
+
+(* Whether a message sent at [round] from a node with this plan reaches
+   [dst]. *)
+let delivers plan ~round ~dst =
+  match plan with
+  | Honest | Byzantine -> true
+  | Crash { at_round; deliver_to } ->
+      if round < at_round then true
+      else if round > at_round then false
+      else List.mem dst deliver_to
+
+let pp ppf = function
+  | Honest -> Fmt.string ppf "honest"
+  | Byzantine -> Fmt.string ppf "byzantine"
+  | Crash { at_round; deliver_to } ->
+      Fmt.pf ppf "crash@r%d(->%d nodes)" at_round (List.length deliver_to)

@@ -1,0 +1,21 @@
+(** Per-node fault plans (Section III-B1).
+
+    Crash-faulty nodes run the honest protocol until their crash round, then
+    deliver that round's messages only to a chosen subset and fall silent —
+    the mid-broadcast crash behind Lemma 4's [X_i <> X_G]. *)
+
+type t =
+  | Honest
+  | Byzantine
+  | Crash of { at_round : int; deliver_to : Types.node_id list }
+
+val is_byzantine : t -> bool
+val is_honest : t -> bool
+
+val is_crashed : t -> round:int -> bool
+(** True strictly after the crash round. *)
+
+val delivers : t -> round:int -> dst:Types.node_id -> bool
+(** Whether a message sent in [round] reaches [dst] under this plan. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,15 @@
+(* Message and round accounting for the complexity experiments (E9). *)
+
+type t = {
+  mutable honest_messages : int;
+  mutable byzantine_messages : int;
+  mutable rounds : int;
+}
+
+let create () = { honest_messages = 0; byzantine_messages = 0; rounds = 0 }
+
+let total t = t.honest_messages + t.byzantine_messages
+
+let pp ppf t =
+  Fmt.pf ppf "rounds=%d msgs(honest=%d byz=%d)" t.rounds t.honest_messages
+    t.byzantine_messages

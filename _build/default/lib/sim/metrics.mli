@@ -1,0 +1,11 @@
+(** Message and round accounting (experiment E9). *)
+
+type t = {
+  mutable honest_messages : int;
+  mutable byzantine_messages : int;
+  mutable rounds : int;
+}
+
+val create : unit -> t
+val total : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,43 @@
+(* Protocols are round-based state machines executed by Engine.
+
+   Each honest (and, until its crash round, each crash-faulty) node holds a
+   [state]; every round the engine delivers the node's inbox and asks for
+   the next state plus outgoing envelopes.  Nodes know N and t but never f
+   or the fault plan, matching Section III-A. *)
+
+type ctx = {
+  n : int;
+  t : int;
+  me : Types.node_id;
+  comm : Types.comm_model;
+  delta : int option;
+      (** known delay bound in rounds (the paper's delta_t) when the network
+          is synchronous; [None] under unbounded/unknown delay *)
+  rng : Vv_prelude.Rng.t;  (** node-private deterministic randomness *)
+}
+
+module type S = sig
+  type input
+  type state
+  type msg
+  type output
+
+  val name : string
+
+  val init : ctx -> input -> state * msg Types.envelope list
+  (** Initial state and round-0 messages. *)
+
+  val step :
+    ctx ->
+    state ->
+    round:int ->
+    inbox:(Types.node_id * msg) list ->
+    state * msg Types.envelope list
+  (** One round transition. [round] counts from 1 (round 0 is [init]);
+      [inbox] lists the messages arriving at the start of this round in
+      deterministic (sender id, send order) order. *)
+
+  val output : state -> output option
+  (** The node's decision, once made. Must be stable: once [Some v], the
+      protocol must never change it. *)
+end

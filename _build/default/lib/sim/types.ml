@@ -1,0 +1,23 @@
+(* Shared vocabulary of the simulator. *)
+
+type node_id = int
+
+(* Section III-B3: point-to-point lets a Byzantine node send different
+   messages to different nodes; under the local broadcast model every
+   message is received identically by all neighbours (complete graph). *)
+type comm_model = Point_to_point | Local_broadcast
+
+let pp_comm_model ppf = function
+  | Point_to_point -> Fmt.string ppf "point-to-point"
+  | Local_broadcast -> Fmt.string ppf "local-broadcast"
+
+type dest = Unicast of node_id | Broadcast
+
+(* An addressed message as produced by a protocol step. *)
+type 'msg envelope = { dest : dest; payload : 'msg }
+
+(* A concrete src -> dst message in flight. *)
+type 'msg delivery = { src : node_id; dst : node_id; msg : 'msg }
+
+let unicast dst payload = { dest = Unicast dst; payload }
+let broadcast payload = { dest = Broadcast; payload }

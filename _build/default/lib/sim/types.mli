@@ -1,0 +1,24 @@
+(** Shared simulator vocabulary: node identities, communication models and
+    message addressing. *)
+
+type node_id = int
+
+type comm_model =
+  | Point_to_point
+      (** a Byzantine node may send different messages to different nodes *)
+  | Local_broadcast
+      (** every message is received identically by all nodes (Section
+          III-B3, complete graph) *)
+
+val pp_comm_model : comm_model Fmt.t
+
+type dest = Unicast of node_id | Broadcast
+
+type 'msg envelope = { dest : dest; payload : 'msg }
+(** An addressed message produced by a protocol step. *)
+
+type 'msg delivery = { src : node_id; dst : node_id; msg : 'msg }
+(** A concrete point-to-point message in flight. *)
+
+val unicast : node_id -> 'msg -> 'msg envelope
+val broadcast : 'msg -> 'msg envelope

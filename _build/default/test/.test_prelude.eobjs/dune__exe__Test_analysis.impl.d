@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Fmt List Vv_analysis Vv_ballot Vv_core Vv_prelude

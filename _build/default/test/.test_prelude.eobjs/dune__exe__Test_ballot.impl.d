@@ -1,0 +1,1 @@
+test/test_ballot.ml: Alcotest Dump Fmt List Option_id QCheck QCheck_alcotest Tally Tie_break Validity Vv_ballot Weighted

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Config Dump Fault Fmt Fun List QCheck QCheck_alcotest Vv_analysis Vv_baselines Vv_sim

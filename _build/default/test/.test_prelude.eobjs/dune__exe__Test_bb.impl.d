@@ -1,0 +1,1 @@
+test/test_bb.ml: Adversary Alcotest Array Config Delay Engine Fault Fmt List Option Vv_bb Vv_sim

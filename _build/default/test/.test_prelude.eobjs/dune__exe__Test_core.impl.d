@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Dump Fmt Fun List QCheck QCheck_alcotest Vv_analysis Vv_ballot Vv_bb Vv_core Vv_prelude Vv_sim

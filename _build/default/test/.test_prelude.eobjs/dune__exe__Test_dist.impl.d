@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dump Fmt List QCheck QCheck_alcotest Vv_ballot Vv_dist Vv_prelude

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Dump Fmt List Option QCheck QCheck_alcotest Vv_ballot Vv_bb Vv_core Vv_prelude Vv_sim

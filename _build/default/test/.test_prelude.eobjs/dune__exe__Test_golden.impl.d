@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Float List Vv_analysis Vv_ballot Vv_core Vv_dist Vv_prelude

@@ -1,0 +1,1 @@
+test/test_multishot.ml: Alcotest List Option Vv_ballot Vv_core Vv_multishot

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Fun Gen List QCheck QCheck_alcotest String Vv_prelude

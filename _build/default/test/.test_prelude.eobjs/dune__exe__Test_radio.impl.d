@@ -1,0 +1,1 @@
+test/test_radio.ml: Alcotest List QCheck QCheck_alcotest Vv_ballot Vv_radio

@@ -1,0 +1,1 @@
+test/test_sim.ml: Adversary Alcotest Config Delay Engine Fault List Metrics Protocol Types Vv_sim

@@ -1,0 +1,601 @@
+(* Tests of the paper's protocols: bounds arithmetic, Algorithm 1 (BFT),
+   Algorithm 2 (safety-guaranteed), Algorithm 3 (incremental threshold),
+   Algorithm 4 (local broadcast), the CFT variant, and the theorem-level
+   properties under adversarial strategies. *)
+
+module Oid = Vv_ballot.Option_id
+module Bounds = Vv_core.Bounds
+module Runner = Vv_core.Runner
+module Strategy = Vv_core.Strategy
+
+let o = Oid.of_int
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let opt_testable = Alcotest.testable Oid.pp Oid.equal
+let check_out = check (Alcotest.list (Alcotest.option opt_testable))
+
+(* --- bounds --- *)
+
+let test_bounds_arithmetic () =
+  (* Section IV example numbers: B_G = 2, C_G = 2 from {0,0,0,1,1,2,3}. *)
+  check_int "validity bound" 12 (Bounds.validity_bound ~t:3 ~bg:2 ~cg:2);
+  check_int "bft bound" 12 (Bounds.bft_bound ~t:3 ~bg:2 ~cg:2);
+  check_int "bft bound 3t binds" 9 (Bounds.bft_bound ~t:3 ~bg:0 ~cg:0);
+  check_int "cft bound" 6 (Bounds.cft_bound ~t:3 ~bg:0 ~cg:0);
+  check_int "sct bound" 13 (Bounds.sct_bound ~t:3 ~bg:1 ~cg:2);
+  check_bool "satisfied" true (Bounds.satisfied Bounds.Bft ~n:13 ~t:3 ~bg:2 ~cg:2);
+  check_bool "not satisfied" false
+    (Bounds.satisfied Bounds.Bft ~n:12 ~t:3 ~bg:2 ~cg:2)
+
+let test_bounds_gap_and_k () =
+  check_int "bft gap" 4 (Bounds.required_gap Bounds.Bft ~t:3);
+  check_int "sct gap" 7 (Bounds.required_gap Bounds.Sct ~t:3);
+  check_int "delta_p bft" 0 (Bounds.delta_p Bounds.Bft ~t:5);
+  check_int "delta_p sct" 5 (Bounds.delta_p Bounds.Sct ~t:5);
+  check_int "k bft" 2 (Bounds.k_of Bounds.Bft);
+  check_int "k sct" 3 (Bounds.k_of Bounds.Sct);
+  check (Alcotest.float 1e-9) "t_vd" 2.0
+    (Bounds.vote_dispersion_tolerance Bounds.Bft ~bg:1 ~cg:2)
+
+let test_bounds_decompose () =
+  let inputs = [ o 0; o 0; o 0; o 1; o 1; o 2; o 3 ] in
+  match Bounds.decompose ~tie:Vv_ballot.Tie_break.default inputs with
+  | None -> Alcotest.fail "decompose"
+  | Some (w, ag, bg, cg) ->
+      check opt_testable "winner" (o 0) w;
+      check_int "A_G" 3 ag;
+      check_int "B_G" 2 bg;
+      check_int "C_G" 2 cg
+
+let test_max_tolerable () =
+  (* n = 13, bg = 2, cg = 2: BFT needs n > max(3t, 2t+6): t=3 gives 12 < 13. *)
+  check_int "bft t" 3 (Bounds.max_tolerable_t Bounds.Bft ~n:13 ~bg:2 ~cg:2);
+  check_int "sct smaller" 2 (Bounds.max_tolerable_t Bounds.Sct ~n:13 ~bg:2 ~cg:2)
+
+let test_incremental_inequality () =
+  (* Section VII-A example: N = 10, after 7 arrivals {0,0,1,0,0,0,2} the
+     node holds A_i = 5 (zeros), C_i = 2 ({2} is third, plus... A=5 zeros,
+     B=1 one, C=1 two): a_i=5, c_i=1: 10 > 10 - 1 + 0 ? 2*5 > 9 yes. *)
+  check_bool "fires at seventh vote" true
+    (Bounds.incremental_ready ~n:10 ~delta_p:0 ~a_i:5 ~c_i:1);
+  check_bool "not before" false
+    (Bounds.incremental_ready ~n:10 ~delta_p:0 ~a_i:4 ~c_i:1)
+
+(* --- Algorithm 1 --- *)
+
+(* Tolerance satisfied: honest {0,0,0,0,0,1}, t = f = 1, N = 7.
+   Bound: max(3, 2 + 2*1 + 0) = 4 < 7. *)
+let winning_inputs = [ o 0; o 0; o 0; o 0; o 0; o 1 ]
+
+let test_algo1_decides_plurality () =
+  let r = Runner.simple ~protocol:Runner.Algo1 ~t:1 ~f:1 winning_inputs in
+  check_bool "termination" true r.Runner.termination;
+  check_bool "agreement" true r.Runner.agreement;
+  check_bool "voting validity" true r.Runner.voting_validity;
+  check_out "all output A" (List.map (fun _ -> Some (o 0)) winning_inputs)
+    r.Runner.outputs
+
+let test_algo1_all_strategies_hold () =
+  List.iter
+    (fun strategy ->
+      let r = Runner.simple ~protocol:Runner.Algo1 ~strategy ~t:1 ~f:1 winning_inputs in
+      check_bool "termination" true r.Runner.termination;
+      check_bool "validity" true r.Runner.voting_validity)
+    [
+      Strategy.Passive;
+      Strategy.Collude_second;
+      Strategy.Collude_fixed 1;
+      Strategy.Split_top2;
+      Strategy.Propose_second;
+      Strategy.Random_votes 3;
+      Strategy.Late_collude 1;
+      Strategy.Late_collude 4;
+    ]
+
+let test_algo1_all_bb_substrates () =
+  List.iter
+    (fun bb ->
+      let r =
+        Runner.simple ~protocol:Runner.Algo1 ~bb ~t:1 ~f:1
+          ~strategy:Strategy.Collude_second winning_inputs
+      in
+      check_bool "termination" true r.Runner.termination;
+      check_bool "validity" true r.Runner.voting_validity)
+    [ Vv_bb.Bb.Dolev_strong; Vv_bb.Bb.Eig; Vv_bb.Bb.Phase_king ]
+
+(* The Section I motivating example: N = 10, t = 3, honest inputs
+   {0,0,0,1,1,2,3}.  Bound 2t + 2B_G + C_G = 12 >= 10, so colluding
+   Byzantine votes on option 1 flip every honest view: Algorithm 1
+   terminates on the WRONG value — exactness is lost (Lemma 2). *)
+let example_inputs = [ o 0; o 0; o 0; o 1; o 1; o 2; o 3 ]
+
+let test_algo1_violation_below_bound () =
+  let r =
+    Runner.simple ~protocol:Runner.Algo1 ~strategy:Strategy.Collude_second ~t:3
+      ~f:3 example_inputs
+  in
+  check_bool "terminates" true r.Runner.termination;
+  check_bool "agreement still holds" true r.Runner.agreement;
+  check_bool "voting validity VIOLATED" false r.Runner.voting_validity;
+  check_out "all fooled to B"
+    (List.map (fun _ -> Some (o 1)) example_inputs)
+    r.Runner.outputs
+
+(* The strong adversary's timing power: colluding votes released within
+   the 2*delta wait window flip the outcome (Lemma 2); votes withheld past
+   the window miss the tally and the honest plurality survives even below
+   the bound.  The bound is about worst-case adversaries, not all. *)
+let test_algo1_late_collusion_timing () =
+  let within =
+    Runner.simple ~protocol:Runner.Algo1 ~strategy:(Strategy.Late_collude 1)
+      ~t:3 ~f:3 example_inputs
+  in
+  check_bool "within window: terminates" true within.Runner.termination;
+  check_bool "within window: validity lost" false within.Runner.voting_validity;
+  let too_late =
+    Runner.simple ~protocol:Runner.Algo1 ~strategy:(Strategy.Late_collude 5)
+      ~t:3 ~f:3 example_inputs
+  in
+  check_bool "past window: terminates" true too_late.Runner.termination;
+  check_bool "past window: plurality survives" true
+    too_late.Runner.voting_validity
+
+(* Byzantine speaker staying silent: subject never delivered, honest nodes
+   never vote; stall without validity violation. *)
+let test_algo1_byzantine_speaker_silent () =
+  let inputs = List.init 7 (fun _ -> o 0) in
+  let r =
+    Runner.run
+      (Runner.spec ~byzantine:[ 0 ] ~protocol:Runner.Algo1
+         ~strategy:Strategy.Passive ~n:7 ~t:1 ~speaker:0 inputs)
+  in
+  check_bool "stalled" true r.Runner.stalled;
+  check_bool "no termination" false r.Runner.termination;
+  check_bool "validity vacuous" true r.Runner.voting_validity
+
+(* --- Algorithm 2 (safety-guaranteed) --- *)
+
+let test_sct_decides_when_bound_holds () =
+  (* honest {0 x6, 1}: B_G = 1, C_G = 0; SCT bound 3t + 2 = 5 < N = 8. *)
+  let honest = [ o 0; o 0; o 0; o 0; o 0; o 0; o 1 ] in
+  let r =
+    Runner.simple ~protocol:Runner.Algo2_sct ~strategy:Strategy.Collude_second
+      ~t:1 ~f:1 honest
+  in
+  check_bool "termination" true r.Runner.termination;
+  check_bool "validity" true r.Runner.voting_validity;
+  check_bool "agreement" true r.Runner.agreement
+
+let test_sct_stalls_not_lies_below_bound () =
+  (* The same adversarial scenario that fooled Algorithm 1: SCT must either
+     output the true plurality or nothing (Definition V.1 / Property 5). *)
+  let r =
+    Runner.simple ~protocol:Runner.Algo2_sct ~strategy:Strategy.Collude_second
+      ~t:3 ~f:3 example_inputs
+  in
+  check_bool "safety admissible" true r.Runner.safety_admissible;
+  check_bool "did not terminate" false r.Runner.termination;
+  check_bool "stalled" true r.Runner.stalled
+
+let test_sct_resists_forged_proposes () =
+  (* Propose_second injects t propose-B messages; quorum is t+1, so they
+     can never decide alone (Theorem 11 agreement argument). *)
+  let honest = [ o 0; o 0; o 0; o 0; o 0; o 0; o 1 ] in
+  let r =
+    Runner.simple ~protocol:Runner.Algo2_sct ~strategy:Strategy.Propose_second
+      ~t:1 ~f:1 honest
+  in
+  check_bool "termination" true r.Runner.termination;
+  check_bool "validity" true r.Runner.voting_validity;
+  check_bool "agreement" true r.Runner.agreement
+
+(* --- Algorithm 3 (incremental threshold) --- *)
+
+let test_incremental_matches_algo1 () =
+  let r1 = Runner.simple ~protocol:Runner.Algo1 ~t:1 ~f:1 winning_inputs in
+  let r3 =
+    Runner.simple ~protocol:Runner.Algo3_incremental ~t:1 ~f:1 winning_inputs
+  in
+  check_out "same outputs" r1.Runner.outputs r3.Runner.outputs;
+  check_bool "incremental not slower" true (r3.Runner.rounds <= r1.Runner.rounds)
+
+let test_incremental_under_staggered_delays () =
+  let delay = Vv_sim.Delay.Uniform { lo = 1; hi = 4 } in
+  let r1 =
+    Runner.simple ~protocol:Runner.Algo1 ~delay ~t:1 ~f:1
+      ~strategy:Strategy.Collude_second winning_inputs
+  in
+  let r3 =
+    Runner.simple ~protocol:Runner.Algo3_incremental ~delay ~t:1 ~f:1
+      ~strategy:Strategy.Collude_second winning_inputs
+  in
+  check_bool "algo1 terminates" true r1.Runner.termination;
+  check_bool "algo3 terminates" true r3.Runner.termination;
+  check_bool "algo3 validity" true r3.Runner.voting_validity;
+  check_bool "algo3 strictly faster here" true
+    (r3.Runner.rounds < r1.Runner.rounds)
+
+(* --- Algorithm 4 (local broadcast) --- *)
+
+let test_algo4_beats_3t () =
+  (* N = 9, t = 3: Algorithm 1's Inequality (3) fails (3t = 9 = N) but
+     Algorithm 4 only needs N > 2t + 2B_G + C_G = 8. *)
+  let honest = [ o 0; o 0; o 0; o 0; o 0; o 1 ] in
+  check_bool "precondition: validity bound ok" true
+    (Bounds.satisfied Bounds.Cft ~n:9 ~t:3 ~bg:1 ~cg:0);
+  check_bool "precondition: bft bound fails" false
+    (Bounds.satisfied Bounds.Bft ~n:9 ~t:3 ~bg:1 ~cg:0);
+  let r =
+    Runner.simple ~protocol:Runner.Algo4_local ~strategy:Strategy.Collude_second
+      ~t:3 ~f:3 honest
+  in
+  check_bool "termination" true r.Runner.termination;
+  check_bool "validity" true r.Runner.voting_validity;
+  check_bool "agreement" true r.Runner.agreement
+
+let test_algo4_rejects_equivocation () =
+  (* Split_top2 equivocates; the engine must refuse it under the local
+     broadcast model (Property 6's premise). *)
+  let honest = [ o 0; o 0; o 0; o 0; o 0; o 1 ] in
+  try
+    ignore
+      (Runner.simple ~protocol:Runner.Algo4_local ~strategy:Strategy.Split_top2
+         ~t:3 ~f:3 honest);
+    Alcotest.fail "equivocation must be rejected under local broadcast"
+  with Vv_sim.Engine.Invalid_adversary _ -> ()
+
+(* --- CFT --- *)
+
+let test_cft_with_crash_mid_vote () =
+  (* honest {0,0,0,1}, one crash node preferring 1 that crashes while
+     broadcasting its vote (round 1), reaching only nodes 0 and 2: the
+     Lemma 4 X_i <> X_G situation.  Bound: N = 5 > 2t + 2B_G + C_G = 4. *)
+  let inputs = [ o 0; o 0; o 0; o 1; o 1 ] in
+  let r =
+    Runner.run
+      (Runner.spec ~crash:[ (4, 1, [ 0; 2 ]) ] ~protocol:Runner.Cft ~n:5 ~t:1
+         inputs)
+  in
+  check_bool "termination" true r.Runner.termination;
+  check_bool "validity" true r.Runner.voting_validity;
+  check_bool "agreement" true r.Runner.agreement;
+  check_int "honest count" 4 (List.length r.Runner.outputs)
+
+let test_cft_crash_flips_below_bound () =
+  (* Theorem 5 realised with crash faults only: honest {0,0,1}, two crash
+     nodes preferring 1 whose votes reach everyone before they die.  The
+     honest view shows three 1s against two 0s, so the protocol terminates
+     on 1 — exactness lost without a single Byzantine node. *)
+  let everyone = [ 0; 1; 2; 3; 4 ] in
+  let inputs = [ o 0; o 0; o 1; o 1; o 1 ] in
+  let r =
+    Runner.run
+      (Runner.spec
+         ~crash:[ (3, 2, everyone); (4, 2, everyone) ]
+         ~protocol:Runner.Cft ~n:5 ~t:2 inputs)
+  in
+  check_bool "terminates" true r.Runner.termination;
+  check_bool "agreement holds" true r.Runner.agreement;
+  check_bool "voting validity lost to crashes" false r.Runner.voting_validity;
+  check_out "all flipped to B" [ Some (o 1); Some (o 1); Some (o 1) ]
+    r.Runner.outputs
+
+let test_cft_stalls_below_bound () =
+  (* honest {0,0,1}: A_G - B_G = 1 <= t = 1; the crash node's vote for 1
+     equalises the counts, no node clears delta_P = 0, stall (Lemma 4). *)
+  let inputs = [ o 0; o 0; o 1; o 1 ] in
+  let r =
+    Runner.run
+      (Runner.spec ~crash:[ (3, 1, [ 0; 1; 2; 3 ]) ] ~protocol:Runner.Cft ~n:4
+         ~t:1 inputs)
+  in
+  check_bool "no termination" false r.Runner.termination;
+  check_bool "validity preserved" true r.Runner.voting_validity
+
+(* --- cross-cutting --- *)
+
+let test_runner_determinism () =
+  let go () =
+    Runner.simple ~protocol:Runner.Algo1 ~strategy:(Strategy.Random_votes 5)
+      ~t:2 ~f:2 example_inputs
+  in
+  let a = go () and b = go () in
+  check_out "same outputs" a.Runner.outputs b.Runner.outputs;
+  check_int "same rounds" a.Runner.rounds b.Runner.rounds
+
+let test_tie_break_parameter_end_to_end () =
+  (* The established tie rule flows through the whole protocol: on an
+     honest tie plus one Byzantine booster of the rule's winner, the
+     decided option follows the configured convention. *)
+  let tied = [ o 0; o 0; o 1; o 1; o 2 ] in
+  let winner_under tie target =
+    let r =
+      Runner.run
+        (Runner.spec ~byzantine:[ 5 ] ~protocol:Runner.Algo1
+           ~strategy:(Strategy.Collude_fixed target) ~tie ~n:6 ~t:1
+           (tied @ [ o 0 ]))
+    in
+    List.filter_map Fun.id r.Runner.outputs
+  in
+  (match winner_under Vv_ballot.Tie_break.Prefer_smaller 0 with
+  | w :: _ -> check opt_testable "smaller convention" (o 0) w
+  | [] -> Alcotest.fail "no decision under prefer-smaller");
+  match winner_under Vv_ballot.Tie_break.Prefer_larger 1 with
+  | w :: _ -> check opt_testable "larger convention" (o 1) w
+  | [] -> Alcotest.fail "no decision under prefer-larger"
+
+let test_scale_n40 () =
+  (* A full Algorithm 1 instance at N = 40, t = f = 8 with a decisive
+     electorate: correctness and bounded runtime at an order of magnitude
+     above the paper's examples. *)
+  let honest = Vv_analysis.Witness.inputs ~ag:28 ~bg:3 ~cg:1 in
+  let r =
+    Runner.simple ~protocol:Runner.Algo1 ~strategy:Strategy.Collude_second
+      ~t:8 ~f:8 honest
+  in
+  check_bool "termination" true r.Runner.termination;
+  check_bool "agreement" true r.Runner.agreement;
+  check_bool "validity" true r.Runner.voting_validity;
+  check_int "all honest decided" 32 (List.length r.Runner.outputs)
+
+let test_tie_stalls_without_faults () =
+  (* A_G = B_G: the Def III.3 premise fails; with delta_P = 0 no node sees a
+     strict gap, so the protocol stalls rather than guess. *)
+  let inputs = [ o 0; o 0; o 1; o 1 ] in
+  let r = Runner.run (Runner.spec ~n:4 ~t:0 ~protocol:Runner.Algo1 inputs) in
+  check_bool "stalled" true r.Runner.stalled;
+  check_bool "validity vacuous" true r.Runner.voting_validity
+
+(* --- property tests: the theorems themselves --- *)
+
+let gen_scenario =
+  (* Random honest inputs over <= 4 options plus a tolerance; returns
+     (honest inputs as ints, t). *)
+  QCheck.make
+    ~print:(fun (l, t) -> Fmt.str "inputs=%a t=%d" Fmt.(Dump.list int) l t)
+    QCheck.Gen.(
+      let* ng = int_range 3 9 in
+      let* l = list_size (return ng) (int_range 0 3) in
+      let* t = int_range 0 2 in
+      return (l, t))
+
+let theorem9 =
+  (* Theorem 9: whenever N > max{3t, 2t+2B_G+C_G} (with f = t Byzantine
+     colluding on the runner-up), Algorithm 1 terminates with agreement and
+     voting validity. *)
+  QCheck.Test.make ~count:60 ~name:"Theorem 9: Algorithm 1 correct above bound"
+    gen_scenario (fun (l, t) ->
+      let honest = List.map o l in
+      let n = List.length honest + t in
+      QCheck.assume
+        (Bounds.satisfied_for Bounds.Bft ~tie:Vv_ballot.Tie_break.default ~n ~t
+           honest);
+      let r =
+        Runner.simple ~protocol:Runner.Algo1 ~strategy:Strategy.Collude_second
+          ~t ~f:t honest
+      in
+      r.Runner.termination && r.Runner.agreement && r.Runner.voting_validity)
+
+let theorem11 =
+  QCheck.Test.make ~count:60
+    ~name:"Theorem 11: SCT correct above its bound" gen_scenario (fun (l, t) ->
+      let honest = List.map o l in
+      let n = List.length honest + t in
+      QCheck.assume
+        (Bounds.satisfied_for Bounds.Sct ~tie:Vv_ballot.Tie_break.default ~n ~t
+           honest);
+      let r =
+        Runner.simple ~protocol:Runner.Algo2_sct
+          ~strategy:Strategy.Propose_second ~t ~f:t honest
+      in
+      r.Runner.termination && r.Runner.agreement && r.Runner.voting_validity)
+
+let property5 =
+  (* Property 5 / Definition V.1: REGARDLESS of the bound, SCT's output is
+     the honest plurality or nothing. *)
+  QCheck.Test.make ~count:100
+    ~name:"Property 5: SCT safety-admissible everywhere" gen_scenario
+    (fun (l, t) ->
+      let honest = List.map o l in
+      let r =
+        Runner.simple ~protocol:Runner.Algo2_sct
+          ~strategy:Strategy.Collude_second ~t ~f:t honest
+      in
+      let r2 =
+        Runner.simple ~protocol:Runner.Algo2_sct
+          ~strategy:Strategy.Propose_second ~t ~f:t honest
+      in
+      r.Runner.safety_admissible && r2.Runner.safety_admissible)
+
+let incremental_equivalence =
+  (* Algorithm 3 decides the same value as Algorithm 1 whenever both
+     terminate (synchronous network). *)
+  QCheck.Test.make ~count:60 ~name:"Algorithm 3 output matches Algorithm 1"
+    gen_scenario (fun (l, t) ->
+      let honest = List.map o l in
+      let r1 =
+        Runner.simple ~protocol:Runner.Algo1 ~strategy:Strategy.Collude_second
+          ~t ~f:t honest
+      in
+      let r3 =
+        Runner.simple ~protocol:Runner.Algo3_incremental
+          ~strategy:Strategy.Collude_second ~t ~f:t honest
+      in
+      (not (r1.Runner.termination && r3.Runner.termination))
+      || r1.Runner.outputs = r3.Runner.outputs)
+
+let agreement_always_algo1 =
+  (* Agreement must hold for Algorithm 1 whenever N > 3t even when the
+     dispersion bound fails (Lemma 7 only needs N > 3t). *)
+  QCheck.Test.make ~count:100 ~name:"Lemma 7: agreement whenever N > 3t"
+    gen_scenario (fun (l, t) ->
+      let honest = List.map o l in
+      let n = List.length honest + t in
+      QCheck.assume (n > 3 * t);
+      let r =
+        Runner.simple ~protocol:Runner.Algo1 ~strategy:Strategy.Split_top2 ~t
+          ~f:t honest
+      in
+      r.Runner.agreement)
+
+let theorem_algo4 =
+  (* Algorithm 4's Inequality (15): above N > 2t + 2B_G + C_G, local
+     broadcast voting is correct with f = t colluders even when N <= 3t. *)
+  QCheck.Test.make ~count:60
+    ~name:"Inequality 15: Algorithm 4 correct above its bound" gen_scenario
+    (fun (l, t) ->
+      let honest = List.map o l in
+      let n = List.length honest + t in
+      QCheck.assume
+        (Bounds.satisfied_for Bounds.Cft ~tie:Vv_ballot.Tie_break.default ~n ~t
+           honest);
+      let r =
+        Runner.simple ~protocol:Runner.Algo4_local
+          ~strategy:Strategy.Collude_second ~t ~f:t honest
+      in
+      r.Runner.termination && r.Runner.agreement && r.Runner.voting_validity)
+
+let gen_cft_scenario =
+  (* Random honest inputs plus a random crash schedule: each crash node
+     gets a crash round in the vote window and a random recipient subset. *)
+  QCheck.make
+    ~print:(fun (l, t, seed) ->
+      Fmt.str "inputs=%a t=%d seed=%d" Fmt.(Dump.list int) l t seed)
+    QCheck.Gen.(
+      let* ng = int_range 3 8 in
+      let* l = list_size (return ng) (int_range 0 2) in
+      let* t = int_range 1 2 in
+      let* seed = int_range 0 10_000 in
+      return (l, t, seed))
+
+let cft_crash_spec (l, t, seed) =
+  let honest = List.map o l in
+  let ng = List.length honest in
+  let n = ng + t in
+  let rng = Vv_prelude.Rng.create seed in
+  let crash =
+    List.init t (fun i ->
+        let node = ng + i in
+        let at_round = Vv_prelude.Rng.int rng 4 in
+        let deliver_to =
+          List.filter
+            (fun _ -> Vv_prelude.Rng.bool rng)
+            (List.init n Fun.id)
+        in
+        (node, at_round, deliver_to))
+  in
+  let inputs = honest @ List.init t (fun _ -> o 1) in
+  Runner.spec ~crash ~protocol:Runner.Cft ~seed ~n ~t inputs
+
+let lemma4_cft_validity =
+  (* CFT voting under arbitrary mid-broadcast crash schedules (crash nodes
+     prefer the runner-up — the Lemma 4 worst case).  Agreement always
+     holds (N > 2t quorum intersection); termination AND voting validity
+     hold whenever the Theorem 5 bound does.  Below the bound anything but
+     disagreement may happen — crash faults defeat exactness just like
+     Byzantine ones (the paper's "identical impossibility results"). *)
+  QCheck.Test.make ~count:80 ~name:"Theorem 5: CFT correct above its bound"
+    gen_cft_scenario (fun ((l, t, _) as sc) ->
+      let honest = List.map o l in
+      let n = List.length honest + t in
+      let r = Runner.run (cft_crash_spec sc) in
+      let bound_ok =
+        Bounds.satisfied_for Bounds.Cft ~tie:Vv_ballot.Tie_break.default ~n ~t
+          honest
+      in
+      r.Runner.agreement
+      && ((not bound_ok) || (r.Runner.termination && r.Runner.voting_validity)))
+
+let sct_incremental_safety =
+  (* The combined variant (Section VII-A note): incremental trigger with
+     delta_P = t keeps Definition V.1 everywhere. *)
+  QCheck.Test.make ~count:60 ~name:"SCT-incremental safety-admissible"
+    gen_scenario (fun (l, t) ->
+      let honest = List.map o l in
+      let r =
+        Runner.simple ~protocol:Runner.Sct_incremental
+          ~strategy:Strategy.Collude_second ~t ~f:t honest
+      in
+      r.Runner.safety_admissible)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      theorem9;
+      theorem11;
+      property5;
+      incremental_equivalence;
+      agreement_always_algo1;
+      theorem_algo4;
+      lemma4_cft_validity;
+      sct_incremental_safety;
+    ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_bounds_arithmetic;
+          Alcotest.test_case "gaps and K" `Quick test_bounds_gap_and_k;
+          Alcotest.test_case "decompose" `Quick test_bounds_decompose;
+          Alcotest.test_case "max tolerable t" `Quick test_max_tolerable;
+          Alcotest.test_case "incremental inequality (14)" `Quick
+            test_incremental_inequality;
+        ] );
+      ( "algo1",
+        [
+          Alcotest.test_case "decides plurality" `Quick test_algo1_decides_plurality;
+          Alcotest.test_case "all strategies above bound" `Quick
+            test_algo1_all_strategies_hold;
+          Alcotest.test_case "all BB substrates" `Quick test_algo1_all_bb_substrates;
+          Alcotest.test_case "violation below bound (Lemma 2)" `Quick
+            test_algo1_violation_below_bound;
+          Alcotest.test_case "late collusion timing" `Quick
+            test_algo1_late_collusion_timing;
+          Alcotest.test_case "silent Byzantine speaker stalls" `Quick
+            test_algo1_byzantine_speaker_silent;
+        ] );
+      ( "algo2-sct",
+        [
+          Alcotest.test_case "decides above bound" `Quick
+            test_sct_decides_when_bound_holds;
+          Alcotest.test_case "stalls, never lies, below bound" `Quick
+            test_sct_stalls_not_lies_below_bound;
+          Alcotest.test_case "resists forged proposes" `Quick
+            test_sct_resists_forged_proposes;
+        ] );
+      ( "algo3-incremental",
+        [
+          Alcotest.test_case "matches Algorithm 1" `Quick
+            test_incremental_matches_algo1;
+          Alcotest.test_case "faster under staggered delays" `Quick
+            test_incremental_under_staggered_delays;
+        ] );
+      ( "algo4-local",
+        [
+          Alcotest.test_case "works beyond 3t" `Quick test_algo4_beats_3t;
+          Alcotest.test_case "equivocation rejected" `Quick
+            test_algo4_rejects_equivocation;
+        ] );
+      ( "cft",
+        [
+          Alcotest.test_case "crash mid-vote tolerated" `Quick
+            test_cft_with_crash_mid_vote;
+          Alcotest.test_case "crash-only validity flip (Theorem 5)" `Quick
+            test_cft_crash_flips_below_bound;
+          Alcotest.test_case "stalls below bound (Lemma 4)" `Quick
+            test_cft_stalls_below_bound;
+        ] );
+      ( "cross-cutting",
+        [
+          Alcotest.test_case "deterministic" `Quick test_runner_determinism;
+          Alcotest.test_case "tie-break parameter end-to-end" `Quick
+            test_tie_break_parameter_end_to_end;
+          Alcotest.test_case "scale: N=40, t=8" `Quick test_scale_n40;
+          Alcotest.test_case "tie stalls without faults" `Quick
+            test_tie_stalls_without_faults;
+        ] );
+      ("theorems", qcheck_cases);
+    ]

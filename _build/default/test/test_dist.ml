@@ -1,0 +1,243 @@
+(* Tests of the probability layer behind Figure 1: multinomial p.m.f.,
+   exact enumeration, Monte-Carlo agreement, entropies, and profiles. *)
+
+module M = Vv_dist.Multinomial
+module Exact = Vv_dist.Exact
+module Mc = Vv_dist.Montecarlo
+module Entropy = Vv_dist.Entropy
+module Profiles = Vv_dist.Profiles
+module Rng = Vv_prelude.Rng
+
+let check = Alcotest.check
+let check_float eps = check (Alcotest.float eps)
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let d ~n p = M.create ~n ~p
+
+let test_create_validation () =
+  Alcotest.check_raises "sum" (Invalid_argument "Multinomial.create: probabilities must sum to 1")
+    (fun () -> ignore (d ~n:3 [| 0.5; 0.4 |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Multinomial.create: negative probability") (fun () ->
+      ignore (d ~n:3 [| 1.5; -0.5 |]))
+
+let test_pmf_binomial_case () =
+  (* m = 2 reduces to a binomial: P(X1 = k) = C(n,k) p^k (1-p)^(n-k). *)
+  let dist = d ~n:4 [| 0.25; 0.75 |] in
+  check_float 1e-12 "P(0,4)" (0.75 ** 4.0) (M.pmf dist [| 0; 4 |]);
+  check_float 1e-12 "P(2,2)"
+    (6.0 *. (0.25 ** 2.0) *. (0.75 ** 2.0))
+    (M.pmf dist [| 2; 2 |]);
+  check_float 1e-12 "wrong total" 0.0 (M.pmf dist [| 1; 1 |])
+
+let test_pmf_sums_to_one () =
+  let dist = d ~n:10 [| 0.4; 0.3; 0.2; 0.1 |] in
+  let total = M.fold_support dist ~init:0.0 ~f:(fun acc c -> acc +. M.pmf dist c) in
+  check_float 1e-9 "sums to 1" 1.0 total
+
+let test_support_size () =
+  (* Compositions of 10 into 4 parts: C(13,3) = 286. *)
+  let dist = d ~n:10 [| 0.25; 0.25; 0.25; 0.25 |] in
+  let count = M.fold_support dist ~init:0 ~f:(fun acc _ -> acc + 1) in
+  check_int "support size" 286 count
+
+let test_sample_sums () =
+  let dist = d ~n:10 [| 0.5; 0.3; 0.2 |] in
+  let rng = Rng.create 1 in
+  for _ = 1 to 100 do
+    let c = M.sample dist rng in
+    check_int "sums to n" 10 (Array.fold_left ( + ) 0 c)
+  done
+
+let test_top2_and_gap () =
+  check (Alcotest.pair Alcotest.int Alcotest.int) "top2" (5, 3)
+    (Exact.top2 [| 3; 5; 2; 0 |]);
+  check_int "gap" 2 (Exact.gap [| 3; 5; 2; 0 |]);
+  check_int "tie gap" 0 (Exact.gap [| 4; 4; 2 |]);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "single" (7, 0)
+    (Exact.top2 [| 7 |])
+
+let test_gap_distribution_sums () =
+  let dist = Profiles.distribution Profiles.d3 in
+  let g = Exact.gap_distribution dist in
+  let total = Array.fold_left ( +. ) 0.0 g in
+  check_float 1e-9 "gap dist sums to 1" 1.0 total
+
+let test_pr_monotone_in_threshold () =
+  let dist = Profiles.distribution Profiles.d2 in
+  let prev = ref 1.1 in
+  for t = 0 to 9 do
+    let p = Exact.pr_gap_gt dist ~threshold:t in
+    check_bool (Fmt.str "monotone at %d" t) true (p <= !prev +. 1e-12);
+    prev := p
+  done
+
+let test_pr_t0_d1 () =
+  (* With t = 0 the condition is a strict plurality; for the concentrated
+     D1 this should be very likely. *)
+  let dist = Profiles.distribution Profiles.d1 in
+  let p = Exact.pr_voting_validity dist ~t:0 in
+  check_bool "high for D1" true (p > 0.9)
+
+let test_profile_ordering () =
+  (* Entropy ordering D1 < D2 < D3 < D4 and success-probability ordering
+     D1 > D2 > D3 > D4 at every t: the core of Figure 1(b). *)
+  let entropies = List.map Profiles.initial_entropy Profiles.all in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | _ -> true
+  in
+  check_bool "H0 ascending" true (ascending entropies);
+  for t = 0 to 4 do
+    let ps =
+      List.map
+        (fun pr -> Exact.pr_voting_validity (Profiles.distribution pr) ~t)
+        Profiles.all
+    in
+    let rec descending = function
+      | a :: (b :: _ as rest) -> a >= b -. 1e-12 && descending rest
+      | _ -> true
+    in
+    check_bool (Fmt.str "Pr descending at t=%d" t) true (descending ps)
+  done
+
+let test_montecarlo_matches_exact () =
+  let dist = Profiles.distribution Profiles.d2 in
+  let exact = Exact.pr_voting_validity dist ~t:1 in
+  let est, hw =
+    Mc.pr_voting_validity dist ~t:1 ~samples:20_000 ~rng:(Rng.create 9)
+  in
+  check_bool "within confidence" true (abs_float (est -. exact) < hw +. 0.01)
+
+let test_sampler_goodness_of_fit () =
+  (* Multinomial.sample's marginal for option 0 must match its Binomial
+     p.m.f. by chi-square at significance 0.001. *)
+  let dist = d ~n:6 [| 0.5; 0.3; 0.2 |] in
+  let rng = Rng.create 4242 in
+  let observed = Array.make 7 0 in
+  for _ = 1 to 5000 do
+    let c = M.sample dist rng in
+    observed.(c.(0)) <- observed.(c.(0)) + 1
+  done;
+  (* Expected: Binomial(6, 0.5) probabilities for X_0 = 0..6. *)
+  let binom k =
+    let choose = [| 1.; 6.; 15.; 20.; 15.; 6.; 1. |] in
+    choose.(k) *. (0.5 ** 6.0)
+  in
+  let expected_probs = Array.init 7 binom in
+  check_bool "marginal matches binomial" true
+    (Vv_prelude.Stats.chi_square_fits ~observed ~expected_probs)
+
+let test_sample_inputs () =
+  let dist = Profiles.distribution Profiles.d1 in
+  let inputs = Mc.sample_inputs dist (Rng.create 3) in
+  check_int "ten inputs" 10 (List.length inputs);
+  List.iter
+    (fun x ->
+      let i = Vv_ballot.Option_id.to_int x in
+      check_bool "in domain" true (i >= 0 && i < 4))
+    inputs
+
+let test_entropy_values () =
+  check_float 1e-9 "uniform 4" 2.0 (Entropy.shannon [| 0.25; 0.25; 0.25; 0.25 |]);
+  check_float 1e-9 "certain" 0.0 (Entropy.shannon [| 1.0; 0.0 |]);
+  check_float 1e-9 "binary half" 1.0 (Entropy.binary 0.5);
+  check_float 1e-9 "binary 0" 0.0 (Entropy.binary 0.0);
+  check_float 1e-9 "H0 scale" 20.0 (Entropy.initial_system ~ng:10 [| 0.25; 0.25; 0.25; 0.25 |])
+
+let test_system_entropy_shape () =
+  (* Figure 1(c): H_s = 0 at f = 0, then jumps up. *)
+  let dist = Profiles.distribution Profiles.d3 in
+  check_float 1e-9 "f=0" 0.0 (Exact.system_entropy dist ~f:0);
+  check_bool "f=1 positive" true (Exact.system_entropy dist ~f:1 > 0.0)
+
+let test_expected_top2 () =
+  let dist = Profiles.distribution Profiles.d4 in
+  let ea, eb = Exact.expected_top2 dist in
+  check_bool "EA >= EB" true (ea >= eb);
+  check_bool "EA plausible" true (ea > 2.5 && ea < 10.0)
+
+(* --- properties --- *)
+
+let gen_probs =
+  (* Random probability vector of 2..5 entries. *)
+  QCheck.make
+    ~print:(fun a -> Fmt.str "%a" Fmt.(Dump.array float) a)
+    QCheck.Gen.(
+      let* m = int_range 2 5 in
+      let* raw = array_size (return m) (float_range 0.01 1.0) in
+      let total = Array.fold_left ( +. ) 0.0 raw in
+      let p = Array.map (fun x -> x /. total) raw in
+      (* Renormalise exactly: fix the last entry to absorb rounding. *)
+      let s = Array.fold_left ( +. ) 0.0 (Array.sub p 0 (m - 1)) in
+      p.(m - 1) <- 1.0 -. s;
+      return p)
+
+let prop_pmf_nonnegative =
+  QCheck.Test.make ~name:"pmf in [0,1] over random support points" gen_probs
+    (fun p ->
+      let dist = M.create ~n:6 ~p in
+      M.fold_support dist ~init:true ~f:(fun acc c ->
+          let v = M.pmf dist c in
+          acc && v >= 0.0 && v <= 1.0 +. 1e-12))
+
+let prop_pr_gap_gt_minus1_is_1 =
+  QCheck.Test.make ~name:"Pr(gap > -1) = 1" gen_probs (fun p ->
+      let dist = M.create ~n:6 ~p in
+      abs_float (Exact.pr_gap_gt dist ~threshold:(-1) -. 1.0) < 1e-9)
+
+let prop_sct_le_bft =
+  QCheck.Test.make ~name:"Pr(SCT termination) <= Pr(BFT validity)" gen_probs
+    (fun p ->
+      let dist = M.create ~n:8 ~p in
+      let rec all_t t =
+        if t > 4 then true
+        else
+          Exact.pr_sct_termination dist ~t
+          <= Exact.pr_voting_validity dist ~t +. 1e-12
+          && all_t (t + 1)
+      in
+      all_t 0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pmf_nonnegative; prop_pr_gap_gt_minus1_is_1; prop_sct_le_bft ]
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "multinomial",
+        [
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "binomial special case" `Quick test_pmf_binomial_case;
+          Alcotest.test_case "pmf sums to one" `Quick test_pmf_sums_to_one;
+          Alcotest.test_case "support size" `Quick test_support_size;
+          Alcotest.test_case "samples sum to n" `Quick test_sample_sums;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "top2 and gap" `Quick test_top2_and_gap;
+          Alcotest.test_case "gap distribution sums" `Quick
+            test_gap_distribution_sums;
+          Alcotest.test_case "Pr monotone in t" `Quick test_pr_monotone_in_threshold;
+          Alcotest.test_case "D1 t=0 high" `Quick test_pr_t0_d1;
+          Alcotest.test_case "profile orderings (Fig 1b)" `Quick
+            test_profile_ordering;
+          Alcotest.test_case "expected top2" `Quick test_expected_top2;
+        ] );
+      ( "montecarlo",
+        [
+          Alcotest.test_case "matches exact" `Quick test_montecarlo_matches_exact;
+          Alcotest.test_case "sampler goodness-of-fit" `Quick
+            test_sampler_goodness_of_fit;
+          Alcotest.test_case "sample inputs" `Quick test_sample_inputs;
+        ] );
+      ( "entropy",
+        [
+          Alcotest.test_case "values" `Quick test_entropy_values;
+          Alcotest.test_case "system entropy shape (Fig 1c)" `Quick
+            test_system_entropy_shape;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,138 @@
+(* Tests of the multi-shot voting ledger: speaker rotation, stall retries,
+   electorate adjustment, and the ledger-level safety invariant. *)
+
+module Oid = Vv_ballot.Option_id
+module Ledger = Vv_multishot.Ledger
+module Runner = Vv_core.Runner
+
+let o = Oid.of_int
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let opt_testable = Alcotest.testable Oid.pp Oid.equal
+
+(* 6 honest nodes preferring a decisive winner per slot + 1 Byzantine. *)
+let decisive_inputs winner =
+  List.init 6 (fun i -> if i = 5 then o ((winner + 1) mod 3) else o winner)
+  @ [ o 0 ]
+
+let test_all_slots_decided () =
+  let cfg = Ledger.config ~byzantine:[ 6 ] ~n:7 ~t:1 () in
+  let ledger = Ledger.create cfg in
+  for subject = 1 to 5 do
+    ignore (Ledger.decide ledger ~subject (decisive_inputs (subject mod 3)))
+  done;
+  check_int "height" 5 (Ledger.height ledger);
+  check_int "all committed" 5 (List.length (Ledger.committed ledger));
+  check_bool "safety invariant" true (Ledger.all_committed_valid ledger);
+  List.iteri
+    (fun i (idx, v) ->
+      check_int "indices in order" i idx;
+      check opt_testable "decision matches electorate" (o ((i + 1) mod 3)) v)
+    (Ledger.committed ledger)
+
+let test_byzantine_speaker_rotated_past () =
+  (* Node 0 is Byzantine and is the first speaker: slot 0 stalls under it
+     and commits under speaker 1. *)
+  let inputs = o 0 :: List.init 6 (fun _ -> o 1) in
+  let cfg = Ledger.config ~byzantine:[ 0 ] ~n:7 ~t:1 () in
+  let ledger = Ledger.create cfg in
+  let slot = Ledger.decide ledger ~subject:9 inputs in
+  check_bool "committed" true (slot.Ledger.decision <> None);
+  check_int "second attempt" 2 slot.Ledger.attempts;
+  check_int "speaker rotated" 1 slot.Ledger.speaker;
+  check opt_testable "plurality" (o 1) (Option.get slot.Ledger.decision)
+
+let test_thin_margin_adjusted () =
+  (* SCT stalls on the thin electorate; Rotate_and_adjust converges. *)
+  let inputs = List.map o [ 0; 0; 0; 1; 1; 2; 3 ] @ [ o 0; o 0 ] in
+  let cfg =
+    Ledger.config ~byzantine:[ 7; 8 ]
+      ~retry:(Ledger.Rotate_and_adjust (Vv_core.Session.Bandwagon, 8)) ~n:9
+      ~t:2 ()
+  in
+  let ledger = Ledger.create cfg in
+  let slot = Ledger.decide ledger ~subject:1 inputs in
+  check_bool "eventually committed" true (slot.Ledger.decision <> None);
+  check_bool "needed retries" true (slot.Ledger.attempts > 1);
+  check_bool "safety invariant" true (Ledger.all_committed_valid ledger)
+
+let test_no_retry_skips () =
+  let inputs = List.map o [ 0; 0; 0; 1; 1; 2; 3 ] @ [ o 0; o 0 ] in
+  let cfg =
+    Ledger.config ~byzantine:[ 7; 8 ] ~retry:Ledger.No_retry ~n:9 ~t:2 ()
+  in
+  let ledger = Ledger.create cfg in
+  let slot = Ledger.decide ledger ~subject:1 inputs in
+  check (Alcotest.option opt_testable) "skipped" None slot.Ledger.decision;
+  check_int "single attempt" 1 slot.Ledger.attempts;
+  check_int "nothing committed" 0 (List.length (Ledger.committed ledger));
+  check_bool "safety invariant still holds" true
+    (Ledger.all_committed_valid ledger)
+
+let test_algo1_ledger_can_commit_invalid () =
+  (* With Algorithm 1 instead of SCT, a thin slot commits the adversary's
+     value and the ledger invariant reports it. *)
+  let inputs = List.map o [ 0; 0; 0; 1; 1; 2; 3 ] @ List.init 3 (fun _ -> o 0) in
+  let cfg =
+    Ledger.config ~byzantine:[ 7; 8; 9 ] ~protocol:Runner.Algo1 ~n:10 ~t:3 ()
+  in
+  let ledger = Ledger.create cfg in
+  let slot = Ledger.decide ledger ~subject:1 inputs in
+  check_bool "committed" true (slot.Ledger.decision <> None);
+  check_bool "flagged invalid" false slot.Ledger.valid;
+  check_bool "invariant reports violation" false
+    (Ledger.all_committed_valid ledger)
+
+let test_crash_speaker_rotated_past () =
+  (* Node 0 is an unreliable host that crashes at round 0 of every
+     attempt; as first speaker it stalls slot 0, which then commits under
+     speaker 1 (the crashed node is simply a silent participant there). *)
+  let inputs = List.init 7 (fun _ -> o 1) in
+  let cfg =
+    Ledger.config ~crash:[ (0, 0, []) ] ~strategy:Vv_core.Strategy.Passive
+      ~n:7 ~t:1 ()
+  in
+  let ledger = Ledger.create cfg in
+  let slot = Ledger.decide ledger ~subject:4 inputs in
+  check_bool "committed" true (slot.Ledger.decision <> None);
+  check_int "second attempt" 2 slot.Ledger.attempts;
+  check_int "rotated to node 1" 1 slot.Ledger.speaker;
+  check_bool "safety" true (Ledger.all_committed_valid ledger)
+
+let test_determinism () =
+  let go () =
+    let cfg = Ledger.config ~byzantine:[ 6 ] ~n:7 ~t:1 ~seed:77 () in
+    let ledger = Ledger.create cfg in
+    List.init 4 (fun s -> Ledger.decide ledger ~subject:s (decisive_inputs (s mod 2)))
+  in
+  check_bool "replays identically" true (go () = go ())
+
+let test_validation () =
+  Alcotest.check_raises "inputs arity"
+    (Invalid_argument "Ledger.decide: inputs must have length n") (fun () ->
+      let ledger = Ledger.create (Ledger.config ~n:5 ~t:1 ()) in
+      ignore (Ledger.decide ledger ~subject:1 [ o 0 ]));
+  Alcotest.check_raises "byz range"
+    (Invalid_argument "Ledger.config: byzantine id out of range") (fun () ->
+      ignore (Ledger.config ~byzantine:[ 9 ] ~n:5 ~t:1 ()))
+
+let () =
+  Alcotest.run "multishot"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "all slots decided" `Quick test_all_slots_decided;
+          Alcotest.test_case "byzantine speaker rotated past" `Quick
+            test_byzantine_speaker_rotated_past;
+          Alcotest.test_case "crash speaker rotated past" `Quick
+            test_crash_speaker_rotated_past;
+          Alcotest.test_case "thin margin adjusted (V-B)" `Quick
+            test_thin_margin_adjusted;
+          Alcotest.test_case "no-retry skips" `Quick test_no_retry_skips;
+          Alcotest.test_case "algo1 ledger flags invalid commits" `Quick
+            test_algo1_ledger_can_commit_invalid;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

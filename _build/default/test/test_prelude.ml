@@ -1,0 +1,208 @@
+(* Tests for the prelude: PRNG determinism and distributional sanity,
+   statistics, and table rendering. *)
+
+module Rng = Vv_prelude.Rng
+module Stats = Vv_prelude.Stats
+module Table = Vv_prelude.Table
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_float = check (Alcotest.float 1e-9)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.bits a) in
+  let ys = List.init 50 (fun _ -> Rng.bits b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_int_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: each of 10 buckets within 3x of expectation. *)
+  let r = Rng.create 11 in
+  let counts = Array.make 10 0 in
+  let trials = 10_000 in
+  for _ = 1 to trials do
+    let i = Rng.int r 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket plausible" true (c > 700 && c < 1300))
+    counts
+
+let test_categorical () =
+  let r = Rng.create 3 in
+  let p = [| 0.7; 0.2; 0.1 |] in
+  let counts = Array.make 3 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    let i = Rng.categorical r p in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let freq i = float_of_int counts.(i) /. float_of_int trials in
+  Alcotest.(check bool) "p0" true (abs_float (freq 0 -. 0.7) < 0.02);
+  Alcotest.(check bool) "p1" true (abs_float (freq 1 -. 0.2) < 0.02);
+  Alcotest.(check bool) "p2" true (abs_float (freq 2 -. 0.1) < 0.02)
+
+let test_shuffle_permutation () =
+  let r = Rng.create 5 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let r = Rng.create 5 in
+  let s = Rng.sample_without_replacement r ~k:5 ~n:10 in
+  check_int "size" 5 (List.length s);
+  check_int "distinct" 5 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> Alcotest.(check bool) "range" true (x >= 0 && x < 10)) s
+
+let test_stats_basics () =
+  check_float "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "variance" 3.7 (Stats.variance [ 1.0; 2.0; 3.0; 4.0; 6.0 ]);
+  check_float "p0" 1.0 (Stats.percentile [ 1.0; 2.0; 3.0 ] 0.0);
+  check_float "p100" 3.0 (Stats.percentile [ 1.0; 2.0; 3.0 ] 100.0);
+  check_float "p50" 2.0 (Stats.percentile [ 1.0; 2.0; 3.0 ] 50.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 2.0; 4.0; 6.0; 8.0 ] in
+  check_int "n" 4 s.Stats.n;
+  check_float "mean" 5.0 s.Stats.mean;
+  check_float "min" 2.0 s.Stats.min;
+  check_float "max" 8.0 s.Stats.max
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [ 0.5; 1.5; 1.6; 3.9; 4.0; -1.0; 5.0 ] in
+  Alcotest.(check (array int)) "bins" [| 1; 2; 0; 2 |] h
+
+let test_chi_square () =
+  (* A perfectly matching sample has statistic 0. *)
+  check_float "exact fit" 0.0
+    (Stats.chi_square ~observed:[| 50; 50 |] ~expected_probs:[| 0.5; 0.5 |]);
+  (* A wildly off sample fails the 0.001 test. *)
+  Alcotest.(check bool) "bad fit rejected" false
+    (Stats.chi_square_fits ~observed:[| 100; 0 |]
+       ~expected_probs:[| 0.5; 0.5 |]);
+  Alcotest.check_raises "arity" (Invalid_argument "Stats.chi_square: arity mismatch")
+    (fun () ->
+      ignore (Stats.chi_square ~observed:[| 1 |] ~expected_probs:[| 0.5; 0.5 |]))
+
+let test_rng_chi_square_uniform () =
+  (* Rng.int must pass a chi-square goodness-of-fit against uniform. *)
+  let r = Rng.create 1234 in
+  let k = 8 in
+  let observed = Array.make k 0 in
+  for _ = 1 to 8000 do
+    let i = Rng.int r k in
+    observed.(i) <- observed.(i) + 1
+  done;
+  Alcotest.(check bool) "uniform fit" true
+    (Stats.chi_square_fits ~observed
+       ~expected_probs:(Array.make k (1.0 /. float_of_int k)))
+
+let test_binomial_confidence () =
+  let p, hw = Stats.binomial_confidence ~successes:50 ~trials:100 in
+  check_float "p" 0.5 p;
+  Alcotest.(check bool) "half width plausible" true (hw > 0.05 && hw < 0.15)
+
+let test_table () =
+  let t =
+    Table.create ~title:"demo" ~headers:[ "name"; "value" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  check_int "rows" 2 (List.length (Table.rows t));
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Table.add_row t [ "only-one" ]);
+  let csv = Table.to_csv t in
+  Alcotest.(check bool) "csv header" true
+    (String.length csv > 0 && String.sub csv 0 10 = "name,value")
+
+let test_cells () =
+  check (Alcotest.string) "fcell int" "3" (Table.fcell 3.0);
+  check (Alcotest.string) "fcell frac" "0.2500" (Table.fcell 0.25);
+  check (Alcotest.string) "icell" "42" (Table.icell 42);
+  check (Alcotest.string) "bcell" "yes" (Table.bcell true)
+
+(* Property: percentile is monotone in p. *)
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone"
+    QCheck.(pair (list_of_size Gen.(int_range 1 20) (float_range (-100.) 100.))
+              (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (l, (p1, p2)) ->
+      QCheck.assume (l <> []);
+      let lo, hi = if p1 <= p2 then (p1, p2) else (p2, p1) in
+      Stats.percentile l lo <= Stats.percentile l hi +. 1e-9)
+
+(* Property: shuffle preserves multiset. *)
+let prop_shuffle_multiset =
+  QCheck.Test.make ~name:"shuffle preserves multiset"
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let r = Rng.create seed in
+      let a = Array.of_list l in
+      Rng.shuffle r a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest
+    [ prop_percentile_monotone; prop_shuffle_multiset ]
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "categorical frequencies" `Quick test_categorical;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sampling without replacement" `Quick
+            test_sample_without_replacement;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "binomial confidence" `Quick test_binomial_confidence;
+          Alcotest.test_case "chi-square" `Quick test_chi_square;
+          Alcotest.test_case "rng uniformity (chi-square)" `Quick
+            test_rng_chi_square_uniform;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render and csv" `Quick test_table;
+          Alcotest.test_case "cell formatting" `Quick test_cells;
+        ] );
+      ("properties", qcheck_cases);
+    ]

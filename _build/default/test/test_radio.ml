@@ -1,0 +1,258 @@
+(* Tests of the multi-hop radio extension: topologies, flooding dynamics,
+   crash partitions, and the relay-poisoning limit ([36]). *)
+
+module Oid = Vv_ballot.Option_id
+module T = Vv_radio.Topology
+module R = Vv_radio.Radio_runner
+
+let o = Oid.of_int
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+let opt_testable = Alcotest.testable Oid.pp Oid.equal
+
+(* --- topology --- *)
+
+let test_complete () =
+  let t = T.complete 5 in
+  check_int "size" 5 (T.size t);
+  check_int "degree" 4 (T.degree t 0);
+  check_int "diameter" 1 (T.diameter t);
+  check_bool "connected" true (T.connected t)
+
+let test_line () =
+  let t = T.line 6 in
+  check_int "end degree" 1 (T.degree t 0);
+  check_int "mid degree" 2 (T.degree t 3);
+  check_int "diameter" 5 (T.diameter t);
+  check_bool "cut disconnects" false (T.connected ~removed:[ 3 ] t)
+
+let test_ring () =
+  let t = T.ring ~k:1 8 in
+  check_int "degree" 2 (T.degree t 0);
+  check_int "diameter" 4 (T.diameter t);
+  check_bool "survives one removal" true (T.connected ~removed:[ 2 ] t);
+  check_bool "two adjacent removals cut" false
+    (T.connected ~removed:[ 2; 4 ] t);
+  let t2 = T.ring ~k:2 8 in
+  check_int "k=2 degree" 4 (T.degree t2 0);
+  check_int "k=2 diameter" 2 (T.diameter t2)
+
+let test_grid () =
+  let t = T.grid ~w:3 ~h:3 in
+  check_int "corner degree" 2 (T.degree t 0);
+  check_int "centre degree" 4 (T.degree t 4);
+  check_int "diameter" 4 (T.diameter t);
+  check_bool "connected" true (T.connected t)
+
+let test_random_geometric () =
+  let t = T.random_geometric ~n:20 ~radius:0.6 ~seed:3 in
+  check_int "size" 20 (T.size t);
+  check_bool "dense radius connects" true (T.connected t);
+  (* Determinism. *)
+  let t2 = T.random_geometric ~n:20 ~radius:0.6 ~seed:3 in
+  check_bool "deterministic" true (t = t2)
+
+let test_of_edges_and_validation () =
+  let t = T.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (0, 1) ] in
+  check_int "dedup" 1 (T.degree t 0);
+  check_int "min degree" 1 (T.min_degree t);
+  Alcotest.check_raises "range" (Invalid_argument "Topology.of_edges: endpoint out of range")
+    (fun () -> ignore (T.of_edges ~n:3 [ (0, 7) ]));
+  Alcotest.check_raises "diameter needs connectivity"
+    (Invalid_argument "Topology.diameter: graph is disconnected") (fun () ->
+      ignore (T.diameter (T.of_edges ~n:4 [ (0, 1) ])))
+
+(* --- radio voting --- *)
+
+(* 8-node ring (k=1), one Byzantine, honest prefer A 5-to-2. *)
+let ring_inputs = [ o 0; o 0; o 0; o 1; o 1; o 0; o 0; o 0 ]
+
+let test_ring_decides_plurality () =
+  let r =
+    R.run ~topology:(T.ring ~k:1 8) ~t:1 ~byzantine:[ 7 ] ring_inputs
+  in
+  check_bool "termination" true r.R.termination;
+  check_bool "agreement" true r.R.agreement;
+  check_bool "validity" true r.R.voting_validity;
+  List.iter
+    (fun out -> check (Alcotest.option opt_testable) "winner A" (Some (o 0)) out)
+    r.R.outputs
+
+let test_complete_graph_matches_algo4 () =
+  (* On the complete graph the flooding protocol degenerates to Algorithm
+     4: same decisions, one round of relaying overhead. *)
+  let honest = [ o 0; o 0; o 0; o 0; o 0; o 1 ] in
+  let r =
+    R.run ~topology:(T.complete 9) ~t:3 ~byzantine:[ 6; 7; 8 ]
+      (honest @ [ o 0; o 0; o 0 ])
+  in
+  check_bool "termination" true r.R.termination;
+  check_bool "validity at N<=3t" true r.R.voting_validity
+
+let test_grid_crash_residual_connected () =
+  (* A corner node crashes mid-flood; the residual grid stays connected,
+     so the vote concludes exactly. *)
+  let topo = T.grid ~w:3 ~h:3 in
+  let inputs = List.init 9 (fun i -> if i < 6 then o 0 else o 1) in
+  let r =
+    R.run ~topology:topo ~t:1 ~byzantine:[]
+      ~crash:[ (8, 1, [ 5 ]) ]
+      inputs
+  in
+  check_bool "termination" true r.R.termination;
+  check_bool "validity" true r.R.voting_validity
+
+let test_line_partition_stalls_never_lies () =
+  (* The middle of a line crashes instantly: the flood cannot cross, the
+     quorum starves, and the protocol stalls rather than decide. *)
+  let topo = T.line 7 in
+  let inputs = List.init 7 (fun i -> if i < 5 then o 0 else o 1) in
+  let r =
+    R.run ~topology:topo ~t:1 ~byzantine:[]
+      ~crash:[ (3, 0, []) ]
+      inputs
+  in
+  check_bool "stalled" true r.R.stalled;
+  check_bool "validity preserved" true r.R.voting_validity
+
+let test_poison_blocked_on_complete_graph () =
+  (* Direct preference: on the complete graph every node hears the victim
+     itself no later than any fake, so poisoning is inert. *)
+  let inputs = [ o 0; o 0; o 0; o 1; o 1; o 0; o 0 ] in
+  let r =
+    R.run ~strategy:(R.Poison_origin (0, 1)) ~topology:(T.complete 7) ~t:1
+      ~byzantine:[ 5 ] inputs
+  in
+  check_bool "termination" true r.R.termination;
+  check_bool "validity" true r.R.voting_validity
+
+(* Ring of 8, Byzantine node 5, victim node 0 votes with the majority:
+   honest A=5 (nodes 0,1,2,3,7) vs B=2 (nodes 4,6). *)
+let poison_ring_inputs = [ o 0; o 0; o 0; o 0; o 1; o 1; o 1; o 0 ]
+
+let test_poison_defeats_multihop_flooding () =
+  (* Beyond one hop, first-accept flooding is poisonable: the Byzantine
+     relay re-originates a fake copy of node 0's ballot; nodes 4 and 6
+     receive the fake before the true copy, see a tie, and withhold their
+     proposals — the quorum starves.  This is the limitation [36]'s
+     connectivity bound and relay protocol address; the protocol still
+     never decides a wrong value. *)
+  let r =
+    R.run ~strategy:(R.Poison_origin (0, 1)) ~topology:(T.ring ~k:1 8) ~t:1
+      ~byzantine:[ 5 ] poison_ring_inputs
+  in
+  check_bool "exactness lost" false (r.R.termination && r.R.voting_validity);
+  check_bool "but never a wrong decision" true r.R.voting_validity;
+  (* The legitimate worst case (collusion without forgery) on the same
+     ring still concludes exactly. *)
+  let r2 =
+    R.run ~strategy:R.Originate_second ~topology:(T.ring ~k:1 8) ~t:1
+      ~byzantine:[ 5 ] poison_ring_inputs
+  in
+  check_bool "baseline terminates" true r2.R.termination;
+  check_bool "baseline valid" true r2.R.voting_validity
+
+let test_radio_validation () =
+  Alcotest.check_raises "connected required"
+    (Invalid_argument "Radio_runner.run: topology must be connected") (fun () ->
+      ignore
+        (R.run ~topology:(T.of_edges ~n:4 [ (0, 1) ]) ~t:0 ~byzantine:[]
+           (List.init 4 (fun _ -> o 0))));
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Radio_runner.run: inputs must match topology size")
+    (fun () ->
+      ignore (R.run ~topology:(T.line 3) ~t:0 ~byzantine:[] [ o 0 ]))
+
+let test_radio_determinism () =
+  let go () = R.run ~topology:(T.ring ~k:2 10) ~t:2 ~byzantine:[ 8; 9 ]
+      (List.init 10 (fun i -> if i < 6 then o 0 else o 1))
+  in
+  check_bool "deterministic" true (go () = go ())
+
+(* --- properties --- *)
+
+let prop_ring_diameter =
+  QCheck.Test.make ~count:30 ~name:"ring diameter formula"
+    QCheck.(int_range 3 20)
+    (fun n -> T.diameter (T.ring ~k:1 n) = n / 2)
+
+let prop_grid_connected =
+  QCheck.Test.make ~count:30 ~name:"grids are connected"
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (w, h) -> T.connected (T.grid ~w ~h))
+
+let prop_radio_crash_safe =
+  (* Any single-node crash on a 2-connected ring: the protocol either
+     decides the exact plurality or stalls — never a wrong decision. *)
+  QCheck.Test.make ~count:40 ~name:"radio never lies under crashes"
+    QCheck.(pair (int_range 0 9) (int_range 0 5))
+    (fun (victim, at_round) ->
+      let inputs = List.init 10 (fun i -> if i < 7 then o 0 else o 1) in
+      let r =
+        R.run ~strategy:R.Passive ~topology:(T.ring ~k:1 10) ~t:1
+          ~byzantine:[]
+          ~crash:[ (victim, at_round, []) ]
+          inputs
+      in
+      r.R.voting_validity && r.R.agreement)
+
+let prop_radio_byzantine_position_irrelevant =
+  (* On a k=2 ring (still connected after removing any single node), a
+     lone colluding Byzantine node defeats exactness nowhere, regardless
+     of its position. *)
+  QCheck.Test.make ~count:20 ~name:"byzantine position irrelevant on 2-connected ring"
+    QCheck.(int_range 0 9)
+    (fun byz ->
+      let inputs =
+        List.init 10 (fun i ->
+            if i = byz then o 0 else if i mod 3 = 2 then o 1 else o 0)
+      in
+      let speaker = if byz = 0 then 1 else 0 in
+      let r =
+        R.run ~strategy:R.Originate_second ~speaker
+          ~topology:(T.ring ~k:2 10) ~t:1 ~byzantine:[ byz ] inputs
+      in
+      r.R.termination && r.R.agreement && r.R.voting_validity)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_ring_diameter;
+      prop_grid_connected;
+      prop_radio_crash_safe;
+      prop_radio_byzantine_position_irrelevant;
+    ]
+
+let () =
+  Alcotest.run "radio"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "complete" `Quick test_complete;
+          Alcotest.test_case "line" `Quick test_line;
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "random geometric" `Quick test_random_geometric;
+          Alcotest.test_case "of_edges + validation" `Quick
+            test_of_edges_and_validation;
+        ] );
+      ( "voting",
+        [
+          Alcotest.test_case "ring decides plurality" `Quick
+            test_ring_decides_plurality;
+          Alcotest.test_case "complete graph = Algorithm 4" `Quick
+            test_complete_graph_matches_algo4;
+          Alcotest.test_case "grid crash, residual connected" `Quick
+            test_grid_crash_residual_connected;
+          Alcotest.test_case "line partition stalls, never lies" `Quick
+            test_line_partition_stalls_never_lies;
+          Alcotest.test_case "poison inert on complete graph" `Quick
+            test_poison_blocked_on_complete_graph;
+          Alcotest.test_case "poison defeats multi-hop flooding [36]" `Quick
+            test_poison_defeats_multihop_flooding;
+          Alcotest.test_case "validation" `Quick test_radio_validation;
+          Alcotest.test_case "deterministic" `Quick test_radio_determinism;
+        ] );
+      ("properties", qcheck_cases);
+    ]

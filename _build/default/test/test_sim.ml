@@ -1,0 +1,328 @@
+(* Tests of the simulation engine: delivery, crash filtering, communication
+   model enforcement, delays, determinism and stall reporting. *)
+
+open Vv_sim
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* A toy flood protocol: broadcast the input at round 0, record every
+   arrival with its round, decide on the full log at [decide_round]. *)
+module Flood = struct
+  type input = int
+  type msg = int
+  type output = (int * int * int) list (* (arrival round, src, value) *)
+  type state = { log : output; decided : output option }
+
+  let name = "flood"
+  let decide_round = 6
+
+  let init (_ : Protocol.ctx) v = ({ log = []; decided = None }, [ Types.broadcast v ])
+
+  let step (_ : Protocol.ctx) st ~round ~inbox =
+    let log =
+      st.log @ List.map (fun (src, v) -> (round, src, v)) inbox
+    in
+    let decided =
+      if round >= decide_round && st.decided = None then Some log else st.decided
+    in
+    ({ log; decided }, [])
+
+  let output st = st.decided
+end
+
+module E = Engine.Make (Flood)
+
+let values res =
+  (* Per honest node: sorted (src, value) pairs seen. *)
+  List.map
+    (fun out ->
+      match out with
+      | None -> []
+      | Some log -> List.sort compare (List.map (fun (_, s, v) -> (s, v)) log))
+    (E.honest_outputs res)
+
+let test_full_delivery () =
+  let cfg = Config.make ~n:4 ~t_max:1 () in
+  let res = E.run cfg ~inputs:(fun id -> 100 + id) () in
+  let expected = List.init 4 (fun i -> (i, 100 + i)) in
+  List.iter
+    (fun seen -> check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+        "every node sees every input (incl. self)" expected seen)
+    (values res);
+  check_int "honest messages" 16 res.metrics.Metrics.honest_messages;
+  check_bool "not stalled" false res.stalled
+
+let test_crash_mid_broadcast () =
+  (* Node 2 crashes while broadcasting at round 0: only node 0 receives its
+     vote — the Lemma 4 scenario where X_i <> X_G. *)
+  let faults =
+    [| Fault.Honest; Fault.Honest; Fault.Crash { at_round = 0; deliver_to = [ 0 ] } |]
+  in
+  let cfg = Config.make ~n:3 ~t_max:1 ~faults ()
+  in
+  let res = E.run cfg ~inputs:(fun id -> 100 + id) () in
+  (match values res with
+  | [ seen0; seen1 ] ->
+      check_bool "node0 got crash vote" true (List.mem (2, 102) seen0);
+      check_bool "node1 missed crash vote" false (List.mem (2, 102) seen1)
+  | _ -> Alcotest.fail "expected two honest outputs");
+  check_int "f counted" 1 (Config.faulty_count cfg)
+
+let test_crashed_node_silent_after () =
+  (* A node crashing at round 0 sends nothing in later rounds; with an empty
+     deliver_to it is silent from the start. *)
+  let faults =
+    [| Fault.Honest; Fault.Crash { at_round = 0; deliver_to = [] }; Fault.Honest |]
+  in
+  let cfg = Config.make ~n:3 ~t_max:1 ~faults () in
+  let res = E.run cfg ~inputs:(fun id -> id) () in
+  List.iter
+    (fun seen -> check_bool "no votes from crashed" false (List.mem_assoc 1 seen))
+    (values res)
+
+let test_byzantine_equivocation_p2p_allowed () =
+  let cfg = Config.with_byzantine ~n:4 ~t_max:1 [ 3 ] () in
+  let adversary =
+    Adversary.named "equivocate" (fun view ->
+        if view.Adversary.round <> 0 then []
+        else
+          List.init view.Adversary.n (fun dst ->
+              { Adversary.src = 3; dst; msg = 900 + dst }))
+  in
+  let res = E.run cfg ~inputs:(fun id -> id) ~adversary () in
+  (match values res with
+  | seen0 :: _ -> check_bool "per-recipient message" true (List.mem (3, 900) seen0)
+  | [] -> Alcotest.fail "no outputs");
+  check_int "byz messages counted" 4 res.metrics.Metrics.byzantine_messages
+
+let test_local_broadcast_blocks_equivocation () =
+  let cfg =
+    Config.with_byzantine ~comm:Types.Local_broadcast ~n:4 ~t_max:1 [ 3 ] ()
+  in
+  let adversary =
+    Adversary.named "equivocate" (fun view ->
+        if view.Adversary.round <> 0 then []
+        else
+          List.init view.Adversary.n (fun dst ->
+              { Adversary.src = 3; dst; msg = 900 + dst }))
+  in
+  (try
+     ignore (E.run cfg ~inputs:(fun id -> id) ~adversary ());
+     Alcotest.fail "equivocation should be rejected under local broadcast"
+   with Engine.Invalid_adversary _ -> ());
+  (* Partial broadcast (not reaching everyone) is rejected too. *)
+  let partial =
+    Adversary.named "partial" (fun view ->
+        if view.Adversary.round <> 0 then []
+        else [ { Adversary.src = 3; dst = 0; msg = 7 } ])
+  in
+  try
+    ignore (E.run cfg ~inputs:(fun id -> id) ~adversary:partial ());
+    Alcotest.fail "partial broadcast should be rejected under local broadcast"
+  with Engine.Invalid_adversary _ -> ()
+
+let test_local_broadcast_identical_ok () =
+  let cfg =
+    Config.with_byzantine ~comm:Types.Local_broadcast ~n:4 ~t_max:1 [ 3 ] ()
+  in
+  let adversary =
+    Adversary.broadcast_each_round ~name:"same" ~when_round:(fun r -> r = 0)
+      (fun ~src:_ _view -> Some 777)
+  in
+  let res = E.run cfg ~inputs:(fun id -> id) ~adversary () in
+  List.iter
+    (fun seen -> check_bool "all received 777" true (List.mem (3, 777) seen))
+    (values res)
+
+let test_adversary_from_honest_rejected () =
+  let cfg = Config.with_byzantine ~n:4 ~t_max:1 [ 3 ] () in
+  let adversary =
+    Adversary.named "impersonate" (fun view ->
+        if view.Adversary.round <> 0 then []
+        else [ { Adversary.src = 0; dst = 1; msg = 1 } ])
+  in
+  try
+    ignore (E.run cfg ~inputs:(fun id -> id) ~adversary ());
+    Alcotest.fail "sending from honest id must be rejected"
+  with Engine.Invalid_adversary _ -> ()
+
+let test_uniform_delay_bounds () =
+  let cfg = Config.make ~n:5 ~t_max:1 ~delay:(Delay.Uniform { lo = 1; hi = 3 }) () in
+  let res = E.run cfg ~inputs:(fun id -> id) () in
+  List.iter
+    (fun out ->
+      match out with
+      | None -> Alcotest.fail "undecided"
+      | Some log ->
+          check_int "all messages arrive" 5 (List.length log);
+          List.iter
+            (fun (round, _, _) ->
+              check_bool "arrival within bounds" true (round >= 1 && round <= 3))
+            log)
+    (E.honest_outputs res)
+
+let test_determinism () =
+  let run () =
+    let cfg =
+      Config.make ~n:6 ~t_max:1 ~delay:(Delay.Uniform { lo = 1; hi = 4 }) ~seed:99 ()
+    in
+    E.run cfg ~inputs:(fun id -> id * 3) ()
+  in
+  let a = run () and b = run () in
+  check_bool "same outputs" true (E.honest_outputs a = E.honest_outputs b);
+  check_int "same rounds" a.rounds_used b.rounds_used
+
+(* A protocol that never decides must be reported as stalled at
+   max_rounds. *)
+module Mute = struct
+  type input = unit
+  type msg = unit
+  type output = unit
+  type state = unit
+
+  let name = "mute"
+  let init _ () = ((), [])
+  let step _ () ~round:_ ~inbox:_ = ((), [])
+  let output () = None
+end
+
+let test_stall_reported () =
+  let module EM = Engine.Make (Mute) in
+  let cfg = Config.make ~n:3 ~t_max:0 ~max_rounds:10 () in
+  let res = EM.run cfg ~inputs:(fun _ -> ()) () in
+  check_bool "stalled" true res.EM.stalled;
+  check_int "ran to cutoff" 10 res.EM.rounds_used
+
+let test_unicast_under_local_broadcast_rejected () =
+  let module Uni = struct
+    type input = unit
+    type msg = unit
+    type output = unit
+    type state = unit
+
+    let name = "uni"
+    let init _ () = ((), [ Types.unicast 0 () ])
+    let step _ () ~round:_ ~inbox:_ = ((), [])
+    let output () = Some ()
+  end in
+  let module EU = Engine.Make (Uni) in
+  let cfg = Config.make ~comm:Types.Local_broadcast ~n:3 ~t_max:0 () in
+  try
+    ignore (EU.run cfg ~inputs:(fun _ -> ()) ());
+    Alcotest.fail "honest unicast must be rejected under local broadcast"
+  with Invalid_argument _ -> ()
+
+(* --- topology-aware delivery --- *)
+
+let ring4 = [| [ 1; 3 ]; [ 0; 2 ]; [ 1; 3 ]; [ 0; 2 ] |]
+
+let test_topology_broadcast_reaches_neighbours () =
+  let cfg = Config.make ~topology:ring4 ~n:4 ~t_max:0 () in
+  check (Alcotest.list Alcotest.int) "reach of 0" [ 0; 1; 3 ] (Config.reach cfg 0);
+  let res = E.run cfg ~inputs:(fun id -> 100 + id) () in
+  (match values res with
+  | seen0 :: seen1 :: _ ->
+      check_bool "0 hears neighbour 1" true (List.mem (1, 101) seen0);
+      check_bool "0 does not hear non-neighbour 2" false (List.mem (2, 102) seen0);
+      check_bool "0 hears itself" true (List.mem (0, 100) seen0);
+      check_bool "1 hears 2" true (List.mem (2, 102) seen1)
+  | _ -> Alcotest.fail "outputs");
+  (* 4 nodes x 3 recipients each. *)
+  check_int "message count" 12 res.metrics.Metrics.honest_messages
+
+let test_topology_validation () =
+  Alcotest.check_raises "symmetry"
+    (Invalid_argument "Config.make: topology must be symmetric") (fun () ->
+      ignore (Config.make ~topology:[| [ 1 ]; [] |] ~n:2 ~t_max:0 ()));
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Config.make: topology self-loop") (fun () ->
+      ignore (Config.make ~topology:[| [ 0 ] |] ~n:1 ~t_max:0 ()));
+  Alcotest.check_raises "length"
+    (Invalid_argument "Config.make: topology must have length n") (fun () ->
+      ignore (Config.make ~topology:[| [] |] ~n:2 ~t_max:0 ()))
+
+let test_topology_local_broadcast_neighbourhood () =
+  (* Under local broadcast with a topology, a Byzantine node must cover
+     exactly its neighbourhood: all-nodes coverage is now invalid too. *)
+  let cfg =
+    Config.with_byzantine ~comm:Types.Local_broadcast ~topology:ring4 ~n:4
+      ~t_max:1 [ 2 ] ()
+  in
+  let to_all =
+    Adversary.named "to-all" (fun view ->
+        if view.Adversary.round <> 0 then []
+        else List.init 4 (fun dst -> { Adversary.src = 2; dst; msg = 9 }))
+  in
+  (try
+     ignore (E.run cfg ~inputs:(fun id -> id) ~adversary:to_all ());
+     Alcotest.fail "beyond-neighbourhood broadcast must be rejected"
+   with Engine.Invalid_adversary _ -> ());
+  let to_neighbourhood =
+    Adversary.broadcast_each_round ~name:"ok" ~when_round:(fun r -> r = 0)
+      (fun ~src:_ _ -> Some 9)
+  in
+  let res = E.run cfg ~inputs:(fun id -> id) ~adversary:to_neighbourhood () in
+  check_int "neighbourhood size messages" 3 res.metrics.Metrics.byzantine_messages
+
+let test_config_validation () =
+  Alcotest.check_raises "n positive" (Invalid_argument "Config.make: n must be positive")
+    (fun () -> ignore (Config.make ~n:0 ~t_max:0 ()));
+  Alcotest.check_raises "faults arity"
+    (Invalid_argument "Config.make: faults array must have length n") (fun () ->
+      ignore (Config.make ~n:3 ~t_max:0 ~faults:[| Fault.Honest |] ()));
+  let cfg = Config.with_byzantine ~n:5 ~t_max:1 [ 4 ] () in
+  check_bool "within tolerance" true (Config.within_tolerance cfg);
+  let cfg2 = Config.with_byzantine ~n:5 ~t_max:1 [ 3; 4 ] () in
+  check_bool "over tolerance" false (Config.within_tolerance cfg2);
+  check (Alcotest.list Alcotest.int) "honest ids" [ 0; 1; 2 ] (Config.honest_ids cfg2)
+
+let test_delay_validation () =
+  Alcotest.check_raises "fixed >= 1" (Invalid_argument "Delay.Fixed: delay must be >= 1")
+    (fun () -> Delay.validate (Delay.Fixed 0));
+  Alcotest.check_raises "uniform bounds"
+    (Invalid_argument "Delay.Uniform: need 1 <= lo <= hi") (fun () ->
+      Delay.validate (Delay.Uniform { lo = 2; hi = 1 }));
+  check (Alcotest.option Alcotest.int) "bound sync" (Some 1) (Delay.bound Delay.Synchronous);
+  check (Alcotest.option Alcotest.int) "bound uniform" (Some 4)
+    (Delay.bound (Delay.Uniform { lo = 2; hi = 4 }))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "full delivery" `Quick test_full_delivery;
+          Alcotest.test_case "crash mid-broadcast (Lemma 4)" `Quick
+            test_crash_mid_broadcast;
+          Alcotest.test_case "crashed node silent" `Quick
+            test_crashed_node_silent_after;
+          Alcotest.test_case "uniform delay bounds" `Quick test_uniform_delay_bounds;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "p2p equivocation allowed" `Quick
+            test_byzantine_equivocation_p2p_allowed;
+          Alcotest.test_case "local broadcast blocks equivocation (Prop 6)"
+            `Quick test_local_broadcast_blocks_equivocation;
+          Alcotest.test_case "local broadcast identical ok" `Quick
+            test_local_broadcast_identical_ok;
+          Alcotest.test_case "impersonating honest rejected" `Quick
+            test_adversary_from_honest_rejected;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "deterministic given seed" `Quick test_determinism;
+          Alcotest.test_case "stall reported" `Quick test_stall_reported;
+          Alcotest.test_case "unicast rejected under local broadcast" `Quick
+            test_unicast_under_local_broadcast_rejected;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "topology broadcast" `Quick
+            test_topology_broadcast_reaches_neighbours;
+          Alcotest.test_case "topology validation" `Quick test_topology_validation;
+          Alcotest.test_case "topology local-broadcast neighbourhood" `Quick
+            test_topology_local_broadcast_neighbourhood;
+          Alcotest.test_case "delay validation" `Quick test_delay_validation;
+        ] );
+    ]
