@@ -1,0 +1,13 @@
+.PHONY: check build test bench
+
+check: ## build everything, then run the full test suite
+	dune build && dune runtest
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- --bench

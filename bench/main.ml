@@ -36,6 +36,46 @@ let fig1b_exact_cell () =
   let dist = Vv_dist.Profiles.(distribution d2) in
   ignore (Vv_dist.Exact.pr_voting_validity dist ~t:2)
 
+let fig1b_cached_cell () =
+  let dist = Vv_dist.Profiles.(distribution d2) in
+  ignore (Vv_dist.Cache.pr_voting_validity dist ~t:2)
+
+(* Before/after timing for the enumeration memoisation: the Figure 1(b)
+   exact column evaluated over every profile and tolerance, once through
+   Exact (re-enumerates the multinomial support at each of the t_max+1
+   points) and once through Cache (one enumeration per profile, suffix-sum
+   lookups afterwards).  A larger electorate than the paper's ng=10 makes
+   the enumeration cost visible above timer noise. *)
+let memo_timing ?(ng = 28) ?(t_max = 4) ?(reps = 5) () =
+  let sweep pr_vv =
+    List.iter
+      (fun pr ->
+        let dist = Vv_dist.Profiles.distribution ~ng pr in
+        for t = 0 to t_max do
+          ignore (pr_vv dist ~t)
+        done)
+      Vv_dist.Profiles.all
+  in
+  let time f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do f () done;
+    (Sys.time () -. t0) /. float_of_int reps
+  in
+  let before = time (fun () -> sweep Vv_dist.Exact.pr_voting_validity) in
+  let after =
+    time (fun () ->
+        Vv_dist.Cache.clear ();
+        sweep Vv_dist.Cache.pr_voting_validity)
+  in
+  Fmt.pr "@.== Fig 1(b) exact sweep, enumeration memoisation (ng=%d, t=0..%d, \
+          %d profiles) ==@."
+    ng t_max
+    (List.length Vv_dist.Profiles.all);
+  Fmt.pr "before (Exact, re-enumerates per point) : %8.4f s@." before;
+  Fmt.pr "after  (Cache, one enumeration/profile) : %8.4f s@." after;
+  Fmt.pr "speedup                                  : %8.2fx@."
+    (if after > 0.0 then before /. after else Float.infinity)
+
 let fig1b_mc_cell =
   let rng = Vv_prelude.Rng.create 17 in
   fun () ->
@@ -102,6 +142,7 @@ let benches () =
         Test.make ~name:"bb-phase-king-n8"
           (Staged.stage (bb_run Vv_bb.Bb.Phase_king));
         Test.make ~name:"fig1b-exact-cell" (Staged.stage fig1b_exact_cell);
+        Test.make ~name:"fig1b-cached-cell" (Staged.stage fig1b_cached_cell);
         Test.make ~name:"fig1b-montecarlo-cell" (Staged.stage fig1b_mc_cell);
         Test.make ~name:"baseline-median-n11" (Staged.stage median_baseline);
         Test.make ~name:"radio-ring12-consensus" (Staged.stage radio_ring);
@@ -145,4 +186,7 @@ let () =
             ===@.";
     Vv_analysis.Experiments.run_all ()
   end;
-  if not tables_only then benches ()
+  if not tables_only then begin
+    memo_timing ();
+    benches ()
+  end

@@ -2,10 +2,13 @@
 
    Subcommands:
      list                        enumerate the experiments (DESIGN.md §4)
-     exp <id> [--csv]            regenerate one figure/experiment
+     exp <id> [--format=F]       regenerate one figure/experiment
      all                         regenerate everything
      bounds -n N -t T [...]      evaluate every tolerance bound at a point
-     run [...]                   one protocol execution with full control *)
+     run [...]                   one protocol execution with full control
+
+   Every experiment subcommand takes the shared --format=table|csv|json
+   term; all three formats render the same data. *)
 
 module C = Cmdliner
 module Oid = Vv_ballot.Option_id
@@ -13,6 +16,21 @@ module Runner = Vv_core.Runner
 module Strategy = Vv_core.Strategy
 module Bounds = Vv_core.Bounds
 module Table = Vv_prelude.Table
+module Json = Vv_prelude.Json
+module Emit = Vv_exec.Emit
+
+(* --- shared --format term --- *)
+
+let format_term =
+  let fmt_conv =
+    C.Arg.enum (List.map (fun f -> (Emit.to_string f, f)) Emit.all)
+  in
+  C.Arg.(
+    value
+    & opt fmt_conv Emit.Table
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: $(b,table) (human-readable, default), \
+              $(b,csv) or $(b,json).")
 
 (* --- list --- *)
 
@@ -37,23 +55,16 @@ let exp_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,vvc list)).")
   in
-  let csv =
-    C.Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
-  in
-  let run id csv =
+  let run id format =
     match Vv_analysis.Experiments.find id with
     | None ->
         Fmt.epr "unknown experiment %S; try: %a@." id
           Fmt.(list ~sep:sp string)
           Vv_analysis.Experiments.ids;
         exit 1
-    | Some e ->
-        List.iter
-          (fun t ->
-            if csv then print_string (Table.to_csv t) else Table.print t)
-          (e.Vv_analysis.Experiments.run ())
+    | Some e -> Emit.tables format (e.Vv_analysis.Experiments.run ())
   in
-  C.Cmd.v (C.Cmd.info "exp" ~doc) C.Term.(const run $ id $ csv)
+  C.Cmd.v (C.Cmd.info "exp" ~doc) C.Term.(const run $ id $ format_term)
 
 (* --- all --- *)
 
@@ -66,30 +77,55 @@ let all_cmd =
                ~doc:"Additionally write every table as CSV under this \
                      directory (created if missing).")
   in
-  let run csv_dir =
-    match csv_dir with
-    | None -> Vv_analysis.Experiments.run_all ()
-    | Some dir ->
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let run format csv_dir =
+    (match csv_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let write_csvs (e : Vv_analysis.Experiments.experiment) tables =
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+          List.iteri
+            (fun i t ->
+              let path =
+                Filename.concat dir
+                  (Fmt.str "%s_%d.csv" e.Vv_analysis.Experiments.id i)
+              in
+              let oc = open_out path in
+              output_string oc (Table.to_csv t);
+              close_out oc;
+              Fmt.epr "[written %s]@." path)
+            tables
+    in
+    match format with
+    | Emit.Json ->
+        (* One top-level array: [{id; what; tables}]. *)
+        let objs =
+          List.map
+            (fun (e : Vv_analysis.Experiments.experiment) ->
+              let tables = e.Vv_analysis.Experiments.run () in
+              write_csvs e tables;
+              Json.Obj
+                [
+                  ("id", Json.String e.Vv_analysis.Experiments.id);
+                  ("what", Json.String e.Vv_analysis.Experiments.what);
+                  ("tables", Json.List (List.map Table.to_json tables));
+                ])
+            Vv_analysis.Experiments.all
+        in
+        print_endline (Json.to_string (Json.List objs))
+    | (Emit.Table | Emit.Csv) as fmt ->
         List.iter
           (fun (e : Vv_analysis.Experiments.experiment) ->
-            Fmt.pr "@.### %s — %s@.@." e.Vv_analysis.Experiments.id
-              e.Vv_analysis.Experiments.what;
-            List.iteri
-              (fun i t ->
-                Table.print t;
-                let path =
-                  Filename.concat dir
-                    (Fmt.str "%s_%d.csv" e.Vv_analysis.Experiments.id i)
-                in
-                let oc = open_out path in
-                output_string oc (Table.to_csv t);
-                close_out oc;
-                Fmt.pr "[written %s]@." path)
-              (e.Vv_analysis.Experiments.run ()))
+            if fmt = Emit.Table then
+              Fmt.pr "@.### %s — %s@.@." e.Vv_analysis.Experiments.id
+                e.Vv_analysis.Experiments.what;
+            let tables = e.Vv_analysis.Experiments.run () in
+            List.iter (Emit.table fmt) tables;
+            write_csvs e tables)
           Vv_analysis.Experiments.all
   in
-  C.Cmd.v (C.Cmd.info "all" ~doc) C.Term.(const run $ csv_dir)
+  C.Cmd.v (C.Cmd.info "all" ~doc) C.Term.(const run $ format_term $ csv_dir)
 
 (* --- bounds --- *)
 
@@ -99,7 +135,7 @@ let bounds_cmd =
   let t = C.Arg.(required & opt (some int) None & info [ "t" ] ~doc:"Tolerance t.") in
   let bg = C.Arg.(value & opt int 0 & info [ "bg" ] ~doc:"Honest runner-up votes B_G.") in
   let cg = C.Arg.(value & opt int 0 & info [ "cg" ] ~doc:"Honest other votes C_G.") in
-  let run n t bg cg =
+  let run format n t bg cg =
     let tab =
       Table.create ~title:(Fmt.str "Bounds at N=%d t=%d B_G=%d C_G=%d" n t bg cg)
         ~headers:[ "kind"; "bound (N must exceed)"; "satisfied"; "t_vd"; "required gap" ]
@@ -117,9 +153,10 @@ let bounds_cmd =
             Table.icell (Bounds.required_gap kind ~t);
           ])
       [ Bounds.Bft; Bounds.Cft; Bounds.Sct ];
-    Table.print tab
+    Emit.table format tab
   in
-  C.Cmd.v (C.Cmd.info "bounds" ~doc) C.Term.(const run $ n $ t $ bg $ cg)
+  C.Cmd.v (C.Cmd.info "bounds" ~doc)
+    C.Term.(const run $ format_term $ n $ t $ bg $ cg)
 
 (* --- run --- *)
 
@@ -194,7 +231,46 @@ let run_cmd =
     C.Arg.(value & flag
            & info [ "trace" ] ~doc:"Print per-round engine activity to stderr.")
   in
-  let run protocol strategy bb t f inputs delay_hi seed trace =
+  let oid_json o = Json.Int (Oid.to_int o) in
+  let run_json protocol strategy ~t ~f ~seed (r : Runner.outcome) =
+    Json.Obj
+      [
+        ( "spec",
+          Json.Obj
+            [
+              ("protocol", Json.String (Runner.protocol_label protocol));
+              ("strategy", Json.String (Fmt.str "%a" Strategy.pp strategy));
+              ("t", Json.Int t);
+              ("f", Json.Int f);
+              ("seed", Json.Int seed);
+              ("honest_inputs", Json.List (List.map oid_json r.Runner.honest_inputs));
+            ] );
+        ( "outcome",
+          Json.Obj
+            [
+              ( "outputs",
+                Json.List
+                  (List.map
+                     (fun o -> Json.of_int_option (Option.map Oid.to_int o))
+                     r.Runner.outputs) );
+              ("termination", Json.Bool r.Runner.termination);
+              ("agreement", Json.Bool r.Runner.agreement);
+              ("voting_validity", Json.Bool r.Runner.voting_validity);
+              ("voting_validity_tb", Json.Bool r.Runner.voting_validity_tb);
+              ("strong_validity", Json.Bool r.Runner.strong_validity);
+              ("safety_admissible", Json.Bool r.Runner.safety_admissible);
+              ("stalled", Json.Bool r.Runner.stalled);
+              ("rounds", Json.Int r.Runner.rounds);
+              ("honest_msgs", Json.Int r.Runner.honest_msgs);
+              ("byz_msgs", Json.Int r.Runner.byz_msgs);
+              ( "decision_rounds",
+                Json.List (List.map Json.of_int_option r.Runner.decision_rounds)
+              );
+            ] );
+        ("trace", Vv_sim.Trace.to_json r.Runner.trace);
+      ]
+  in
+  let run protocol strategy bb t f inputs delay_hi seed trace format =
     if trace then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.Src.set_level Vv_sim.Engine.log_src (Some Logs.Debug)
@@ -205,38 +281,45 @@ let run_cmd =
       else Vv_sim.Delay.Uniform { lo = 1; hi = delay_hi }
     in
     let r = Runner.simple ~protocol ~strategy ~bb ~delay ~seed ~t ~f inputs in
-    let honest = r.Runner.honest_inputs in
-    Fmt.pr "protocol     : %s@." (Runner.protocol_label protocol);
-    Fmt.pr "adversary    : %a  (f=%d, t=%d)@." Strategy.pp strategy f t;
-    Fmt.pr "honest inputs: %a@." Fmt.(list ~sep:sp Oid.pp) honest;
-    (match Bounds.decompose ~tie:Vv_ballot.Tie_break.default honest with
-    | Some (w, ag, bg, cg) ->
-        Fmt.pr "honest tally : plurality=%a A_G=%d B_G=%d C_G=%d@." Oid.pp w ag
-          bg cg;
-        let n = List.length honest + f in
-        Fmt.pr "bounds       : BFT=%b CFT=%b SCT=%b (N=%d)@."
-          (Bounds.satisfied Bounds.Bft ~n ~t ~bg ~cg)
-          (Bounds.satisfied Bounds.Cft ~n ~t ~bg ~cg)
-          (Bounds.satisfied Bounds.Sct ~n ~t ~bg ~cg)
-          n
-    | None -> ());
-    Fmt.pr "outputs      : %a@."
-      Fmt.(list ~sep:sp (option ~none:(any "-") Oid.pp))
-      r.Runner.outputs;
-    Fmt.pr "termination  : %b@." r.Runner.termination;
-    Fmt.pr "agreement    : %b@." r.Runner.agreement;
-    Fmt.pr "voting valid : %b (tie-break-aware: %b)@." r.Runner.voting_validity
-      r.Runner.voting_validity_tb;
-    Fmt.pr "strong valid : %b@." r.Runner.strong_validity;
-    Fmt.pr "safety adm.  : %b@." r.Runner.safety_admissible;
-    Fmt.pr "rounds       : %d (stalled: %b)@." r.Runner.rounds r.Runner.stalled;
-    Fmt.pr "messages     : honest=%d byzantine=%d@." r.Runner.honest_msgs
-      r.Runner.byz_msgs
+    match format with
+    | Emit.Json ->
+        print_endline
+          (Json.to_string (run_json protocol strategy ~t ~f ~seed r))
+    | Emit.Csv -> print_string (Vv_sim.Trace.to_csv r.Runner.trace)
+    | Emit.Table ->
+        let honest = r.Runner.honest_inputs in
+        Fmt.pr "protocol     : %s@." (Runner.protocol_label protocol);
+        Fmt.pr "adversary    : %a  (f=%d, t=%d)@." Strategy.pp strategy f t;
+        Fmt.pr "honest inputs: %a@." Fmt.(list ~sep:sp Oid.pp) honest;
+        (match Bounds.decompose ~tie:Vv_ballot.Tie_break.default honest with
+        | Some (w, ag, bg, cg) ->
+            Fmt.pr "honest tally : plurality=%a A_G=%d B_G=%d C_G=%d@." Oid.pp w
+              ag bg cg;
+            let n = List.length honest + f in
+            Fmt.pr "bounds       : BFT=%b CFT=%b SCT=%b (N=%d)@."
+              (Bounds.satisfied Bounds.Bft ~n ~t ~bg ~cg)
+              (Bounds.satisfied Bounds.Cft ~n ~t ~bg ~cg)
+              (Bounds.satisfied Bounds.Sct ~n ~t ~bg ~cg)
+              n
+        | None -> ());
+        Fmt.pr "outputs      : %a@."
+          Fmt.(list ~sep:sp (option ~none:(any "-") Oid.pp))
+          r.Runner.outputs;
+        Fmt.pr "termination  : %b@." r.Runner.termination;
+        Fmt.pr "agreement    : %b@." r.Runner.agreement;
+        Fmt.pr "voting valid : %b (tie-break-aware: %b)@."
+          r.Runner.voting_validity r.Runner.voting_validity_tb;
+        Fmt.pr "strong valid : %b@." r.Runner.strong_validity;
+        Fmt.pr "safety adm.  : %b@." r.Runner.safety_admissible;
+        Fmt.pr "rounds       : %d (stalled: %b)@." r.Runner.rounds
+          r.Runner.stalled;
+        Fmt.pr "messages     : honest=%d byzantine=%d@." r.Runner.honest_msgs
+          r.Runner.byz_msgs
   in
   C.Cmd.v (C.Cmd.info "run" ~doc)
     C.Term.(
       const run $ protocol $ strategy $ bb $ t $ f $ inputs $ delay_hi $ seed
-      $ trace)
+      $ trace $ format_term)
 
 (* --- ledger --- *)
 
@@ -246,7 +329,7 @@ let ledger_cmd =
   let t = C.Arg.(value & opt int 2 & info [ "t" ] ~doc:"Tolerance (the last t nodes are Byzantine).") in
   let slots = C.Arg.(value & opt int 6 & info [ "slots" ] ~doc:"Number of subjects to decide.") in
   let seed = C.Arg.(value & opt int 0x1ed9 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run n t slots seed =
+  let run format n t slots seed =
     let byzantine = List.init t (fun i -> n - 1 - i) in
     let cfg =
       Vv_multishot.Ledger.config ~byzantine
@@ -262,14 +345,58 @@ let ledger_cmd =
       let honest = Vv_dist.Montecarlo.sample_inputs dist rng in
       let inputs = honest @ List.init t (fun _ -> Oid.of_int 0) in
       let slot = Vv_multishot.Ledger.decide ledger ~subject inputs in
-      Fmt.pr "%a@." Vv_multishot.Ledger.pp_slot slot
+      if format = Emit.Table then Fmt.pr "%a@." Vv_multishot.Ledger.pp_slot slot
     done;
-    Fmt.pr "@.height=%d committed=%d all-committed-valid=%b@."
-      (Vv_multishot.Ledger.height ledger)
-      (List.length (Vv_multishot.Ledger.committed ledger))
-      (Vv_multishot.Ledger.all_committed_valid ledger)
+    let tab =
+      Table.create ~title:(Fmt.str "ledger n=%d t=%d seed=%#x" n t seed)
+        ~headers:
+          [ "slot"; "subject"; "decision"; "speaker"; "attempts"; "valid";
+            "rounds" ]
+        ~aligns:
+          [ Table.Right; Table.Right; Table.Left; Table.Right; Table.Right;
+            Table.Right; Table.Right ]
+        ()
+    in
+    List.iter
+      (fun (s : Vv_multishot.Ledger.slot) ->
+        Table.add_row tab
+          [
+            Table.icell s.Vv_multishot.Ledger.index;
+            Table.icell s.Vv_multishot.Ledger.subject;
+            (match s.Vv_multishot.Ledger.decision with
+            | Some o -> Oid.to_string o
+            | None -> "-");
+            Table.icell s.Vv_multishot.Ledger.speaker;
+            Table.icell s.Vv_multishot.Ledger.attempts;
+            Table.bcell s.Vv_multishot.Ledger.valid;
+            Table.icell s.Vv_multishot.Ledger.rounds_total;
+          ])
+      (Vv_multishot.Ledger.slots ledger);
+    (match format with
+    | Emit.Table -> ()
+    | Emit.Csv -> print_string (Table.to_csv tab)
+    | Emit.Json ->
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("slots", Table.to_json tab);
+                  ("height", Json.Int (Vv_multishot.Ledger.height ledger));
+                  ( "committed",
+                    Json.Int
+                      (List.length (Vv_multishot.Ledger.committed ledger)) );
+                  ( "all_committed_valid",
+                    Json.Bool (Vv_multishot.Ledger.all_committed_valid ledger)
+                  );
+                ])));
+    if format = Emit.Table then
+      Fmt.pr "@.height=%d committed=%d all-committed-valid=%b@."
+        (Vv_multishot.Ledger.height ledger)
+        (List.length (Vv_multishot.Ledger.committed ledger))
+        (Vv_multishot.Ledger.all_committed_valid ledger)
   in
-  C.Cmd.v (C.Cmd.info "ledger" ~doc) C.Term.(const run $ n $ t $ slots $ seed)
+  C.Cmd.v (C.Cmd.info "ledger" ~doc)
+    C.Term.(const run $ format_term $ n $ t $ slots $ seed)
 
 (* --- radio --- *)
 
@@ -299,7 +426,7 @@ let radio_cmd =
            & info [ "topology" ] ~doc:"complete:N | ring:N | ring2:N | grid:W:H | geo:N:R.")
   in
   let t = C.Arg.(value & opt int 1 & info [ "t" ] ~doc:"Tolerance; the last t nodes are Byzantine.") in
-  let run topo t =
+  let run format topo t =
     let n = Vv_radio.Topology.size topo in
     let byzantine = List.init t (fun i -> n - 1 - i) in
     let inputs =
@@ -308,18 +435,43 @@ let radio_cmd =
     let r =
       Vv_radio.Radio_runner.run ~topology:topo ~t ~byzantine inputs
     in
-    Fmt.pr "topology     : %d nodes, diameter %d, min degree %d@." n
-      (Vv_radio.Topology.diameter topo)
-      (Vv_radio.Topology.min_degree topo);
-    Fmt.pr "outputs      : %a@."
-      Fmt.(list ~sep:sp (option ~none:(any "-") Oid.pp))
-      r.Vv_radio.Radio_runner.outputs;
-    Fmt.pr "termination=%b agreement=%b validity=%b rounds=%d messages=%d@."
-      r.Vv_radio.Radio_runner.termination r.Vv_radio.Radio_runner.agreement
-      r.Vv_radio.Radio_runner.voting_validity r.Vv_radio.Radio_runner.rounds
-      r.Vv_radio.Radio_runner.messages
+    match format with
+    | Emit.Json ->
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("n", Json.Int n);
+                  ("diameter", Json.Int (Vv_radio.Topology.diameter topo));
+                  ("t", Json.Int t);
+                  ( "outputs",
+                    Json.List
+                      (List.map
+                         (fun o -> Json.of_int_option (Option.map Oid.to_int o))
+                         r.Vv_radio.Radio_runner.outputs) );
+                  ("termination", Json.Bool r.Vv_radio.Radio_runner.termination);
+                  ("agreement", Json.Bool r.Vv_radio.Radio_runner.agreement);
+                  ( "voting_validity",
+                    Json.Bool r.Vv_radio.Radio_runner.voting_validity );
+                  ("rounds", Json.Int r.Vv_radio.Radio_runner.rounds);
+                  ("messages", Json.Int r.Vv_radio.Radio_runner.messages);
+                  ("trace", Vv_sim.Trace.to_json r.Vv_radio.Radio_runner.trace);
+                ]))
+    | Emit.Csv ->
+        print_string (Vv_sim.Trace.to_csv r.Vv_radio.Radio_runner.trace)
+    | Emit.Table ->
+        Fmt.pr "topology     : %d nodes, diameter %d, min degree %d@." n
+          (Vv_radio.Topology.diameter topo)
+          (Vv_radio.Topology.min_degree topo);
+        Fmt.pr "outputs      : %a@."
+          Fmt.(list ~sep:sp (option ~none:(any "-") Oid.pp))
+          r.Vv_radio.Radio_runner.outputs;
+        Fmt.pr "termination=%b agreement=%b validity=%b rounds=%d messages=%d@."
+          r.Vv_radio.Radio_runner.termination r.Vv_radio.Radio_runner.agreement
+          r.Vv_radio.Radio_runner.voting_validity r.Vv_radio.Radio_runner.rounds
+          r.Vv_radio.Radio_runner.messages
   in
-  C.Cmd.v (C.Cmd.info "radio" ~doc) C.Term.(const run $ topo $ t)
+  C.Cmd.v (C.Cmd.info "radio" ~doc) C.Term.(const run $ format_term $ topo $ t)
 
 let () =
   let doc = "Exact fault-tolerant consensus with voting validity (IPDPS 2023)" in

@@ -71,7 +71,7 @@ module Approx_E = Engine.Make (B.Approx)
 
 let run_median cfg ~inputs ~collude =
   let adversary = if collude then Some (raw_collude ()) else None in
-  let res = Median_E.run cfg ~inputs ?adversary () in
+  let res = Median_E.run_exn cfg ~inputs ?adversary () in
   {
     outputs = Median_E.honest_outputs res;
     rounds = res.Median_E.rounds_used;
@@ -80,7 +80,7 @@ let run_median cfg ~inputs ~collude =
 
 let run_interval cfg ~inputs ~collude =
   let adversary = if collude then Some (raw_collude ()) else None in
-  let res = Interval_E.run cfg ~inputs ?adversary () in
+  let res = Interval_E.run_exn cfg ~inputs ?adversary () in
   {
     outputs = Interval_E.honest_outputs res;
     rounds = res.Interval_E.rounds_used;
@@ -89,7 +89,7 @@ let run_interval cfg ~inputs ~collude =
 
 let run_strong cfg ~inputs ~collude =
   let adversary = if collude then Some (raw_collude ()) else None in
-  let res = Strong_E.run cfg ~inputs ?adversary () in
+  let res = Strong_E.run_exn cfg ~inputs ?adversary () in
   {
     outputs = Strong_E.honest_outputs res;
     rounds = res.Strong_E.rounds_used;
@@ -97,7 +97,7 @@ let run_strong cfg ~inputs ~collude =
   }
 
 let run_kset cfg ~inputs =
-  let res = Kset_E.run cfg ~inputs () in
+  let res = Kset_E.run_exn cfg ~inputs () in
   {
     outputs = Kset_E.honest_outputs res;
     rounds = res.Kset_E.rounds_used;
@@ -109,7 +109,7 @@ let run_approx cfg ~inputs ~outlier =
   let adversary =
     match outlier with None -> None | Some v -> Some (approx_outlier ~value:v)
   in
-  let res = Approx_E.run cfg ~inputs ?adversary () in
+  let res = Approx_E.run_exn cfg ~inputs ?adversary () in
   ( Approx_E.honest_outputs res,
     res.Approx_E.rounds_used,
     res.Approx_E.stalled )

@@ -12,7 +12,7 @@
 
 module Table = Vv_prelude.Table
 module Profiles = Vv_dist.Profiles
-module Exact = Vv_dist.Exact
+module Cache = Vv_dist.Cache
 module Mc = Vv_dist.Montecarlo
 module Rng = Vv_prelude.Rng
 
@@ -38,21 +38,19 @@ let fig1a ?(ng = Profiles.default_ng) () =
   t
 
 (* One empirical success estimate: sample honest inputs from the profile,
-   run Algorithm 1 with f = t colluders on the runner-up, count runs that
-   terminated with the exact honest plurality. *)
+   run Algorithm 1 with f = t colluders on the runner-up, and read the
+   success rate (terminated with the exact honest plurality) off the batch
+   summary.  The generator is invoked in index order, so drawing from the
+   shared rng inside it is reproducible. *)
 let empirical_success ~trials ~t ~rng dist =
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    let honest = Mc.sample_inputs dist rng in
-    let r =
-      Vv_core.Runner.simple ~protocol:Vv_core.Runner.Algo1
-        ~strategy:Vv_core.Strategy.Collude_second ~t ~f:t
-        ~seed:(Rng.bits rng) honest
-    in
-    if r.Vv_core.Runner.termination && r.Vv_core.Runner.voting_validity_tb then
-      incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+  let summary =
+    Vv_exec.Executor.run_generator ~count:trials (fun _ ->
+        let honest = Mc.sample_inputs dist rng in
+        Vv_core.Runner.simple_spec ~protocol:Vv_core.Runner.Algo1
+          ~strategy:Vv_core.Strategy.Collude_second ~t ~f:t
+          ~seed:(Rng.bits rng) honest)
+  in
+  Vv_exec.Summary.success_rate summary
 
 let fig1b ?(ng = Profiles.default_ng) ?(t_max = 4) ?(mc_samples = 20_000)
     ?(trials = 150) ?(seed = 0xf1b) () =
@@ -73,7 +71,7 @@ let fig1b ?(ng = Profiles.default_ng) ?(t_max = 4) ?(mc_samples = 20_000)
     (fun (pr : Profiles.t) ->
       let dist = Profiles.distribution ~ng pr in
       for tol = 0 to t_max do
-        let exact = Exact.pr_voting_validity dist ~t:tol in
+        let exact = Cache.pr_voting_validity dist ~t:tol in
         let mc, hw =
           Mc.pr_voting_validity dist ~t:tol ~samples:mc_samples ~rng
         in
@@ -105,7 +103,7 @@ let fig1c ?(ng = Profiles.default_ng) ?(f_max = 4) () =
       let dist = Profiles.distribution ~ng pr in
       let cells =
         List.init (f_max + 1) (fun f ->
-            Table.fcell (Exact.system_entropy dist ~f))
+            Table.fcell (Cache.system_entropy dist ~f))
       in
       Table.add_row t
         ([ pr.Profiles.name; Table.fcell ~decimals:2 (Profiles.initial_entropy ~ng pr) ]

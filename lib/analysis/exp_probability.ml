@@ -13,7 +13,7 @@
 
 module Table = Vv_prelude.Table
 module Profiles = Vv_dist.Profiles
-module Exact = Vv_dist.Exact
+module Cache = Vv_dist.Cache
 module Oid = Vv_ballot.Option_id
 
 let e13_sct_price ?(ng = Profiles.default_ng) ?(t_max = 3) () =
@@ -37,8 +37,8 @@ let e13_sct_price ?(ng = Profiles.default_ng) ?(t_max = 3) () =
         List.concat_map
           (fun t ->
             [
-              Table.fcell (Exact.pr_voting_validity dist ~t);
-              Table.fcell (Exact.pr_sct_termination dist ~t);
+              Table.fcell (Cache.pr_voting_validity dist ~t);
+              Table.fcell (Cache.pr_sct_termination dist ~t);
             ])
           (List.init t_max (fun i -> i + 1))
       in
@@ -83,7 +83,7 @@ let e13_neiger ?(t = 3) ?(m = 4) () =
       in
       let module E = Baseline_runner.Strong_E in
       let res =
-        E.run cfg ~inputs:(fun id -> arr.(min id (ng - 1))) ~adversary ()
+        E.run_exn cfg ~inputs:(fun id -> arr.(min id (ng - 1))) ~adversary ()
       in
       let outputs = E.honest_outputs res in
       let strong_ok =

@@ -49,6 +49,7 @@ let step (ctx : Protocol.ctx) st ~round ~inbox =
   end
 
 let output st = st.decided
+let phase st = if st.decided <> None then "decided" else "average"
 
 (* Maximum pairwise distance between decided honest values. *)
 let spread outputs =

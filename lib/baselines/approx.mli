@@ -27,6 +27,7 @@ val step :
   state * msg Vv_sim.Types.envelope list
 
 val output : state -> output option
+val phase : state -> string
 
 val spread : float option list -> float
 (** Maximum pairwise distance between decided values. *)

@@ -94,4 +94,9 @@ module Make (C : CANDIDATE) :
       | Some _ | None -> (st, [])
 
   let output st = st.decided
+
+  let phase st =
+    if st.decided <> None then "decided"
+    else if st.ba <> None then "agree"
+    else "exchange"
 end

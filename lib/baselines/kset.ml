@@ -44,6 +44,7 @@ let step (_ : Protocol.ctx) st ~round ~inbox =
   end
 
 let output st = st.decided
+let phase st = if st.decided <> None then "decided" else "exchange"
 
 (* The weakened agreement property: number of distinct decided values. *)
 let distinct_outputs outputs =

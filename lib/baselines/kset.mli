@@ -25,6 +25,7 @@ val step :
   state * msg Vv_sim.Types.envelope list
 
 val output : state -> output option
+val phase : state -> string
 
 val distinct_outputs : int option list -> int
 (** Number of distinct decided values — the weakened agreement metric. *)

@@ -65,4 +65,5 @@ module Make (Sub : Bb_intf.S) :
       else ({ st with buffer }, [])
 
   let output st = if st.finished then Some (Sub.result st.sub) else None
+  let phase st = if st.finished then "done" else "broadcast"
 end

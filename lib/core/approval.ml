@@ -192,6 +192,15 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
       (st, List.rev !outbox)
 
     let output st = st.decided
+
+    let phase st =
+      if st.decided <> None then "decided"
+      else if st.proposed then "proposed"
+      else
+        match st.subject with
+        | None -> "prepare"
+        | Some s when s < 0 -> "no-subject"
+        | Some _ -> "approve"
   end
 
   module E = Engine.Make (P)
@@ -241,7 +250,7 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
     let adversary =
       if collude then collude_second ~tie () else Adversary.passive
     in
-    let res = E.run cfg ~inputs ~adversary () in
+    let res = E.run_exn cfg ~inputs ~adversary () in
     {
       outputs = E.honest_outputs res;
       rounds = res.E.rounds_used;

@@ -81,6 +81,8 @@ let spec ?(byzantine = []) ?(crash = []) ?(protocol = Algo1)
     judgment_override;
   }
 
+let with_seed seed (s : spec) = { s with seed }
+
 type outcome = {
   outputs : Oid.t option list;  (** honest nodes, node-id order *)
   honest_inputs : Oid.t list;
@@ -95,6 +97,7 @@ type outcome = {
   honest_msgs : int;
   byz_msgs : int;
   decision_rounds : int option list;
+  trace : Vv_sim.Trace.snapshot;  (** per-round structured history *)
 }
 
 let config_of (s : spec) =
@@ -120,32 +123,7 @@ let config_of (s : spec) =
   Config.make ~faults ~comm ~delay:s.delay ~max_rounds:s.max_rounds ~seed:s.seed
     ~n:s.n ~t_max:s.t ()
 
-let run (s : spec) =
-  let cfg = config_of s in
-  let variant = Variant.with_tie s.tie (variant_of s.protocol) in
-  let variant =
-    match s.judgment_override with
-    | None -> variant
-    | Some judgment -> { variant with Variant.judgment }
-  in
-  let preferences id = List.nth s.inputs id in
-  let exec =
-    match s.protocol with
-    | Algo4_local | Cft ->
-        V_plain.execute cfg ~variant ~speaker:s.speaker ~subject:s.subject
-          ~preferences ~strategy:s.strategy
-    | Algo1 | Algo2_sct | Algo3_incremental | Sct_incremental -> (
-        match s.bb with
-        | Vv_bb.Bb.Dolev_strong ->
-            V_ds.execute cfg ~variant ~speaker:s.speaker ~subject:s.subject
-              ~preferences ~strategy:s.strategy
-        | Vv_bb.Bb.Eig ->
-            V_eig.execute cfg ~variant ~speaker:s.speaker ~subject:s.subject
-              ~preferences ~strategy:s.strategy
-        | Vv_bb.Bb.Phase_king ->
-            V_pk.execute cfg ~variant ~speaker:s.speaker ~subject:s.subject
-              ~preferences ~strategy:s.strategy)
-  in
+let outcome_of (s : spec) cfg (exec : Voting.exec) =
   let honest_inputs =
     List.map (fun id -> List.nth s.inputs id) (Config.honest_ids cfg)
   in
@@ -167,11 +145,46 @@ let run (s : spec) =
     honest_msgs = exec.Voting.honest_msgs;
     byz_msgs = exec.Voting.byz_msgs;
     decision_rounds = exec.Voting.decision_rounds;
+    trace = exec.Voting.trace;
   }
+
+let run_checked (s : spec) =
+  let cfg = config_of s in
+  let variant = Variant.with_tie s.tie (variant_of s.protocol) in
+  let variant =
+    match s.judgment_override with
+    | None -> variant
+    | Some judgment -> { variant with Variant.judgment }
+  in
+  let preferences id = List.nth s.inputs id in
+  let exec =
+    match s.protocol with
+    | Algo4_local | Cft ->
+        V_plain.execute_checked cfg ~variant ~speaker:s.speaker
+          ~subject:s.subject ~preferences ~strategy:s.strategy
+    | Algo1 | Algo2_sct | Algo3_incremental | Sct_incremental -> (
+        match s.bb with
+        | Vv_bb.Bb.Dolev_strong ->
+            V_ds.execute_checked cfg ~variant ~speaker:s.speaker
+              ~subject:s.subject ~preferences ~strategy:s.strategy
+        | Vv_bb.Bb.Eig ->
+            V_eig.execute_checked cfg ~variant ~speaker:s.speaker
+              ~subject:s.subject ~preferences ~strategy:s.strategy
+        | Vv_bb.Bb.Phase_king ->
+            V_pk.execute_checked cfg ~variant ~speaker:s.speaker
+              ~subject:s.subject ~preferences ~strategy:s.strategy)
+  in
+  Result.map (outcome_of s cfg) exec
+
+let run (s : spec) =
+  match run_checked s with
+  | Ok o -> o
+  | Error (`Invalid_adversary reason) ->
+      raise (Vv_sim.Engine.Invalid_adversary reason)
 
 (* Convenience: the paper's standard setup — honest inputs listed first,
    the last [f] nodes Byzantine, speaker honest node 0. *)
-let simple ?(protocol = Algo1) ?(strategy = Strategy.Collude_second)
+let simple_spec ?(protocol = Algo1) ?(strategy = Strategy.Collude_second)
     ?(bb = Vv_bb.Bb.default) ?(tie = Vv_ballot.Tie_break.default)
     ?(delay = Delay.Synchronous) ?(seed = 0x5eed) ?(max_rounds = 200) ~t ~f
     honest_inputs =
@@ -181,6 +194,11 @@ let simple ?(protocol = Algo1) ?(strategy = Strategy.Collude_second)
   (* Byzantine slots still need placeholder inputs. *)
   let filler = match honest_inputs with x :: _ -> x | [] -> Oid.of_int 0 in
   let inputs = honest_inputs @ List.init f (fun _ -> filler) in
+  spec ~byzantine ~protocol ~bb ~strategy ~tie ~delay ~seed ~max_rounds ~n ~t
+    inputs
+
+let simple ?protocol ?strategy ?bb ?tie ?delay ?seed ?max_rounds ~t ~f
+    honest_inputs =
   run
-    (spec ~byzantine ~protocol ~bb ~strategy ~tie ~delay ~seed ~max_rounds ~n ~t
-       inputs)
+    (simple_spec ?protocol ?strategy ?bb ?tie ?delay ?seed ?max_rounds ~t ~f
+       honest_inputs)

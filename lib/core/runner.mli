@@ -53,6 +53,10 @@ val spec :
   spec
 (** Raises [Invalid_argument] when [inputs] does not have length [n]. *)
 
+val with_seed : int -> spec -> spec
+(** Same specification with a different PRNG seed — how the batch executor
+    derives per-instance seeds deterministically. *)
+
 type outcome = {
   outputs : Oid.t option list;  (** honest nodes, node-id order *)
   honest_inputs : Oid.t list;
@@ -67,9 +71,32 @@ type outcome = {
   honest_msgs : int;
   byz_msgs : int;
   decision_rounds : int option list;
+  trace : Vv_sim.Trace.snapshot;  (** per-round structured history *)
 }
 
+val run_checked :
+  spec -> (outcome, [ `Invalid_adversary of string ]) result
+(** Execute the specification. An adversary that violates the fault plan
+    or the communication model is reported as an [Error] — batch callers
+    aggregate it instead of dying. *)
+
 val run : spec -> outcome
+(** Like {!run_checked} but raises {!Vv_sim.Engine.Invalid_adversary}. *)
+
+val simple_spec :
+  ?protocol:protocol ->
+  ?strategy:Strategy.t ->
+  ?bb:Vv_bb.Bb.choice ->
+  ?tie:Vv_ballot.Tie_break.t ->
+  ?delay:Vv_sim.Delay.t ->
+  ?seed:int ->
+  ?max_rounds:int ->
+  t:int ->
+  f:int ->
+  Oid.t list ->
+  spec
+(** The specification {!simple} runs, without running it — feed these to
+    the batch executor. *)
 
 val simple :
   ?protocol:protocol ->

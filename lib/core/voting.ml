@@ -34,6 +34,7 @@ type exec = {
   stalled : bool;
   honest_msgs : int;
   byz_msgs : int;
+  trace : Trace.snapshot;  (** structured per-round history of the run *)
 }
 
 module Make (Sub : Vv_bb.Bb_intf.S) = struct
@@ -194,6 +195,16 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
       (st, List.rev !outbox)
 
     let output st = st.decided
+
+    (* The Section IV phase the node is in, for trace events. *)
+    let phase st =
+      if st.decided <> None then "decided"
+      else if st.propose_done then "proposed"
+      else
+        match st.subject with
+        | None -> "prepare"
+        | Some s when s < 0 -> "no-subject"
+        | Some _ -> "vote"
   end
 
   module E = Engine.Make (P)
@@ -340,19 +351,30 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
                     view.Adversary.byzantine)
 
   (* One full run, summarised substrate-independently. *)
-  let execute cfg ~variant ~speaker ~subject ~preferences ~strategy =
+  let execute_checked cfg ~variant ~speaker ~subject ~preferences ~strategy =
     let inputs id =
       { variant; speaker; subject; preference = preferences id }
     in
     let adversary = adversary_of ~tie:variant.Variant.tie strategy in
-    let res = E.run cfg ~inputs ~adversary () in
-    let honest = Config.honest_ids cfg in
-    {
-      outputs = List.map (fun id -> res.E.outputs.(id)) honest;
-      decision_rounds = List.map (fun id -> res.E.decision_round.(id)) honest;
-      rounds = res.E.rounds_used;
-      stalled = res.E.stalled;
-      honest_msgs = res.E.metrics.Metrics.honest_messages;
-      byz_msgs = res.E.metrics.Metrics.byzantine_messages;
-    }
+    match E.run cfg ~inputs ~adversary () with
+    | Error _ as e -> e
+    | Ok res ->
+        let honest = Config.honest_ids cfg in
+        Ok
+          {
+            outputs = List.map (fun id -> res.E.outputs.(id)) honest;
+            decision_rounds =
+              List.map (fun id -> res.E.decision_round.(id)) honest;
+            rounds = res.E.rounds_used;
+            stalled = res.E.stalled;
+            honest_msgs = res.E.metrics.Metrics.honest_messages;
+            byz_msgs = res.E.metrics.Metrics.byzantine_messages;
+            trace = res.E.trace;
+          }
+
+  let execute cfg ~variant ~speaker ~subject ~preferences ~strategy =
+    match execute_checked cfg ~variant ~speaker ~subject ~preferences ~strategy with
+    | Ok exec -> exec
+    | Error (`Invalid_adversary reason) ->
+        raise (Engine.Invalid_adversary reason)
 end

@@ -19,6 +19,7 @@ type exec = {
   stalled : bool;
   honest_msgs : int;
   byz_msgs : int;
+  trace : Vv_sim.Trace.snapshot;  (** structured per-round history *)
 }
 (** Substrate-independent execution summary. *)
 
@@ -51,6 +52,18 @@ module Make (Sub : Vv_bb.Bb_intf.S) : sig
   val adversary_of :
     ?tie:Vv_ballot.Tie_break.t -> Strategy.t -> msg Vv_sim.Adversary.t
 
+  val execute_checked :
+    Vv_sim.Config.t ->
+    variant:Variant.t ->
+    speaker:Vv_sim.Types.node_id ->
+    subject:subject ->
+    preferences:(Vv_sim.Types.node_id -> Oid.t) ->
+    strategy:Strategy.t ->
+    (exec, [ `Invalid_adversary of string ]) result
+  (** One full run against the strategy's adversary; an adversary that
+      violates the fault plan or communication model is an [Error], not an
+      exception. *)
+
   val execute :
     Vv_sim.Config.t ->
     variant:Variant.t ->
@@ -59,5 +72,5 @@ module Make (Sub : Vv_bb.Bb_intf.S) : sig
     preferences:(Vv_sim.Types.node_id -> Oid.t) ->
     strategy:Strategy.t ->
     exec
-  (** One full run against the strategy's adversary. *)
+  (** Like {!execute_checked} but raises {!Vv_sim.Engine.Invalid_adversary}. *)
 end

@@ -1,0 +1,80 @@
+(* Memoisation layer over the exact enumeration of Equations 9-13.
+
+   The Figure 1 sweeps evaluate Pr(A_G - B_G > t) for the same electorate
+   distribution at many tolerances t (Fig 1b: t = 0..4; Fig 1c: f = 0..4),
+   and [Exact.pr_gap_gt] re-enumerates the full multinomial support —
+   C(n+m-1, m-1) compositions — on every call.  The gap statistic makes
+   all of those queries answerable from one enumeration: cache, per
+   distribution key [(n, probs)], the tail function
+
+       tail.(g) = Pr(A_G - B_G >= g)        (suffix sums of the gap p.m.f.)
+
+   so every threshold afterwards is an O(1) lookup.  The log-factorial
+   table behind the p.m.f. ([Multinomial.log_factorial]) was already
+   shared process-wide; [warm] pre-extends it so the first enumeration of
+   a batch does not pay the incremental table growth either. *)
+
+type key = { n : int; p : float list }
+
+type entry = {
+  gap_pmf : float array;  (* index g: Pr(gap = g), g in 0..n *)
+  gap_tail : float array;  (* index g: Pr(gap >= g); length n + 2 *)
+}
+
+let table : (key, entry) Hashtbl.t = Hashtbl.create 32
+
+let hits = ref 0
+let misses = ref 0
+
+type stats = { hits : int; misses : int; entries : int }
+
+let stats () = { hits = !hits; misses = !misses; entries = Hashtbl.length table }
+
+let clear () =
+  Hashtbl.reset table;
+  hits := 0;
+  misses := 0
+
+let key_of dist =
+  {
+    n = Multinomial.n dist;
+    p = Array.to_list (Multinomial.probabilities dist);
+  }
+
+let warm dist = Multinomial.warm_log_factorial (Multinomial.n dist)
+
+let entry_of dist =
+  let key = key_of dist in
+  match Hashtbl.find_opt table key with
+  | Some e ->
+      incr hits;
+      e
+  | None ->
+      incr misses;
+      warm dist;
+      let gap_pmf = Exact.gap_distribution dist in
+      let n = Array.length gap_pmf - 1 in
+      let gap_tail = Array.make (n + 2) 0.0 in
+      for g = n downto 0 do
+        gap_tail.(g) <- gap_tail.(g + 1) +. gap_pmf.(g)
+      done;
+      let e = { gap_pmf; gap_tail } in
+      Hashtbl.replace table key e;
+      e
+
+let gap_distribution dist = Array.copy (entry_of dist).gap_pmf
+
+let pr_gap_gt dist ~threshold =
+  let e = entry_of dist in
+  let n = Array.length e.gap_pmf - 1 in
+  if threshold < 0 then 1.0
+  else if threshold >= n then 0.0
+  else e.gap_tail.(threshold + 1)
+
+let pr_voting_validity dist ~t = pr_gap_gt dist ~threshold:t
+
+let pr_sct_termination dist ~t = pr_gap_gt dist ~threshold:(2 * t)
+
+let system_entropy dist ~f =
+  let p_v = if f = 0 then 1.0 else pr_gap_gt dist ~threshold:f in
+  Entropy.system_of_success ~f ~p_v

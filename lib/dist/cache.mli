@@ -1,0 +1,34 @@
+(** Memoisation layer over {!Exact}'s enumeration of Equations 9-13.
+
+    One full support enumeration per distribution key [(n, probs)] caches
+    the whole gap distribution and its suffix sums, so sweeps that query
+    many tolerances [t] against the same electorate (Figures 1b/1c) pay
+    for the enumeration once and answer every further query in O(1).
+    Results agree with calling {!Exact} directly up to floating-point
+    summation order (the cache sums the p.m.f. gap-major, {!Exact} sums
+    it in support order); the qcheck property in test_exec.ml pins the
+    difference below 1e-9.
+
+    The cache is process-global and grows with the number of distinct
+    distributions queried; {!clear} resets it (used by benchmarks to time
+    cold paths). Not thread-safe — batch execution shards work above this
+    layer, not inside it. *)
+
+val gap_distribution : Multinomial.t -> float array
+(** Cached {!Exact.gap_distribution}; the returned array is a copy. *)
+
+val pr_gap_gt : Multinomial.t -> threshold:int -> float
+(** Cached {!Exact.pr_gap_gt}. *)
+
+val pr_voting_validity : Multinomial.t -> t:int -> float
+val pr_sct_termination : Multinomial.t -> t:int -> float
+val system_entropy : Multinomial.t -> f:int -> float
+
+val warm : Multinomial.t -> unit
+(** Pre-extend the shared log-factorial table to this distribution's [n]
+    (no enumeration). *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : unit -> stats
+val clear : unit -> unit

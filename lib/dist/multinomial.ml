@@ -40,6 +40,8 @@ let log_factorial =
       next.(k)
     end
 
+let warm_log_factorial k = if k > 0 then ignore (log_factorial k)
+
 let log_pmf t counts =
   if Array.length counts <> Array.length t.p then
     invalid_arg "Multinomial.log_pmf: arity mismatch";

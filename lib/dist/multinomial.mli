@@ -19,6 +19,10 @@ val log_pmf : t -> int array -> float
 
 val pmf : t -> int array -> float
 
+val warm_log_factorial : int -> unit
+(** Pre-extend the shared (process-global) log-factorial table up to [k],
+    so later [pmf] calls never pay the incremental growth. *)
+
 val sample : t -> Vv_prelude.Rng.t -> int array
 (** One draw of the count vector. *)
 

@@ -1,0 +1,39 @@
+(* Output-format selection shared by every vvc experiment subcommand.
+   Tables are the human-facing default; csv and json render the same
+   underlying Table.t, so switching format never changes the data. *)
+
+module Table = Vv_prelude.Table
+module Json = Vv_prelude.Json
+
+type format = Table | Csv | Json
+
+let all = [ Table; Csv; Json ]
+
+let to_string = function Table -> "table" | Csv -> "csv" | Json -> "json"
+
+let of_string = function
+  | "table" -> Some Table
+  | "csv" -> Some Csv
+  | "json" -> Some Json
+  | _ -> None
+
+let pp_format ppf f = Format.pp_print_string ppf (to_string f)
+
+let table fmt tbl =
+  match fmt with
+  | Table -> Table.print tbl
+  | Csv -> print_string (Table.to_csv tbl)
+  | Json -> print_endline (Json.to_string (Table.to_json tbl))
+
+let tables fmt tbls =
+  match fmt with
+  | Table | Csv -> List.iter (table fmt) tbls
+  | Json ->
+      (* One top-level JSON value, not a stream of them. *)
+      print_endline
+        (Json.to_string (Json.List (List.map Table.to_json tbls)))
+
+let json fmt ~fallback value =
+  match fmt with
+  | Json -> print_endline (Json.to_string value)
+  | Table | Csv -> fallback ()

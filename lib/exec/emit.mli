@@ -1,0 +1,21 @@
+(** Output-format selection shared by every vvc experiment subcommand.
+
+    All three formats render the same {!Vv_prelude.Table.t} values, so
+    [--format] changes the encoding, never the data. *)
+
+type format = Table | Csv | Json
+
+val all : format list
+val to_string : format -> string
+val of_string : string -> format option
+val pp_format : Format.formatter -> format -> unit
+
+val table : format -> Vv_prelude.Table.t -> unit
+(** Print one table in the chosen format (JSON on one line). *)
+
+val tables : format -> Vv_prelude.Table.t list -> unit
+(** Print several; under [Json] they form one top-level array. *)
+
+val json : format -> fallback:(unit -> unit) -> Vv_prelude.Json.t -> unit
+(** Emit [value] under [Json]; otherwise run [fallback] (used where the
+    human-facing rendering is richer than a table). *)

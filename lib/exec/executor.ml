@@ -1,0 +1,65 @@
+(* Chunked batch executor.
+
+   Work arrives as a list of specs or as a generator over [0, count);
+   instances execute sequentially in chunks, each chunk folding into its
+   own Summary which is then merged into the running total.  Chunking
+   exists for progress reporting and bounded liveness on long sweeps —
+   it must never change results, which holds because
+
+   - per-instance seeds depend only on (base seed, index), never on the
+     chunk layout, and
+   - [Summary.merge] is associative with [Summary.empty] as unit.
+
+   Everything runs on one domain: the exact-enumeration cache and the
+   log-factorial table behind Vv_dist are process-global and unguarded,
+   so sharding across domains belongs above this layer if it ever
+   happens. *)
+
+module Rng = Vv_prelude.Rng
+module Runner = Vv_core.Runner
+
+let default_chunk_size = 64
+
+(* Per-instance seed: hash (seed, index) through one splitmix64 step.
+   0x9E3779B9 is the 32-bit golden-ratio constant; the multiply keeps
+   distinct indices far apart even for sequential i, and the splitmix
+   step behind Rng.bits finishes the mixing. *)
+let derive_seed ~seed i = Rng.bits (Rng.create (seed lxor (i * 0x9E3779B9)))
+
+type progress = { done_ : int; total : int }
+
+let run_seq ?(chunk_size = default_chunk_size) ?seed ?on_progress ~count gen =
+  if chunk_size <= 0 then invalid_arg "Executor: chunk_size must be positive";
+  if count < 0 then invalid_arg "Executor: negative count";
+  let reseed i spec =
+    match seed with
+    | None -> spec
+    | Some seed -> Runner.with_seed (derive_seed ~seed i) spec
+  in
+  let total = ref Summary.empty in
+  let i = ref 0 in
+  while !i < count do
+    let stop = min count (!i + chunk_size) in
+    let chunk = ref Summary.empty in
+    while !i < stop do
+      let spec = reseed !i (gen !i) in
+      chunk := Summary.observe !chunk (Runner.run_checked spec);
+      incr i
+    done;
+    total := Summary.merge !total !chunk;
+    match on_progress with
+    | Some f -> f { done_ = !i; total = count }
+    | None -> ()
+  done;
+  !total
+
+let run_generator ?chunk_size ?seed ?on_progress ~count gen =
+  run_seq ?chunk_size ?seed ?on_progress ~count gen
+
+let run_specs ?chunk_size ?seed ?on_progress specs =
+  let arr = Array.of_list specs in
+  run_seq ?chunk_size ?seed ?on_progress ~count:(Array.length arr) (fun i ->
+      arr.(i))
+
+let run_trials ?chunk_size ~trials ~seed spec =
+  run_seq ?chunk_size ~seed ~count:trials (fun _ -> spec)

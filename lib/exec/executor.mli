@@ -1,0 +1,44 @@
+(** Chunked batch executor over {!Vv_core.Runner} specifications.
+
+    Instances run sequentially in chunks; each chunk folds into a
+    {!Summary.t} merged into the running total. Chunking is an
+    implementation knob (progress reporting), never a semantic one: with
+    the same [seed], any [chunk_size] produces a byte-identical summary,
+    because per-instance seeds depend only on [(seed, index)] and
+    {!Summary.merge} is associative.
+
+    An adversary that violates its fault plan surfaces as the summary's
+    [invalid_adversary] count rather than an exception, so one bad
+    configuration cannot kill a sweep. *)
+
+type progress = { done_ : int; total : int }
+
+val derive_seed : seed:int -> int -> int
+(** The per-instance seed for index [i] under base [seed]. Exposed so
+    tests and experiment code can reproduce a single instance of a batch
+    in isolation. *)
+
+val run_generator :
+  ?chunk_size:int ->
+  ?seed:int ->
+  ?on_progress:(progress -> unit) ->
+  count:int ->
+  (int -> Vv_core.Runner.spec) ->
+  Summary.t
+(** [run_generator ~count gen] executes [gen 0 .. gen (count-1)]. With
+    [?seed], each instance's spec is reseeded with [derive_seed ~seed i];
+    without it, each spec's own seed is used. [on_progress] fires after
+    every chunk. Raises [Invalid_argument] when [chunk_size <= 0] or
+    [count < 0]. *)
+
+val run_specs :
+  ?chunk_size:int ->
+  ?seed:int ->
+  ?on_progress:(progress -> unit) ->
+  Vv_core.Runner.spec list ->
+  Summary.t
+
+val run_trials :
+  ?chunk_size:int -> trials:int -> seed:int -> Vv_core.Runner.spec -> Summary.t
+(** The common Monte-Carlo shape: the same specification [trials] times
+    under derived seeds. *)

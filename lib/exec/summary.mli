@@ -1,0 +1,47 @@
+(** Typed aggregation of batch outcomes.
+
+    A summary is a pure value. [empty] is the unit of [merge], and [merge]
+    is associative and commutative, so the executor's chunking strategy
+    cannot change the result: summarising a batch yields byte-identical
+    output for any chunk size. *)
+
+type histogram = (int * int) list
+(** Sorted ascending by key; counts are strictly positive. *)
+
+type t = {
+  total : int;  (** runs observed, including invalid-adversary runs *)
+  terminated : int;
+  stalled : int;
+  invalid_adversary : int;
+      (** runs whose adversary violated the fault plan ([Error] from
+          {!Vv_core.Runner.run_checked}) — counted, never raised *)
+  successes : int;  (** terminated with tie-break-aware voting validity *)
+  agreement_failures : int;
+  validity_failures : int;  (** strict voting validity, Definition III.3 *)
+  strong_validity_failures : int;
+  safety_inadmissible : int;
+  honest_msgs : int;
+  byz_msgs : int;
+  round_hist : histogram;  (** rounds used per run *)
+  decide_round_hist : histogram;  (** per honest node decide round *)
+  message_hist : histogram;  (** total messages per run *)
+}
+
+val empty : t
+
+val observe :
+  t -> (Vv_core.Runner.outcome, [ `Invalid_adversary of string ]) result -> t
+(** Fold one run into the summary. *)
+
+val merge : t -> t -> t
+
+val success_rate : t -> float
+val stall_rate : t -> float
+val termination_rate : t -> float
+val mean_rounds : t -> float
+val mean_messages : t -> float
+
+val to_table : ?title:string -> t -> Vv_prelude.Table.t
+val to_csv : ?title:string -> t -> string
+val to_json : t -> Vv_prelude.Json.t
+val pp : Format.formatter -> t -> unit

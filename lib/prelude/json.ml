@@ -1,0 +1,79 @@
+(* A minimal JSON tree and printer, enough for the machine-readable
+   emitters (run traces, batch summaries, tables).  Kept dependency-free on
+   purpose: output only, no parsing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Floats print shortest-round-trip style; infinities and NaN have no JSON
+   representation, so they degrade to null. *)
+let float_repr v =
+  if Float.is_nan v || v = Float.infinity || v = Float.neg_infinity then None
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Some (Printf.sprintf "%.1f" v)
+  else Some (Printf.sprintf "%.12g" v)
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float v -> (
+      match float_repr v with
+      | None -> Buffer.add_string buf "null"
+      | Some s -> Buffer.add_string buf s)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  emit buf t;
+  Buffer.contents buf
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let of_int_option = function None -> Null | Some i -> Int i
+
+let of_histogram h = List (List.map (fun (v, c) -> List [ Int v; Int c ]) h)

@@ -1,0 +1,23 @@
+(** Minimal JSON tree and printer for the machine-readable emitters (run
+    traces, batch summaries, tables). Output only — no parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) JSON. [Float] values with no JSON representation
+    (NaN, infinities) print as [null]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_int_option : int option -> t
+(** [None] is [Null]. *)
+
+val of_histogram : (int * int) list -> t
+(** A [(value, count)] histogram as a list of two-element arrays. *)

@@ -78,6 +78,20 @@ let to_csv t =
   let line row = String.concat "," (List.map quote row) in
   String.concat "\n" (line t.headers :: List.map line (rows t)) ^ "\n"
 
+let title t = t.title
+
+let to_json t =
+  Json.Obj
+    [
+      ("title", Json.String t.title);
+      ("headers", Json.List (List.map (fun h -> Json.String h) t.headers));
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r -> Json.List (List.map (fun c -> Json.String c) r))
+             (rows t)) );
+    ]
+
 let fcell ?(decimals = 4) v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v

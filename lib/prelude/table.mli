@@ -22,6 +22,12 @@ val print : t -> unit
 val to_csv : t -> string
 (** RFC-4180-style CSV rendering (headers first). *)
 
+val title : t -> string
+
+val to_json : t -> Json.t
+(** [{title; headers; rows}] with every cell as a string, so all three
+    output formats of the CLI render the same data. *)
+
 val fcell : ?decimals:int -> float -> string
 (** Format a float cell ([decimals] defaults to 4; integral values print
     without a fractional part). *)

@@ -14,6 +14,7 @@ type outcome = {
   stalled : bool;
   rounds : int;
   messages : int;
+  trace : Trace.snapshot;  (* per-round structured history *)
 }
 
 (* Byzantine strategies over the flood message type. *)
@@ -154,7 +155,12 @@ let run ?(strategy = Originate_second) ?(tie = Vv_ballot.Tie_break.default)
     }
   in
   let res =
-    E.run cfg ~inputs:proto_inputs ~adversary:(adversary_of ~tie strategy) ()
+    match
+      E.run cfg ~inputs:proto_inputs ~adversary:(adversary_of ~tie strategy) ()
+    with
+    | Ok res -> res
+    | Error (`Invalid_adversary reason) ->
+        raise (Engine.Invalid_adversary reason)
   in
   let honest = Config.honest_ids cfg in
   let outputs = List.map (fun id -> res.E.outputs.(id)) honest in
@@ -169,4 +175,5 @@ let run ?(strategy = Originate_second) ?(tie = Vv_ballot.Tie_break.default)
     stalled = res.E.stalled;
     rounds = res.E.rounds_used;
     messages = Metrics.total res.E.metrics;
+    trace = res.E.trace;
   }

@@ -13,6 +13,7 @@ type outcome = {
   stalled : bool;
   rounds : int;
   messages : int;
+  trace : Vv_sim.Trace.snapshot;  (** per-round structured history *)
 }
 
 type strategy =

@@ -158,3 +158,9 @@ let step (ctx : Protocol.ctx) st ~round ~inbox =
   (st, List.rev !outbox)
 
 let output st = st.decided
+
+let phase st =
+  if st.decided <> None then "decided"
+  else if st.proposed then "proposed"
+  else if st.voted then "vote"
+  else "disseminate"

@@ -42,3 +42,4 @@ val step :
   state * msg Vv_sim.Types.envelope list
 
 val output : state -> output option
+val phase : state -> string

@@ -13,7 +13,12 @@
 
    Execution stops the round every honest node has decided, or at
    [max_rounds] (reported as a stall, which is an admissible outcome for
-   safety-guaranteed protocols, Definition V.1). *)
+   safety-guaranteed protocols, Definition V.1).
+
+   Each run additionally accumulates a structured {!Trace.snapshot}:
+   per-round send counts, adversary injections, per-node phase transitions
+   (via [P.phase]) and decide rounds.  The snapshot is immutable and is the
+   source of the result's {!Metrics.t}. *)
 
 exception Invalid_adversary of string
 
@@ -30,6 +35,7 @@ module Make (P : Protocol.S) = struct
     decision_round : int option array;
     rounds_used : int;
     metrics : Metrics.t;
+    trace : Trace.snapshot;
     stalled : bool;  (** hit [max_rounds] with undecided honest nodes *)
   }
 
@@ -111,7 +117,7 @@ module Make (P : Protocol.S) = struct
         Fault.delivers plan ~round ~dst:d.Types.dst)
       deliveries
 
-  let run (cfg : Config.t) ~inputs ?(adversary = Adversary.passive) () =
+  let run_exn (cfg : Config.t) ~inputs ?(adversary = Adversary.passive) () =
     let n = cfg.Config.n in
     let master = Vv_prelude.Rng.create cfg.Config.seed in
     let node_rngs = Array.init n (fun _ -> Vv_prelude.Rng.split master) in
@@ -127,10 +133,21 @@ module Make (P : Protocol.S) = struct
         rng = node_rngs.(id);
       }
     in
-    let metrics = Metrics.create () in
+    let tb =
+      Trace.builder ~protocol:P.name ~adversary:adversary.Adversary.name ~n
+        ~t:cfg.Config.t_max
+    in
     let states : P.state option array = Array.make n None in
     let outputs : P.output option array = Array.make n None in
     let decision_round : int option array = Array.make n None in
+    let phases : string option array = Array.make n None in
+    let note_phase ~round id state =
+      let phase = P.phase state in
+      if phases.(id) <> Some phase then begin
+        phases.(id) <- Some phase;
+        Trace.record_phase tb ~round ~node:id ~phase
+      end
+    in
     (* Messages scheduled for future rounds. *)
     let pending : (int, P.msg Types.delivery list) Hashtbl.t =
       Hashtbl.create 64
@@ -177,6 +194,7 @@ module Make (P : Protocol.S) = struct
          rounds_used := round;
          let boxes = inbox_at round in
          let honest_sent = ref [] in
+         let newly_decided = ref [] in
          (* Step honest and not-yet-crashed nodes in id order. *)
          for id = 0 to n - 1 do
            let plan = Config.fault_of cfg id in
@@ -190,16 +208,17 @@ module Make (P : Protocol.S) = struct
                  | Some s -> P.step (ctx_of id) s ~round ~inbox
              in
              states.(id) <- Some state';
+             note_phase ~round id state';
              (match P.output state' with
              | Some _ as out when outputs.(id) = None ->
                  outputs.(id) <- out;
                  decision_round.(id) <- Some round;
+                 newly_decided := id :: !newly_decided;
+                 Trace.record_decide tb ~round ~node:id;
                  Log.debug (fun m ->
                      m "%s: node %d decided at round %d" P.name id round)
              | _ -> ());
              let deliveries = expand_envelopes cfg ~round ~src:id envelopes in
-             metrics.Metrics.honest_messages <-
-               metrics.Metrics.honest_messages + List.length deliveries;
              honest_sent := List.rev_append deliveries !honest_sent
            end
          done;
@@ -218,29 +237,35 @@ module Make (P : Protocol.S) = struct
          in
          let plans = adversary.Adversary.act view in
          validate_adversary cfg plans;
-         metrics.Metrics.byzantine_messages <-
-           metrics.Metrics.byzantine_messages + List.length plans;
          List.iter
            (fun (p : P.msg Adversary.delivery_plan) ->
              schedule ~round
                { Types.src = p.Adversary.src; dst = p.Adversary.dst; msg = p.Adversary.msg })
            plans;
          List.iter (fun d -> schedule ~round d) honest_sent;
+         Trace.record_round tb ~round ~honest_sent:(List.length honest_sent)
+           ~byz_sent:(List.length plans) ~newly_decided:!newly_decided;
          Log.debug (fun m ->
              m "%s: round %d sent honest=%d byzantine=%d (%s)" P.name round
                (List.length honest_sent) (List.length plans)
                adversary.Adversary.name);
-         metrics.Metrics.rounds <- round + 1;
          if all_honest_decided () then raise Exit
        done;
        stalled := not (all_honest_decided ())
      with Exit -> ());
+    let trace = Trace.snapshot tb ~stalled:!stalled in
     {
       config = cfg;
       outputs;
       decision_round;
       rounds_used = !rounds_used;
-      metrics;
+      metrics = Metrics.of_trace trace;
+      trace;
       stalled = !stalled;
     }
+
+  let run (cfg : Config.t) ~inputs ?adversary () =
+    match run_exn cfg ~inputs ?adversary () with
+    | res -> Ok res
+    | exception Invalid_adversary reason -> Error (`Invalid_adversary reason)
 end

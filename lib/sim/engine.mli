@@ -6,8 +6,12 @@
     full-information adversary this round's honest traffic before letting it
     inject Byzantine messages. The engine validates adversary output against
     the communication model: equivocation or partial broadcast under
-    {!Types.Local_broadcast} raises {!Invalid_adversary} (this is the
-    restriction behind Property 6). *)
+    {!Types.Local_broadcast} is an invalid adversary (this is the
+    restriction behind Property 6).
+
+    Every run additionally produces an immutable {!Trace.snapshot} with
+    per-round send counts, adversary injections, per-node phase transitions
+    and decide rounds. *)
 
 exception Invalid_adversary of string
 
@@ -22,7 +26,8 @@ module Make (P : Protocol.S) : sig
         (** indexed by node id; Byzantine slots stay [None] *)
     decision_round : int option array;
     rounds_used : int;
-    metrics : Metrics.t;
+    metrics : Metrics.t;  (** derived from [trace]; immutable *)
+    trace : Trace.snapshot;
     stalled : bool;
         (** true when [max_rounds] elapsed with undecided honest nodes — an
             admissible outcome for safety-guaranteed protocols (Def. V.1) *)
@@ -36,7 +41,19 @@ module Make (P : Protocol.S) : sig
     inputs:(Types.node_id -> P.input) ->
     ?adversary:P.msg Adversary.t ->
     unit ->
-    result
+    (result, [ `Invalid_adversary of string ]) Stdlib.result
   (** Runs to decision or [max_rounds]. [inputs] is consulted for honest and
-      crash-faulty nodes (Byzantine inputs are the adversary's business). *)
+      crash-faulty nodes (Byzantine inputs are the adversary's business).
+      An adversary violating the fault plan or the communication model
+      yields [Error (`Invalid_adversary reason)] instead of raising — the
+      form batch executors want. *)
+
+  val run_exn :
+    Config.t ->
+    inputs:(Types.node_id -> P.input) ->
+    ?adversary:P.msg Adversary.t ->
+    unit ->
+    result
+  (** Same, but raises {!Invalid_adversary} — the original behaviour, kept
+      for interactive callers and tests that assert on the exception. *)
 end

@@ -1,12 +1,24 @@
-(* Message and round accounting for the complexity experiments (E9). *)
+(* Message and round accounting for the complexity experiments (E9).
+
+   Immutable: the engine derives one [t] from the run's {!Trace.snapshot}
+   when execution completes, so callers can no longer alias a metrics
+   record that mutates under them mid-run. *)
 
 type t = {
-  mutable honest_messages : int;
-  mutable byzantine_messages : int;
-  mutable rounds : int;
+  honest_messages : int;
+  byzantine_messages : int;
+  rounds : int;
 }
 
-let create () = { honest_messages = 0; byzantine_messages = 0; rounds = 0 }
+let make ~honest_messages ~byzantine_messages ~rounds =
+  { honest_messages; byzantine_messages; rounds }
+
+let of_trace (tr : Trace.snapshot) =
+  {
+    honest_messages = tr.Trace.honest_msgs;
+    byzantine_messages = tr.Trace.byz_msgs;
+    rounds = tr.Trace.total_rounds;
+  }
 
 let total t = t.honest_messages + t.byzantine_messages
 

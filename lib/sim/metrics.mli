@@ -1,11 +1,14 @@
-(** Message and round accounting (experiment E9). *)
+(** Message and round accounting (experiment E9).
+
+    Immutable — derived from a completed run's {!Trace.snapshot}. *)
 
 type t = {
-  mutable honest_messages : int;
-  mutable byzantine_messages : int;
-  mutable rounds : int;
+  honest_messages : int;
+  byzantine_messages : int;
+  rounds : int;
 }
 
-val create : unit -> t
+val make : honest_messages:int -> byzantine_messages:int -> rounds:int -> t
+val of_trace : Trace.snapshot -> t
 val total : t -> int
 val pp : t Fmt.t

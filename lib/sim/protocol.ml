@@ -40,4 +40,10 @@ module type S = sig
   val output : state -> output option
   (** The node's decision, once made. Must be stable: once [Some v], the
       protocol must never change it. *)
+
+  val phase : state -> string
+  (** Short label of the node's current protocol phase (e.g. "prepare",
+      "vote", "decided"). The engine records a {!Trace.phase_event}
+      whenever the label changes between rounds; protocols with no phase
+      structure may return a constant. *)
 end

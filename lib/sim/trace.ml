@@ -1,0 +1,168 @@
+(* Structured per-run traces.
+
+   The engine records, while it runs, one [round_record] per executed round
+   (send counts, adversary injections, decisions) plus every per-node phase
+   transition reported by the protocol's [Protocol.S.phase].  At the end of
+   the run the accumulated history is frozen into an immutable [snapshot] —
+   the replacement for the old mutable [Metrics.t] aliasing: callers get a
+   value they can store, diff, and emit (CSV/JSON) without worrying about
+   the engine mutating it behind their back. *)
+
+module Json = Vv_prelude.Json
+
+type round_record = {
+  round : int;
+  honest_sent : int;  (** honest point-to-point deliveries sent this round *)
+  byz_sent : int;  (** adversary deliveries injected this round *)
+  newly_decided : Types.node_id list;  (** ascending *)
+  decided_total : int;  (** cumulative honest decisions after this round *)
+}
+
+type phase_event = {
+  at_round : int;
+  node : Types.node_id;
+  phase : string;  (** the phase entered *)
+}
+
+type snapshot = {
+  protocol : string;
+  adversary : string;
+  n : int;
+  t : int;
+  rounds : round_record list;  (** ascending by round *)
+  phases : phase_event list;  (** chronological, then by node id *)
+  decide_rounds : (Types.node_id * int) list;  (** ascending by node id *)
+  honest_msgs : int;
+  byz_msgs : int;
+  total_rounds : int;  (** rounds executed (last round index + 1) *)
+  stalled : bool;
+}
+
+(* --- builder (engine-internal mutability, frozen by [snapshot]) --- *)
+
+type builder = {
+  b_protocol : string;
+  b_adversary : string;
+  b_n : int;
+  b_t : int;
+  mutable b_rounds : round_record list;  (* reversed *)
+  mutable b_phases : phase_event list;  (* reversed *)
+  mutable b_decides : (Types.node_id * int) list;  (* reversed *)
+  mutable b_honest : int;
+  mutable b_byz : int;
+  mutable b_decided : int;
+}
+
+let builder ~protocol ~adversary ~n ~t =
+  {
+    b_protocol = protocol;
+    b_adversary = adversary;
+    b_n = n;
+    b_t = t;
+    b_rounds = [];
+    b_phases = [];
+    b_decides = [];
+    b_honest = 0;
+    b_byz = 0;
+    b_decided = 0;
+  }
+
+let record_phase b ~round ~node ~phase =
+  b.b_phases <- { at_round = round; node; phase } :: b.b_phases
+
+let record_decide b ~round ~node =
+  b.b_decides <- (node, round) :: b.b_decides;
+  b.b_decided <- b.b_decided + 1
+
+let record_round b ~round ~honest_sent ~byz_sent ~newly_decided =
+  b.b_honest <- b.b_honest + honest_sent;
+  b.b_byz <- b.b_byz + byz_sent;
+  b.b_rounds <-
+    {
+      round;
+      honest_sent;
+      byz_sent;
+      newly_decided = List.sort compare newly_decided;
+      decided_total = b.b_decided;
+    }
+    :: b.b_rounds
+
+let snapshot b ~stalled =
+  let rounds = List.rev b.b_rounds in
+  {
+    protocol = b.b_protocol;
+    adversary = b.b_adversary;
+    n = b.b_n;
+    t = b.b_t;
+    rounds;
+    phases = List.rev b.b_phases;
+    decide_rounds = List.sort compare (List.rev b.b_decides);
+    honest_msgs = b.b_honest;
+    byz_msgs = b.b_byz;
+    total_rounds = (match b.b_rounds with [] -> 0 | r :: _ -> r.round + 1);
+    stalled;
+  }
+
+(* --- queries --- *)
+
+let messages_total s = s.honest_msgs + s.byz_msgs
+
+let decide_round s node = List.assoc_opt node s.decide_rounds
+
+let phases_of s node = List.filter (fun e -> e.node = node) s.phases
+
+(* --- emitters --- *)
+
+let csv_header = "round,honest_sent,byz_sent,newly_decided,decided_total"
+
+let to_csv s =
+  let line (r : round_record) =
+    Fmt.str "%d,%d,%d,%s,%d" r.round r.honest_sent r.byz_sent
+      (String.concat ";" (List.map string_of_int r.newly_decided))
+      r.decided_total
+  in
+  String.concat "\n" (csv_header :: List.map line s.rounds) ^ "\n"
+
+let round_to_json (r : round_record) =
+  Json.Obj
+    [
+      ("round", Json.Int r.round);
+      ("honest_sent", Json.Int r.honest_sent);
+      ("byz_sent", Json.Int r.byz_sent);
+      ("newly_decided", Json.List (List.map (fun i -> Json.Int i) r.newly_decided));
+      ("decided_total", Json.Int r.decided_total);
+    ]
+
+let to_json s =
+  Json.Obj
+    [
+      ("protocol", Json.String s.protocol);
+      ("adversary", Json.String s.adversary);
+      ("n", Json.Int s.n);
+      ("t", Json.Int s.t);
+      ("total_rounds", Json.Int s.total_rounds);
+      ("stalled", Json.Bool s.stalled);
+      ("honest_msgs", Json.Int s.honest_msgs);
+      ("byz_msgs", Json.Int s.byz_msgs);
+      ( "decide_rounds",
+        Json.Obj
+          (List.map
+             (fun (node, r) -> (string_of_int node, Json.Int r))
+             s.decide_rounds) );
+      ( "phases",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("round", Json.Int e.at_round);
+                   ("node", Json.Int e.node);
+                   ("phase", Json.String e.phase);
+                 ])
+             s.phases) );
+      ("rounds", Json.List (List.map round_to_json s.rounds));
+    ]
+
+let pp ppf s =
+  Fmt.pf ppf "%s vs %s: %d rounds, msgs(honest=%d byz=%d), stalled=%b"
+    s.protocol s.adversary s.total_rounds s.honest_msgs s.byz_msgs s.stalled

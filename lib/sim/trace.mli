@@ -1,0 +1,78 @@
+(** Structured, immutable per-run traces.
+
+    The engine accumulates a trace while it runs — per-round send counts,
+    adversary injections, per-node phase transitions (as reported by
+    {!Protocol.S.phase}) and decide rounds — and freezes it into a
+    [snapshot] on completion. Snapshots replace the old mutable
+    {!Metrics.t} accounting as the unit of observability: one value per
+    run, safe to store and aggregate, with CSV and JSON emitters. *)
+
+type round_record = {
+  round : int;
+  honest_sent : int;  (** honest deliveries sent this round *)
+  byz_sent : int;  (** adversary deliveries injected this round *)
+  newly_decided : Types.node_id list;  (** ascending *)
+  decided_total : int;  (** cumulative honest decisions after this round *)
+}
+
+type phase_event = {
+  at_round : int;
+  node : Types.node_id;
+  phase : string;  (** the phase entered *)
+}
+
+type snapshot = {
+  protocol : string;
+  adversary : string;
+  n : int;
+  t : int;
+  rounds : round_record list;  (** ascending by round *)
+  phases : phase_event list;  (** chronological, ties by node id *)
+  decide_rounds : (Types.node_id * int) list;  (** ascending by node id *)
+  honest_msgs : int;
+  byz_msgs : int;
+  total_rounds : int;
+  stalled : bool;
+}
+
+(** {1 Builder — used by the engine while a run is in flight} *)
+
+type builder
+
+val builder :
+  protocol:string -> adversary:string -> n:int -> t:int -> builder
+
+val record_phase : builder -> round:int -> node:Types.node_id -> phase:string -> unit
+
+val record_decide : builder -> round:int -> node:Types.node_id -> unit
+
+val record_round :
+  builder ->
+  round:int ->
+  honest_sent:int ->
+  byz_sent:int ->
+  newly_decided:Types.node_id list ->
+  unit
+
+val snapshot : builder -> stalled:bool -> snapshot
+(** Freeze. The builder may keep accumulating afterwards; the snapshot is
+    unaffected. *)
+
+(** {1 Queries} *)
+
+val messages_total : snapshot -> int
+val decide_round : snapshot -> Types.node_id -> int option
+val phases_of : snapshot -> Types.node_id -> phase_event list
+
+(** {1 Emitters} *)
+
+val csv_header : string
+
+val to_csv : snapshot -> string
+(** One line per executed round:
+    [round,honest_sent,byz_sent,newly_decided,decided_total] where
+    [newly_decided] is a [;]-separated id list. *)
+
+val to_json : snapshot -> Vv_prelude.Json.t
+
+val pp : Format.formatter -> snapshot -> unit

@@ -54,7 +54,7 @@ let test_median_outlier_immunity () =
             view.A.byzantine)
   in
   let module E = BR.Median_E in
-  let res = E.run c ~inputs:(fun id -> 100 + min id 8) ~adversary:outlier () in
+  let res = E.run_exn c ~inputs:(fun id -> 100 + min id 8) ~adversary:outlier () in
   let outs = List.filter_map Fun.id (E.honest_outputs res) in
   check_bool "agreement" true (all_equal outs);
   check_bool "outliers trimmed" true (List.hd outs >= 100 && List.hd outs <= 108)

@@ -18,7 +18,7 @@ module Run (Sub : Vv_bb.Bb_intf.S) = struct
       { Vv_bb.Protocol_of.sender;
         value = (if id = sender then Some value else None) }
     in
-    let res = E.run cfg ~inputs ?adversary () in
+    let res = E.run_exn cfg ~inputs ?adversary () in
     (res, E.honest_outputs res)
 end
 
@@ -181,7 +181,7 @@ let test_crash_sender_agreement () =
       { Vv_bb.Protocol_of.sender = 0;
         value = (if id = 0 then Some 5 else None) }
     in
-    let res = E.run cfg ~inputs () in
+    let res = E.run_exn cfg ~inputs () in
     assert_agreement label (E.honest_outputs res)
   in
   run_crash Vv_bb.Bb.Dolev_strong "ds crash sender";
@@ -202,7 +202,7 @@ let test_crash_relay_validity () =
       { Vv_bb.Protocol_of.sender = 0;
         value = (if id = 0 then Some 9 else None) }
     in
-    let res = E.run cfg ~inputs () in
+    let res = E.run_exn cfg ~inputs () in
     List.iter
       (fun o ->
         check (Alcotest.option Alcotest.int) (label ^ " validity") (Some 9) o)
@@ -229,7 +229,7 @@ let test_delta_batching () =
             { Vv_bb.Protocol_of.sender = 2;
               value = (if id = 2 then Some 4 else None) }
           in
-          let res = E.run cfg ~inputs () in
+          let res = E.run_exn cfg ~inputs () in
           List.iter
             (fun o ->
               check (Alcotest.option Alcotest.int)
@@ -253,7 +253,7 @@ let test_uniform_delay_batching () =
   let inputs id =
     { Vv_bb.Protocol_of.sender = 0; value = (if id = 0 then Some 8 else None) }
   in
-  let res = E.run cfg ~inputs () in
+  let res = E.run_exn cfg ~inputs () in
   List.iter
     (fun o ->
       check (Alcotest.option Alcotest.int) "uniform batching" (Some 8) o)

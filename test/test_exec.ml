@@ -1,0 +1,247 @@
+(* Tests of the batch execution layer: the enumeration cache against the
+   uncached oracle, chunk-size-independent determinism of batch summaries,
+   the structured trace against the outcome it summarises, and
+   invalid-adversary accounting. *)
+
+module Exact = Vv_dist.Exact
+module Cache = Vv_dist.Cache
+module Multinomial = Vv_dist.Multinomial
+module Runner = Vv_core.Runner
+module Strategy = Vv_core.Strategy
+module Executor = Vv_exec.Executor
+module Summary = Vv_exec.Summary
+module Emit = Vv_exec.Emit
+module Json = Vv_prelude.Json
+module Oid = Vv_ballot.Option_id
+module Trace = Vv_sim.Trace
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+(* --- cache vs uncached oracle --- *)
+
+(* Random (n, probs, threshold) with n <= 12 and 2..4 options; probs from
+   integer weights so they sum to 1 within Multinomial.create's 1e-9. *)
+let dist_query_gen =
+  QCheck.Gen.(
+    int_range 1 12 >>= fun n ->
+    int_range 2 4 >>= fun m ->
+    list_repeat m (int_range 1 9) >>= fun weights ->
+    int_range (-1) (n + 1) >>= fun threshold ->
+    let total = float_of_int (List.fold_left ( + ) 0 weights) in
+    let p =
+      Array.of_list (List.map (fun w -> float_of_int w /. total) weights)
+    in
+    return (n, p, threshold))
+
+let dist_query_print (n, p, threshold) =
+  Fmt.str "n=%d p=[%a] threshold=%d" n
+    Fmt.(array ~sep:comma float)
+    p threshold
+
+let prop_cache_matches_exact =
+  QCheck.Test.make ~count:200 ~name:"Cache.pr_gap_gt = Exact.pr_gap_gt"
+    (QCheck.make ~print:dist_query_print dist_query_gen)
+    (fun (n, p, threshold) ->
+      let dist = Multinomial.create ~n ~p in
+      let cached = Cache.pr_gap_gt dist ~threshold in
+      let uncached = Exact.pr_gap_gt dist ~threshold in
+      Float.abs (cached -. uncached) < 1e-9)
+
+let test_cache_hit_accounting () =
+  Cache.clear ();
+  let dist = Vv_dist.Profiles.(distribution d2) in
+  for t = 0 to 4 do
+    ignore (Cache.pr_voting_validity dist ~t)
+  done;
+  let s = Cache.stats () in
+  check_int "one enumeration" 1 s.Cache.misses;
+  check_int "four O(1) lookups" 4 s.Cache.hits;
+  check_int "one entry" 1 s.Cache.entries;
+  (* The gap distribution itself is served from the same entry. *)
+  let pmf = Cache.gap_distribution dist in
+  check_int "pmf length n+1" (Multinomial.n dist + 1) (Array.length pmf);
+  check_int "still one entry" 1 (Cache.stats ()).Cache.entries;
+  Cache.clear ();
+  check_int "cleared" 0 (Cache.stats ()).Cache.entries
+
+let test_cache_edge_thresholds () =
+  let dist = Multinomial.create ~n:6 ~p:[| 0.5; 0.5 |] in
+  check (Alcotest.float 0.0) "threshold < 0 is certain" 1.0
+    (Cache.pr_gap_gt dist ~threshold:(-1));
+  check (Alcotest.float 0.0) "threshold >= n is impossible" 0.0
+    (Cache.pr_gap_gt dist ~threshold:6)
+
+(* --- batch determinism across chunk sizes --- *)
+
+let batch_spec =
+  Runner.simple_spec ~protocol:Runner.Algo1 ~strategy:Strategy.Collude_second
+    ~t:1 ~f:1
+    (List.map Oid.of_int [ 0; 0; 0; 1; 2 ])
+
+let test_chunk_size_invariance () =
+  let summary chunk_size =
+    Executor.run_trials ~chunk_size ~trials:40 ~seed:0xbadc batch_spec
+  in
+  let reference = Json.to_string (Summary.to_json (summary 1)) in
+  List.iter
+    (fun chunk_size ->
+      check Alcotest.string
+        (Fmt.str "chunk_size=%d byte-identical" chunk_size)
+        reference
+        (Json.to_string (Summary.to_json (summary chunk_size))))
+    [ 3; 7; 40; 1000 ];
+  (* And the runs actually did something. *)
+  let s = summary 7 in
+  check_int "all trials ran" 40 s.Summary.total;
+  check_bool "some successes" true (s.Summary.successes > 0)
+
+let test_generator_order_and_progress () =
+  let seen = ref [] in
+  let ticks = ref [] in
+  let s =
+    Executor.run_generator ~chunk_size:4 ~seed:7
+      ~on_progress:(fun p -> ticks := p.Executor.done_ :: !ticks)
+      ~count:10
+      (fun i ->
+        seen := i :: !seen;
+        batch_spec)
+  in
+  check (Alcotest.list Alcotest.int) "generator called in index order"
+    (List.init 10 Fun.id) (List.rev !seen);
+  check (Alcotest.list Alcotest.int) "progress after each chunk" [ 4; 8; 10 ]
+    (List.rev !ticks);
+  check_int "total" 10 s.Summary.total
+
+let test_derive_seed_depends_only_on_index () =
+  List.iter
+    (fun i ->
+      check_int "stable" (Executor.derive_seed ~seed:42 i)
+        (Executor.derive_seed ~seed:42 i))
+    [ 0; 1; 5; 100 ];
+  check_bool "distinct indices differ" true
+    (Executor.derive_seed ~seed:42 0 <> Executor.derive_seed ~seed:42 1);
+  check_bool "distinct seeds differ" true
+    (Executor.derive_seed ~seed:1 3 <> Executor.derive_seed ~seed:2 3)
+
+let test_summary_merge_unit_and_commutative () =
+  let s =
+    Executor.run_trials ~chunk_size:5 ~trials:12 ~seed:9 batch_spec
+  in
+  let js x = Json.to_string (Summary.to_json x) in
+  check Alcotest.string "empty is left unit" (js s)
+    (js (Summary.merge Summary.empty s));
+  check Alcotest.string "empty is right unit" (js s)
+    (js (Summary.merge s Summary.empty));
+  let a =
+    Executor.run_trials ~chunk_size:5 ~trials:5 ~seed:11 batch_spec
+  in
+  check Alcotest.string "merge commutes" (js (Summary.merge a s))
+    (js (Summary.merge s a))
+
+(* --- trace vs outcome --- *)
+
+let test_trace_consistent_with_outcome () =
+  let o =
+    Runner.simple ~protocol:Runner.Algo1 ~strategy:Strategy.Collude_second
+      ~t:1 ~f:1
+      (List.map Oid.of_int [ 0; 0; 0; 1; 2 ])
+  in
+  let tr = o.Runner.trace in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 tr.Trace.rounds in
+  check_int "per-round honest sends sum to the total" tr.Trace.honest_msgs
+    (sum (fun r -> r.Trace.honest_sent));
+  check_int "per-round byz sends sum to the total" tr.Trace.byz_msgs
+    (sum (fun r -> r.Trace.byz_sent));
+  check_int "outcome honest msgs come from the trace" o.Runner.honest_msgs
+    tr.Trace.honest_msgs;
+  check_int "outcome byz msgs come from the trace" o.Runner.byz_msgs
+    tr.Trace.byz_msgs;
+  check_int "every executed round is recorded" (o.Runner.rounds + 1)
+    tr.Trace.total_rounds;
+  check_bool "stall flag matches" o.Runner.stalled tr.Trace.stalled;
+  (* decide_rounds agrees with the outcome's per-node decision rounds
+     (honest ids are 0..ng-1 under simple_spec). *)
+  List.iteri
+    (fun id dr ->
+      check (Alcotest.option Alcotest.int)
+        (Fmt.str "decide round of node %d" id)
+        dr
+        (Trace.decide_round tr id))
+    o.Runner.decision_rounds;
+  (* Phase transitions were recorded from round 0 and end decided. *)
+  (match Trace.phases_of tr 0 with
+  | [] -> Alcotest.fail "no phase events for node 0"
+  | first :: _ as evs ->
+      check_int "first phase at round 0" 0 first.Trace.at_round;
+      let last = List.nth evs (List.length evs - 1) in
+      check Alcotest.string "terminal phase" "decided" last.Trace.phase);
+  (* CSV emitter: one header plus one line per executed round. *)
+  let lines =
+    String.split_on_char '\n' (String.trim (Trace.to_csv tr))
+  in
+  check_int "csv lines" (tr.Trace.total_rounds + 1) (List.length lines);
+  check Alcotest.string "csv header" Trace.csv_header (List.hd lines)
+
+(* --- invalid adversary accounting --- *)
+
+let equivocation_spec =
+  (* Split_top2 equivocates per recipient; under Algorithm 4's local
+     broadcast model the engine rejects it. *)
+  Runner.simple_spec ~protocol:Runner.Algo4_local ~strategy:Strategy.Split_top2
+    ~t:1 ~f:1
+    (List.map Oid.of_int [ 0; 0; 0; 1; 2 ])
+
+let test_invalid_adversary_counted () =
+  (match Runner.run_checked equivocation_spec with
+  | Error (`Invalid_adversary _) -> ()
+  | Ok _ -> Alcotest.fail "expected Invalid_adversary from run_checked");
+  let s = Executor.run_trials ~chunk_size:2 ~trials:5 ~seed:3 equivocation_spec in
+  check_int "all runs counted" 5 s.Summary.total;
+  check_int "all flagged invalid" 5 s.Summary.invalid_adversary;
+  check_int "none terminated" 0 s.Summary.terminated
+
+(* --- emit formats --- *)
+
+let test_emit_round_trip () =
+  List.iter
+    (fun f ->
+      match Emit.of_string (Emit.to_string f) with
+      | Some f' -> check_bool "round-trips" true (f = f')
+      | None -> Alcotest.fail "of_string failed")
+    Emit.all;
+  check_bool "unknown rejected" true (Emit.of_string "xml" = None)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "cache",
+        [
+          QCheck_alcotest.to_alcotest prop_cache_matches_exact;
+          Alcotest.test_case "hit/miss accounting" `Quick
+            test_cache_hit_accounting;
+          Alcotest.test_case "edge thresholds" `Quick
+            test_cache_edge_thresholds;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "chunk-size invariance (byte-identical)" `Quick
+            test_chunk_size_invariance;
+          Alcotest.test_case "generator order and progress" `Quick
+            test_generator_order_and_progress;
+          Alcotest.test_case "derived seeds" `Quick
+            test_derive_seed_depends_only_on_index;
+          Alcotest.test_case "summary merge laws" `Quick
+            test_summary_merge_unit_and_commutative;
+          Alcotest.test_case "invalid adversary counted" `Quick
+            test_invalid_adversary_counted;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "trace consistent with outcome" `Quick
+            test_trace_consistent_with_outcome;
+        ] );
+      ( "emit",
+        [ Alcotest.test_case "format round-trip" `Quick test_emit_round_trip ] );
+    ]

@@ -30,6 +30,7 @@ module Flood = struct
     ({ log; decided }, [])
 
   let output st = st.decided
+  let phase st = if st.decided = None then "flood" else "done"
 end
 
 module E = Engine.Make (Flood)
@@ -45,7 +46,7 @@ let values res =
 
 let test_full_delivery () =
   let cfg = Config.make ~n:4 ~t_max:1 () in
-  let res = E.run cfg ~inputs:(fun id -> 100 + id) () in
+  let res = E.run_exn cfg ~inputs:(fun id -> 100 + id) () in
   let expected = List.init 4 (fun i -> (i, 100 + i)) in
   List.iter
     (fun seen -> check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
@@ -62,7 +63,7 @@ let test_crash_mid_broadcast () =
   in
   let cfg = Config.make ~n:3 ~t_max:1 ~faults ()
   in
-  let res = E.run cfg ~inputs:(fun id -> 100 + id) () in
+  let res = E.run_exn cfg ~inputs:(fun id -> 100 + id) () in
   (match values res with
   | [ seen0; seen1 ] ->
       check_bool "node0 got crash vote" true (List.mem (2, 102) seen0);
@@ -77,7 +78,7 @@ let test_crashed_node_silent_after () =
     [| Fault.Honest; Fault.Crash { at_round = 0; deliver_to = [] }; Fault.Honest |]
   in
   let cfg = Config.make ~n:3 ~t_max:1 ~faults () in
-  let res = E.run cfg ~inputs:(fun id -> id) () in
+  let res = E.run_exn cfg ~inputs:(fun id -> id) () in
   List.iter
     (fun seen -> check_bool "no votes from crashed" false (List.mem_assoc 1 seen))
     (values res)
@@ -91,7 +92,7 @@ let test_byzantine_equivocation_p2p_allowed () =
           List.init view.Adversary.n (fun dst ->
               { Adversary.src = 3; dst; msg = 900 + dst }))
   in
-  let res = E.run cfg ~inputs:(fun id -> id) ~adversary () in
+  let res = E.run_exn cfg ~inputs:(fun id -> id) ~adversary () in
   (match values res with
   | seen0 :: _ -> check_bool "per-recipient message" true (List.mem (3, 900) seen0)
   | [] -> Alcotest.fail "no outputs");
@@ -108,8 +109,14 @@ let test_local_broadcast_blocks_equivocation () =
           List.init view.Adversary.n (fun dst ->
               { Adversary.src = 3; dst; msg = 900 + dst }))
   in
+  (* The result-returning run reports the violation as an Error... *)
+  (match E.run cfg ~inputs:(fun id -> id) ~adversary () with
+  | Error (`Invalid_adversary _) -> ()
+  | Ok _ ->
+      Alcotest.fail "equivocation should be rejected under local broadcast");
+  (* ...and run_exn raises. *)
   (try
-     ignore (E.run cfg ~inputs:(fun id -> id) ~adversary ());
+     ignore (E.run_exn cfg ~inputs:(fun id -> id) ~adversary ());
      Alcotest.fail "equivocation should be rejected under local broadcast"
    with Engine.Invalid_adversary _ -> ());
   (* Partial broadcast (not reaching everyone) is rejected too. *)
@@ -118,10 +125,10 @@ let test_local_broadcast_blocks_equivocation () =
         if view.Adversary.round <> 0 then []
         else [ { Adversary.src = 3; dst = 0; msg = 7 } ])
   in
-  try
-    ignore (E.run cfg ~inputs:(fun id -> id) ~adversary:partial ());
-    Alcotest.fail "partial broadcast should be rejected under local broadcast"
-  with Engine.Invalid_adversary _ -> ()
+  match E.run cfg ~inputs:(fun id -> id) ~adversary:partial () with
+  | Error (`Invalid_adversary _) -> ()
+  | Ok _ ->
+      Alcotest.fail "partial broadcast should be rejected under local broadcast"
 
 let test_local_broadcast_identical_ok () =
   let cfg =
@@ -131,7 +138,7 @@ let test_local_broadcast_identical_ok () =
     Adversary.broadcast_each_round ~name:"same" ~when_round:(fun r -> r = 0)
       (fun ~src:_ _view -> Some 777)
   in
-  let res = E.run cfg ~inputs:(fun id -> id) ~adversary () in
+  let res = E.run_exn cfg ~inputs:(fun id -> id) ~adversary () in
   List.iter
     (fun seen -> check_bool "all received 777" true (List.mem (3, 777) seen))
     (values res)
@@ -143,14 +150,15 @@ let test_adversary_from_honest_rejected () =
         if view.Adversary.round <> 0 then []
         else [ { Adversary.src = 0; dst = 1; msg = 1 } ])
   in
-  try
-    ignore (E.run cfg ~inputs:(fun id -> id) ~adversary ());
-    Alcotest.fail "sending from honest id must be rejected"
-  with Engine.Invalid_adversary _ -> ()
+  match E.run cfg ~inputs:(fun id -> id) ~adversary () with
+  | Error (`Invalid_adversary reason) ->
+      check_bool "reason names the node" true
+        (String.length reason > 0)
+  | Ok _ -> Alcotest.fail "sending from honest id must be rejected"
 
 let test_uniform_delay_bounds () =
   let cfg = Config.make ~n:5 ~t_max:1 ~delay:(Delay.Uniform { lo = 1; hi = 3 }) () in
-  let res = E.run cfg ~inputs:(fun id -> id) () in
+  let res = E.run_exn cfg ~inputs:(fun id -> id) () in
   List.iter
     (fun out ->
       match out with
@@ -168,7 +176,7 @@ let test_determinism () =
     let cfg =
       Config.make ~n:6 ~t_max:1 ~delay:(Delay.Uniform { lo = 1; hi = 4 }) ~seed:99 ()
     in
-    E.run cfg ~inputs:(fun id -> id * 3) ()
+    E.run_exn cfg ~inputs:(fun id -> id * 3) ()
   in
   let a = run () and b = run () in
   check_bool "same outputs" true (E.honest_outputs a = E.honest_outputs b);
@@ -186,12 +194,13 @@ module Mute = struct
   let init _ () = ((), [])
   let step _ () ~round:_ ~inbox:_ = ((), [])
   let output () = None
+  let phase () = "mute"
 end
 
 let test_stall_reported () =
   let module EM = Engine.Make (Mute) in
   let cfg = Config.make ~n:3 ~t_max:0 ~max_rounds:10 () in
-  let res = EM.run cfg ~inputs:(fun _ -> ()) () in
+  let res = EM.run_exn cfg ~inputs:(fun _ -> ()) () in
   check_bool "stalled" true res.EM.stalled;
   check_int "ran to cutoff" 10 res.EM.rounds_used
 
@@ -206,11 +215,12 @@ let test_unicast_under_local_broadcast_rejected () =
     let init _ () = ((), [ Types.unicast 0 () ])
     let step _ () ~round:_ ~inbox:_ = ((), [])
     let output () = Some ()
+    let phase () = "uni"
   end in
   let module EU = Engine.Make (Uni) in
   let cfg = Config.make ~comm:Types.Local_broadcast ~n:3 ~t_max:0 () in
   try
-    ignore (EU.run cfg ~inputs:(fun _ -> ()) ());
+    ignore (EU.run_exn cfg ~inputs:(fun _ -> ()) ());
     Alcotest.fail "honest unicast must be rejected under local broadcast"
   with Invalid_argument _ -> ()
 
@@ -221,7 +231,7 @@ let ring4 = [| [ 1; 3 ]; [ 0; 2 ]; [ 1; 3 ]; [ 0; 2 ] |]
 let test_topology_broadcast_reaches_neighbours () =
   let cfg = Config.make ~topology:ring4 ~n:4 ~t_max:0 () in
   check (Alcotest.list Alcotest.int) "reach of 0" [ 0; 1; 3 ] (Config.reach cfg 0);
-  let res = E.run cfg ~inputs:(fun id -> 100 + id) () in
+  let res = E.run_exn cfg ~inputs:(fun id -> 100 + id) () in
   (match values res with
   | seen0 :: seen1 :: _ ->
       check_bool "0 hears neighbour 1" true (List.mem (1, 101) seen0);
@@ -255,15 +265,14 @@ let test_topology_local_broadcast_neighbourhood () =
         if view.Adversary.round <> 0 then []
         else List.init 4 (fun dst -> { Adversary.src = 2; dst; msg = 9 }))
   in
-  (try
-     ignore (E.run cfg ~inputs:(fun id -> id) ~adversary:to_all ());
-     Alcotest.fail "beyond-neighbourhood broadcast must be rejected"
-   with Engine.Invalid_adversary _ -> ());
+  (match E.run cfg ~inputs:(fun id -> id) ~adversary:to_all () with
+  | Error (`Invalid_adversary _) -> ()
+  | Ok _ -> Alcotest.fail "beyond-neighbourhood broadcast must be rejected");
   let to_neighbourhood =
     Adversary.broadcast_each_round ~name:"ok" ~when_round:(fun r -> r = 0)
       (fun ~src:_ _ -> Some 9)
   in
-  let res = E.run cfg ~inputs:(fun id -> id) ~adversary:to_neighbourhood () in
+  let res = E.run_exn cfg ~inputs:(fun id -> id) ~adversary:to_neighbourhood () in
   check_int "neighbourhood size messages" 3 res.metrics.Metrics.byzantine_messages
 
 let test_config_validation () =
