@@ -1,7 +1,10 @@
-.PHONY: check build test bench
+.PHONY: check check-parallel build test bench
 
 check: ## build everything, then run the full test suite
 	dune build && dune runtest
+
+check-parallel: ## the jobs-invariance + domain-safety suite (spawns up to 4 domains)
+	dune build && dune exec test/test_exec.exe -- test parallel
 
 build:
 	dune build

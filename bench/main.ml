@@ -76,6 +76,44 @@ let memo_timing ?(ng = 28) ?(t_max = 4) ?(reps = 5) () =
   Fmt.pr "speedup                                  : %8.2fx@."
     (if after > 0.0 then before /. after else Float.infinity)
 
+(* Single-domain vs multi-domain wall-clock for the executor's domain
+   pool: the Figure 1(b) empirical sweep (protocol runs through
+   run_generator) and a large single-spec Monte-Carlo batch through
+   run_trials.  Summaries are byte-identical at every jobs value (asserted
+   here, pinned properly in test_exec.ml); only the wall-clock should
+   move.  On a single-core host the pool degrades to roughly the
+   sequential time plus spawn overhead. *)
+let par_timing ?(jobs = 4) ?(trials = 10_000) () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let spec =
+    Runner.simple_spec ~protocol:Runner.Algo1
+      ~strategy:Strategy.Collude_second ~t:2 ~f:2 winning
+  in
+  let batch jobs () =
+    Vv_exec.Summary.to_json
+      (Vv_exec.Executor.run_trials ~jobs ~trials ~seed:0xbead spec)
+  in
+  let sweep jobs () =
+    Vv_prelude.Table.to_csv
+      (Vv_analysis.Exp_fig1.fig1b ~jobs ~trials:600 ())
+  in
+  let report what (r1, t1) (rj, tj) =
+    assert (r1 = rj);
+    Fmt.pr "%-42s jobs=1 %8.3f s   jobs=%d %8.3f s   speedup %5.2fx@." what
+      t1 jobs tj
+      (if tj > 0.0 then t1 /. tj else Float.infinity);
+  in
+  Fmt.pr "@.== Domain pool wall-clock (available cores: %d) ==@."
+    (Domain.recommended_domain_count ());
+  report (Fmt.str "run_trials %d x algo1-n14" trials) (wall (batch 1))
+    (wall (batch jobs));
+  report "fig1b empirical sweep (600 trials/cell)" (wall (sweep 1))
+    (wall (sweep jobs))
+
 let fig1b_mc_cell =
   let rng = Vv_prelude.Rng.create 17 in
   fun () ->
@@ -181,6 +219,15 @@ let () =
   let args = Array.to_list Sys.argv in
   let tables_only = List.mem "--tables" args in
   let bench_only = List.mem "--bench" args in
+  let jobs =
+    List.fold_left
+      (fun acc a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "--jobs" ->
+            int_of_string (String.sub a (i + 1) (String.length a - i - 1))
+        | _ -> acc)
+      4 args
+  in
   if not bench_only then begin
     Fmt.pr "=== Reproduction harness: every figure/experiment of the paper \
             ===@.";
@@ -188,5 +235,6 @@ let () =
   end;
   if not tables_only then begin
     memo_timing ();
+    par_timing ~jobs ();
     benches ()
   end

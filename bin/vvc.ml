@@ -19,7 +19,7 @@ module Table = Vv_prelude.Table
 module Json = Vv_prelude.Json
 module Emit = Vv_exec.Emit
 
-(* --- shared --format term --- *)
+(* --- shared --format and --jobs terms --- *)
 
 let format_term =
   let fmt_conv =
@@ -31,6 +31,30 @@ let format_term =
     & info [ "format" ] ~docv:"FMT"
         ~doc:"Output format: $(b,table) (human-readable, default), \
               $(b,csv) or $(b,json).")
+
+(* The experiment registry is [unit -> tables], so --jobs cannot be
+   threaded through each experiment's signature; it sets the executor's
+   process-wide default instead, which every batch in the run inherits.
+   Results are byte-identical at any value (index-ordered merge,
+   per-index seeds). *)
+let jobs_term =
+  let jobs =
+    C.Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for batched protocol runs (default 1; \
+                $(b,0) = all available cores but one). Output is \
+                identical for every value.")
+  in
+  let set jobs =
+    (try Vv_exec.Executor.set_default_jobs jobs
+     with Invalid_argument _ ->
+       Fmt.epr "--jobs must be non-negative@.";
+       exit 1);
+    jobs
+  in
+  C.Term.(const set $ jobs)
 
 (* --- list --- *)
 
@@ -55,7 +79,7 @@ let exp_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,vvc list)).")
   in
-  let run id format =
+  let run id format (_jobs : int) =
     match Vv_analysis.Experiments.find id with
     | None ->
         Fmt.epr "unknown experiment %S; try: %a@." id
@@ -64,7 +88,8 @@ let exp_cmd =
         exit 1
     | Some e -> Emit.tables format (e.Vv_analysis.Experiments.run ())
   in
-  C.Cmd.v (C.Cmd.info "exp" ~doc) C.Term.(const run $ id $ format_term)
+  C.Cmd.v (C.Cmd.info "exp" ~doc)
+    C.Term.(const run $ id $ format_term $ jobs_term)
 
 (* --- all --- *)
 
@@ -77,7 +102,7 @@ let all_cmd =
                ~doc:"Additionally write every table as CSV under this \
                      directory (created if missing).")
   in
-  let run format csv_dir =
+  let run format csv_dir (_jobs : int) =
     (match csv_dir with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
@@ -125,7 +150,8 @@ let all_cmd =
             write_csvs e tables)
           Vv_analysis.Experiments.all
   in
-  C.Cmd.v (C.Cmd.info "all" ~doc) C.Term.(const run $ format_term $ csv_dir)
+  C.Cmd.v (C.Cmd.info "all" ~doc)
+    C.Term.(const run $ format_term $ csv_dir $ jobs_term)
 
 (* --- bounds --- *)
 

@@ -40,11 +40,12 @@ let fig1a ?(ng = Profiles.default_ng) () =
 (* One empirical success estimate: sample honest inputs from the profile,
    run Algorithm 1 with f = t colluders on the runner-up, and read the
    success rate (terminated with the exact honest plurality) off the batch
-   summary.  The generator is invoked in index order, so drawing from the
-   shared rng inside it is reproducible. *)
-let empirical_success ~trials ~t ~rng dist =
+   summary.  The generator is invoked in index order on the calling domain
+   at every [jobs] value, so drawing from the shared rng inside it is
+   reproducible even when the runs themselves fan out across domains. *)
+let empirical_success ?jobs ~trials ~t ~rng dist =
   let summary =
-    Vv_exec.Executor.run_generator ~count:trials (fun _ ->
+    Vv_exec.Executor.run_generator ?jobs ~count:trials (fun _ ->
         let honest = Mc.sample_inputs dist rng in
         Vv_core.Runner.simple_spec ~protocol:Vv_core.Runner.Algo1
           ~strategy:Vv_core.Strategy.Collude_second ~t ~f:t
@@ -52,7 +53,7 @@ let empirical_success ~trials ~t ~rng dist =
   in
   Vv_exec.Summary.success_rate summary
 
-let fig1b ?(ng = Profiles.default_ng) ?(t_max = 4) ?(mc_samples = 20_000)
+let fig1b ?jobs ?(ng = Profiles.default_ng) ?(t_max = 4) ?(mc_samples = 20_000)
     ?(trials = 150) ?(seed = 0xf1b) () =
   let rng = Rng.create seed in
   let t =
@@ -75,7 +76,7 @@ let fig1b ?(ng = Profiles.default_ng) ?(t_max = 4) ?(mc_samples = 20_000)
         let mc, hw =
           Mc.pr_voting_validity dist ~t:tol ~samples:mc_samples ~rng
         in
-        let emp = empirical_success ~trials ~t:tol ~rng dist in
+        let emp = empirical_success ?jobs ~trials ~t:tol ~rng dist in
         Table.add_row t
           [
             pr.Profiles.name;

@@ -4,11 +4,19 @@ val fig1a : ?ng:int -> unit -> Vv_prelude.Table.t
 (** Figure 1(a): the D1-D4 profiles and initial system entropy H_0. *)
 
 val empirical_success :
-  trials:int -> t:int -> rng:Vv_prelude.Rng.t -> Vv_dist.Multinomial.t -> float
+  ?jobs:int ->
+  trials:int ->
+  t:int ->
+  rng:Vv_prelude.Rng.t ->
+  Vv_dist.Multinomial.t ->
+  float
 (** Fraction of Algorithm-1 runs (inputs sampled from the profile, f = t
-    colluders) that terminated with the exact honest plurality. *)
+    colluders) that terminated with the exact honest plurality. [?jobs]
+    fans the runs out across domains (see {!Vv_exec.Executor}); the result
+    is identical at every value. *)
 
 val fig1b :
+  ?jobs:int ->
   ?ng:int ->
   ?t_max:int ->
   ?mc_samples:int ->
@@ -17,7 +25,8 @@ val fig1b :
   unit ->
   Vv_prelude.Table.t
 (** Figure 1(b): [Pr(A_G - B_G > t)] per profile and tolerance, computed by
-    exact enumeration, Monte-Carlo, and live protocol runs. *)
+    exact enumeration, Monte-Carlo, and live protocol runs (the latter
+    parallelisable via [?jobs], with identical output at every value). *)
 
 val fig1c : ?ng:int -> ?f_max:int -> unit -> Vv_prelude.Table.t
 (** Figure 1(c): system entropy H_s vs actual faults f. *)

@@ -12,9 +12,23 @@
    so every threshold afterwards is an O(1) lookup.  The log-factorial
    table behind the p.m.f. ([Multinomial.log_factorial]) was already
    shared process-wide; [warm] pre-extends it so the first enumeration of
-   a batch does not pay the incremental table growth either. *)
+   a batch does not pay the incremental table growth either.
 
-type key = { n : int; p : float list }
+   Keys are canonical: each probability is normalised (-0.0 to 0.0, the
+   only value-equal pair of doubles with distinct bit patterns that
+   [Multinomial.create] admits) and then keyed on its IEEE-754 bits, so
+   key equality is total, bit-exact and independent of float comparison
+   quirks — two distributions hit the same entry iff their parameters are
+   the same values.
+
+   Domain-safety: the table and the hit/miss counters are guarded by one
+   mutex.  Lookups are a single cheap critical section; a miss computes
+   the enumeration *outside* the lock (it can take milliseconds — holding
+   the lock would serialise every worker behind one enumeration) and then
+   re-checks under the lock before inserting, so concurrent first queries
+   of the same key may duplicate work but never duplicate entries. *)
+
+type key = { n : int; p : int64 list }
 
 type entry = {
   gap_pmf : float array;  (* index g: Pr(gap = g), g in 0..n *)
@@ -22,45 +36,70 @@ type entry = {
 }
 
 let table : (key, entry) Hashtbl.t = Hashtbl.create 32
+let lock = Mutex.create ()
 
 let hits = ref 0
 let misses = ref 0
 
 type stats = { hits : int; misses : int; entries : int }
 
-let stats () = { hits = !hits; misses = !misses; entries = Hashtbl.length table }
+let stats () =
+  Mutex.protect lock (fun () ->
+      { hits = !hits; misses = !misses; entries = Hashtbl.length table })
 
 let clear () =
-  Hashtbl.reset table;
-  hits := 0;
-  misses := 0
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset table;
+      hits := 0;
+      misses := 0)
+
+(* [-0.0] and [0.0] are equal values; map both to the bits of [+0.0] so
+   they share an entry. *)
+let canonical_bits x = Int64.bits_of_float (if x = 0.0 then 0.0 else x)
 
 let key_of dist =
   {
     n = Multinomial.n dist;
-    p = Array.to_list (Multinomial.probabilities dist);
+    p =
+      Array.to_list
+        (Array.map canonical_bits (Multinomial.probabilities dist));
   }
 
 let warm dist = Multinomial.warm_log_factorial (Multinomial.n dist)
 
+let compute dist =
+  warm dist;
+  let gap_pmf = Exact.gap_distribution dist in
+  let n = Array.length gap_pmf - 1 in
+  let gap_tail = Array.make (n + 2) 0.0 in
+  for g = n downto 0 do
+    gap_tail.(g) <- gap_tail.(g + 1) +. gap_pmf.(g)
+  done;
+  { gap_pmf; gap_tail }
+
 let entry_of dist =
   let key = key_of dist in
-  match Hashtbl.find_opt table key with
-  | Some e ->
-      incr hits;
-      e
-  | None ->
-      incr misses;
-      warm dist;
-      let gap_pmf = Exact.gap_distribution dist in
-      let n = Array.length gap_pmf - 1 in
-      let gap_tail = Array.make (n + 2) 0.0 in
-      for g = n downto 0 do
-        gap_tail.(g) <- gap_tail.(g + 1) +. gap_pmf.(g)
-      done;
-      let e = { gap_pmf; gap_tail } in
-      Hashtbl.replace table key e;
-      e
+  let cached =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some e ->
+            incr hits;
+            Some e
+        | None ->
+            incr misses;
+            None)
+  in
+  match cached with
+  | Some e -> e
+  | None -> (
+      (* Enumerate outside the lock; another domain may race us here. *)
+      let e = compute dist in
+      Mutex.protect lock (fun () ->
+          match Hashtbl.find_opt table key with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.replace table key e;
+              e))
 
 let gap_distribution dist = Array.copy (entry_of dist).gap_pmf
 

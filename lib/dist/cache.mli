@@ -11,8 +11,16 @@
 
     The cache is process-global and grows with the number of distinct
     distributions queried; {!clear} resets it (used by benchmarks to time
-    cold paths). Not thread-safe — batch execution shards work above this
-    layer, not inside it. *)
+    cold paths). Keys are canonical — each probability keyed on its
+    IEEE-754 bits after normalising [-0.0] to [0.0] — so equal-valued
+    distributions always share one entry.
+
+    Domain-safety contract: every entry point may be called concurrently
+    from any number of domains. Table lookups and the hit/miss counters
+    are mutex-guarded; a miss enumerates outside the lock and re-checks
+    before inserting, so concurrent first queries of one key may each
+    count a miss (duplicated work) but the table never holds duplicate
+    entries and served values always agree with {!Exact}. *)
 
 val gap_distribution : Multinomial.t -> float array
 (** Cached {!Exact.gap_distribution}; the returned array is a copy. *)

@@ -22,23 +22,36 @@ let arity t = Array.length t.p
 let probabilities t = Array.copy t.p
 
 (* Log-factorials, memoised across calls; counts stay small (<= a few
-   thousand) in every experiment. *)
-let log_factorial =
-  let table = ref [| 0.0 |] in
-  fun k ->
-    if k < 0 then invalid_arg "log_factorial: negative";
-    let cur = !table in
-    if k < Array.length cur then cur.(k)
-    else begin
-      let len = max (k + 1) (2 * Array.length cur) in
-      let next = Array.make len 0.0 in
-      Array.blit cur 0 next 0 (Array.length cur);
-      for i = Array.length cur to len - 1 do
-        next.(i) <- next.(i - 1) +. log (float_of_int i)
-      done;
-      table := next;
-      next.(k)
-    end
+   thousand) in every experiment.
+
+   The table is shared by every domain: lookups read the current array
+   through an [Atomic.t] (lock-free — published arrays are never mutated
+   again, growth allocates a fresh one), and growth itself runs under a
+   mutex with a re-check so concurrent growers never publish a shorter
+   table over a longer one.  [warm_log_factorial] is the pre-sizing escape
+   hatch: batch drivers call it once before fanning out so workers never
+   contend on growth at all. *)
+let log_table = Atomic.make [| 0.0 |]
+let log_table_lock = Mutex.create ()
+
+let rec log_factorial k =
+  if k < 0 then invalid_arg "log_factorial: negative";
+  let cur = Atomic.get log_table in
+  if k < Array.length cur then cur.(k)
+  else begin
+    Mutex.protect log_table_lock (fun () ->
+        let cur = Atomic.get log_table in
+        if k >= Array.length cur then begin
+          let len = max (k + 1) (2 * Array.length cur) in
+          let next = Array.make len 0.0 in
+          Array.blit cur 0 next 0 (Array.length cur);
+          for i = Array.length cur to len - 1 do
+            next.(i) <- next.(i - 1) +. log (float_of_int i)
+          done;
+          Atomic.set log_table next
+        end);
+    log_factorial k
+  end
 
 let warm_log_factorial k = if k > 0 then ignore (log_factorial k)
 

@@ -21,7 +21,11 @@ val pmf : t -> int array -> float
 
 val warm_log_factorial : int -> unit
 (** Pre-extend the shared (process-global) log-factorial table up to [k],
-    so later [pmf] calls never pay the incremental growth. *)
+    so later [pmf] calls never pay the incremental growth. The table is
+    domain-safe: lookups are lock-free reads of an atomically published
+    array and growth is serialised by a mutex, so concurrent [pmf] calls
+    from worker domains are sound; warming before a parallel batch removes
+    even the growth-lock contention. *)
 
 val sample : t -> Vv_prelude.Rng.t -> int array
 (** One draw of the count vector. *)

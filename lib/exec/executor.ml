@@ -1,48 +1,73 @@
-(* Chunked batch executor.
+(* Chunked batch executor with an optional domain pool.
 
    Work arrives as a list of specs or as a generator over [0, count);
-   instances execute sequentially in chunks, each chunk folding into its
-   own Summary which is then merged into the running total.  Chunking
-   exists for progress reporting and bounded liveness on long sweeps —
-   it must never change results, which holds because
+   instances execute in chunks, each chunk folding into its own Summary
+   which is then merged into the total in chunk-index order.  Chunking
+   exists for progress reporting, bounded liveness on long sweeps, and as
+   the unit of work claimed by worker domains — it must never change
+   results, which holds because
 
    - per-instance seeds depend only on (base seed, index), never on the
-     chunk layout, and
-   - [Summary.merge] is associative with [Summary.empty] as unit.
+     chunk layout or the claiming domain,
+   - [Summary.merge] is associative with [Summary.empty] as unit, and
+   - chunk summaries are merged in ascending chunk index, the same order
+     the sequential path produces them.
 
-   Everything runs on one domain: the exact-enumeration cache and the
-   log-factorial table behind Vv_dist are process-global and unguarded,
-   so sharding across domains belongs above this layer if it ever
-   happens. *)
+   Parallel execution ([jobs > 1]) is a hand-rolled pool: the generator is
+   first drained on the calling domain in index order (so generators that
+   carry state — e.g. drawing honest inputs from one shared rng — behave
+   identically at every [jobs]), then worker domains claim chunk indices
+   from an atomic counter, run their instances, and park the chunk summary
+   in a per-chunk slot; the final fold over slots is index-ordered.  The
+   shared state the workers can reach (Vv_dist's enumeration cache and
+   log-factorial table) is domain-safe as of this layer's parallelisation
+   — see Vv_dist.Cache and Multinomial.warm_log_factorial. *)
 
 module Rng = Vv_prelude.Rng
 module Runner = Vv_core.Runner
 
 let default_chunk_size = 64
 
-(* Per-instance seed: hash (seed, index) through one splitmix64 step.
-   0x9E3779B9 is the 32-bit golden-ratio constant; the multiply keeps
-   distinct indices far apart even for sequential i, and the splitmix
-   step behind Rng.bits finishes the mixing. *)
-let derive_seed ~seed i = Rng.bits (Rng.create (seed lxor (i * 0x9E3779B9)))
+(* Per-instance seed: two independent splitmix64 steps.  The base seed is
+   first hashed on its own (create + one [bits] step), and the index is
+   folded into that hash before a second step.  Each step is a full
+   64-bit avalanche, so distinct (seed, index) pairs collide only if
+   [hash(seed1) lxor i1 = hash(seed2) lxor i2] — unlike the old
+   [seed lxor (i * const)] mix, where e.g. [(s, 1)] and
+   [(s lxor const, 0)] derived the same stream. *)
+let derive_seed ~seed i = Rng.bits (Rng.create (Rng.bits (Rng.create seed) lxor i))
+
+(* Process-wide default for [?jobs], so entry points that cannot thread a
+   parameter down to every executor call (the vvc experiment subcommands,
+   whose experiment registry is [unit -> table]) can still opt a whole run
+   into parallelism.  [0] means "all available cores but one". *)
+let default_jobs_setting = ref 1
+
+let resolve_jobs jobs =
+  if jobs < 0 then invalid_arg "Executor: negative jobs";
+  if jobs = 0 then max 1 (Domain.recommended_domain_count () - 1) else jobs
+
+let set_default_jobs jobs =
+  ignore (resolve_jobs jobs);
+  default_jobs_setting := jobs
+
+let default_jobs () = !default_jobs_setting
 
 type progress = { done_ : int; total : int }
 
-let run_seq ?(chunk_size = default_chunk_size) ?seed ?on_progress ~count gen =
-  if chunk_size <= 0 then invalid_arg "Executor: chunk_size must be positive";
-  if count < 0 then invalid_arg "Executor: negative count";
-  let reseed i spec =
-    match seed with
-    | None -> spec
-    | Some seed -> Runner.with_seed (derive_seed ~seed i) spec
-  in
+let reseed ~seed i spec =
+  match seed with
+  | None -> spec
+  | Some seed -> Runner.with_seed (derive_seed ~seed i) spec
+
+let run_one_domain ~chunk_size ~seed ?on_progress ~count gen =
   let total = ref Summary.empty in
   let i = ref 0 in
   while !i < count do
     let stop = min count (!i + chunk_size) in
     let chunk = ref Summary.empty in
     while !i < stop do
-      let spec = reseed !i (gen !i) in
+      let spec = reseed ~seed !i (gen !i) in
       chunk := Summary.observe !chunk (Runner.run_checked spec);
       incr i
     done;
@@ -53,13 +78,66 @@ let run_seq ?(chunk_size = default_chunk_size) ?seed ?on_progress ~count gen =
   done;
   !total
 
-let run_generator ?chunk_size ?seed ?on_progress ~count gen =
-  run_seq ?chunk_size ?seed ?on_progress ~count gen
+let run_domain_pool ~jobs ~chunk_size ~seed ?on_progress ~count gen =
+  (* Drain the generator on this domain, in index order. *)
+  let specs =
+    let rec build i acc =
+      if i = count then Array.of_list (List.rev acc)
+      else build (i + 1) (reseed ~seed i (gen i) :: acc)
+    in
+    build 0 []
+  in
+  let chunks = (count + chunk_size - 1) / chunk_size in
+  let results = Array.make chunks Summary.empty in
+  let next_chunk = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let progress_lock = Mutex.create () in
+  let report lo hi =
+    match on_progress with
+    | None -> ()
+    | Some f ->
+        ignore (Atomic.fetch_and_add completed (hi - lo));
+        (* Serialise callbacks; reading [completed] inside the lock keeps
+           the reported counts non-decreasing across calls. *)
+        Mutex.protect progress_lock (fun () ->
+            f { done_ = Atomic.get completed; total = count })
+  in
+  let worker () =
+    let rec loop () =
+      let c = Atomic.fetch_and_add next_chunk 1 in
+      if c < chunks then begin
+        let lo = c * chunk_size and hi = min count ((c + 1) * chunk_size) in
+        let s = ref Summary.empty in
+        for i = lo to hi - 1 do
+          s := Summary.observe !s (Runner.run_checked specs.(i))
+        done;
+        results.(c) <- !s;
+        report lo hi;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join helpers;
+  Array.fold_left Summary.merge Summary.empty results
 
-let run_specs ?chunk_size ?seed ?on_progress specs =
+let run ?(chunk_size = default_chunk_size) ?jobs ?seed ?on_progress ~count gen =
+  if chunk_size <= 0 then invalid_arg "Executor: chunk_size must be positive";
+  if count < 0 then invalid_arg "Executor: negative count";
+  let jobs = resolve_jobs (Option.value jobs ~default:!default_jobs_setting) in
+  if jobs = 1 || count <= chunk_size then
+    run_one_domain ~chunk_size ~seed ?on_progress ~count gen
+  else run_domain_pool ~jobs ~chunk_size ~seed ?on_progress ~count gen
+
+let run_generator ?chunk_size ?jobs ?seed ?on_progress ~count gen =
+  run ?chunk_size ?jobs ?seed ?on_progress ~count gen
+
+let run_specs ?chunk_size ?jobs ?seed ?on_progress specs =
   let arr = Array.of_list specs in
-  run_seq ?chunk_size ?seed ?on_progress ~count:(Array.length arr) (fun i ->
+  run ?chunk_size ?jobs ?seed ?on_progress ~count:(Array.length arr) (fun i ->
       arr.(i))
 
-let run_trials ?chunk_size ~trials ~seed spec =
-  run_seq ?chunk_size ~seed ~count:trials (fun _ -> spec)
+let run_trials ?chunk_size ?jobs ~trials ~seed spec =
+  run ?chunk_size ?jobs ~seed ~count:trials (fun _ -> spec)

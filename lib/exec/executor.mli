@@ -1,11 +1,21 @@
-(** Chunked batch executor over {!Vv_core.Runner} specifications.
+(** Chunked batch executor over {!Vv_core.Runner} specifications, with an
+    optional domain pool.
 
-    Instances run sequentially in chunks; each chunk folds into a
-    {!Summary.t} merged into the running total. Chunking is an
-    implementation knob (progress reporting), never a semantic one: with
-    the same [seed], any [chunk_size] produces a byte-identical summary,
-    because per-instance seeds depend only on [(seed, index)] and
-    {!Summary.merge} is associative.
+    Instances run in chunks; each chunk folds into a {!Summary.t} merged
+    into the running total in chunk-index order. Chunking is an
+    implementation knob (progress reporting, the unit of work a worker
+    domain claims), never a semantic one: with the same [seed], any
+    [chunk_size] and any [jobs] produce a byte-identical summary, because
+    per-instance seeds depend only on [(seed, index)], {!Summary.merge} is
+    associative, and chunk summaries merge in ascending index order on
+    every path.
+
+    With [jobs > 1] the generator is drained on the calling domain first,
+    still in index order — generators that carry state (e.g. sampling
+    honest inputs from one shared rng) therefore see exactly the calls of
+    the sequential path — and only {!Vv_core.Runner.run_checked} runs on
+    the workers. The shared state reachable from a run ({!Vv_dist.Cache},
+    the log-factorial table) is domain-safe.
 
     An adversary that violates its fault plan surfaces as the summary's
     [invalid_adversary] count rather than an exception, so one bad
@@ -14,31 +24,54 @@
 type progress = { done_ : int; total : int }
 
 val derive_seed : seed:int -> int -> int
-(** The per-instance seed for index [i] under base [seed]. Exposed so
-    tests and experiment code can reproduce a single instance of a batch
-    in isolation. *)
+(** The per-instance seed for index [i] under base [seed]: two independent
+    splitmix64 steps (hash the base seed, fold in the index, hash again),
+    so distinct [(seed, index)] pairs do not collide under simple xor
+    algebra. Exposed so tests and experiment code can reproduce a single
+    instance of a batch in isolation. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide default for [?jobs] (initially [1]; [0] means
+    [Domain.recommended_domain_count () - 1], min 1). Entry points that
+    cannot thread [?jobs] down to every executor call — the [vvc]
+    experiment subcommands' [--jobs] flag — set this once instead. Raises
+    [Invalid_argument] on negative values. *)
+
+val default_jobs : unit -> int
 
 val run_generator :
   ?chunk_size:int ->
+  ?jobs:int ->
   ?seed:int ->
   ?on_progress:(progress -> unit) ->
   count:int ->
   (int -> Vv_core.Runner.spec) ->
   Summary.t
-(** [run_generator ~count gen] executes [gen 0 .. gen (count-1)]. With
-    [?seed], each instance's spec is reseeded with [derive_seed ~seed i];
-    without it, each spec's own seed is used. [on_progress] fires after
-    every chunk. Raises [Invalid_argument] when [chunk_size <= 0] or
+(** [run_generator ~count gen] executes [gen 0 .. gen (count-1)]; [gen] is
+    always invoked in index order on the calling domain. With [?seed],
+    each instance's spec is reseeded with [derive_seed ~seed i]; without
+    it, each spec's own seed is used. [?jobs] (default
+    {!default_jobs}[ ()]) sets the number of worker domains; [0] means
+    all available cores but one; the summary is byte-identical for every
+    value. [on_progress] fires after every chunk with non-decreasing
+    [done_] counts (exactly [chunk_size] apart only when [jobs = 1]).
+    Raises [Invalid_argument] when [chunk_size <= 0], [jobs < 0] or
     [count < 0]. *)
 
 val run_specs :
   ?chunk_size:int ->
+  ?jobs:int ->
   ?seed:int ->
   ?on_progress:(progress -> unit) ->
   Vv_core.Runner.spec list ->
   Summary.t
 
 val run_trials :
-  ?chunk_size:int -> trials:int -> seed:int -> Vv_core.Runner.spec -> Summary.t
+  ?chunk_size:int ->
+  ?jobs:int ->
+  trials:int ->
+  seed:int ->
+  Vv_core.Runner.spec ->
+  Summary.t
 (** The common Monte-Carlo shape: the same specification [trials] times
     under derived seeds. *)

@@ -61,13 +61,21 @@ let sample_without_replacement t ~k ~n =
 
 let categorical t probabilities =
   (* Draw an index according to the given probability vector.  The vector is
-     renormalised defensively so that slightly-off inputs still sample. *)
+     renormalised defensively so that slightly-off inputs still sample.  The
+     fallback for when rounding pushes [u] past the accumulated mass must
+     land on a cell that actually carries probability: returning the raw
+     last index would sample a zero-probability outcome whenever the vector
+     ends in zero-mass cells (e.g. [u = total] after the multiply rounds
+     up), so the scan is capped at the last positive cell instead. *)
   let total = Array.fold_left ( +. ) 0.0 probabilities in
   if total <= 0.0 then invalid_arg "Rng.categorical: non-positive mass";
   let u = float t *. total in
-  let n = Array.length probabilities in
+  let last_positive =
+    let rec find i = if probabilities.(i) > 0.0 then i else find (i - 1) in
+    find (Array.length probabilities - 1)
+  in
   let rec go i acc =
-    if i >= n - 1 then n - 1
+    if i >= last_positive then last_positive
     else
       let acc = acc +. probabilities.(i) in
       if u < acc then i else go (i + 1) acc

@@ -40,4 +40,7 @@ val sample_without_replacement : t -> k:int -> n:int -> int list
 
 val categorical : t -> float array -> int
 (** [categorical t p] draws index [i] with probability [p.(i)] (after
-    renormalisation). Raises [Invalid_argument] on non-positive total mass. *)
+    renormalisation). The returned index always has [p.(i) > 0]: when
+    floating-point rounding pushes the draw past the accumulated mass, the
+    fallback is the last positive-probability cell, never a zero-mass tail
+    cell. Raises [Invalid_argument] on non-positive total mass. *)

@@ -73,6 +73,27 @@ let test_cache_edge_thresholds () =
   check (Alcotest.float 0.0) "threshold >= n is impossible" 0.0
     (Cache.pr_gap_gt dist ~threshold:6)
 
+(* Regression for the key canonicalisation: keys are the probabilities'
+   IEEE-754 bits with -0.0 normalised to 0.0, so equal-valued
+   distributions — including ones that spell a zero-mass tail cell 0.0 vs
+   -0.0 — always share one entry, independent of float-comparison and
+   hashing quirks of the previous raw [float list] key. *)
+let test_cache_key_canonical () =
+  Cache.clear ();
+  let q p = ignore (Cache.pr_gap_gt (Multinomial.create ~n:8 ~p) ~threshold:2) in
+  q [| 0.6; 0.4; 0.0 |];
+  q [| 0.6; 0.4; -0.0 |];
+  (* A fresh, independently built but equal-valued vector also hits. *)
+  q [| 3.0 /. 5.0; 2.0 /. 5.0; 0.0 |];
+  let s = Cache.stats () in
+  check_int "one enumeration for the three spellings" 1 s.Cache.misses;
+  check_int "two hits" 2 s.Cache.hits;
+  check_int "one entry" 1 s.Cache.entries;
+  (* Genuinely different parameters still miss. *)
+  q [| 0.4; 0.6; 0.0 |];
+  check_int "distinct values get their own entry" 2 (Cache.stats ()).Cache.entries;
+  Cache.clear ()
+
 (* --- batch determinism across chunk sizes --- *)
 
 let batch_spec =
@@ -125,6 +146,40 @@ let test_derive_seed_depends_only_on_index () =
   check_bool "distinct seeds differ" true
     (Executor.derive_seed ~seed:1 3 <> Executor.derive_seed ~seed:2 3)
 
+(* Regression for the old [seed lxor (i * 0x9E3779B9)] mix: any pair
+   [(s, i)] and [(s lxor (i * c) lxor (j * c), j)] collapsed to the same
+   pre-hash value and therefore the same stream — e.g. index 1 under seed
+   [s] equalled index 0 under seed [s lxor c].  The splitmix-of-splitmix
+   derivation hashes the seed before the index is folded in, so no xor
+   algebra on the inputs lines the streams up. *)
+let test_derive_seed_no_xor_collisions () =
+  let c = 0x9E3779B9 in
+  List.iter
+    (fun s ->
+      check_bool "index 1 vs shifted seed at index 0" true
+        (Executor.derive_seed ~seed:s 1
+        <> Executor.derive_seed ~seed:(s lxor c) 0);
+      check_bool "index 2 vs shifted seed at index 1" true
+        (Executor.derive_seed ~seed:s 2
+        <> Executor.derive_seed ~seed:(s lxor (2 * c) lxor c) 1))
+    [ 0; 1; 42; 0x5eed; max_int ]
+
+(* The derivation is part of the reproducibility contract: batches logged
+   in EXPERIMENTS.md must replay bit-for-bit, so the exact values are
+   pinned. *)
+let test_derive_seed_golden () =
+  List.iter
+    (fun (seed, i, expect) ->
+      check_int (Fmt.str "derive_seed ~seed:%d %d" seed i) expect
+        (Executor.derive_seed ~seed i))
+    [
+      (42, 0, 2375575238713981129);
+      (42, 1, 199654906051158098);
+      (42, 2, 4588304528281974559);
+      (0x5eed, 100, 1301434136221258189);
+      (0, 0, 2080277311359033222);
+    ]
+
 let test_summary_merge_unit_and_commutative () =
   let s =
     Executor.run_trials ~chunk_size:5 ~trials:12 ~seed:9 batch_spec
@@ -139,6 +194,143 @@ let test_summary_merge_unit_and_commutative () =
   in
   check Alcotest.string "merge commutes" (js (Summary.merge a s))
     (js (Summary.merge s a))
+
+(* --- domain-pool execution --- *)
+
+let summary_bytes s = Json.to_string (Summary.to_json s)
+
+(* Byte-identical summaries at every (jobs, chunk_size): the executor's
+   central determinism promise, and the suite `make check-parallel` runs. *)
+let test_jobs_invariance () =
+  let reference =
+    summary_bytes (Executor.run_trials ~jobs:1 ~trials:60 ~seed:0x90b5 batch_spec)
+  in
+  List.iter
+    (fun (jobs, chunk_size) ->
+      check Alcotest.string
+        (Fmt.str "jobs=%d chunk_size=%d byte-identical" jobs chunk_size)
+        reference
+        (summary_bytes
+           (Executor.run_trials ~jobs ~chunk_size ~trials:60 ~seed:0x90b5
+              batch_spec)))
+    [ (1, 5); (2, 64); (2, 7); (4, 64); (4, 1); (4, 13) ]
+
+let prop_jobs_and_chunks_invariant =
+  QCheck.Test.make ~count:12
+    ~name:"run_trials byte-identical across jobs and chunk_size"
+    QCheck.(
+      make
+        ~print:(fun (j, c, n) -> Fmt.str "jobs=%d chunk=%d trials=%d" j c n)
+        Gen.(
+          triple (int_range 1 4) (int_range 1 40) (int_range 5 30)))
+    (fun (jobs, chunk_size, trials) ->
+      let seq =
+        summary_bytes (Executor.run_trials ~jobs:1 ~trials ~seed:0xfeed batch_spec)
+      in
+      let par =
+        summary_bytes
+          (Executor.run_trials ~jobs ~chunk_size ~trials ~seed:0xfeed batch_spec)
+      in
+      String.equal seq par)
+
+(* With a stateful generator (shared rng drawn inside gen), results must
+   still match, because the generator is drained in index order on the
+   calling domain before workers start. *)
+let test_jobs_invariance_stateful_generator () =
+  let summary jobs =
+    let rng = Vv_prelude.Rng.create 0xf1b2 in
+    Executor.run_generator ~jobs ~chunk_size:8 ~count:40 (fun _ ->
+        let honest =
+          Vv_dist.Montecarlo.sample_inputs
+            Vv_dist.Profiles.(distribution d2)
+            rng
+        in
+        Runner.simple_spec ~protocol:Runner.Algo1
+          ~strategy:Strategy.Collude_second ~t:1 ~f:1
+          ~seed:(Vv_prelude.Rng.bits rng) honest)
+  in
+  let reference = summary_bytes (summary 1) in
+  List.iter
+    (fun jobs ->
+      check Alcotest.string
+        (Fmt.str "stateful generator, jobs=%d" jobs)
+        reference
+        (summary_bytes (summary jobs)))
+    [ 2; 4 ]
+
+let test_parallel_progress_monotone () =
+  let ticks = ref [] in
+  let s =
+    Executor.run_generator ~jobs:4 ~chunk_size:5 ~seed:5
+      ~on_progress:(fun p -> ticks := p.Executor.done_ :: !ticks)
+      ~count:37
+      (fun _ -> batch_spec)
+  in
+  check_int "all instances ran" 37 s.Summary.total;
+  let ticks = List.rev !ticks in
+  check_bool "at least one tick" true (ticks <> []);
+  check_int "last tick reports completion" 37 (List.nth ticks (List.length ticks - 1));
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check_bool "ticks non-decreasing" true (monotone ticks)
+
+let test_jobs_validation () =
+  Alcotest.check_raises "negative jobs"
+    (Invalid_argument "Executor: negative jobs") (fun () ->
+      ignore (Executor.run_trials ~jobs:(-1) ~trials:3 ~seed:1 batch_spec));
+  (* jobs=0 resolves to "cores - 1" and must still run. *)
+  let s = Executor.run_trials ~jobs:0 ~trials:5 ~seed:1 batch_spec in
+  check_int "jobs=0 runs everything" 5 s.Summary.total
+
+(* Concurrent cache queries from several domains agree with the uncached
+   oracle, and racing first queries never duplicate entries. *)
+let test_cache_parallel_stress () =
+  Cache.clear ();
+  let dists =
+    List.map
+      (fun p -> Multinomial.create ~n:9 ~p)
+      [
+        [| 0.7; 0.1; 0.1; 0.1 |];
+        [| 0.55; 0.25; 0.1; 0.1 |];
+        [| 0.4; 0.3; 0.2; 0.1 |];
+        [| 0.25; 0.25; 0.25; 0.25 |];
+        [| 0.5; 0.5 |];
+        [| 0.6; 0.4; 0.0 |];
+      ]
+  in
+  let thresholds = [ -1; 0; 1; 2; 5; 9 ] in
+  let oracle =
+    List.map
+      (fun d -> List.map (fun t -> Exact.pr_gap_gt d ~threshold:t) thresholds)
+      dists
+  in
+  let rounds = 5 in
+  let worker () =
+    let ok = ref true in
+    for _ = 1 to rounds do
+      List.iter2
+        (fun d expected ->
+          List.iter2
+            (fun t e ->
+              if Float.abs (Cache.pr_gap_gt d ~threshold:t -. e) >= 1e-9 then
+                ok := false)
+            thresholds expected)
+        dists oracle
+    done;
+    !ok
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn worker) in
+  let agree = Array.for_all Fun.id (Array.map Domain.join domains) in
+  check_bool "all domains agree with the Exact oracle" true agree;
+  let s = Cache.stats () in
+  check_int "no duplicate entries under racing inserts"
+    (List.length dists) s.Cache.entries;
+  check_int "every query accounted as hit or miss"
+    (4 * rounds * List.length dists * List.length thresholds)
+    (s.Cache.hits + s.Cache.misses);
+  Cache.clear ()
 
 (* --- trace vs outcome --- *)
 
@@ -223,6 +415,8 @@ let () =
             test_cache_hit_accounting;
           Alcotest.test_case "edge thresholds" `Quick
             test_cache_edge_thresholds;
+          Alcotest.test_case "key canonicalisation (regression)" `Quick
+            test_cache_key_canonical;
         ] );
       ( "executor",
         [
@@ -232,10 +426,28 @@ let () =
             test_generator_order_and_progress;
           Alcotest.test_case "derived seeds" `Quick
             test_derive_seed_depends_only_on_index;
+          Alcotest.test_case "derived seeds: no xor collisions (regression)"
+            `Quick test_derive_seed_no_xor_collisions;
+          Alcotest.test_case "derived seeds: golden values" `Quick
+            test_derive_seed_golden;
           Alcotest.test_case "summary merge laws" `Quick
             test_summary_merge_unit_and_commutative;
           Alcotest.test_case "invalid adversary counted" `Quick
             test_invalid_adversary_counted;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs invariance (byte-identical)" `Quick
+            test_jobs_invariance;
+          QCheck_alcotest.to_alcotest prop_jobs_and_chunks_invariant;
+          Alcotest.test_case "stateful generator across jobs" `Quick
+            test_jobs_invariance_stateful_generator;
+          Alcotest.test_case "progress monotone under domains" `Quick
+            test_parallel_progress_monotone;
+          Alcotest.test_case "jobs validation and jobs=0" `Quick
+            test_jobs_validation;
+          Alcotest.test_case "cache stress across domains" `Quick
+            test_cache_parallel_stress;
         ] );
       ( "trace",
         [

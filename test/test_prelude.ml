@@ -66,6 +66,27 @@ let test_categorical () =
   Alcotest.(check bool) "p1" true (abs_float (freq 1 -. 0.2) < 0.02);
   Alcotest.(check bool) "p2" true (abs_float (freq 2 -. 0.1) < 0.02)
 
+let test_categorical_zero_mass_tail () =
+  (* Regression: the fallback for "u rounded past the accumulated mass"
+     used to return the raw last index even when that cell had p = 0.
+     With a subnormal total mass the rounding is forced: for any draw
+     u0 > 0.5, [u0 *. 2^-1074] rounds up to [2^-1074] itself, so the scan
+     exhausts the accumulated mass on roughly half of all draws and the
+     pre-fix code returned index 1 — an outcome of probability zero. *)
+  let p = [| ldexp 1.0 (-1074); 0.0 |] in
+  let r = Rng.create 11 in
+  for _ = 1 to 200 do
+    let i = Rng.categorical r p in
+    Alcotest.(check bool) "sampled index has positive mass" true (p.(i) > 0.0)
+  done;
+  (* Zero cells before the positive tail were never affected; pin that. *)
+  let r = Rng.create 12 in
+  let p = [| 0.0; 0.3; 0.7 |] in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "leading zero cell never drawn" true
+      (Rng.categorical r p > 0)
+  done
+
 let test_shuffle_permutation () =
   let r = Rng.create 5 in
   let a = Array.init 20 Fun.id in
@@ -185,6 +206,8 @@ let () =
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
           Alcotest.test_case "categorical frequencies" `Quick test_categorical;
+          Alcotest.test_case "categorical zero-mass tail (regression)" `Quick
+            test_categorical_zero_mass_tail;
           Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
           Alcotest.test_case "sampling without replacement" `Quick
             test_sample_without_replacement;
