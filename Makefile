@@ -1,10 +1,13 @@
-.PHONY: check check-parallel build test bench
+.PHONY: check check-parallel check-model build test bench
 
 check: ## build everything, then run the full test suite
 	dune build && dune runtest
 
 check-parallel: ## the jobs-invariance + domain-safety suite (spawns up to 4 domains)
 	dune build && dune exec test/test_exec.exe -- test parallel
+
+check-model: ## exhaustive small-model smoke sweep (vv_check); exits 1 on violation
+	dune build && dune exec bin/vvc.exe -- check --profile=smoke
 
 build:
 	dune build

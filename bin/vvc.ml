@@ -6,6 +6,7 @@
      all                         regenerate everything
      bounds -n N -t T [...]      evaluate every tolerance bound at a point
      run [...]                   one protocol execution with full control
+     check [--profile=P]         exhaustive small-model checker (vv_check)
 
    Every experiment subcommand takes the shared --format=table|csv|json
    term; all three formats render the same data. *)
@@ -499,11 +500,42 @@ let radio_cmd =
   in
   C.Cmd.v (C.Cmd.info "radio" ~doc) C.Term.(const run $ format_term $ topo $ t)
 
+(* --- check --- *)
+
+let check_cmd =
+  let doc =
+    "Exhaustively model-check the small-model space: every variant, \
+     substrate and communication model against the enumerated adversary \
+     universe, with the paper's bounds as the oracle."
+  in
+  let profile =
+    let profile_conv =
+      C.Arg.enum
+        [ ("smoke", Vv_check.Check.Smoke); ("full", Vv_check.Check.Full) ]
+    in
+    C.Arg.(
+      value
+      & opt profile_conv Vv_check.Check.Smoke
+      & info [ "profile" ] ~docv:"P"
+          ~doc:
+            "$(b,smoke) (CI tier: every variant, one substrate, t=1) or \
+             $(b,full) (every substrate, plus t=2 cells).")
+  in
+  let run format profile (jobs : int) =
+    let result = Vv_check.Check.run ~jobs profile in
+    Vv_check.Report.print format result;
+    (* Nonzero exit on any violation of a promised guarantee, or when
+       some bound kind has no below-bound tightness witness. *)
+    if not result.Vv_check.Check.ok then exit 1
+  in
+  C.Cmd.v (C.Cmd.info "check" ~doc)
+    C.Term.(const run $ format_term $ profile $ jobs_term)
+
 let () =
   let doc = "Exact fault-tolerant consensus with voting validity (IPDPS 2023)" in
   let info = C.Cmd.info "vvc" ~version:"1.0.0" ~doc in
   exit
     (C.Cmd.eval
        (C.Cmd.group info
-          [ list_cmd; exp_cmd; all_cmd; bounds_cmd; run_cmd; ledger_cmd;
-            radio_cmd ]))
+          [ list_cmd; exp_cmd; all_cmd; bounds_cmd; run_cmd; check_cmd;
+            ledger_cmd; radio_cmd ]))

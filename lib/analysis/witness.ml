@@ -1,6 +1,15 @@
 (* Constructive scenario builders for the impossibility/possibility sweeps
    (experiment E7): honest input multisets with prescribed A_G, B_G, C_G,
-   and the worked examples of Sections I, IV and VII. *)
+   and the worked examples of Sections I, IV and VII.
+
+   These are *hand-built* tightness witnesses: each one pins a single
+   below-bound configuration with a single adversary strategy.  The
+   exhaustive small-model checker (lib/check) generalises them — its
+   tightness oracle demands that *every* bound kind be defeated somewhere
+   in the enumerated below-bound space, discovering the witness rather
+   than hard-coding it.  When the checker reports a shrunk tightness
+   witness it is playing the role of [lemma2_cell]/[theorem10_demo] over
+   the whole small-model universe. *)
 
 module Oid = Vv_ballot.Option_id
 

@@ -20,10 +20,14 @@ let wins t x y =
   | Prefer_smaller -> Option_id.compare x y < 0
   | Custom cmp -> cmp x y > 0
 
-(* Comparator ordering (option, count) pairs from winner to loser:
-   higher count first, ties resolved by the rule. *)
+(* Comparator ordering (option, count) pairs from winner to loser: higher
+   count first, ties resolved by the rule.  Counts and option ids compare
+   through the explicit monomorphic comparators — never polymorphic
+   [compare], which would silently change meaning if either type stopped
+   being a bare int. *)
 let compare_ranked t (x, cx) (y, cy) =
-  if cx <> cy then compare cy cx
+  let by_count = Int.compare cy cx in
+  if by_count <> 0 then by_count
   else if Option_id.equal x y then 0
   else if wins t x y then -1
   else 1

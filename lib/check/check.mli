@@ -1,0 +1,60 @@
+(** The exhaustive small-model checker's entry point.
+
+    Enumerates the profile's state space, fans the engine runs out over
+    the {!Vv_exec.Executor} domain pool, classifies every execution
+    against {!Oracle}, and shrinks what gets reported. Output is
+    byte-identical at every [?jobs] value: the fan-out is index-addressed
+    and everything after it is sequential. *)
+
+type profile = Smoke | Full
+
+val dims_of : profile -> Space.dims
+val profile_label : profile -> string
+val profile_of_name : string -> profile option
+
+type counterexample = {
+  original : Space.execution;
+  shrunk : Shrink.result;
+  class_ : Oracle.class_;
+  outcome : Vv_core.Runner.outcome option;
+      (** re-run of the shrunk execution, for trace reporting *)
+}
+
+type group_stats = {
+  protocol : Vv_core.Runner.protocol;
+  substrate : string;
+  cells : int;
+  runs : int;
+  exact : int;
+  stall_admissible : int;
+  defeated : int;
+  violations : int;
+}
+
+type tightness = {
+  kind : Vv_core.Bounds.kind;
+  below_bound_cells : int;
+  witnessed_cells : int;  (** below-bound cells with >= 1 witnessing run *)
+  below_bound_runs : int;
+  witness : counterexample option;  (** first witness in enumeration order, shrunk *)
+}
+
+type result = {
+  profile : profile;
+  total_cells : int;
+  total_runs : int;
+  groups : group_stats list;  (** per (protocol, substrate), enumeration order *)
+  violations : counterexample list;  (** shrunk; capped at [max_reported] *)
+  violations_total : int;
+  tightness : tightness list;  (** one row per bound kind (Bft, Cft, Sct) *)
+  ok : bool;
+      (** no violations anywhere, and every bound kind has a below-bound
+          tightness witness *)
+}
+
+val run :
+  ?jobs:int -> ?max_shrink_trials:int -> ?max_reported:int -> profile -> result
+(** [jobs] follows {!Vv_exec.Executor} semantics (default
+    {!Vv_exec.Executor.default_jobs}[ ()]; [0] = all cores but one);
+    [max_reported] (default 10) caps how many violations are shrunk and
+    carried in the result — [violations_total] still counts all. *)

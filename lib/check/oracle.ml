@@ -1,0 +1,114 @@
+(* Classify one execution's outcome against the paper's guarantees.
+
+   Each cell sits in exactly one bound regime, decided statically from its
+   surviving honest multiset:
+
+   - [expected_exact]: the variant's bound (Bounds.kind via [kind_of]) is
+     satisfied AND the Phase-1 substrate's own tolerance holds.  Here the
+     paper promises exactness — termination, agreement, and
+     tie-break-aware voting validity — for every adversary, so any failure
+     is a [Violation].
+   - below bound, safety-guaranteed kind (Sct): the protocol may stall
+     forever but must never decide against the established rule
+     (Definition V.1).  A stall is [Admissible_stall] — and is exactly the
+     non-exactness the lower bound predicts — while a safety breach is a
+     [Violation] even below the bound.
+   - below bound, Bft/Cft kinds: nothing is promised; an execution where
+     exactness fails is a [Defeated] — a constructive tightness witness
+     generalizing the hand-built Lemma 2 scenarios of
+     lib/analysis/witness.ml — and one where the adversary failed to do
+     damage is still [Exact].
+
+   An [`Invalid_adversary] rejection is always a violation: the checker
+   only enumerates scripts that are legal under the cell's communication
+   model, so a rejection means the enumeration or the interpreter is
+   wrong, and silently skipping it would shrink the universe the
+   exhaustiveness claim quantifies over. *)
+
+module Runner = Vv_core.Runner
+module Bounds = Vv_core.Bounds
+module Bb = Vv_bb.Bb
+
+type class_ =
+  | Exact
+  | Admissible_stall
+  | Defeated
+  | Violation of string  (** the violated property *)
+
+let class_label = function
+  | Exact -> "exact"
+  | Admissible_stall -> "stall-admissible"
+  | Defeated -> "defeated"
+  | Violation p -> "VIOLATION:" ^ p
+
+let pp_class ppf c = Fmt.string ppf (class_label c)
+
+let equal_class a b =
+  match (a, b) with
+  | Exact, Exact | Admissible_stall, Admissible_stall | Defeated, Defeated ->
+      true
+  | Violation p, Violation q -> String.equal p q
+  | (Exact | Admissible_stall | Defeated | Violation _), _ -> false
+
+(* Which tolerance bound governs each protocol.  Algorithm 4 runs under
+   the local broadcast model, where equivocation is impossible and
+   Inequality (15) has the CFT shape (exp_bounds E6 checks this against
+   the paper's table). *)
+let kind_of = function
+  | Runner.Algo1 | Runner.Algo3_incremental -> Bounds.Bft
+  | Runner.Algo2_sct | Runner.Sct_incremental -> Bounds.Sct
+  | Runner.Cft | Runner.Algo4_local -> Bounds.Cft
+
+(* The substrate's own tolerance is a hypothesis of the correctness
+   theorems, separate from the voting bound (a Phase-King run at n <= 4t
+   can misbroadcast before the voting layer even sees a ballot). *)
+let substrate_ok (cell : Space.cell) =
+  (not (Space.uses_substrate cell.protocol))
+  || cell.n >= Bb.min_n cell.bb ~t:cell.t
+
+let bound_holds (cell : Space.cell) =
+  Bounds.satisfied_for (kind_of cell.protocol) ~tie:Vv_ballot.Tie_break.default
+    ~n:cell.n ~t:cell.t (Space.honest_inputs cell)
+
+let expected_exact cell = bound_holds cell && substrate_ok cell
+
+let classify (exec : Space.execution) outcome =
+  let cell = exec.Space.cell in
+  match outcome with
+  | Error (`Invalid_adversary reason) ->
+      Violation ("invalid-adversary: " ^ reason)
+  | Ok (o : Runner.outcome) ->
+      let exact =
+        o.Runner.termination && o.Runner.agreement
+        && o.Runner.voting_validity_tb
+      in
+      if expected_exact cell then
+        if not o.Runner.termination then Violation "termination"
+        else if not o.Runner.agreement then Violation "agreement"
+        else if not o.Runner.voting_validity_tb then Violation "voting-validity"
+        else Exact
+      else begin
+        match kind_of cell.Space.protocol with
+        | Bounds.Sct ->
+            if not o.Runner.safety_admissible then
+              Violation "safety-guaranteed admissibility"
+            else if exact then Exact
+            else Admissible_stall
+        | Bounds.Bft | Bounds.Cft -> if exact then Exact else Defeated
+      end
+
+(* Run the engine and classify; the checker's unit of work. *)
+let classify_run exec = classify exec (Runner.run_checked (Space.spec_of exec))
+
+(* Whether the execution witnesses its cell's lower bound: a below-bound
+   run where the adversary (or fault) actually defeated exactness.  For
+   the safety-guaranteed kind the predicted non-exactness is the stall. *)
+let witnesses_tightness exec class_ =
+  (* Below the *voting* bound specifically — a substrate-only shortfall
+     says nothing about the paper's lower bounds. *)
+  (not (bound_holds exec.Space.cell))
+  &&
+  match (kind_of exec.Space.cell.Space.protocol, class_) with
+  | Bounds.Sct, Admissible_stall -> true
+  | (Bounds.Bft | Bounds.Cft), Defeated -> true
+  | _, (Exact | Admissible_stall | Defeated | Violation _) -> false

@@ -1,0 +1,54 @@
+(** Outcome classification against the paper's guarantees.
+
+    Above its bound a variant must be exact for every adversary (any
+    failure is a violation); below it, safety-guaranteed variants may
+    stall but never decide wrongly, and the other kinds' defeats are
+    constructive tightness witnesses. *)
+
+type class_ =
+  | Exact  (** terminated, agreed, tie-break-aware voting validity *)
+  | Admissible_stall
+      (** below-bound safety-guaranteed stall — the predicted
+          non-exactness, safety intact (Definition V.1) *)
+  | Defeated
+      (** below-bound Bft/Cft exactness failure — a tightness witness *)
+  | Violation of string  (** the violated property *)
+
+val class_label : class_ -> string
+val pp_class : class_ Fmt.t
+val equal_class : class_ -> class_ -> bool
+
+val kind_of : Vv_core.Runner.protocol -> Vv_core.Bounds.kind
+(** Which tolerance bound governs the protocol: Algorithms 1/3 are Bft,
+    the safety-guaranteed pair is Sct, and CFT and Algorithm 4 (local
+    broadcast, Inequality 15) have the Cft shape. *)
+
+val substrate_ok : Space.cell -> bool
+(** Whether the Phase-1 substrate's own tolerance holds — a hypothesis of
+    the correctness theorems separate from the voting bound. *)
+
+val bound_holds : Space.cell -> bool
+(** The variant's voting bound against the cell's surviving honest
+    multiset. *)
+
+val expected_exact : Space.cell -> bool
+(** [bound_holds && substrate_ok]: the regime where the paper promises
+    exactness for every adversary. *)
+
+val classify :
+  Space.execution ->
+  (Vv_core.Runner.outcome, [ `Invalid_adversary of string ]) result ->
+  class_
+(** Classify one outcome. An [`Invalid_adversary] rejection is always a
+    violation: the checker only enumerates scripts legal under the cell's
+    communication model, so a rejection is a checker or interpreter bug
+    and must not silently shrink the universe. *)
+
+val classify_run : Space.execution -> class_
+(** Run the engine on [Space.spec_of] and classify — the checker's unit
+    of work; domain-safe. *)
+
+val witnesses_tightness : Space.execution -> class_ -> bool
+(** Whether this run witnesses its cell's lower bound: strictly below the
+    voting bound and actually defeated ([Defeated], or the predicted
+    [Admissible_stall] for the safety-guaranteed kind). *)

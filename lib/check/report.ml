@@ -1,0 +1,149 @@
+(* Render a checker result through the repo's standard output layer
+   (Table -> table/csv/json via Emit), so `vvc check` speaks the same
+   formats as every experiment subcommand.
+
+   Three tables: the per-(protocol, substrate) summary, the per-kind
+   tightness ledger, and one row per reported counterexample — cell,
+   script, class, the shrunk execution's honest outputs and its trace
+   (rounds used, message counts, stall flag, decision rounds), which is
+   the compact face of the Trace.snapshot the engine recorded. *)
+
+module Table = Vv_prelude.Table
+module Runner = Vv_core.Runner
+module Bounds = Vv_core.Bounds
+module Emit = Vv_exec.Emit
+
+let summary_table (r : Check.result) =
+  let t =
+    Table.create
+      ~title:
+        (Fmt.str "vv_check %s: %d cells, %d runs"
+           (Check.profile_label r.Check.profile)
+           r.Check.total_cells r.Check.total_runs)
+      ~headers:
+        [
+          "protocol"; "substrate"; "cells"; "runs"; "exact"; "stall-ok";
+          "defeated"; "violations";
+        ]
+      ~aligns:
+        [
+          Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right;
+        ]
+      ()
+  in
+  List.iter
+    (fun (g : Check.group_stats) ->
+      Table.add_row t
+        [
+          Runner.protocol_label g.Check.protocol;
+          g.Check.substrate;
+          Table.icell g.Check.cells;
+          Table.icell g.Check.runs;
+          Table.icell g.Check.exact;
+          Table.icell g.Check.stall_admissible;
+          Table.icell g.Check.defeated;
+          Table.icell g.Check.violations;
+        ])
+    r.Check.groups;
+  t
+
+let witness_cell = function
+  | None -> "MISSING"
+  | Some (c : Check.counterexample) ->
+      Fmt.str "%a" Space.pp_execution c.Check.shrunk.Shrink.execution
+
+let tightness_table (r : Check.result) =
+  let t =
+    Table.create ~title:"tightness: below-bound configs must be defeatable"
+      ~headers:
+        [
+          "kind"; "below-bound cells"; "witnessed cells"; "below-bound runs";
+          "witness (shrunk)";
+        ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
+      ()
+  in
+  List.iter
+    (fun (tr : Check.tightness) ->
+      Table.add_row t
+        [
+          Fmt.str "%a" Bounds.pp_kind tr.Check.kind;
+          Table.icell tr.Check.below_bound_cells;
+          Table.icell tr.Check.witnessed_cells;
+          Table.icell tr.Check.below_bound_runs;
+          witness_cell tr.Check.witness;
+        ])
+    r.Check.tightness;
+  t
+
+let outputs_cell (o : Runner.outcome option) =
+  match o with
+  | None -> "engine rejected adversary"
+  | Some o ->
+      Fmt.str "%a"
+        Fmt.(
+          list ~sep:(any ",")
+            (option ~none:(any "·") Vv_ballot.Option_id.pp))
+        o.Runner.outputs
+
+let trace_cell (o : Runner.outcome option) =
+  match o with
+  | None -> "-"
+  | Some o ->
+      Fmt.str "%d rounds, %d+%d msgs%s; decided %a" o.Runner.rounds
+        o.Runner.honest_msgs o.Runner.byz_msgs
+        (if o.Runner.stalled then ", STALLED" else "")
+        Fmt.(list ~sep:(any ",") (option ~none:(any "·") int))
+        o.Runner.decision_rounds
+
+let violations_table (r : Check.result) =
+  let t =
+    Table.create
+      ~title:
+        (Fmt.str "violations: %d reported of %d found"
+           (List.length r.Check.violations)
+           r.Check.violations_total)
+      ~headers:
+        [ "#"; "counterexample (shrunk)"; "violated"; "outputs"; "trace"; "shrink" ]
+      ~aligns:
+        [
+          Table.Right; Table.Left; Table.Left; Table.Left; Table.Left;
+          Table.Left;
+        ]
+      ()
+  in
+  List.iteri
+    (fun i (c : Check.counterexample) ->
+      Table.add_row t
+        [
+          Table.icell i;
+          Fmt.str "%a" Space.pp_execution c.Check.shrunk.Shrink.execution;
+          Oracle.class_label c.Check.class_;
+          outputs_cell c.Check.outcome;
+          trace_cell c.Check.outcome;
+          Fmt.str "%d trials%s" c.Check.shrunk.Shrink.trials
+            (if c.Check.shrunk.Shrink.minimal then "" else " (budget hit)");
+        ])
+    r.Check.violations;
+  t
+
+let tables r =
+  summary_table r :: tightness_table r
+  ::
+  (if r.Check.violations = [] then [] else [ violations_table r ])
+
+let verdict_line (r : Check.result) =
+  if r.Check.ok then
+    Fmt.str "OK: %d runs exact where promised; every bound kind witnessed tight"
+      r.Check.total_runs
+  else if r.Check.violations_total > 0 then
+    Fmt.str "FAIL: %d violation(s) of promised guarantees"
+      r.Check.violations_total
+  else "FAIL: some bound kind has no tightness witness"
+
+let print fmt r =
+  Emit.tables fmt (tables r);
+  match fmt with
+  | Emit.Json -> ()
+  | Emit.Table | Emit.Csv -> print_endline (verdict_line r)

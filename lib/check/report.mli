@@ -1,0 +1,10 @@
+(** Rendering of checker results through the standard output layer, so
+    [vvc check] speaks the same table/csv/json formats as the experiment
+    subcommands. *)
+
+val tables : Check.result -> Vv_prelude.Table.t list
+(** Summary, tightness ledger, and (when any) the shrunk violations. *)
+
+val verdict_line : Check.result -> string
+
+val print : Vv_exec.Emit.format -> Check.result -> unit

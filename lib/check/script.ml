@@ -1,0 +1,74 @@
+(* The checker's adversary universe, as data.
+
+   A script is a per-round list of {!Vv_core.Strategy.script_action}s,
+   replayed from the round the adversary first observes honest votes (see
+   [Strategy.Scripted]).  Enumerating scripts instead of hand-written
+   strategies is what makes the checker exhaustive: every adversary the
+   engine can express within the action alphabet and the round horizon is
+   tried, so "no violation found" is a statement about the whole universe,
+   not about a curated list.
+
+   The action alphabet for [d] live options:
+     - [Skip]                                     (1)
+     - [Vote_all i]          for each option      (d)
+     - [Propose_all i]       for each option      (d)
+     - [Vote_and_propose]    for each pair        (d^2)
+     - [Vote_split (i, j)]   for each ordered pair of distinct options
+                             (d^2 - d), point-to-point only — the engine
+                             rejects per-recipient equivocation under
+                             local broadcast, so those cells enumerate the
+                             uniform alphabet.
+   The classic strategies are embedded: passive is the all-[Skip] script,
+   Collude_fixed is [Vote_all], Propose_second is [Vote_and_propose],
+   Split_top2 is [Vote_split]. *)
+
+module Strategy = Vv_core.Strategy
+
+type t = Strategy.script_action list
+
+let pp = Strategy.pp_script
+
+(* Alphabet in a fixed, documented order — enumeration order is part of
+   the checker's determinism contract. *)
+let alphabet ~options ~allow_split =
+  if options < 1 then invalid_arg "Script.alphabet: need at least one option";
+  let d = options in
+  let ids = List.init d Fun.id in
+  let votes = List.map (fun i -> Strategy.Vote_all i) ids in
+  let proposes = List.map (fun i -> Strategy.Propose_all i) ids in
+  let vote_proposes =
+    List.concat_map
+      (fun i -> List.map (fun j -> Strategy.Vote_and_propose (i, j)) ids)
+      ids
+  in
+  let splits =
+    if not allow_split then []
+    else
+      List.concat_map
+        (fun i ->
+          List.filter_map
+            (fun j -> if i = j then None else Some (Strategy.Vote_split (i, j)))
+            ids)
+        ids
+  in
+  (Strategy.Skip :: votes) @ proposes @ vote_proposes @ splits
+
+(* All scripts of exactly [rounds] actions, lexicographic in alphabet
+   order.  Scripts with trailing [Skip]s duplicate shorter behaviours;
+   the shrinker removes the redundancy from reported counterexamples, and
+   keeping the enumeration a plain cartesian power keeps the index <->
+   script bijection trivial to audit. *)
+let all ~rounds ~alphabet =
+  if rounds < 0 then invalid_arg "Script.all: negative rounds";
+  let rec go r =
+    if r = 0 then [ [] ]
+    else
+      let rest = go (r - 1) in
+      List.concat_map (fun a -> List.map (fun s -> a :: s) rest) alphabet
+  in
+  go rounds
+
+let count ~rounds ~alphabet =
+  let a = List.length alphabet in
+  let rec pow acc r = if r = 0 then acc else pow (acc * a) (r - 1) in
+  pow 1 rounds

@@ -1,0 +1,27 @@
+(** Enumeration of the checker's scripted-adversary universe.
+
+    A script is a per-round {!Vv_core.Strategy.script_action} list replayed
+    by [Strategy.Scripted] from the round honest votes are first observed.
+    The classic hand-written strategies are all embedded in the alphabet,
+    so exhausting it subsumes them. *)
+
+type t = Vv_core.Strategy.script_action list
+
+val pp : t Fmt.t
+
+val alphabet :
+  options:int -> allow_split:bool -> Vv_core.Strategy.script_action list
+(** The per-round action alphabet for [options] live options, in a fixed
+    order (enumeration order is part of the determinism contract):
+    [Skip], [Vote_all], [Propose_all], [Vote_and_propose], and — only with
+    [allow_split], i.e. under point-to-point — [Vote_split] over ordered
+    distinct pairs. Raises [Invalid_argument] when [options < 1]. *)
+
+val all :
+  rounds:int -> alphabet:Vv_core.Strategy.script_action list -> t list
+(** All scripts of exactly [rounds] actions, lexicographic in alphabet
+    order. [alphabet]{^[rounds]} scripts; trailing-[Skip] duplicates are
+    kept so the enumeration stays a plain cartesian power. *)
+
+val count : rounds:int -> alphabet:Vv_core.Strategy.script_action list -> int
+(** [List.length (all ~rounds ~alphabet)], without materialising it. *)

@@ -1,0 +1,171 @@
+(* Greedy counterexample minimisation.
+
+   A failing execution is shrunk by repeatedly trying simplification moves
+   and keeping the first one whose re-run classifies *identically* (same
+   [Oracle.class_], including the violated property's name) — preserving
+   the class also preserves the bound regime, because the classes above
+   and below the bound are disjoint.  Moves, in the order tried:
+
+     1. script: replace a non-[Skip] action with [Skip]; drop the last
+        action;
+     2. options: merge the last profile part into the first (remapping
+        script indices and the crash input so the script's meaning is
+        preserved up to the merge);
+     3. size: remove one honest voter from a part (dropping the part when
+        it empties);
+     4. crash plan: lower the crash round; empty the delivered prefix.
+
+   Greedy-to-fixpoint with a re-run budget: each candidate costs one
+   engine run, and the [max_trials] cap bounds the whole minimisation so
+   a pathological failure cannot stall the checker.  The result is
+   1-minimal with respect to the move set when the budget is not hit. *)
+
+module Strategy = Vv_core.Strategy
+
+let remap_action ~from_ ~to_ (a : Strategy.script_action) =
+  let r i = if i = from_ then to_ else i in
+  match a with
+  | Strategy.Skip -> Strategy.Skip
+  | Strategy.Vote_all i -> Strategy.Vote_all (r i)
+  | Strategy.Vote_split (i, j) -> Strategy.Vote_split (r i, r j)
+  | Strategy.Propose_all i -> Strategy.Propose_all (r i)
+  | Strategy.Vote_and_propose (i, j) -> Strategy.Vote_and_propose (r i, r j)
+
+(* A split whose options collapse to the same index is no longer an
+   equivocation; degrade it to the plain vote. *)
+let normalise_action = function
+  | Strategy.Vote_split (i, j) when i = j -> Strategy.Vote_all i
+  | a -> a
+
+let crash_one ~at_round ~deliver_prefix ~input =
+  Space.Crash_one { at_round; deliver_prefix; input }
+
+let with_cell (e : Space.execution) cell = { e with Space.cell = cell }
+
+let script_moves (e : Space.execution) =
+  let script = e.Space.script in
+  let arr = Array.of_list script in
+  let skip_one =
+    List.filter_map
+      (fun i ->
+        if arr.(i) = Strategy.Skip then None
+        else
+          let arr' = Array.copy arr in
+          arr'.(i) <- Strategy.Skip;
+          Some { e with Space.script = Array.to_list arr' })
+      (List.init (Array.length arr) Fun.id)
+  in
+  let truncate =
+    match List.rev script with
+    | [] -> []
+    | _ :: rest -> [ { e with Space.script = List.rev rest } ]
+  in
+  skip_one @ truncate
+
+(* Merge the last profile part (option [d - 1]) into the first (option 0),
+   remapping the script and the crash input accordingly. *)
+let merge_moves (e : Space.execution) =
+  let cell = e.Space.cell in
+  match cell.Space.profile with
+  | [] | [ _ ] -> []
+  | p0 :: rest ->
+      let d = 1 + List.length rest in
+      let merged = List.nth rest (d - 2) in
+      let kept = List.filteri (fun i _ -> i < d - 2) rest in
+      let profile = (p0 + merged) :: kept in
+      let script =
+        List.map
+          (fun a -> normalise_action (remap_action ~from_:(d - 1) ~to_:0 a))
+          e.Space.script
+      in
+      let fault =
+        match cell.Space.fault with
+        | Space.Byzantine _ as f -> f
+        | Space.Crash_one { at_round; deliver_prefix; input } ->
+            crash_one ~at_round ~deliver_prefix
+              ~input:(if input = d - 1 then 0 else input)
+      in
+      [
+        {
+          Space.cell = { cell with Space.profile; Space.fault };
+          Space.script;
+        };
+      ]
+
+(* Remove one honest voter from part [i] (and the node carrying it). *)
+let size_moves (e : Space.execution) =
+  let cell = e.Space.cell in
+  let parts = List.length cell.Space.profile in
+  List.filter_map
+    (fun i ->
+      let profile =
+        List.filter_map
+          (fun (j, p) ->
+            if j = i then if p = 1 then None else Some (p - 1) else Some p)
+          (List.mapi (fun j p -> (j, p)) cell.Space.profile)
+      in
+      let profile = List.stable_sort (fun a b -> Int.compare b a) profile in
+      let removed_whole = List.length profile < parts in
+      if profile = [] then None
+        (* Removing a non-final whole part would shift the option labels
+           of the later parts under the script; the merge move covers
+           option-count reduction, so skip those. *)
+      else if removed_whole && i < parts - 1 then None
+      else
+        let n = cell.Space.n - 1 in
+        let ok =
+          match cell.Space.fault with
+          | Space.Byzantine f -> n > f && n > cell.Space.t
+          | Space.Crash_one _ -> n >= 2
+        in
+        if not ok then None
+        else
+          let fault =
+            match cell.Space.fault with
+            | Space.Byzantine _ as f -> f
+            | Space.Crash_one { at_round; deliver_prefix; input } ->
+                crash_one ~at_round
+                  ~deliver_prefix:(min deliver_prefix n)
+                  ~input:(min input (List.length profile - 1))
+          in
+          Some
+            (with_cell e
+               { cell with Space.n; Space.profile; Space.fault }))
+    (List.init parts Fun.id)
+
+let crash_moves (e : Space.execution) =
+  let cell = e.Space.cell in
+  match cell.Space.fault with
+  | Space.Byzantine _ -> []
+  | Space.Crash_one { at_round; deliver_prefix; input } ->
+      let mk fault = with_cell e { cell with Space.fault } in
+      (if at_round > 0 then
+         [ mk (crash_one ~at_round:(at_round - 1) ~deliver_prefix ~input) ]
+       else [])
+      @
+      if deliver_prefix > 0 then
+        [ mk (crash_one ~at_round ~deliver_prefix:0 ~input) ]
+      else []
+
+let moves e = script_moves e @ merge_moves e @ size_moves e @ crash_moves e
+
+type result = { execution : Space.execution; trials : int; minimal : bool }
+
+let minimise ?(max_trials = 500) ~classify target e =
+  let trials = ref 0 in
+  let keeps e' =
+    incr trials;
+    Oracle.equal_class (classify e') target
+  in
+  let rec fixpoint e =
+    if !trials >= max_trials then
+      { execution = e; trials = !trials; minimal = false }
+    else
+      match List.find_opt keeps (moves e) with
+      | Some e' -> fixpoint e'
+      | None -> { execution = e; trials = !trials; minimal = true }
+  in
+  fixpoint e
+
+let shrink ?max_trials e target =
+  minimise ?max_trials ~classify:Oracle.classify_run target e

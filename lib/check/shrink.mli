@@ -1,0 +1,29 @@
+(** Greedy counterexample minimisation: repeatedly apply simplification
+    moves (script action → [Skip], truncate, merge options, drop a voter,
+    simplify the crash plan), keeping a move only when the re-run
+    classifies identically — which preserves both the failure and its
+    bound regime. Bounded by a re-run budget; 1-minimal w.r.t. the move
+    set when the budget is not hit. *)
+
+type result = {
+  execution : Space.execution;  (** the minimised counterexample *)
+  trials : int;  (** engine re-runs spent *)
+  minimal : bool;  (** false iff the [max_trials] budget was exhausted *)
+}
+
+val moves : Space.execution -> Space.execution list
+(** The candidate simplifications of one execution, in the order tried.
+    Exposed for the test suite. *)
+
+val minimise :
+  ?max_trials:int ->
+  classify:(Space.execution -> Oracle.class_) ->
+  Oracle.class_ ->
+  Space.execution ->
+  result
+(** [minimise ~classify target e] shrinks [e] while [classify] keeps
+    returning [target] (compared with {!Oracle.equal_class}).
+    [max_trials] (default 500) caps the total re-runs. *)
+
+val shrink : ?max_trials:int -> Space.execution -> Oracle.class_ -> result
+(** [minimise] with the real engine ({!Oracle.classify_run}). *)

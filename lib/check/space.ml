@@ -1,0 +1,243 @@
+(* The checker's state space: which configurations and executions the
+   exhaustive sweep covers, and how each one maps onto a Runner spec.
+
+   Symmetry reductions (each argued in DESIGN.md §6):
+
+   - Honest preference profiles are enumerated up to option relabelling:
+     a profile is a descending partition of the honest count into at most
+     [max_options] positive parts, part [i] voting option [i].  Any
+     concrete assignment of options to counts is a relabelling of one of
+     these, and every layer below the checker (tally, bounds, protocols)
+     is label-equivariant.
+   - Fault placements are enumerated up to node symmetry: under the
+     complete graph all node positions are exchangeable except the
+     speaker, so Byzantine nodes canonically occupy the highest ids (the
+     speaker, node 0, stays honest) and the single crashing node is node
+     [n - 1].
+   - Byzantine cells use exactly [t] faulty nodes: the adversary can
+     always emulate fewer faults by scripting [Skip]s, so f < t adds no
+     behaviours.
+   - Crash cells enumerate one mid-broadcast crash (the Lemma 4 shape):
+     crash round, delivered prefix of recipients, and the crasher's own
+     preference.  The crasher is excluded from the honest multiset the
+     bounds are evaluated against, matching the paper's definition of G.
+
+   Execution order is part of the determinism contract: cells enumerate
+   protocols, then substrates, then sizes, then profiles, then fault
+   plans; scripts enumerate lexicographically (Script.all).  The
+   executions array index is therefore a stable name for a run. *)
+
+module Runner = Vv_core.Runner
+module Strategy = Vv_core.Strategy
+module Bb = Vv_bb.Bb
+module Oid = Vv_ballot.Option_id
+
+type fault_plan =
+  | Byzantine of int  (** [f] Byzantine nodes at the highest ids *)
+  | Crash_one of { at_round : int; deliver_prefix : int; input : int }
+      (** node [n - 1] crashes at [at_round], its final broadcast reaching
+          only ids [0 .. deliver_prefix - 1]; [input] indexes the profile's
+          options and is the crasher's own preference *)
+
+type cell = {
+  protocol : Runner.protocol;
+  bb : Bb.choice;  (** Phase-1 substrate; ignored by the Plain protocols *)
+  n : int;
+  t : int;
+  profile : int list;
+      (** surviving honest preference counts, descending; part [i] votes
+          option [i] *)
+  fault : fault_plan;
+}
+
+type execution = { cell : cell; script : Script.t }
+
+type dims = {
+  protocols : (Runner.protocol * Bb.choice list) list;
+  sizes : (int * int) list;  (** (n, t) pairs *)
+  max_options : int;
+  script_rounds : int;
+  crash_rounds : int;  (** crash [at_round] ranges over [0 .. crash_rounds - 1] *)
+}
+
+(* Whether the protocol routes Phase 1 through a broadcast substrate (and
+   therefore which [bb] choices are distinct cells). *)
+let uses_substrate = function
+  | Runner.Algo1 | Runner.Algo2_sct | Runner.Algo3_incremental
+  | Runner.Sct_incremental ->
+      true
+  | Runner.Algo4_local | Runner.Cft -> false
+
+let comm_of = function
+  | Runner.Algo4_local -> Vv_sim.Types.Local_broadcast
+  | Runner.Algo1 | Runner.Algo2_sct | Runner.Algo3_incremental | Runner.Cft
+  | Runner.Sct_incremental ->
+      Vv_sim.Types.Point_to_point
+
+(* Smoke: every variant, one substrate, t = 1, two scripted rounds.
+   Sized for CI — must certify all six variants and find a tightness
+   witness per bound kind in well under two minutes on one core. *)
+let smoke =
+  {
+    protocols =
+      [
+        (Runner.Algo1, [ Bb.Dolev_strong ]);
+        (Runner.Algo2_sct, [ Bb.Dolev_strong ]);
+        (Runner.Algo3_incremental, [ Bb.Dolev_strong ]);
+        (Runner.Sct_incremental, [ Bb.Dolev_strong ]);
+        (Runner.Algo4_local, [ Bb.default ]);
+        (Runner.Cft, [ Bb.default ]);
+      ];
+    sizes = [ (4, 1); (5, 1); (6, 1) ];
+    max_options = 3;
+    script_rounds = 2;
+    crash_rounds = 5;
+  }
+
+(* Full: every substrate behind every substrate protocol, plus t = 2
+   cells.  Same script horizon — the budget multiplier is substrates and
+   sizes, not script length. *)
+let full =
+  {
+    protocols =
+      [
+        (Runner.Algo1, Bb.all);
+        (Runner.Algo2_sct, Bb.all);
+        (Runner.Algo3_incremental, Bb.all);
+        (Runner.Sct_incremental, Bb.all);
+        (Runner.Algo4_local, [ Bb.default ]);
+        (Runner.Cft, [ Bb.default ]);
+      ];
+    sizes = [ (4, 1); (5, 1); (6, 1); (6, 2) ];
+    max_options = 3;
+    script_rounds = 2;
+    crash_rounds = 5;
+  }
+
+(* Descending partitions of [honest] into at most [max_options] positive
+   parts, largest first part first. *)
+let profiles ~honest ~max_options =
+  let rec go total maxpart slots =
+    if total = 0 then [ [] ]
+    else if slots = 0 then []
+    else
+      List.concat_map
+        (fun i ->
+          let p = min total maxpart - i in
+          if p < 1 then []
+          else List.map (fun rest -> p :: rest) (go (total - p) p (slots - 1)))
+        (List.init (min total maxpart) Fun.id)
+  in
+  go honest honest max_options
+
+let cells dims =
+  List.concat_map
+    (fun (protocol, bbs) ->
+      let bbs = if uses_substrate protocol then bbs else [ Bb.default ] in
+      List.concat_map
+        (fun bb ->
+          List.concat_map
+            (fun (n, t) ->
+              match protocol with
+              | Runner.Cft ->
+                  (* One crashing node; the surviving honest set has
+                     [n - 1] members. *)
+                  List.concat_map
+                    (fun profile ->
+                      let d = List.length profile in
+                      List.concat_map
+                        (fun at_round ->
+                          List.concat_map
+                            (fun deliver_prefix ->
+                              List.map
+                                (fun input ->
+                                  {
+                                    protocol;
+                                    bb;
+                                    n;
+                                    t;
+                                    profile;
+                                    fault =
+                                      Crash_one
+                                        { at_round; deliver_prefix; input };
+                                  })
+                                (List.init d Fun.id))
+                            (List.init (n + 1) Fun.id))
+                        (List.init dims.crash_rounds Fun.id))
+                    (profiles ~honest:(n - 1) ~max_options:dims.max_options)
+              | _ ->
+                  List.map
+                    (fun profile ->
+                      { protocol; bb; n; t; profile; fault = Byzantine t })
+                    (profiles ~honest:(n - t) ~max_options:dims.max_options))
+            dims.sizes)
+        bbs)
+    dims.protocols
+
+let scripts_of dims cell =
+  match cell.fault with
+  | Crash_one _ -> [ [] ]  (* no Byzantine node to act *)
+  | Byzantine _ ->
+      let allow_split = comm_of cell.protocol = Vv_sim.Types.Point_to_point in
+      let alphabet =
+        Script.alphabet ~options:(List.length cell.profile) ~allow_split
+      in
+      Script.all ~rounds:dims.script_rounds ~alphabet
+
+let executions dims =
+  Array.of_list
+    (List.concat_map
+       (fun cell -> List.map (fun script -> { cell; script }) (scripts_of dims cell))
+       (cells dims))
+
+(* --- mapping onto the runner --- *)
+
+(* Round budget: generous against every substrate's round count at the
+   sizes above, so a stall is a protocol stall, not a truncation. *)
+let max_rounds = 60
+
+let inputs_of_profile profile =
+  List.concat
+    (List.mapi
+       (fun opt count -> List.init count (fun _ -> Oid.of_int opt))
+       profile)
+
+(* The honest multiset the bounds are evaluated against: survivors only
+   (Byzantine slots carry filler, the crasher is faulty by definition). *)
+let honest_inputs cell = inputs_of_profile cell.profile
+
+let spec_of { cell; script } =
+  let { protocol; bb; n; t; profile; fault } = cell in
+  let strategy = Strategy.Scripted script in
+  match fault with
+  | Byzantine f ->
+      let honest = inputs_of_profile profile in
+      let byzantine = List.init f (fun i -> n - f + i) in
+      let inputs = honest @ List.init f (fun _ -> Oid.of_int 0) in
+      Runner.spec ~byzantine ~protocol ~bb ~strategy ~max_rounds ~n ~t inputs
+  | Crash_one { at_round; deliver_prefix; input } ->
+      let honest = inputs_of_profile profile in
+      let inputs = honest @ [ Oid.of_int input ] in
+      let crash = [ (n - 1, at_round, List.init deliver_prefix Fun.id) ] in
+      Runner.spec ~crash ~protocol ~bb ~strategy ~max_rounds ~n ~t inputs
+
+(* --- pretty-printing --- *)
+
+let pp_fault ppf = function
+  | Byzantine f -> Fmt.pf ppf "byz:%d" f
+  | Crash_one { at_round; deliver_prefix; input } ->
+      Fmt.pf ppf "crash@r%d/pfx%d/in%d" at_round deliver_prefix input
+
+let pp_profile ppf profile =
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ",") int) profile
+
+let substrate_label cell =
+  if uses_substrate cell.protocol then Bb.name cell.bb else "plain"
+
+let pp_cell ppf c =
+  Fmt.pf ppf "%s/%s n=%d t=%d %a %a"
+    (Runner.protocol_label c.protocol)
+    (substrate_label c) c.n c.t pp_profile c.profile pp_fault c.fault
+
+let pp_execution ppf e =
+  Fmt.pf ppf "%a %a" pp_cell e.cell Script.pp e.script

@@ -1,0 +1,75 @@
+(** The exhaustive checker's state space: small-model configurations
+    (cells) and their scripted executions, with the symmetry reductions
+    that keep the space finite (profiles up to option relabelling, fault
+    placements up to node symmetry — see DESIGN.md §6), and the mapping
+    onto {!Vv_core.Runner} specs. *)
+
+type fault_plan =
+  | Byzantine of int  (** [f] Byzantine nodes at the highest ids *)
+  | Crash_one of { at_round : int; deliver_prefix : int; input : int }
+      (** node [n - 1] crashes at [at_round], its final broadcast reaching
+          ids [0 .. deliver_prefix - 1] only; [input] indexes the
+          profile's options and is the crasher's own preference *)
+
+type cell = {
+  protocol : Vv_core.Runner.protocol;
+  bb : Vv_bb.Bb.choice;  (** ignored by the Plain protocols *)
+  n : int;
+  t : int;
+  profile : int list;
+      (** surviving honest preference counts, descending; part [i] votes
+          option [i] *)
+  fault : fault_plan;
+}
+
+type execution = { cell : cell; script : Script.t }
+
+type dims = {
+  protocols : (Vv_core.Runner.protocol * Vv_bb.Bb.choice list) list;
+  sizes : (int * int) list;  (** (n, t) pairs *)
+  max_options : int;
+  script_rounds : int;
+  crash_rounds : int;
+      (** crash [at_round] ranges over [0 .. crash_rounds - 1] *)
+}
+
+val smoke : dims
+(** CI tier: every variant, one substrate, t = 1, two scripted rounds. *)
+
+val full : dims
+(** Every substrate behind every substrate protocol, plus t = 2 cells. *)
+
+val uses_substrate : Vv_core.Runner.protocol -> bool
+val comm_of : Vv_core.Runner.protocol -> Vv_sim.Types.comm_model
+
+val profiles : honest:int -> max_options:int -> int list list
+(** Descending partitions of [honest] into at most [max_options] positive
+    parts — honest preference multisets up to option relabelling. *)
+
+val cells : dims -> cell list
+(** All configurations, in the fixed enumeration order (protocol,
+    substrate, size, profile, fault plan). *)
+
+val scripts_of : dims -> cell -> Script.t list
+(** The cell's adversary universe: all scripts over the profile's live
+    options (no [Vote_split] under local broadcast); the single empty
+    script for crash cells. *)
+
+val executions : dims -> execution array
+(** Every (cell, script) pair; the array index is a stable, deterministic
+    name for a run. *)
+
+val max_rounds : int
+(** Engine round budget — generous against every substrate's round count
+    at the enumerated sizes, so a stall is a protocol stall. *)
+
+val honest_inputs : cell -> Vv_ballot.Option_id.t list
+(** The honest multiset the bounds are evaluated against: survivors only. *)
+
+val spec_of : execution -> Vv_core.Runner.spec
+
+val substrate_label : cell -> string
+val pp_fault : fault_plan Fmt.t
+val pp_profile : int list Fmt.t
+val pp_cell : cell Fmt.t
+val pp_execution : execution Fmt.t

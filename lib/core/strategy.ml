@@ -5,6 +5,21 @@
    instance; Voting.Make turns a strategy into a concrete
    Vv_sim.Adversary.t over its own message type. *)
 
+(* One round of a scripted adversary, as data.  Integers index into the
+   live option set the adversary observed at trigger time (the distinct
+   honest choices, in option order), clamped to its length — so scripts
+   enumerated for d options stay meaningful when replayed against
+   executions that happen to expose fewer. *)
+type script_action =
+  | Skip  (** stay silent this round *)
+  | Vote_all of int  (** broadcast a vote for option [i] from every Byzantine node *)
+  | Vote_split of int * int
+      (** equivocate: vote option [i] to even recipients, [j] to odd ones
+          (point-to-point only; illegal under local broadcast) *)
+  | Propose_all of int  (** broadcast a forged propose for option [i] *)
+  | Vote_and_propose of int * int
+      (** broadcast votes for [i] and proposes for [j] in the same round *)
+
 type t =
   | Passive
       (** Byzantine nodes stay silent — stresses that quorums are reachable
@@ -28,6 +43,20 @@ type t =
           number of rounds after observing the honest ballot — exercises
           the strong adversary's message-delaying power against the
           protocols' wait windows. *)
+  | Scripted of script_action list
+      (** Replay the per-round actions, starting the round the first honest
+          vote is observed — the enumerable adversary universe of the
+          exhaustive checker (Vv_check). *)
+
+let pp_script_action ppf = function
+  | Skip -> Fmt.string ppf "-"
+  | Vote_all i -> Fmt.pf ppf "v%d" i
+  | Vote_split (i, j) -> Fmt.pf ppf "v%dx%d" i j
+  | Propose_all i -> Fmt.pf ppf "p%d" i
+  | Vote_and_propose (i, j) -> Fmt.pf ppf "v%dp%d" i j
+
+let pp_script ppf actions =
+  Fmt.pf ppf "scripted:%a" Fmt.(list ~sep:(any ".") pp_script_action) actions
 
 let pp ppf = function
   | Passive -> Fmt.string ppf "passive"
@@ -37,6 +66,7 @@ let pp ppf = function
   | Propose_second -> Fmt.string ppf "propose-second"
   | Random_votes s -> Fmt.pf ppf "random:%d" s
   | Late_collude d -> Fmt.pf ppf "late-collude:%d" d
+  | Scripted actions -> pp_script ppf actions
 
 let of_name = function
   | "passive" -> Some Passive

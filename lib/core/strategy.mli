@@ -5,6 +5,20 @@
     [adversary_of] turns one into a concrete {!Vv_sim.Adversary.t} over its
     own message type. *)
 
+(** One round of a {!Scripted} adversary.  Integers index into the live
+    option set observed at trigger time (distinct honest choices, in
+    option order), clamped to its length. *)
+type script_action =
+  | Skip  (** stay silent this round *)
+  | Vote_all of int
+      (** broadcast a vote for live option [i] from every Byzantine node *)
+  | Vote_split of int * int
+      (** equivocate: vote option [i] to even recipients, [j] to odd ones —
+          point-to-point only, rejected by the engine under local broadcast *)
+  | Propose_all of int  (** broadcast a forged propose for live option [i] *)
+  | Vote_and_propose of int * int
+      (** broadcast votes for [i] and proposes for [j] in the same round *)
+
 type t =
   | Passive
       (** Byzantine nodes stay silent — exercises Lemma 6's claim that
@@ -26,7 +40,13 @@ type t =
       (** [Collude_second] delayed by the given number of rounds — the
           strong adversary's message-withholding power aimed at the wait
           windows. *)
+  | Scripted of script_action list
+      (** Replay the per-round actions, one per round, starting the round
+          the first honest vote is observed — the enumerable adversary
+          universe of the exhaustive checker. *)
 
+val pp_script_action : script_action Fmt.t
+val pp_script : script_action list Fmt.t
 val pp : t Fmt.t
 val of_name : string -> t option
 val all_names : string list

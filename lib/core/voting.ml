@@ -224,7 +224,7 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
         | Prepare _ | Propose _ -> ())
       view.Adversary.honest_sent;
     Hashtbl.fold (fun src sv acc -> (src, sv) :: acc) seen []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
   let broadcast_from_all (view : msg Adversary.view) m =
     List.concat_map
@@ -349,6 +349,61 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
                             msg = Vote { subject = s; choice };
                           }))
                     view.Adversary.byzantine)
+    | Strategy.Scripted actions ->
+        (* Trigger on the first round honest votes appear; capture the
+           subject and the live option set (distinct honest choices in
+           option order) so every script index has a fixed meaning. *)
+        let trigger view =
+          match observed_votes view with
+          | [] -> None
+          | ((_, (s, _)) :: _) as votes ->
+              let domain =
+                List.sort_uniq Oid.compare
+                  (List.filter_map
+                     (fun (_, (subj, c)) -> if subj = s then Some c else None)
+                     votes)
+              in
+              if domain = [] then None else Some (s, Array.of_list domain)
+        in
+        let live domain i =
+          (* Clamp: scripts are enumerated for up to d options but must stay
+             meaningful when fewer are live. *)
+          domain.(min (max i 0) (Array.length domain - 1))
+        in
+        (* Broadcast along [view.reach] (not all of [n]) so plans stay legal
+           under local broadcast and on sparse topologies. *)
+        let reach_broadcast view m =
+          List.concat_map
+            (fun src ->
+              List.map
+                (fun dst -> { Adversary.src; dst; msg = m })
+                (view.Adversary.reach src))
+            view.Adversary.byzantine
+        in
+        let interp (s, domain) action view =
+          match action with
+          | Strategy.Skip -> []
+          | Strategy.Vote_all i ->
+              reach_broadcast view (Vote { subject = s; choice = live domain i })
+          | Strategy.Vote_split (i, j) ->
+              List.concat_map
+                (fun src ->
+                  List.map
+                    (fun dst ->
+                      let choice = live domain (if dst mod 2 = 0 then i else j) in
+                      { Adversary.src; dst; msg = Vote { subject = s; choice } })
+                    (view.Adversary.reach src))
+                view.Adversary.byzantine
+          | Strategy.Propose_all i ->
+              reach_broadcast view (Propose { subject = s; choice = live domain i })
+          | Strategy.Vote_and_propose (i, j) ->
+              reach_broadcast view (Vote { subject = s; choice = live domain i })
+              @ reach_broadcast view
+                  (Propose { subject = s; choice = live domain j })
+        in
+        Adversary.of_script
+          ~name:(Fmt.str "%a" Strategy.pp_script actions)
+          ~trigger ~interp actions
 
   (* One full run, summarised substrate-independently. *)
   let execute_checked cfg ~variant ~speaker ~subject ~preferences ~strategy =

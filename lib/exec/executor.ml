@@ -141,3 +141,39 @@ let run_specs ?chunk_size ?jobs ?seed ?on_progress specs =
 
 let run_trials ?chunk_size ?jobs ~trials ~seed spec =
   run ?chunk_size ?jobs ~seed ~count:trials (fun _ -> spec)
+
+(* Generic deterministic fan-out: evaluate [f 0 .. f (count-1)] into an
+   index-addressed array.  Result slots are disjoint, so the claiming
+   order of chunks cannot affect the output — the array is identical at
+   every [jobs] by construction.  [f] must be domain-safe (it runs on
+   worker domains when [jobs > 1]) and must not rely on evaluation
+   order. *)
+let map ?(chunk_size = default_chunk_size) ?jobs ~count f =
+  if chunk_size <= 0 then invalid_arg "Executor.map: chunk_size must be positive";
+  if count < 0 then invalid_arg "Executor.map: negative count";
+  let jobs = resolve_jobs (Option.value jobs ~default:!default_jobs_setting) in
+  if jobs = 1 || count <= chunk_size then Array.init count f
+  else begin
+    let results = Array.make count None in
+    let chunks = (count + chunk_size - 1) / chunk_size in
+    let next_chunk = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let c = Atomic.fetch_and_add next_chunk 1 in
+        if c < chunks then begin
+          let lo = c * chunk_size and hi = min count ((c + 1) * chunk_size) in
+          for i = lo to hi - 1 do
+            results.(i) <- Some (f i)
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.map
+      (function Some v -> v | None -> assert false (* every slot claimed *))
+      results
+  end

@@ -75,3 +75,12 @@ val run_trials :
   Summary.t
 (** The common Monte-Carlo shape: the same specification [trials] times
     under derived seeds. *)
+
+val map : ?chunk_size:int -> ?jobs:int -> count:int -> (int -> 'a) -> 'a array
+(** [map ~count f] evaluates [f 0 .. f (count - 1)] into an
+    index-addressed array, fanning chunks out over the domain pool when
+    [jobs <> 1] (same [jobs] semantics as {!run_generator}). Result slots
+    are disjoint, so the output is identical at every [jobs] and
+    [chunk_size] by construction. [f] must be domain-safe and independent
+    of evaluation order. Raises [Invalid_argument] when [chunk_size <= 0],
+    [jobs < 0] or [count < 0]. *)

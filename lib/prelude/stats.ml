@@ -65,20 +65,34 @@ let pp_summary ppf s =
   Fmt.pf ppf "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" s.n s.mean
     s.stddev s.min s.median s.max
 
+type histogram = { counts : int array; under : int; over : int }
+
+let histogram_total h =
+  Array.fold_left ( + ) (h.under + h.over) h.counts
+
 let histogram ~bins ~lo ~hi values =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
   if hi <= lo then invalid_arg "Stats.histogram: hi must exceed lo";
   let counts = Array.make bins 0 in
+  let under = ref 0 and over = ref 0 in
   let width = (hi -. lo) /. float_of_int bins in
   let place v =
-    if v >= lo && v <= hi then begin
+    if v < lo then incr under
+    else if v > hi then incr over
+    else if v = hi then
+      (* The closed upper edge belongs to the last bin by construction, not
+         by relying on the float division landing on [bins] exactly. *)
+      counts.(bins - 1) <- counts.(bins - 1) + 1
+    else begin
       let i = int_of_float ((v -. lo) /. width) in
+      (* Guard against float rounding pushing an in-range value past the
+         last bin (e.g. when [width] rounds down). *)
       let i = if i >= bins then bins - 1 else i in
       counts.(i) <- counts.(i) + 1
     end
   in
   List.iter place values;
-  counts
+  { counts; under = !under; over = !over }
 
 (* Pearson chi-square statistic of observed counts against expected cell
    probabilities.  Cells with zero expectation must have zero observations

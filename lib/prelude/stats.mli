@@ -29,9 +29,21 @@ type summary = {
 val summarize : float list -> summary
 val pp_summary : summary Fmt.t
 
-val histogram : bins:int -> lo:float -> hi:float -> float list -> int array
-(** Fixed-width histogram counts over [\[lo, hi\]]; out-of-range values are
-    dropped. *)
+type histogram = {
+  counts : int array;  (** in-range counts, one cell per bin *)
+  under : int;  (** samples strictly below [lo] *)
+  over : int;  (** samples strictly above [hi] *)
+}
+
+val histogram : bins:int -> lo:float -> hi:float -> float list -> histogram
+(** Fixed-width histogram over the closed interval [\[lo, hi\]].
+    Out-of-range samples are never silently dropped: they are reported in
+    the [under]/[over] outlier cells, so
+    [histogram_total (histogram ... values) = List.length values] always
+    holds. The upper edge [v = hi] lands in the last bin by construction. *)
+
+val histogram_total : histogram -> int
+(** Total number of samples placed, outliers included. *)
 
 val chi_square : observed:int array -> expected_probs:float array -> float
 (** Pearson chi-square statistic. Raises [Invalid_argument] on arity

@@ -53,3 +53,27 @@ let broadcast_each_round ~name ~when_round msg_of =
 (* Compose: run both adversaries and concatenate their plans. *)
 let combine name a b =
   { name; act = (fun view -> a.act view @ b.act view) }
+
+(* Replay a per-round action script.  Each round before [trigger] fires the
+   adversary stays silent; the round [trigger] returns a context the first
+   script action is interpreted against that round's view, the next action
+   the following round, and so on.  After the script is exhausted the
+   adversary is silent again.  The context is captured once, at trigger
+   time, so a script's meaning cannot drift as the execution evolves —
+   that is what makes scripts enumerable as plain data by the checker. *)
+let of_script ~name ~trigger ~interp script =
+  let state = ref None (* context, remaining actions *) in
+  let act view =
+    (match !state with
+    | None -> (
+        match trigger view with
+        | Some ctx -> state := Some (ctx, script)
+        | None -> ())
+    | Some _ -> ());
+    match !state with
+    | None | Some (_, []) -> []
+    | Some (ctx, action :: rest) ->
+        state := Some (ctx, rest);
+        interp ctx action view
+  in
+  { name; act }

@@ -41,3 +41,17 @@ val broadcast_each_round :
 
 val combine : string -> 'msg t -> 'msg t -> 'msg t
 (** Union of both adversaries' plans. *)
+
+val of_script :
+  name:string ->
+  trigger:('msg view -> 'ctx option) ->
+  interp:('ctx -> 'action -> 'msg view -> 'msg delivery_plan list) ->
+  'action list ->
+  'msg t
+(** [of_script ~name ~trigger ~interp actions] replays [actions] one per
+    round, starting the round [trigger] first returns a context (silent
+    before that, and again after the script is exhausted).  The context is
+    captured exactly once, at trigger time, and passed to every
+    interpretation — so a script is pure data whose meaning is fixed by the
+    triggering view.  Statefulness warning: the returned adversary carries
+    replay state and must not be shared across runs. *)

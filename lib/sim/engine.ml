@@ -11,9 +11,19 @@
         model (Property 6 relies on that validation);
      5. assign each delivery a delay and schedule it.
 
-   Execution stops the round every honest node has decided, or at
-   [max_rounds] (reported as a stall, which is an admissible outcome for
-   safety-guaranteed protocols, Definition V.1).
+   Round-count convention: the engine executes at most [Config.max_rounds]
+   rounds, with indices 0 .. max_rounds - 1.  Execution stops early the
+   round every honest node has decided; a run that exhausts the budget
+   with undecided honest nodes is reported as a stall (an admissible
+   outcome for safety-guaranteed protocols, Definition V.1).
+   [rounds_used] is the *number* of rounds executed — equal to the trace's
+   [total_rounds], and equal to [max_rounds] exactly on stalled runs —
+   while [decision_round.(i)] is the 0-based *index* of the round node [i]
+   decided in (so a node deciding in the last admissible round has
+   [decision_round = max_rounds - 1]).  Historically the loop ran
+   [max_rounds + 1] rounds and [rounds_used] was the last round index,
+   leaving both off by one against the configured budget; the regression
+   test in test_sim.ml pins the fixed convention.
 
    Each run additionally accumulates a structured {!Trace.snapshot}:
    per-round send counts, adversary injections, per-node phase transitions
@@ -58,37 +68,45 @@ module Make (P : Protocol.S) = struct
     match cfg.comm with
     | Types.Point_to_point -> ()
     | Types.Local_broadcast ->
-        (* Each Byzantine sender must send one identical message to its
-           whole neighbourhood, or nothing at all. *)
+        (* A Byzantine sender may broadcast several messages in one round —
+           honest nodes can emit several envelopes, too — but each message
+           must reach its whole neighbourhood identically.  Per-recipient
+           variation (equivocation) and partial broadcasts both surface as
+           a message whose recipient set is not exactly the neighbourhood.
+           (The old per-sender uniformity check wrongly rejected two
+           distinct uniform broadcasts in one round; the exhaustive checker
+           found that on its first sweep.) *)
         let by_src = Hashtbl.create 8 in
         List.iter
           (fun (p : P.msg Adversary.delivery_plan) ->
-            let cur =
+            let groups =
               match Hashtbl.find_opt by_src p.Adversary.src with
               | None -> []
               | Some l -> l
             in
-            Hashtbl.replace by_src p.Adversary.src ((p.Adversary.dst, p.Adversary.msg) :: cur))
+            let groups =
+              match List.assoc_opt p.Adversary.msg groups with
+              | Some dsts ->
+                  (p.Adversary.msg, p.Adversary.dst :: dsts)
+                  :: List.remove_assoc p.Adversary.msg groups
+              | None -> (p.Adversary.msg, [ p.Adversary.dst ]) :: groups
+            in
+            Hashtbl.replace by_src p.Adversary.src groups)
           plans;
         Hashtbl.iter
-          (fun src sends ->
-            let msgs = List.map snd sends in
-            (match msgs with
-            | [] -> ()
-            | m :: rest ->
-                if not (List.for_all (fun m' -> m' = m) rest) then
+          (fun src groups ->
+            List.iter
+              (fun (_msg, dsts) ->
+                let dsts = List.sort_uniq Int.compare dsts in
+                if dsts <> Config.reach cfg src then
                   raise
                     (Invalid_adversary
                        (Fmt.str
-                          "node %d equivocated under local broadcast" src)));
-            let dsts = List.sort_uniq compare (List.map fst sends) in
-            if dsts <> Config.reach cfg src then
-              raise
-                (Invalid_adversary
-                   (Fmt.str
-                      "node %d broadcast did not reach its whole \
-                       neighbourhood under local broadcast"
-                      src)))
+                          "node %d local-broadcast message did not reach \
+                           its whole neighbourhood (equivocation or \
+                           partial broadcast)"
+                          src)))
+              groups)
           by_src
 
   let expand_envelopes cfg ~round ~src envelopes =
@@ -174,7 +192,7 @@ module Make (P : Protocol.S) = struct
               boxes.(d.Types.dst) <- (d.Types.src, d.Types.msg) :: boxes.(d.Types.dst))
             l;
           Array.map
-            (List.stable_sort (fun (a, _) (b, _) -> compare a b))
+            (List.stable_sort (fun (a, _) (b, _) -> Int.compare a b))
             boxes
     in
     let steps_node id = Fault.is_honest (Config.fault_of cfg id)
@@ -190,8 +208,8 @@ module Make (P : Protocol.S) = struct
     let rounds_used = ref 0 in
     let stalled = ref false in
     (try
-       for round = 0 to cfg.Config.max_rounds do
-         rounds_used := round;
+       for round = 0 to cfg.Config.max_rounds - 1 do
+         rounds_used := round + 1;
          let boxes = inbox_at round in
          let honest_sent = ref [] in
          let newly_decided = ref [] in

@@ -25,7 +25,11 @@ module Make (P : Protocol.S) : sig
     outputs : P.output option array;
         (** indexed by node id; Byzantine slots stay [None] *)
     decision_round : int option array;
+        (** 0-based index of the round each node decided in *)
     rounds_used : int;
+        (** number of rounds executed (round indices 0 .. [rounds_used] - 1);
+            equals the trace's [total_rounds], at most [Config.max_rounds],
+            and exactly [max_rounds] on stalled runs *)
     metrics : Metrics.t;  (** derived from [trace]; immutable *)
     trace : Trace.snapshot;
     stalled : bool;

@@ -317,6 +317,53 @@ let prop_integrity_of_winner =
         | None -> false
         | Some w -> Validity.integrity_allows ~view ~output:w)
 
+(* Satellite: [Tie_break.compare_ranked] must be a total order consistent
+   with [Tie_break.wins], under both tie-break conventions.  These pin the
+   monomorphic comparator against regressions back to polymorphic
+   [compare] (whose meaning would drift with the representation). *)
+let gen_ranked =
+  QCheck.make
+    ~print:(fun (x, c) -> Printf.sprintf "(opt %d, count %d)" x c)
+    QCheck.Gen.(pair (int_range 0 5) (int_range 0 4))
+
+let ranked (x, c) = (o x, c)
+let sign v = Stdlib.compare v 0
+let conventions = [ Tie_break.Prefer_larger; Tie_break.Prefer_smaller ]
+
+let prop_compare_ranked_antisym =
+  QCheck.Test.make ~name:"compare_ranked antisymmetric (both conventions)"
+    QCheck.(pair gen_ranked gen_ranked)
+    (fun (a, b) ->
+      let a = ranked a and b = ranked b in
+      List.for_all
+        (fun tb ->
+          sign (Tie_break.compare_ranked tb a b)
+          = -sign (Tie_break.compare_ranked tb b a))
+        conventions)
+
+let prop_compare_ranked_transitive =
+  QCheck.Test.make ~name:"compare_ranked transitive (both conventions)"
+    QCheck.(triple gen_ranked gen_ranked gen_ranked)
+    (fun (a, b, c) ->
+      let a = ranked a and b = ranked b and c = ranked c in
+      List.for_all
+        (fun tb ->
+          let cmp = Tie_break.compare_ranked tb in
+          if cmp a b <= 0 && cmp b c <= 0 then cmp a c <= 0 else true)
+        conventions)
+
+let prop_compare_ranked_consistent_with_wins =
+  QCheck.Test.make
+    ~name:"compare_ranked ties resolve exactly by Tie_break.wins"
+    QCheck.(triple (int_range 0 5) (int_range 0 5) (int_range 0 4))
+    (fun (x, y, c) ->
+      QCheck.assume (x <> y);
+      List.for_all
+        (fun tb ->
+          let lt = Tie_break.compare_ranked tb (o x, c) (o y, c) < 0 in
+          lt = Tie_break.wins tb (o x) (o y))
+        conventions)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -329,6 +376,9 @@ let qcheck_cases =
       prop_plurality_is_zero_differential;
       prop_differential_monotone_in_delta;
       prop_integrity_of_winner;
+      prop_compare_ranked_antisym;
+      prop_compare_ranked_transitive;
+      prop_compare_ranked_consistent_with_wins;
     ]
 
 let () =

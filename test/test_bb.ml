@@ -147,14 +147,16 @@ let test_equivocating_sender () =
   in
   assert_agreement "eig equivocation" outs
 
-(* Dolev-Strong must run in exactly t+1 exchange rounds. *)
+(* Dolev-Strong must run in exactly t+1 exchange rounds.  [rounds_used]
+   counts executed engine rounds: round 0 (the substrate's start) plus the
+   exchange rounds, so a k-exchange substrate reports k + 1. *)
 let test_round_counts () =
   let (rounds, _), _ = run_bb Vv_bb.Bb.Dolev_strong ~n:5 ~t:2 ~byz:[] ~sender:0 ~value:3 () in
-  check_int "ds rounds" (2 + 1) rounds;
+  check_int "ds rounds" (2 + 1 + 1) rounds;
   let (rounds, _), _ = run_bb Vv_bb.Bb.Eig ~n:7 ~t:2 ~byz:[] ~sender:0 ~value:3 () in
-  check_int "eig rounds" (2 + 2) rounds;
+  check_int "eig rounds" (2 + 2 + 1) rounds;
   let (rounds, _), _ = run_bb Vv_bb.Bb.Phase_king ~n:9 ~t:2 ~byz:[] ~sender:0 ~value:3 () in
-  check_int "pk rounds" ((2 * 2) + 3) rounds
+  check_int "pk rounds" ((2 * 2) + 3 + 1) rounds
 
 (* Signature chains: forged or truncated chains must not verify. *)
 let test_auth () =
@@ -238,7 +240,7 @@ let test_delta_batching () =
             (E.honest_outputs res);
           check_int
             (Fmt.str "%s delta=%d rounds" label delta)
-            (Sub.rounds ~n:7 ~t:1 * delta)
+            ((Sub.rounds ~n:7 ~t:1 * delta) + 1)
             res.E.rounds_used)
         all_choices)
     [ 2; 3 ]

@@ -1,0 +1,315 @@
+(* Tests for the exhaustive small-model checker (lib/check): state-space
+   enumeration counts, scripted-adversary replay, oracle classification,
+   counterexample shrinking, jobs-invariance of the checker result, and
+   the minimized regression for the engine bug the smoke sweep found. *)
+
+module Space = Vv_check.Space
+module Script = Vv_check.Script
+module Oracle = Vv_check.Oracle
+module Shrink = Vv_check.Shrink
+module Check = Vv_check.Check
+module Runner = Vv_core.Runner
+module Strategy = Vv_core.Strategy
+module Bounds = Vv_core.Bounds
+module Bb = Vv_bb.Bb
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+module Testable = struct
+  let script_action =
+    Alcotest.testable Strategy.pp_script_action (fun a b ->
+        Strategy.(
+          match (a, b) with
+          | Skip, Skip -> true
+          | Vote_all i, Vote_all j -> Int.equal i j
+          | Propose_all i, Propose_all j -> Int.equal i j
+          | Vote_split (i, j), Vote_split (k, l)
+          | Vote_and_propose (i, j), Vote_and_propose (k, l) ->
+              Int.equal i k && Int.equal j l
+          | _ -> false))
+
+  let kind =
+    Alcotest.testable Bounds.pp_kind (fun a b ->
+        Bounds.(
+          match (a, b) with
+          | Bft, Bft | Cft, Cft | Sct, Sct -> true
+          | _ -> false))
+end
+
+(* --- state space ------------------------------------------------------- *)
+
+let test_profiles () =
+  (* Descending partitions of the honest count into <= max_options parts. *)
+  Alcotest.(check (list (list int)))
+    "partitions of 3 into <= 3 parts"
+    [ [ 3 ]; [ 2; 1 ]; [ 1; 1; 1 ] ]
+    (Space.profiles ~honest:3 ~max_options:3);
+  Alcotest.(check (list (list int)))
+    "partitions of 4 into <= 3 parts"
+    [ [ 4 ]; [ 3; 1 ]; [ 2; 2 ]; [ 2; 1; 1 ] ]
+    (Space.profiles ~honest:4 ~max_options:3);
+  Alcotest.(check (list (list int)))
+    "max_options truncates"
+    [ [ 5 ]; [ 4; 1 ]; [ 3; 2 ] ]
+    (Space.profiles ~honest:5 ~max_options:2)
+
+let test_alphabet_sizes () =
+  (* 1 Skip + d votes + d proposes + d^2 vote-and-proposes
+     (+ d^2 - d ordered distinct splits under point-to-point). *)
+  check_int "d=1 no split" 4
+    (List.length (Script.alphabet ~options:1 ~allow_split:false));
+  check_int "d=2 no split" 9
+    (List.length (Script.alphabet ~options:2 ~allow_split:false));
+  check_int "d=2 split" 11
+    (List.length (Script.alphabet ~options:2 ~allow_split:true));
+  check_int "d=3 split" 22
+    (List.length (Script.alphabet ~options:3 ~allow_split:true));
+  let alphabet = Script.alphabet ~options:2 ~allow_split:true in
+  check_int "count = |alphabet|^rounds" 121 (Script.count ~rounds:2 ~alphabet);
+  check_int "all materialises count" 121
+    (List.length (Script.all ~rounds:2 ~alphabet))
+
+let test_smoke_space_counts () =
+  (* Pin the smoke tier's enumeration: any drift here is a deliberate
+     re-budgeting, not an accident (the CI wall-clock depends on it). *)
+  let dims = Check.dims_of Check.Smoke in
+  let cells = Space.cells dims in
+  check_int "smoke cells" 835 (List.length cells);
+  check_int "smoke executions" 12608 (Array.length (Space.executions dims));
+  (* Crash cells carry exactly the empty script: the crash plan is the
+     whole fault, there is no Byzantine script to enumerate. *)
+  List.iter
+    (fun (c : Space.cell) ->
+      match c.Space.fault with
+      | Space.Crash_one _ ->
+          Alcotest.(check (list (list Testable.script_action)))
+            "crash cell scripts" [ [] ]
+            (Space.scripts_of dims c)
+      | Space.Byzantine _ -> ())
+    cells
+
+(* --- scripted replay --------------------------------------------------- *)
+
+let byz_cell ?(protocol = Runner.Algo1) ?(profile = [ 2; 1 ]) () =
+  {
+    Space.protocol;
+    bb = Bb.Dolev_strong;
+    n = 4;
+    t = 1;
+    profile;
+    fault = Space.Byzantine 1;
+  }
+
+let test_replay_deterministic () =
+  (* Scripted adversaries are stateful, so [spec_of] must rebuild one per
+     run: classifying the same execution twice must agree. *)
+  let e =
+    {
+      Space.cell = byz_cell ();
+      script = [ Strategy.Skip; Strategy.Vote_all 1 ];
+    }
+  in
+  check_bool "same class on re-run" true
+    (Oracle.equal_class (Oracle.classify_run e) (Oracle.classify_run e))
+
+(* --- oracle ------------------------------------------------------------ *)
+
+let test_oracle_above_bound_exact () =
+  (* Unanimous honest profile: B_G = C_G = 0, bound = max(3t, 2t) = 3 < 4,
+     so every script must leave Algorithm 1 exact. *)
+  let cell = byz_cell ~profile:[ 3 ] () in
+  check_bool "bound holds" true (Oracle.bound_holds cell);
+  check_bool "expected exact" true (Oracle.expected_exact cell);
+  let e =
+    { Space.cell; script = [ Strategy.Vote_and_propose (0, 0) ] }
+  in
+  check_string "class" "exact" (Oracle.class_label (Oracle.classify_run e))
+
+let test_oracle_below_bound_defeated () =
+  (* [2,1] at n=4, t=1: validity bound 2t + 2B_G + C_G = 4, n = 4 not
+     above it — the smoke tier's shrunk BFT tightness witness. *)
+  let cell = byz_cell () in
+  check_bool "bound fails" false (Oracle.bound_holds cell);
+  let e = { Space.cell; script = [ Strategy.Skip; Strategy.Vote_all 1 ] } in
+  let class_ = Oracle.classify_run e in
+  check_string "class" "defeated" (Oracle.class_label class_);
+  check_bool "witnesses BFT tightness" true (Oracle.witnesses_tightness e class_)
+
+let test_oracle_sct_below_bound_never_violates () =
+  (* Safety-guaranteed kind: below the bound every script yields Exact or
+     an admissible stall — a wrong decision would be a violation. *)
+  let cell = byz_cell ~protocol:Runner.Algo2_sct () in
+  check_bool "bound fails" false (Oracle.bound_holds cell);
+  let dims = Check.dims_of Check.Smoke in
+  List.iter
+    (fun script ->
+      match Oracle.classify_run { Space.cell; script } with
+      | Oracle.Exact | Oracle.Admissible_stall -> ()
+      | Oracle.Defeated | Oracle.Violation _ ->
+          Alcotest.failf "SCT safety broken by %a" Script.pp script)
+    (Space.scripts_of dims cell)
+
+let test_engine_multi_broadcast_regression () =
+  (* Minimized regression for the bug the first smoke sweep found: under
+     local broadcast, [Vote_and_propose] makes two *distinct but uniform*
+     broadcasts in one round, which the engine's validator used to reject
+     as equivocation — 1129 spurious invalid-adversary violations.  The
+     class must now be a genuine outcome, never Violation. *)
+  let cell = byz_cell ~protocol:Runner.Algo4_local () in
+  let e =
+    { Space.cell; script = [ Strategy.Vote_and_propose (0, 1) ] }
+  in
+  match Oracle.classify_run e with
+  | Oracle.Violation reason ->
+      Alcotest.failf "multi-broadcast script rejected: %s" reason
+  | Oracle.Exact | Oracle.Admissible_stall | Oracle.Defeated -> ()
+
+(* --- shrinking --------------------------------------------------------- *)
+
+let test_shrink_preserves_class_and_simplifies () =
+  let e =
+    {
+      Space.cell = byz_cell ();
+      script = [ Strategy.Vote_all 1; Strategy.Vote_all 1 ];
+    }
+  in
+  let target = Oracle.classify_run e in
+  check_string "starts defeated" "defeated" (Oracle.class_label target);
+  let r = Shrink.shrink e target in
+  check_bool "still defeated" true
+    (Oracle.equal_class target (Oracle.classify_run r.Shrink.execution));
+  check_bool "reached a fixpoint" true r.Shrink.minimal;
+  check_bool "no larger than original" true
+    (List.length r.Shrink.execution.Space.script <= List.length e.Space.script
+     && r.Shrink.execution.Space.cell.Space.n <= e.Space.cell.Space.n);
+  (* 1-minimality: no single move still classifies the same. *)
+  List.iter
+    (fun m ->
+      check_bool "no move preserves the class" false
+        (Oracle.equal_class target (Oracle.classify_run m)))
+    (Shrink.moves r.Shrink.execution)
+
+let test_shrink_moves_shrink () =
+  (* Every candidate move strictly simplifies along some axis; in
+     particular none grows the script or the system size. *)
+  let e =
+    {
+      Space.cell = byz_cell ~profile:[ 2; 1 ] ();
+      script = [ Strategy.Vote_split (0, 1); Strategy.Vote_all 1 ];
+    }
+  in
+  let weight (x : Space.execution) =
+    x.Space.cell.Space.n
+    + List.length x.Space.cell.Space.profile
+    + List.length
+        (List.filter (fun a -> a <> Strategy.Skip) x.Space.script)
+    + List.length x.Space.script
+  in
+  List.iter
+    (fun m -> check_bool "move simplifies" true (weight m < weight e))
+    (Shrink.moves e)
+
+(* --- whole-checker runs ------------------------------------------------ *)
+
+let smoke_result = lazy (Check.run ~jobs:1 Check.Smoke)
+
+let test_smoke_certifies () =
+  let r = Lazy.force smoke_result in
+  check_bool "ok" true r.Check.ok;
+  check_int "no violations" 0 r.Check.violations_total;
+  check_int "cells" 835 r.Check.total_cells;
+  check_int "runs" 12608 r.Check.total_runs;
+  check_int "six protocol groups" 6 (List.length r.Check.groups);
+  List.iter
+    (fun (g : Check.group_stats) ->
+      check_int
+        (Fmt.str "%s accounted" (Runner.protocol_label g.Check.protocol))
+        g.Check.runs
+        (g.Check.exact + g.Check.stall_admissible + g.Check.defeated
+       + g.Check.violations))
+    r.Check.groups
+
+let test_smoke_tightness_per_kind () =
+  let r = Lazy.force smoke_result in
+  let kinds =
+    List.map (fun (t : Check.tightness) -> t.Check.kind) r.Check.tightness
+  in
+  Alcotest.(check (list Testable.kind))
+    "one row per kind" [ Bounds.Bft; Bounds.Cft; Bounds.Sct ] kinds;
+  List.iter
+    (fun (t : Check.tightness) ->
+      check_bool "witness found" true (Option.is_some t.Check.witness);
+      check_bool "witnessed cells > 0" true (t.Check.witnessed_cells > 0);
+      check_bool "below-bound cells exist" true (t.Check.below_bound_cells > 0))
+    r.Check.tightness
+
+let test_jobs_invariance () =
+  (* The CLI-level guarantee is byte-identical output at any --jobs; at
+     the library level compare everything the report renders. *)
+  let r1 = Lazy.force smoke_result in
+  let r0 = Check.run ~jobs:0 Check.Smoke in
+  check_bool "groups identical" true (r1.Check.groups = r0.Check.groups);
+  check_int "violations identical" r1.Check.violations_total
+    r0.Check.violations_total;
+  check_bool "ok identical" true (r1.Check.ok = r0.Check.ok);
+  List.iter2
+    (fun (a : Check.tightness) (b : Check.tightness) ->
+      check_int "below-bound cells" a.Check.below_bound_cells
+        b.Check.below_bound_cells;
+      check_int "witnessed cells" a.Check.witnessed_cells b.Check.witnessed_cells;
+      check_int "below-bound runs" a.Check.below_bound_runs
+        b.Check.below_bound_runs;
+      check_string "same shrunk witness"
+        (Fmt.str "%a"
+           Fmt.(option (using (fun (c : Check.counterexample) ->
+                    c.Check.shrunk.Shrink.execution) Space.pp_execution))
+           a.Check.witness)
+        (Fmt.str "%a"
+           Fmt.(option (using (fun (c : Check.counterexample) ->
+                    c.Check.shrunk.Shrink.execution) Space.pp_execution))
+           b.Check.witness))
+    r1.Check.tightness r0.Check.tightness
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "space",
+        [
+          Alcotest.test_case "profiles are bounded partitions" `Quick
+            test_profiles;
+          Alcotest.test_case "script alphabet sizes" `Quick test_alphabet_sizes;
+          Alcotest.test_case "smoke space counts pinned" `Quick
+            test_smoke_space_counts;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "scripted replay deterministic" `Quick
+            test_replay_deterministic;
+          Alcotest.test_case "above bound: exact" `Quick
+            test_oracle_above_bound_exact;
+          Alcotest.test_case "below bound: defeated witness" `Quick
+            test_oracle_below_bound_defeated;
+          Alcotest.test_case "SCT never violates safety below bound" `Quick
+            test_oracle_sct_below_bound_never_violates;
+          Alcotest.test_case
+            "engine accepts two distinct local broadcasts (regression)" `Quick
+            test_engine_multi_broadcast_regression;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "preserves class, 1-minimal" `Quick
+            test_shrink_preserves_class_and_simplifies;
+          Alcotest.test_case "moves only simplify" `Quick
+            test_shrink_moves_shrink;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "smoke certifies all variants" `Quick
+            test_smoke_certifies;
+          Alcotest.test_case "tightness witnessed per kind" `Quick
+            test_smoke_tightness_per_kind;
+          Alcotest.test_case "jobs invariance" `Quick test_jobs_invariance;
+        ] );
+    ]

@@ -350,7 +350,7 @@ let test_trace_consistent_with_outcome () =
     tr.Trace.honest_msgs;
   check_int "outcome byz msgs come from the trace" o.Runner.byz_msgs
     tr.Trace.byz_msgs;
-  check_int "every executed round is recorded" (o.Runner.rounds + 1)
+  check_int "every executed round is recorded" o.Runner.rounds
     tr.Trace.total_rounds;
   check_bool "stall flag matches" o.Runner.stalled tr.Trace.stalled;
   (* decide_rounds agrees with the outcome's per-node decision rounds

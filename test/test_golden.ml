@@ -63,7 +63,9 @@ let test_pinned_run () =
       ~strategy:Vv_core.Strategy.Collude_second ~t:1 ~f:1
       (List.map Vv_ballot.Option_id.of_int [ 0; 0; 0; 0; 0; 1 ])
   in
-  Alcotest.(check int) "rounds" 6 r.Vv_core.Runner.rounds;
+  (* Every honest node decides in round index 6, so 7 rounds execute
+     (rounds_used counts executed rounds — see engine.ml's convention). *)
+  Alcotest.(check int) "rounds" 7 r.Vv_core.Runner.rounds;
   Alcotest.(check int) "honest msgs" 126 r.Vv_core.Runner.honest_msgs;
   Alcotest.(check int) "byz msgs" 7 r.Vv_core.Runner.byz_msgs;
   Alcotest.(check (list (option int)))

@@ -120,7 +120,17 @@ let test_stats_summary () =
 
 let test_histogram () =
   let h = Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [ 0.5; 1.5; 1.6; 3.9; 4.0; -1.0; 5.0 ] in
-  Alcotest.(check (array int)) "bins" [| 1; 2; 0; 2 |] h
+  Alcotest.(check (array int)) "bins" [| 1; 2; 0; 2 |] h.Stats.counts;
+  (* Regression: outliers used to be dropped without signal — they must be
+     reported in the under/over cells and counted in the total. *)
+  check_int "under" 1 h.Stats.under;
+  check_int "over" 1 h.Stats.over;
+  check_int "no sample lost" 7 (Stats.histogram_total h);
+  (* The closed upper edge lands in the last bin by construction, even when
+     the bin width is not exactly representable. *)
+  let edge = Stats.histogram ~bins:3 ~lo:0.0 ~hi:1.0 [ 1.0; 1.0 ] in
+  Alcotest.(check (array int)) "v = hi in last bin" [| 0; 0; 2 |] edge.Stats.counts;
+  check_int "edge is not an outlier" 0 edge.Stats.over
 
 let test_chi_square () =
   (* A perfectly matching sample has statistic 0. *)

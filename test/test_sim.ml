@@ -143,6 +143,34 @@ let test_local_broadcast_identical_ok () =
     (fun seen -> check_bool "all received 777" true (List.mem (3, 777) seen))
     (values res)
 
+let test_local_broadcast_two_distinct_broadcasts_ok () =
+  (* Honest nodes may emit several envelopes per round, each broadcast to
+     the whole neighbourhood; the adversary validator must grant Byzantine
+     nodes the same right.  The old validator required all of a sender's
+     messages in a round to be identical, conflating two distinct uniform
+     broadcasts with per-recipient equivocation — found by the exhaustive
+     checker on Vote_and_propose scripts. *)
+  let cfg =
+    Config.with_byzantine ~comm:Types.Local_broadcast ~n:4 ~t_max:1 [ 3 ] ()
+  in
+  let adversary =
+    Adversary.named "two-broadcasts" (fun view ->
+        if view.Adversary.round <> 0 then []
+        else
+          List.concat_map
+            (fun msg ->
+              List.map
+                (fun dst -> { Adversary.src = 3; dst; msg })
+                (view.Adversary.reach 3))
+            [ 701; 702 ])
+  in
+  let res = E.run_exn cfg ~inputs:(fun id -> id) ~adversary () in
+  List.iter
+    (fun seen ->
+      check_bool "first broadcast delivered" true (List.mem (3, 701) seen);
+      check_bool "second broadcast delivered" true (List.mem (3, 702) seen))
+    (values res)
+
 let test_adversary_from_honest_rejected () =
   let cfg = Config.with_byzantine ~n:4 ~t_max:1 [ 3 ] () in
   let adversary =
@@ -203,6 +231,27 @@ let test_stall_reported () =
   let res = EM.run_exn cfg ~inputs:(fun _ -> ()) () in
   check_bool "stalled" true res.EM.stalled;
   check_int "ran to cutoff" 10 res.EM.rounds_used
+
+(* Regression for the max_rounds off-by-one: the old loop ran
+   [0 .. max_rounds] — max_rounds + 1 rounds — so a stalled run recorded
+   max_rounds + 1 executed rounds in its trace and [rounds_used] disagreed
+   with the trace's [total_rounds].  The fixed convention (engine.ml header)
+   is: at most [max_rounds] rounds execute, and [rounds_used] counts them. *)
+let test_max_rounds_is_a_round_budget () =
+  let module EM = Engine.Make (Mute) in
+  let budget = 7 in
+  let cfg = Config.make ~n:2 ~t_max:0 ~max_rounds:budget () in
+  let res = EM.run_exn cfg ~inputs:(fun _ -> ()) () in
+  check_int "exactly max_rounds rounds executed" budget
+    res.EM.trace.Trace.total_rounds;
+  check_int "rounds_used equals the trace's total_rounds" budget
+    res.EM.rounds_used;
+  (* Every recorded round index stays inside 0 .. max_rounds - 1. *)
+  List.iter
+    (fun (r : Trace.round_record) ->
+      check_bool "round index within budget" true
+        (r.Trace.round >= 0 && r.Trace.round < budget))
+    res.EM.trace.Trace.rounds
 
 let test_unicast_under_local_broadcast_rejected () =
   let module Uni = struct
@@ -317,6 +366,8 @@ let () =
             `Quick test_local_broadcast_blocks_equivocation;
           Alcotest.test_case "local broadcast identical ok" `Quick
             test_local_broadcast_identical_ok;
+          Alcotest.test_case "local broadcast: two distinct broadcasts ok"
+            `Quick test_local_broadcast_two_distinct_broadcasts_ok;
           Alcotest.test_case "impersonating honest rejected" `Quick
             test_adversary_from_honest_rejected;
         ] );
@@ -324,6 +375,8 @@ let () =
         [
           Alcotest.test_case "deterministic given seed" `Quick test_determinism;
           Alcotest.test_case "stall reported" `Quick test_stall_reported;
+          Alcotest.test_case "max_rounds is a round budget" `Quick
+            test_max_rounds_is_a_round_budget;
           Alcotest.test_case "unicast rejected under local broadcast" `Quick
             test_unicast_under_local_broadcast_rejected;
           Alcotest.test_case "config validation" `Quick test_config_validation;
