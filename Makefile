@@ -1,4 +1,4 @@
-.PHONY: check check-parallel check-model build test bench
+.PHONY: check check-parallel check-model chaos-smoke build test bench
 
 check: ## build everything, then run the full test suite
 	dune build && dune runtest
@@ -8,6 +8,9 @@ check-parallel: ## the jobs-invariance + domain-safety suite (spawns up to 4 dom
 
 check-model: ## exhaustive small-model smoke sweep (vv_check); exits 1 on violation
 	dune build && dune exec bin/vvc.exe -- check --profile=smoke
+
+chaos-smoke: ## chaos-substrate resilience campaign, CI tier; exits 1 on a safety violation
+	dune build && dune exec bin/vvc.exe -- chaos --profile=smoke
 
 build:
 	dune build

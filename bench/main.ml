@@ -114,6 +114,35 @@ let par_timing ?(jobs = 4) ?(trials = 10_000) () =
   report "fig1b empirical sweep (600 trials/cell)" (wall (sweep 1))
     (wall (sweep jobs))
 
+(* Chaos-campaign throughput through the domain pool: the E17 smoke grid
+   (several hundred protocol runs under omission/partition injection) at
+   jobs=1 vs jobs=0 (all cores but one).  The rendered report must be
+   byte-identical at both values — asserted here, pinned properly in
+   test_chaos.ml. *)
+let chaos_timing ?(trials = 6) () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let module Chaos = Vv_analysis.Exp_chaos in
+  let campaign jobs () =
+    let r = Chaos.run ~jobs ~trials Chaos.Smoke in
+    ( String.concat "\n" (List.map Vv_prelude.Table.to_csv (Chaos.tables r)),
+      r.Chaos.runs )
+  in
+  let (r1, n1), t1 = wall (campaign 1) in
+  let (r0, n0), t0 = wall (campaign 0) in
+  assert (r1 = r0 && n1 = n0);
+  let rate t = if t > 0.0 then float_of_int n1 /. t else Float.infinity in
+  Fmt.pr "@.== Chaos campaign throughput (E17 smoke grid, %d runs) ==@." n1;
+  Fmt.pr "jobs=1          : %8.3f s  (%8.1f runs/s)@." t1 (rate t1);
+  Fmt.pr "jobs=0 (%d cores): %8.3f s  (%8.1f runs/s)@."
+    (Domain.recommended_domain_count ())
+    t0 (rate t0);
+  Fmt.pr "speedup         : %8.2fx@."
+    (if t0 > 0.0 then t1 /. t0 else Float.infinity)
+
 let fig1b_mc_cell =
   let rng = Vv_prelude.Rng.create 17 in
   fun () ->
@@ -236,5 +265,6 @@ let () =
   if not tables_only then begin
     memo_timing ();
     par_timing ~jobs ();
+    chaos_timing ();
     benches ()
   end

@@ -7,6 +7,7 @@
      bounds -n N -t T [...]      evaluate every tolerance bound at a point
      run [...]                   one protocol execution with full control
      check [--profile=P]         exhaustive small-model checker (vv_check)
+     chaos [--profile=P]         chaos-substrate resilience campaign (E17)
 
    Every experiment subcommand takes the shared --format=table|csv|json
    term; all three formats render the same data. *)
@@ -531,6 +532,56 @@ let check_cmd =
   C.Cmd.v (C.Cmd.info "check" ~doc)
     C.Term.(const run $ format_term $ profile $ jobs_term)
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let doc =
+    "Resilience campaign on the chaos network substrate: sweep omission \
+     rate and transient-partition scenarios across every protocol variant \
+     and classify each grid cell Exact / Stall / Violation (experiment \
+     E17). Exits nonzero when the safety-guaranteed variant shows any \
+     Violation."
+  in
+  let module Chaos = Vv_analysis.Exp_chaos in
+  let profile =
+    let profile_conv =
+      C.Arg.enum [ ("smoke", Chaos.Smoke); ("full", Chaos.Full) ]
+    in
+    C.Arg.(
+      value
+      & opt profile_conv Chaos.Smoke
+      & info [ "profile" ] ~docv:"P"
+          ~doc:
+            "$(b,smoke) (CI tier: 3 drop rates x 3 partition scenarios, 3 \
+             trials per cell) or $(b,full) (wider axes, 5 trials).")
+  in
+  let retransmit =
+    C.Arg.(
+      value & flag
+      & info [ "retransmit" ]
+          ~doc:"Enable the capped-exponential-backoff retransmission \
+                policy for every run.")
+  in
+  let trials =
+    C.Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"K"
+          ~doc:"Override the profile's per-cell trial count.")
+  in
+  let seed =
+    C.Arg.(value & opt int 0xc4a05 & info [ "seed" ] ~doc:"Campaign seed.")
+  in
+  let run format profile retransmit trials seed (jobs : int) =
+    let result = Chaos.run ~jobs ~retransmit ?trials ~seed profile in
+    Emit.tables format (Chaos.tables result);
+    if not result.Chaos.ok then exit 1
+  in
+  C.Cmd.v (C.Cmd.info "chaos" ~doc)
+    C.Term.(
+      const run $ format_term $ profile $ retransmit $ trials $ seed
+      $ jobs_term)
+
 let () =
   let doc = "Exact fault-tolerant consensus with voting validity (IPDPS 2023)" in
   let info = C.Cmd.info "vvc" ~version:"1.0.0" ~doc in
@@ -538,4 +589,4 @@ let () =
     (C.Cmd.eval
        (C.Cmd.group info
           [ list_cmd; exp_cmd; all_cmd; bounds_cmd; run_cmd; check_cmd;
-            ledger_cmd; radio_cmd ]))
+            chaos_cmd; ledger_cmd; radio_cmd ]))

@@ -1,0 +1,300 @@
+(* Experiment E17: resilience campaigns on the chaos network substrate.
+
+   The grid is drop rate x (partition width, recovery lag) x protocol
+   variant; duplication and jitter ride along scaled to the drop axis
+   (duplicate = drop/2, jitter = 1 whenever drop > 0) so every substrate
+   axis is exercised without adding grid dimensions.  Each cell runs
+   [trials] Monte-Carlo instances under derived seeds; the network seed
+   is the instance seed, so both the protocol randomness and the fault
+   pattern vary per trial while the whole campaign replays bit-for-bit
+   from the campaign seed.
+
+   Classification per run:
+     Violation  a decided value breaks safety-guaranteed admissibility
+                (Definition V.1) or agreement — never admissible for the
+                safety-guaranteed variant, whatever the network does;
+     Stall      some honest node never decides (admissible degradation);
+     Exact      terminated with the true plurality everywhere.
+
+   The electorate is the A=9/B=2/C=1 gap-7 witness with t = f = 2: on
+   faithful links every variant is Exact (gap > 2t), so any degradation
+   observed on the grid is attributable to the injected faults. *)
+
+module Table = Vv_prelude.Table
+module Runner = Vv_core.Runner
+module Executor = Vv_exec.Executor
+module Network = Vv_sim.Network
+module Retransmit = Vv_sim.Retransmit
+
+type profile = Smoke | Full
+
+let profile_label = function Smoke -> "smoke" | Full -> "full"
+
+type cls = Exact | Stall | Violation
+
+let cls_label = function
+  | Exact -> "exact"
+  | Stall -> "stall"
+  | Violation -> "violation"
+
+type scenario = { width : int; heal : int }
+
+type cell = {
+  protocol : Runner.protocol;
+  drop : float;
+  scenario : scenario;
+  exact : int;
+  stalls : int;
+  violations : int;
+  rounds_avg : float;
+  dropped_avg : float;
+  retrans_avg : float;
+}
+
+let cell_class c =
+  if c.violations > 0 then Violation
+  else if c.stalls > 0 then Stall
+  else Exact
+
+type result = {
+  profile : profile;
+  retransmit : bool;
+  trials : int;
+  cells : cell list;
+  runs : int;
+  ok : bool;
+}
+
+let protocols =
+  [
+    Runner.Algo1;
+    Runner.Algo2_sct;
+    Runner.Algo3_incremental;
+    Runner.Algo4_local;
+    Runner.Cft;
+  ]
+
+let drops = function
+  | Smoke -> [ 0.0; 0.2; 0.4 ]
+  | Full -> [ 0.0; 0.1; 0.2; 0.3; 0.45 ]
+
+let scenarios = function
+  | Smoke -> [ { width = 0; heal = 0 }; { width = 1; heal = 3 };
+               { width = 2; heal = 6 } ]
+  | Full ->
+      [ { width = 0; heal = 0 }; { width = 1; heal = 4 };
+        { width = 2; heal = 8 }; { width = 3; heal = 12 } ]
+
+let default_trials = function Smoke -> 3 | Full -> 5
+
+(* The partition opens after the first broadcast exchanges are in flight
+   and heals [heal] rounds later. *)
+let partition_start = 2
+
+let scenario_label s =
+  if s.width = 0 || s.heal = 0 then "-"
+  else
+    Fmt.str "w=%d [%d,%d)" s.width partition_start (partition_start + s.heal)
+
+(* Gap-7 electorate (A=9, B=2, C=1): Exact for every variant on faithful
+   links with t = f = 2. *)
+let honest_inputs = Witness.inputs ~ag:9 ~bg:2 ~cg:1
+let t_tol = 2
+let f_actual = 2
+let max_rounds = 60
+
+let network_of ~drop ~scenario ~seed =
+  let partitions =
+    if scenario.width = 0 || scenario.heal = 0 then []
+    else
+      [
+        {
+          Network.window =
+            {
+              Network.from_round = partition_start;
+              until_round = partition_start + scenario.heal;
+            };
+          isolated = List.init scenario.width Fun.id;
+        };
+      ]
+  in
+  Network.make ~drop ~duplicate:(drop /. 2.)
+    ~jitter:(if drop > 0.0 then 1 else 0)
+    ~partitions ~seed ()
+
+let classify (o : Runner.outcome) =
+  if not (o.Runner.safety_admissible && o.Runner.agreement) then Violation
+  else if not o.Runner.termination then Stall
+  else Exact
+
+let run ?jobs ?(retransmit = false) ?(seed = 0xc4a05) ?trials profile =
+  let trials =
+    match trials with Some k -> k | None -> default_trials profile
+  in
+  if trials < 1 then invalid_arg "Exp_chaos.run: trials must be >= 1";
+  let grid =
+    List.concat_map
+      (fun protocol ->
+        List.concat_map
+          (fun drop ->
+            List.map (fun scenario -> (protocol, drop, scenario))
+              (scenarios profile))
+          (drops profile))
+      protocols
+    |> Array.of_list
+  in
+  let ncells = Array.length grid in
+  let count = ncells * trials in
+  let retransmit_policy = if retransmit then Some Retransmit.default else None in
+  (* Fan the whole campaign out over the domain pool; each index is a
+     pure function of (seed, index), so the result array is identical at
+     every [jobs]. *)
+  let results =
+    Executor.map ?jobs ~count (fun i ->
+        let protocol, drop, scenario = grid.(i / trials) in
+        let run_seed = Executor.derive_seed ~seed i in
+        let network = network_of ~drop ~scenario ~seed:run_seed in
+        let spec =
+          Runner.simple_spec ~protocol
+            ~delay:(Vv_sim.Delay.Uniform { lo = 1; hi = 2 })
+            ~network ?retransmit:retransmit_policy ~seed:run_seed ~max_rounds
+            ~t:t_tol ~f:f_actual honest_inputs
+        in
+        match Runner.run_checked spec with
+        | Ok o ->
+            ( classify o,
+              o.Runner.rounds,
+              o.Runner.trace.Vv_sim.Trace.dropped_msgs,
+              o.Runner.trace.Vv_sim.Trace.retrans_msgs )
+        | Error (`Invalid_adversary _) ->
+            (* An adversary invalidated by the fault plan is a harness
+               bug, not a protocol property — surface it loudly. *)
+            (Violation, 0, 0, 0))
+  in
+  (* Sequential aggregation in grid order. *)
+  let cells =
+    List.init ncells (fun c ->
+        let protocol, drop, scenario = grid.(c) in
+        let exact = ref 0 and stalls = ref 0 and violations = ref 0 in
+        let rounds = ref 0 and dropped = ref 0 and retrans = ref 0 in
+        for k = 0 to trials - 1 do
+          let cls, r, d, rt = results.((c * trials) + k) in
+          (match cls with
+          | Exact -> incr exact
+          | Stall -> incr stalls
+          | Violation -> incr violations);
+          rounds := !rounds + r;
+          dropped := !dropped + d;
+          retrans := !retrans + rt
+        done;
+        let avg x = float_of_int x /. float_of_int trials in
+        {
+          protocol;
+          drop;
+          scenario;
+          exact = !exact;
+          stalls = !stalls;
+          violations = !violations;
+          rounds_avg = avg !rounds;
+          dropped_avg = avg !dropped;
+          retrans_avg = avg !retrans;
+        })
+  in
+  let ok =
+    List.for_all
+      (fun c -> c.protocol <> Runner.Algo2_sct || c.violations = 0)
+      cells
+  in
+  { profile; retransmit; trials; cells; runs = count; ok }
+
+(* --- tables --- *)
+
+let grid_table r =
+  let tab =
+    Table.create
+      ~title:
+        (Fmt.str
+           "E17: chaos degradation grid (profile=%s trials=%d retransmit=%b; \
+            dup=drop/2, jitter=1 when drop>0)"
+           (profile_label r.profile) r.trials r.retransmit)
+      ~headers:
+        [ "protocol"; "drop"; "partition"; "class"; "exact"; "stall";
+          "violation"; "avg rounds"; "avg dropped"; "avg retrans" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Left; Table.Left; Table.Right;
+          Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun c ->
+      Table.add_row tab
+        [
+          Runner.protocol_label c.protocol;
+          Table.fcell ~decimals:2 c.drop;
+          scenario_label c.scenario;
+          cls_label (cell_class c);
+          Table.icell c.exact;
+          Table.icell c.stalls;
+          Table.icell c.violations;
+          Table.fcell ~decimals:1 c.rounds_avg;
+          Table.fcell ~decimals:1 c.dropped_avg;
+          Table.fcell ~decimals:1 c.retrans_avg;
+        ])
+    r.cells;
+  tab
+
+(* The envelope: the largest swept drop rate below which the
+   partition-free column stays all-Exact, per protocol. *)
+let envelope_table r =
+  let tab =
+    Table.create
+      ~title:"E17: degradation envelope per protocol"
+      ~headers:
+        [ "protocol"; "cells"; "exact"; "stall"; "violation";
+          "clean drop <="; "safety violations" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun protocol ->
+      let cs = List.filter (fun c -> c.protocol = protocol) r.cells in
+      let count f = List.length (List.filter f cs) in
+      let clean_envelope =
+        (* Largest prefix of the ascending drop axis whose
+           partition-free cell is Exact. *)
+        List.fold_left
+          (fun (continue, best) d ->
+            if not continue then (false, best)
+            else
+              let ok =
+                List.exists
+                  (fun c ->
+                    c.drop = d && c.scenario.width = 0
+                    && cell_class c = Exact)
+                  cs
+              in
+              if ok then (true, Some d) else (false, best))
+          (true, None) (drops r.profile)
+        |> snd
+      in
+      let violations =
+        List.fold_left (fun acc c -> acc + c.violations) 0 cs
+      in
+      Table.add_row tab
+        [
+          Runner.protocol_label protocol;
+          Table.icell (List.length cs);
+          Table.icell (count (fun c -> cell_class c = Exact));
+          Table.icell (count (fun c -> cell_class c = Stall));
+          Table.icell (count (fun c -> cell_class c = Violation));
+          (match clean_envelope with
+          | Some d -> Table.fcell ~decimals:2 d
+          | None -> "-");
+          Table.icell violations;
+        ])
+    protocols;
+  tab
+
+let tables r = [ grid_table r; envelope_table r ]

@@ -1,0 +1,66 @@
+(** Experiment E17: resilience campaigns on the chaos network substrate.
+
+    Sweeps fault intensity — per-link drop rate x transient-partition
+    width x recovery lag — across every protocol variant, classifying
+    each grid cell as Exact (all honest nodes decide the true plurality),
+    Stall (some honest node never decides) or Violation (a decided value
+    breaks safety-guaranteed admissibility, Definition V.1, or
+    agreement). The degradation envelope is the frontier of the Exact
+    region; the safety-guaranteed variant (Algorithm 2) must show zero
+    Violation cells anywhere on the grid — [ok] records exactly that.
+
+    Deterministic at any [jobs]: runs fan out through
+    {!Vv_exec.Executor.map} with per-index derived seeds and are
+    aggregated sequentially in index order. *)
+
+type profile = Smoke | Full
+(** [Smoke] is the CI tier (3 drop rates x 3 partition scenarios x 5
+    protocols x 3 trials); [Full] widens every axis. *)
+
+type cls = Exact | Stall | Violation
+
+val cls_label : cls -> string
+
+type scenario = {
+  width : int;  (** honest nodes isolated by the transient partition *)
+  heal : int;  (** rounds until the partition heals (recovery lag) *)
+}
+
+type cell = {
+  protocol : Vv_core.Runner.protocol;
+  drop : float;
+  scenario : scenario;
+  exact : int;  (** trials classified Exact *)
+  stalls : int;
+  violations : int;
+  rounds_avg : float;
+  dropped_avg : float;  (** deliveries destroyed by the substrate *)
+  retrans_avg : float;  (** retransmission attempts fired *)
+}
+
+val cell_class : cell -> cls
+(** Worst classification over the cell's trials:
+    Violation > Stall > Exact. *)
+
+type result = {
+  profile : profile;
+  retransmit : bool;
+  trials : int;
+  cells : cell list;  (** grid order: protocol, then drop, then scenario *)
+  runs : int;  (** total protocol executions *)
+  ok : bool;
+      (** the safety-guaranteed variant (Algo2_sct) had zero Violation
+          trials on the whole grid *)
+}
+
+val run :
+  ?jobs:int -> ?retransmit:bool -> ?seed:int -> ?trials:int -> profile ->
+  result
+(** Execute the campaign. [retransmit] (default [false]) enables
+    {!Vv_sim.Retransmit.default} for every run; [trials] overrides the
+    profile's per-cell trial count. Byte-identical output at every
+    [jobs]. Raises [Invalid_argument] when [trials < 1]. *)
+
+val tables : result -> Vv_prelude.Table.t list
+(** The per-cell degradation grid and the per-protocol envelope summary,
+    for the shared {!Vv_exec.Emit} path. *)

@@ -47,6 +47,8 @@ type spec = {
   strategy : Strategy.t;
   tie : Vv_ballot.Tie_break.t;
   delay : Delay.t;
+  network : Network.t;  (** chaos substrate; [Network.none] = faithful links *)
+  retransmit : Retransmit.t option;
   seed : int;
   max_rounds : int;
   subject : int;
@@ -59,8 +61,8 @@ type spec = {
 let spec ?(byzantine = []) ?(crash = []) ?(protocol = Algo1)
     ?(bb = Vv_bb.Bb.default) ?(strategy = Strategy.Passive)
     ?(tie = Vv_ballot.Tie_break.default) ?(delay = Delay.Synchronous)
-    ?(seed = 0x5eed) ?(max_rounds = 200) ?(subject = 1) ?(speaker = 0)
-    ?judgment_override ~n ~t inputs =
+    ?(network = Network.none) ?retransmit ?(seed = 0x5eed) ?(max_rounds = 200)
+    ?(subject = 1) ?(speaker = 0) ?judgment_override ~n ~t inputs =
   if List.length inputs <> n then
     invalid_arg "Runner.spec: inputs must have length n";
   {
@@ -74,6 +76,8 @@ let spec ?(byzantine = []) ?(crash = []) ?(protocol = Algo1)
     strategy;
     tie;
     delay;
+    network;
+    retransmit;
     seed;
     max_rounds;
     subject;
@@ -120,8 +124,9 @@ let config_of (s : spec) =
     | Algo1 | Algo2_sct | Algo3_incremental | Cft | Sct_incremental ->
         Types.Point_to_point
   in
-  Config.make ~faults ~comm ~delay:s.delay ~max_rounds:s.max_rounds ~seed:s.seed
-    ~n:s.n ~t_max:s.t ()
+  Config.make ~faults ~comm ~delay:s.delay ~network:s.network
+    ?retransmit:s.retransmit ~max_rounds:s.max_rounds ~seed:s.seed ~n:s.n
+    ~t_max:s.t ()
 
 let outcome_of (s : spec) cfg (exec : Voting.exec) =
   let honest_inputs =
@@ -186,19 +191,19 @@ let run (s : spec) =
    the last [f] nodes Byzantine, speaker honest node 0. *)
 let simple_spec ?(protocol = Algo1) ?(strategy = Strategy.Collude_second)
     ?(bb = Vv_bb.Bb.default) ?(tie = Vv_ballot.Tie_break.default)
-    ?(delay = Delay.Synchronous) ?(seed = 0x5eed) ?(max_rounds = 200) ~t ~f
-    honest_inputs =
+    ?(delay = Delay.Synchronous) ?(network = Network.none) ?retransmit
+    ?(seed = 0x5eed) ?(max_rounds = 200) ~t ~f honest_inputs =
   let ng = List.length honest_inputs in
   let n = ng + f in
   let byzantine = List.init f (fun i -> ng + i) in
   (* Byzantine slots still need placeholder inputs. *)
   let filler = match honest_inputs with x :: _ -> x | [] -> Oid.of_int 0 in
   let inputs = honest_inputs @ List.init f (fun _ -> filler) in
-  spec ~byzantine ~protocol ~bb ~strategy ~tie ~delay ~seed ~max_rounds ~n ~t
-    inputs
+  spec ~byzantine ~protocol ~bb ~strategy ~tie ~delay ~network ?retransmit
+    ~seed ~max_rounds ~n ~t inputs
 
-let simple ?protocol ?strategy ?bb ?tie ?delay ?seed ?max_rounds ~t ~f
-    honest_inputs =
+let simple ?protocol ?strategy ?bb ?tie ?delay ?network ?retransmit ?seed
+    ?max_rounds ~t ~f honest_inputs =
   run
-    (simple_spec ?protocol ?strategy ?bb ?tie ?delay ?seed ?max_rounds ~t ~f
-       honest_inputs)
+    (simple_spec ?protocol ?strategy ?bb ?tie ?delay ?network ?retransmit
+       ?seed ?max_rounds ~t ~f honest_inputs)

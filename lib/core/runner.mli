@@ -27,6 +27,9 @@ type spec = private {
   strategy : Strategy.t;
   tie : Vv_ballot.Tie_break.t;
   delay : Vv_sim.Delay.t;
+  network : Vv_sim.Network.t;
+      (** chaos substrate; [Network.none] = faithful links *)
+  retransmit : Vv_sim.Retransmit.t option;
   seed : int;
   max_rounds : int;
   subject : int;
@@ -42,6 +45,8 @@ val spec :
   ?strategy:Strategy.t ->
   ?tie:Vv_ballot.Tie_break.t ->
   ?delay:Vv_sim.Delay.t ->
+  ?network:Vv_sim.Network.t ->
+  ?retransmit:Vv_sim.Retransmit.t ->
   ?seed:int ->
   ?max_rounds:int ->
   ?subject:int ->
@@ -89,6 +94,8 @@ val simple_spec :
   ?bb:Vv_bb.Bb.choice ->
   ?tie:Vv_ballot.Tie_break.t ->
   ?delay:Vv_sim.Delay.t ->
+  ?network:Vv_sim.Network.t ->
+  ?retransmit:Vv_sim.Retransmit.t ->
   ?seed:int ->
   ?max_rounds:int ->
   t:int ->
@@ -104,6 +111,8 @@ val simple :
   ?bb:Vv_bb.Bb.choice ->
   ?tie:Vv_ballot.Tie_break.t ->
   ?delay:Vv_sim.Delay.t ->
+  ?network:Vv_sim.Network.t ->
+  ?retransmit:Vv_sim.Retransmit.t ->
   ?seed:int ->
   ?max_rounds:int ->
   t:int ->

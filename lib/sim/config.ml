@@ -6,6 +6,9 @@ type t = {
   n : int;
   t_max : int;  (** the tolerance t, known to every node *)
   faults : Fault.t array;  (** length n; which nodes actually misbehave *)
+  compiled : Fault.compiled array;
+      (** per-node delivery predicates precomputed from [faults] (crash
+          [deliver_to] lists as bool arrays) — the engine's O(1) hot path *)
   comm : Types.comm_model;
   delay : Delay.t;
   max_rounds : int;
@@ -15,6 +18,8 @@ type t = {
           graph.  A broadcast reaches the sender's neighbours (plus the
           sender itself); under [Local_broadcast] the radio constraint is
           enforced per neighbourhood. *)
+  network : Network.t;  (** chaos substrate; [Network.none] = reliable links *)
+  retransmit : Retransmit.t option;  (** [None] = no retransmission (default) *)
 }
 
 let validate_topology ~n adj =
@@ -34,12 +39,30 @@ let validate_topology ~n adj =
       then invalid_arg "Config.make: duplicate topology neighbour")
     adj
 
+let validate_network ~n (net : Network.t) =
+  let node what id =
+    if id < 0 || id >= n then
+      invalid_arg (Fmt.str "Config.make: %s node %d out of range" what id)
+  in
+  List.iter
+    (fun (p : Network.partition) ->
+      List.iter (node "partition") p.Network.isolated)
+    net.Network.partitions;
+  List.iter
+    (fun (o : Network.outage) -> node "outage" o.Network.node)
+    net.Network.outages
+
 let make ?faults ?(comm = Types.Point_to_point) ?(delay = Delay.Synchronous)
-    ?(max_rounds = 200) ?(seed = 0x5eed) ?topology ~n ~t_max () =
+    ?(max_rounds = 200) ?(seed = 0x5eed) ?topology
+    ?(network = Network.none) ?retransmit ~n ~t_max () =
   if n <= 0 then invalid_arg "Config.make: n must be positive";
   if t_max < 0 then invalid_arg "Config.make: t must be non-negative";
   Delay.validate delay;
+  (* Probe user-supplied schedules up front so a malformed one fails here,
+     naming its (round, src, dst), instead of raising mid-run. *)
+  Delay.validate_schedule delay ~n ~max_rounds;
   Option.iter (validate_topology ~n) topology;
+  validate_network ~n network;
   let faults =
     match faults with
     | None -> Array.make n Fault.Honest
@@ -59,8 +82,9 @@ let make ?faults ?(comm = Types.Point_to_point) ?(delay = Delay.Synchronous)
             deliver_to
       | Fault.Honest | Fault.Byzantine -> ())
     faults;
-  { n; t_max; faults; comm; delay; max_rounds; seed;
-    topology = Option.map Array.copy topology }
+  let compiled = Array.map (Fault.compile ~n) faults in
+  { n; t_max; faults; compiled; comm; delay; max_rounds; seed;
+    topology = Option.map Array.copy topology; network; retransmit }
 
 (* Recipients of a broadcast from [src]: its neighbourhood plus itself. *)
 let reach cfg src =
@@ -87,10 +111,16 @@ let fault_of cfg id =
   if id < 0 || id >= cfg.n then invalid_arg "Config.fault_of: id out of range";
   cfg.faults.(id)
 
+(* O(1) crash-filter for the engine: the compiled form of
+   [Fault.delivers (fault_of cfg src)]. *)
+let delivers cfg ~src ~round ~dst =
+  Fault.compiled_delivers cfg.compiled.(src) ~round ~dst
+
 let within_tolerance cfg = faulty_count cfg <= cfg.t_max
 
 (* Convenience: mark the given nodes Byzantine, all others honest. *)
-let with_byzantine ?comm ?delay ?max_rounds ?seed ?topology ~n ~t_max byz () =
+let with_byzantine ?comm ?delay ?max_rounds ?seed ?topology ?network
+    ?retransmit ~n ~t_max byz () =
   let faults = Array.make n Fault.Honest in
   List.iter
     (fun id ->
@@ -98,8 +128,13 @@ let with_byzantine ?comm ?delay ?max_rounds ?seed ?topology ~n ~t_max byz () =
         invalid_arg "Config.with_byzantine: id out of range";
       faults.(id) <- Fault.Byzantine)
     byz;
-  make ~faults ?comm ?delay ?max_rounds ?seed ?topology ~n ~t_max ()
+  make ~faults ?comm ?delay ?max_rounds ?seed ?topology ?network ?retransmit
+    ~n ~t_max ()
 
 let pp ppf cfg =
   Fmt.pf ppf "n=%d t=%d faulty=%d comm=%a delay=%a" cfg.n cfg.t_max
-    (faulty_count cfg) Types.pp_comm_model cfg.comm Delay.pp cfg.delay
+    (faulty_count cfg) Types.pp_comm_model cfg.comm Delay.pp cfg.delay;
+  if not (Network.is_none cfg.network) then
+    Fmt.pf ppf " chaos(%a)" Network.pp cfg.network;
+  Option.iter (fun r -> Fmt.pf ppf " retransmit(%a)" Retransmit.pp r)
+    cfg.retransmit

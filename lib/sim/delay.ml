@@ -35,6 +35,11 @@ let bound = function
   | Per_message _ -> None
   | Adversarial { bound; _ } -> Some bound
 
+let schedule_error what d ~round ~src ~dst =
+  invalid_arg
+    (Fmt.str "Delay.%s: schedule returned %d at (round %d, src %d, dst %d)"
+       what d round src dst)
+
 let resolve t rng ~round ~src ~dst =
   match t with
   | Synchronous -> 1
@@ -42,13 +47,41 @@ let resolve t rng ~round ~src ~dst =
   | Uniform { lo; hi } -> lo + Vv_prelude.Rng.int rng (hi - lo + 1)
   | Per_message f ->
       let d = f ~round ~src ~dst in
-      if d < 1 then invalid_arg "Delay.Per_message: delay must be >= 1";
+      if d < 1 then schedule_error "Per_message" d ~round ~src ~dst;
       d
   | Adversarial { bound; schedule } ->
       let d = schedule ~round ~src ~dst in
       if d < 1 || d > bound then
-        invalid_arg "Delay.Adversarial: schedule exceeded its declared bound";
+        schedule_error
+          (Fmt.str "Adversarial(bound %d)" bound)
+          d ~round ~src ~dst;
       d
+
+(* Probe sweep: exercise a user-supplied schedule over every (round, src,
+   dst) the engine could ask about, so an ill-formed schedule is rejected
+   when the configuration is built — with the offending point named —
+   instead of exploding from [resolve] in the middle of a run.  Requires
+   schedules to be pure functions of their arguments (they always were in
+   spirit: the engine gives no other determinism guarantee). *)
+let validate_schedule t ~n ~max_rounds =
+  let probe what check f =
+    for round = 0 to max_rounds - 1 do
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          let d = f ~round ~src ~dst in
+          if not (check d) then schedule_error what d ~round ~src ~dst
+        done
+      done
+    done
+  in
+  match t with
+  | Synchronous | Fixed _ | Uniform _ -> ()
+  | Per_message f -> probe "Per_message" (fun d -> d >= 1) f
+  | Adversarial { bound; schedule } ->
+      probe
+        (Fmt.str "Adversarial(bound %d)" bound)
+        (fun d -> d >= 1 && d <= bound)
+        schedule
 
 let pp ppf = function
   | Synchronous -> Fmt.string ppf "synchronous"

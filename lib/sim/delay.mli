@@ -20,6 +20,14 @@ type t =
 val validate : t -> unit
 (** Raises [Invalid_argument] on delays below 1 or inverted bounds. *)
 
+val validate_schedule : t -> n:int -> max_rounds:int -> unit
+(** Probe a [Per_message] or [Adversarial] schedule over every
+    [(round, src, dst)] in [\[0, max_rounds) x \[0, n)^2] and raise
+    [Invalid_argument] naming the offending triple on a delay below 1 (or
+    above the declared bound) — {!Config.make} calls this so malformed
+    schedules fail at construction instead of mid-run. Schedules must be
+    pure functions of their arguments. No-op for the built-in models. *)
+
 val bound : t -> int option
 (** The delay upper bound (the paper's [delta_t], in rounds) honest nodes
     may rely on; [None] for [Per_message]. *)

@@ -2,14 +2,27 @@
 
    Round structure (per round r >= 0):
      1. deliver all messages scheduled for r, forming each node's inbox;
-     2. step every honest and not-yet-crashed node in id order (round 0 is
+     2. fire retransmission timers due this round (chaos runs only): each
+        destroyed-and-retryable delivery re-enters the network substrate;
+     3. step every honest and not-yet-crashed node in id order (round 0 is
         [P.init]);
-     3. expand envelopes to per-recipient deliveries and apply the crash
-        filter (mid-broadcast crashes deliver to a subset, Lemma 4);
-     4. let the rushing adversary observe step 3's messages and inject the
+     4. expand envelopes to per-recipient deliveries and apply the crash
+        filter (mid-broadcast crashes deliver to a subset, Lemma 4) via the
+        fault plans compiled at Config.make;
+     5. let the rushing adversary observe step 4's messages and inject the
         Byzantine nodes' messages, validated against the communication
         model (Property 6 relies on that validation);
-     5. assign each delivery a delay and schedule it.
+     6. route every delivery — honest and adversarial alike — through the
+        chaos substrate (Config.network): per-link omission, duplication,
+        jitter clamped into the declared delay bound, partitions and
+        outages; survivors get a delay and are scheduled.  A delivery the
+        substrate destroys is final unless a retransmission policy
+        (Config.retransmit) queues a capped-exponential-backoff retry.
+
+   With [Network.none] and no retransmission (the defaults) step 2 is
+   empty and step 6 degenerates to the plain delay assignment, drawing
+   nothing from the chaos RNG — runs are byte-identical to the
+   pre-substrate engine.
 
    Round-count convention: the engine executes at most [Config.max_rounds]
    rounds, with indices 0 .. max_rounds - 1.  Execution stops early the
@@ -26,8 +39,9 @@
    test in test_sim.ml pins the fixed convention.
 
    Each run additionally accumulates a structured {!Trace.snapshot}:
-   per-round send counts, adversary injections, per-node phase transitions
-   (via [P.phase]) and decide rounds.  The snapshot is immutable and is the
+   per-round send counts, adversary injections, chaos-substrate activity
+   (dropped / duplicated / retransmitted), per-node phase transitions (via
+   [P.phase]) and decide rounds.  The snapshot is immutable and is the
    source of the result's {!Metrics.t}. *)
 
 exception Invalid_adversary of string
@@ -129,17 +143,25 @@ module Make (P : Protocol.S) = struct
     in
     let deliveries = List.concat_map expand envelopes in
     (* Crash filter: a node crashing this round reaches only its chosen
-       subset; afterwards it is silent (the engine stops stepping it). *)
-    let plan = Config.fault_of cfg src in
+       subset; afterwards it is silent (the engine stops stepping it).
+       [Config.delivers] is the plan compiled to an O(1) check. *)
     List.filter (fun (d : P.msg Types.delivery) ->
-        Fault.delivers plan ~round ~dst:d.Types.dst)
+        Config.delivers cfg ~src ~round ~dst:d.Types.dst)
       deliveries
 
   let run_exn (cfg : Config.t) ~inputs ?(adversary = Adversary.passive) () =
     let n = cfg.Config.n in
+    let network = cfg.Config.network in
+    let retransmit = cfg.Config.retransmit in
+    let chaos_active = not (Network.is_none network) in
+    let chaos = chaos_active || retransmit <> None in
     let master = Vv_prelude.Rng.create cfg.Config.seed in
     let node_rngs = Array.init n (fun _ -> Vv_prelude.Rng.split master) in
     let delay_rng = Vv_prelude.Rng.split master in
+    (* Chaos draws come from a separate stream seeded by the network plan
+       alone, so a chaos plan replays identically across engine seeds and
+       the delay/node streams are untouched by its presence. *)
+    let chaos_rng = Network.rng network in
     let delta = Delay.bound cfg.Config.delay in
     let ctx_of id =
       {
@@ -152,8 +174,8 @@ module Make (P : Protocol.S) = struct
       }
     in
     let tb =
-      Trace.builder ~protocol:P.name ~adversary:adversary.Adversary.name ~n
-        ~t:cfg.Config.t_max
+      Trace.builder ~chaos ~protocol:P.name ~adversary:adversary.Adversary.name
+        ~n ~t:cfg.Config.t_max ()
     in
     let states : P.state option array = Array.make n None in
     let outputs : P.output option array = Array.make n None in
@@ -170,15 +192,75 @@ module Make (P : Protocol.S) = struct
     let pending : (int, P.msg Types.delivery list) Hashtbl.t =
       Hashtbl.create 64
     in
-    let schedule ~round (d : P.msg Types.delivery) =
-      let arrival =
-        round + Delay.resolve cfg.Config.delay delay_rng ~round ~src:d.Types.src
-                  ~dst:d.Types.dst
-      in
+    let schedule_at arrival (d : P.msg Types.delivery) =
       let cur =
         match Hashtbl.find_opt pending arrival with None -> [] | Some l -> l
       in
       Hashtbl.replace pending arrival (d :: cur)
+    in
+    (* Retransmission timers: round -> (delivery, attempt) in fire order. *)
+    let retries : (int, (P.msg Types.delivery * int) list) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let queue_retry ~round ~attempt (d : P.msg Types.delivery) =
+      match retransmit with
+      | Some policy when attempt < policy.Retransmit.max_attempts ->
+          let next = attempt + 1 in
+          let at = round + Retransmit.backoff policy ~attempt:next in
+          if at < cfg.Config.max_rounds then begin
+            let cur =
+              match Hashtbl.find_opt retries at with None -> [] | Some l -> l
+            in
+            Hashtbl.replace retries at ((d, next) :: cur)
+          end
+      | Some _ | None -> ()
+    in
+    (* Per-round chaos accounting, reset each round. *)
+    let dropped = ref 0 and duplicated = ref 0 and retransmitted = ref 0 in
+    let base_delay ~round (d : P.msg Types.delivery) =
+      Delay.resolve cfg.Config.delay delay_rng ~round ~src:d.Types.src
+        ~dst:d.Types.dst
+    in
+    (* Jitter must stay within the declared synchrony bound delta_t: the
+       substrate reorders arrivals but cannot break the assumption honest
+       protocols rely on. *)
+    let clamp d = match delta with Some b -> min d b | None -> d in
+    (* [route] is the send->delivery path: chaos verdict, delay
+       assignment, arrival-time cut check, retransmission queuing.  The
+       non-chaos path is exactly the legacy delay assignment (and draws
+       nothing from the chaos stream). *)
+    let route ~round ~attempt (d : P.msg Types.delivery) =
+      if not chaos_active then
+        schedule_at (round + base_delay ~round d) d
+      else
+        match
+          Network.transit network chaos_rng ~round ~src:d.Types.src
+            ~dst:d.Types.dst
+        with
+        | Network.Dropped ->
+            incr dropped;
+            queue_retry ~round ~attempt d
+        | Network.Deliver { extra_delay; duplicate } ->
+            let copy ~retryable extra =
+              let arrival = round + clamp (base_delay ~round d + extra) in
+              (* A message in flight into a partition/outage window is
+                 lost at the receiver. *)
+              if
+                Network.cut network ~round:arrival ~src:d.Types.src
+                  ~dst:d.Types.dst
+              then begin
+                incr dropped;
+                if retryable then queue_retry ~round ~attempt d
+              end
+              else schedule_at arrival d
+            in
+            copy ~retryable:true extra_delay;
+            if duplicate then begin
+              incr duplicated;
+              (* The duplicate gets its own delay draws and is never
+                 retried — the original covers the retransmission. *)
+              copy ~retryable:false (Network.extra_delay network chaos_rng)
+            end
     in
     let inbox_at round =
       match Hashtbl.find_opt pending round with
@@ -210,7 +292,20 @@ module Make (P : Protocol.S) = struct
     (try
        for round = 0 to cfg.Config.max_rounds - 1 do
          rounds_used := round + 1;
+         dropped := 0;
+         duplicated := 0;
+         retransmitted := 0;
          let boxes = inbox_at round in
+         (* Fire retransmission timers due this round, in queue order. *)
+         (match Hashtbl.find_opt retries round with
+         | None -> ()
+         | Some l ->
+             Hashtbl.remove retries round;
+             List.iter
+               (fun (d, attempt) ->
+                 incr retransmitted;
+                 route ~round ~attempt d)
+               (List.rev l));
          let honest_sent = ref [] in
          let newly_decided = ref [] in
          (* Step honest and not-yet-crashed nodes in id order. *)
@@ -257,15 +352,18 @@ module Make (P : Protocol.S) = struct
          validate_adversary cfg plans;
          List.iter
            (fun (p : P.msg Adversary.delivery_plan) ->
-             schedule ~round
+             route ~round ~attempt:0
                { Types.src = p.Adversary.src; dst = p.Adversary.dst; msg = p.Adversary.msg })
            plans;
-         List.iter (fun d -> schedule ~round d) honest_sent;
+         List.iter (fun d -> route ~round ~attempt:0 d) honest_sent;
          Trace.record_round tb ~round ~honest_sent:(List.length honest_sent)
-           ~byz_sent:(List.length plans) ~newly_decided:!newly_decided;
+           ~byz_sent:(List.length plans) ~dropped:!dropped
+           ~duplicated:!duplicated ~retransmitted:!retransmitted
+           ~newly_decided:!newly_decided;
          Log.debug (fun m ->
-             m "%s: round %d sent honest=%d byzantine=%d (%s)" P.name round
-               (List.length honest_sent) (List.length plans)
+             m "%s: round %d sent honest=%d byzantine=%d dropped=%d (%s)"
+               P.name round
+               (List.length honest_sent) (List.length plans) !dropped
                adversary.Adversary.name);
          if all_honest_decided () then raise Exit
        done;

@@ -18,4 +18,16 @@ val is_crashed : t -> round:int -> bool
 val delivers : t -> round:int -> dst:Types.node_id -> bool
 (** Whether a message sent in [round] reaches [dst] under this plan. *)
 
+type compiled
+(** A plan specialised to a system size: the crash [deliver_to] list
+    precomputed as a bool array keyed by node id, making the engine's
+    per-delivery check O(1). Built once by {!Config.make}. *)
+
+val compile : n:int -> t -> compiled
+(** Raises [Invalid_argument] when a [deliver_to] id is outside [0, n). *)
+
+val compiled_delivers : compiled -> round:int -> dst:Types.node_id -> bool
+(** Agrees with {!delivers} on every ([round], [dst]) for the plan it was
+    compiled from (pinned by a qcheck property in the test suite). *)
+
 val pp : t Fmt.t

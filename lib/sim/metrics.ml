@@ -1,4 +1,5 @@
-(* Message and round accounting for the complexity experiments (E9).
+(* Message and round accounting for the complexity experiments (E9) and
+   the chaos campaigns (E17).
 
    Immutable: the engine derives one [t] from the run's {!Trace.snapshot}
    when execution completes, so callers can no longer alias a metrics
@@ -7,16 +8,31 @@
 type t = {
   honest_messages : int;
   byzantine_messages : int;
+  dropped_messages : int;
+  duplicated_messages : int;
+  retransmitted_messages : int;
   rounds : int;
 }
 
-let make ~honest_messages ~byzantine_messages ~rounds =
-  { honest_messages; byzantine_messages; rounds }
+let make ?(dropped_messages = 0) ?(duplicated_messages = 0)
+    ?(retransmitted_messages = 0) ~honest_messages ~byzantine_messages
+    ~rounds () =
+  {
+    honest_messages;
+    byzantine_messages;
+    dropped_messages;
+    duplicated_messages;
+    retransmitted_messages;
+    rounds;
+  }
 
 let of_trace (tr : Trace.snapshot) =
   {
     honest_messages = tr.Trace.honest_msgs;
     byzantine_messages = tr.Trace.byz_msgs;
+    dropped_messages = tr.Trace.dropped_msgs;
+    duplicated_messages = tr.Trace.dup_msgs;
+    retransmitted_messages = tr.Trace.retrans_msgs;
     rounds = tr.Trace.total_rounds;
   }
 
@@ -24,4 +40,8 @@ let total t = t.honest_messages + t.byzantine_messages
 
 let pp ppf t =
   Fmt.pf ppf "rounds=%d msgs(honest=%d byz=%d)" t.rounds t.honest_messages
-    t.byzantine_messages
+    t.byzantine_messages;
+  if t.dropped_messages + t.duplicated_messages + t.retransmitted_messages > 0
+  then
+    Fmt.pf ppf " chaos(dropped=%d dup=%d retrans=%d)" t.dropped_messages
+      t.duplicated_messages t.retransmitted_messages

@@ -1,14 +1,27 @@
-(** Message and round accounting (experiment E9).
+(** Message and round accounting (experiments E9 and E17).
 
-    Immutable — derived from a completed run's {!Trace.snapshot}. *)
+    Immutable — derived from a completed run's {!Trace.snapshot}. The
+    chaos counters are zero for runs without the substrate. *)
 
 type t = {
   honest_messages : int;
   byzantine_messages : int;
+  dropped_messages : int;  (** destroyed by the chaos substrate *)
+  duplicated_messages : int;  (** extra copies injected by the substrate *)
+  retransmitted_messages : int;  (** retransmission attempts fired *)
   rounds : int;
 }
 
-val make : honest_messages:int -> byzantine_messages:int -> rounds:int -> t
+val make :
+  ?dropped_messages:int ->
+  ?duplicated_messages:int ->
+  ?retransmitted_messages:int ->
+  honest_messages:int ->
+  byzantine_messages:int ->
+  rounds:int ->
+  unit ->
+  t
+
 val of_trace : Trace.snapshot -> t
 val total : t -> int
 val pp : t Fmt.t

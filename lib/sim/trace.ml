@@ -1,12 +1,18 @@
 (* Structured per-run traces.
 
    The engine records, while it runs, one [round_record] per executed round
-   (send counts, adversary injections, decisions) plus every per-node phase
-   transition reported by the protocol's [Protocol.S.phase].  At the end of
-   the run the accumulated history is frozen into an immutable [snapshot] —
-   the replacement for the old mutable [Metrics.t] aliasing: callers get a
-   value they can store, diff, and emit (CSV/JSON) without worrying about
-   the engine mutating it behind their back. *)
+   (send counts, adversary injections, decisions, and — under the chaos
+   substrate — dropped/duplicated/retransmitted deliveries) plus every
+   per-node phase transition reported by the protocol's [Protocol.S.phase].
+   At the end of the run the accumulated history is frozen into an
+   immutable [snapshot] — the replacement for the old mutable [Metrics.t]
+   aliasing: callers get a value they can store, diff, and emit (CSV/JSON)
+   without worrying about the engine mutating it behind their back.
+
+   The [chaos] flag records whether the run had the substrate (or
+   retransmission) engaged; the CSV/JSON emitters add the chaos columns
+   only then, so traces of plain runs stay byte-identical to the
+   pre-substrate format. *)
 
 module Json = Vv_prelude.Json
 
@@ -14,6 +20,9 @@ type round_record = {
   round : int;
   honest_sent : int;  (** honest point-to-point deliveries sent this round *)
   byz_sent : int;  (** adversary deliveries injected this round *)
+  dropped : int;  (** deliveries destroyed by the chaos substrate *)
+  duplicated : int;  (** extra copies injected by the substrate *)
+  retransmitted : int;  (** retransmission attempts fired this round *)
   newly_decided : Types.node_id list;  (** ascending *)
   decided_total : int;  (** cumulative honest decisions after this round *)
 }
@@ -34,8 +43,12 @@ type snapshot = {
   decide_rounds : (Types.node_id * int) list;  (** ascending by node id *)
   honest_msgs : int;
   byz_msgs : int;
+  dropped_msgs : int;
+  dup_msgs : int;
+  retrans_msgs : int;
   total_rounds : int;  (** rounds executed (last round index + 1) *)
   stalled : bool;
+  chaos : bool;  (** substrate or retransmission engaged for this run *)
 }
 
 (* --- builder (engine-internal mutability, frozen by [snapshot]) --- *)
@@ -45,25 +58,33 @@ type builder = {
   b_adversary : string;
   b_n : int;
   b_t : int;
+  b_chaos : bool;
   mutable b_rounds : round_record list;  (* reversed *)
   mutable b_phases : phase_event list;  (* reversed *)
   mutable b_decides : (Types.node_id * int) list;  (* reversed *)
   mutable b_honest : int;
   mutable b_byz : int;
+  mutable b_dropped : int;
+  mutable b_dup : int;
+  mutable b_retrans : int;
   mutable b_decided : int;
 }
 
-let builder ~protocol ~adversary ~n ~t =
+let builder ?(chaos = false) ~protocol ~adversary ~n ~t () =
   {
     b_protocol = protocol;
     b_adversary = adversary;
     b_n = n;
     b_t = t;
+    b_chaos = chaos;
     b_rounds = [];
     b_phases = [];
     b_decides = [];
     b_honest = 0;
     b_byz = 0;
+    b_dropped = 0;
+    b_dup = 0;
+    b_retrans = 0;
     b_decided = 0;
   }
 
@@ -74,14 +95,21 @@ let record_decide b ~round ~node =
   b.b_decides <- (node, round) :: b.b_decides;
   b.b_decided <- b.b_decided + 1
 
-let record_round b ~round ~honest_sent ~byz_sent ~newly_decided =
+let record_round ?(dropped = 0) ?(duplicated = 0) ?(retransmitted = 0) b
+    ~round ~honest_sent ~byz_sent ~newly_decided =
   b.b_honest <- b.b_honest + honest_sent;
   b.b_byz <- b.b_byz + byz_sent;
+  b.b_dropped <- b.b_dropped + dropped;
+  b.b_dup <- b.b_dup + duplicated;
+  b.b_retrans <- b.b_retrans + retransmitted;
   b.b_rounds <-
     {
       round;
       honest_sent;
       byz_sent;
+      dropped;
+      duplicated;
+      retransmitted;
       newly_decided = List.sort compare newly_decided;
       decided_total = b.b_decided;
     }
@@ -99,8 +127,12 @@ let snapshot b ~stalled =
     decide_rounds = List.sort compare (List.rev b.b_decides);
     honest_msgs = b.b_honest;
     byz_msgs = b.b_byz;
+    dropped_msgs = b.b_dropped;
+    dup_msgs = b.b_dup;
+    retrans_msgs = b.b_retrans;
     total_rounds = (match b.b_rounds with [] -> 0 | r :: _ -> r.round + 1);
     stalled;
+    chaos = b.b_chaos;
   }
 
 (* --- queries --- *)
@@ -115,54 +147,85 @@ let phases_of s node = List.filter (fun e -> e.node = node) s.phases
 
 let csv_header = "round,honest_sent,byz_sent,newly_decided,decided_total"
 
-let to_csv s =
-  let line (r : round_record) =
-    Fmt.str "%d,%d,%d,%s,%d" r.round r.honest_sent r.byz_sent
-      (String.concat ";" (List.map string_of_int r.newly_decided))
-      r.decided_total
-  in
-  String.concat "\n" (csv_header :: List.map line s.rounds) ^ "\n"
+let csv_header_chaos =
+  "round,honest_sent,byz_sent,dropped,duplicated,retransmitted,\
+   newly_decided,decided_total"
 
-let round_to_json (r : round_record) =
+let to_csv s =
+  let ids l = String.concat ";" (List.map string_of_int l) in
+  let line (r : round_record) =
+    if s.chaos then
+      Fmt.str "%d,%d,%d,%d,%d,%d,%s,%d" r.round r.honest_sent r.byz_sent
+        r.dropped r.duplicated r.retransmitted (ids r.newly_decided)
+        r.decided_total
+    else
+      Fmt.str "%d,%d,%d,%s,%d" r.round r.honest_sent r.byz_sent
+        (ids r.newly_decided) r.decided_total
+  in
+  let header = if s.chaos then csv_header_chaos else csv_header in
+  String.concat "\n" (header :: List.map line s.rounds) ^ "\n"
+
+let round_to_json ~chaos (r : round_record) =
   Json.Obj
-    [
-      ("round", Json.Int r.round);
-      ("honest_sent", Json.Int r.honest_sent);
-      ("byz_sent", Json.Int r.byz_sent);
-      ("newly_decided", Json.List (List.map (fun i -> Json.Int i) r.newly_decided));
-      ("decided_total", Json.Int r.decided_total);
-    ]
+    ([
+       ("round", Json.Int r.round);
+       ("honest_sent", Json.Int r.honest_sent);
+       ("byz_sent", Json.Int r.byz_sent);
+     ]
+    @ (if chaos then
+         [
+           ("dropped", Json.Int r.dropped);
+           ("duplicated", Json.Int r.duplicated);
+           ("retransmitted", Json.Int r.retransmitted);
+         ]
+       else [])
+    @ [
+        ("newly_decided", Json.List (List.map (fun i -> Json.Int i) r.newly_decided));
+        ("decided_total", Json.Int r.decided_total);
+      ])
 
 let to_json s =
   Json.Obj
-    [
-      ("protocol", Json.String s.protocol);
-      ("adversary", Json.String s.adversary);
-      ("n", Json.Int s.n);
-      ("t", Json.Int s.t);
-      ("total_rounds", Json.Int s.total_rounds);
-      ("stalled", Json.Bool s.stalled);
-      ("honest_msgs", Json.Int s.honest_msgs);
-      ("byz_msgs", Json.Int s.byz_msgs);
-      ( "decide_rounds",
-        Json.Obj
-          (List.map
-             (fun (node, r) -> (string_of_int node, Json.Int r))
-             s.decide_rounds) );
-      ( "phases",
-        Json.List
-          (List.map
-             (fun e ->
-               Json.Obj
-                 [
-                   ("round", Json.Int e.at_round);
-                   ("node", Json.Int e.node);
-                   ("phase", Json.String e.phase);
-                 ])
-             s.phases) );
-      ("rounds", Json.List (List.map round_to_json s.rounds));
-    ]
+    ([
+       ("protocol", Json.String s.protocol);
+       ("adversary", Json.String s.adversary);
+       ("n", Json.Int s.n);
+       ("t", Json.Int s.t);
+       ("total_rounds", Json.Int s.total_rounds);
+       ("stalled", Json.Bool s.stalled);
+       ("honest_msgs", Json.Int s.honest_msgs);
+       ("byz_msgs", Json.Int s.byz_msgs);
+     ]
+    @ (if s.chaos then
+         [
+           ("dropped_msgs", Json.Int s.dropped_msgs);
+           ("dup_msgs", Json.Int s.dup_msgs);
+           ("retrans_msgs", Json.Int s.retrans_msgs);
+         ]
+       else [])
+    @ [
+        ( "decide_rounds",
+          Json.Obj
+            (List.map
+               (fun (node, r) -> (string_of_int node, Json.Int r))
+               s.decide_rounds) );
+        ( "phases",
+          Json.List
+            (List.map
+               (fun e ->
+                 Json.Obj
+                   [
+                     ("round", Json.Int e.at_round);
+                     ("node", Json.Int e.node);
+                     ("phase", Json.String e.phase);
+                   ])
+               s.phases) );
+        ("rounds", Json.List (List.map (round_to_json ~chaos:s.chaos) s.rounds));
+      ])
 
 let pp ppf s =
   Fmt.pf ppf "%s vs %s: %d rounds, msgs(honest=%d byz=%d), stalled=%b"
-    s.protocol s.adversary s.total_rounds s.honest_msgs s.byz_msgs s.stalled
+    s.protocol s.adversary s.total_rounds s.honest_msgs s.byz_msgs s.stalled;
+  if s.chaos then
+    Fmt.pf ppf ", chaos(dropped=%d dup=%d retrans=%d)" s.dropped_msgs
+      s.dup_msgs s.retrans_msgs

@@ -1,16 +1,24 @@
 (** Structured, immutable per-run traces.
 
     The engine accumulates a trace while it runs — per-round send counts,
-    adversary injections, per-node phase transitions (as reported by
+    adversary injections, chaos-substrate activity (dropped / duplicated /
+    retransmitted deliveries), per-node phase transitions (as reported by
     {!Protocol.S.phase}) and decide rounds — and freezes it into a
     [snapshot] on completion. Snapshots replace the old mutable
     {!Metrics.t} accounting as the unit of observability: one value per
-    run, safe to store and aggregate, with CSV and JSON emitters. *)
+    run, safe to store and aggregate, with CSV and JSON emitters.
+
+    Runs without the chaos substrate ([chaos = false]) emit exactly the
+    pre-substrate CSV/JSON shape — the chaos columns appear only when the
+    run had the substrate or retransmission engaged. *)
 
 type round_record = {
   round : int;
   honest_sent : int;  (** honest deliveries sent this round *)
   byz_sent : int;  (** adversary deliveries injected this round *)
+  dropped : int;  (** deliveries destroyed by the chaos substrate *)
+  duplicated : int;  (** extra copies injected by the substrate *)
+  retransmitted : int;  (** retransmission attempts fired this round *)
   newly_decided : Types.node_id list;  (** ascending *)
   decided_total : int;  (** cumulative honest decisions after this round *)
 }
@@ -31,8 +39,12 @@ type snapshot = {
   decide_rounds : (Types.node_id * int) list;  (** ascending by node id *)
   honest_msgs : int;
   byz_msgs : int;
+  dropped_msgs : int;
+  dup_msgs : int;
+  retrans_msgs : int;
   total_rounds : int;
   stalled : bool;
+  chaos : bool;  (** substrate or retransmission engaged for this run *)
 }
 
 (** {1 Builder — used by the engine while a run is in flight} *)
@@ -40,13 +52,25 @@ type snapshot = {
 type builder
 
 val builder :
-  protocol:string -> adversary:string -> n:int -> t:int -> builder
+  ?chaos:bool ->
+  protocol:string ->
+  adversary:string ->
+  n:int ->
+  t:int ->
+  unit ->
+  builder
+(** [chaos] defaults to [false]; set it when the run goes through the
+    chaos substrate or a retransmission policy, which switches the
+    emitters to the extended schema. *)
 
 val record_phase : builder -> round:int -> node:Types.node_id -> phase:string -> unit
 
 val record_decide : builder -> round:int -> node:Types.node_id -> unit
 
 val record_round :
+  ?dropped:int ->
+  ?duplicated:int ->
+  ?retransmitted:int ->
   builder ->
   round:int ->
   honest_sent:int ->
@@ -67,11 +91,16 @@ val phases_of : snapshot -> Types.node_id -> phase_event list
 (** {1 Emitters} *)
 
 val csv_header : string
+(** Header of plain ([chaos = false]) traces. *)
+
+val csv_header_chaos : string
+(** Header of chaos traces: adds [dropped,duplicated,retransmitted]. *)
 
 val to_csv : snapshot -> string
 (** One line per executed round:
     [round,honest_sent,byz_sent,newly_decided,decided_total] where
-    [newly_decided] is a [;]-separated id list. *)
+    [newly_decided] is a [;]-separated id list — with the chaos columns
+    spliced in after [byz_sent] when the snapshot has [chaos = true]. *)
 
 val to_json : snapshot -> Vv_prelude.Json.t
 
