@@ -1,4 +1,4 @@
-.PHONY: check check-parallel check-model chaos-smoke build test bench
+.PHONY: check check-parallel check-model chaos-smoke build test bench bench-smoke
 
 check: ## build everything, then run the full test suite
 	dune build && dune runtest
@@ -20,3 +20,6 @@ test:
 
 bench:
 	dune exec bench/main.exe -- --bench
+
+bench-smoke: ## CI-sized benchmark pass: smoke-tier tables + shrunk timings, JSON to _build/bench.json
+	dune exec bench/main.exe -- --quick --json=_build/bench.json

@@ -10,7 +10,10 @@
       and the probability kernels behind Figure 1).
 
    Pass `--tables` or `--bench` to run only one half; `--quick` shrinks the
-   statistical workloads for smoke runs. *)
+   statistical workloads for smoke runs (tables at the Smoke tier, smaller
+   timing workloads, a shorter Bechamel quota); `--json=PATH` additionally
+   writes the micro-benchmark results as a JSON array of
+   {name, ns_per_run, runs} records. *)
 
 module Runner = Vv_core.Runner
 module Strategy = Vv_core.Strategy
@@ -189,7 +192,25 @@ let tally_micro =
       (Vv_ballot.Tally.plurality ~tie:Vv_ballot.Tie_break.default
          (Vv_ballot.Tally.of_list inputs))
 
-let benches () =
+(* Serialise the merged OLS table (ns/run per test) plus the raw sample
+   counts as one JSON array, for tracking bench results across commits. *)
+let write_bench_json path rows =
+  let module Json = Vv_prelude.Json in
+  let entry (name, ns_per_run, runs) =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ( "ns_per_run",
+          match ns_per_run with Some v -> Json.Float v | None -> Json.Null );
+        ("runs", Json.Int runs);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string (Json.List (List.map entry rows)) ^ "\n");
+  close_out oc;
+  Fmt.epr "[written %s]@." path
+
+let benches ?(quick = false) ?json_path () =
   let open Bechamel in
   let tests =
     Test.make_grouped ~name:"voting-validity"
@@ -222,7 +243,9 @@ let benches () =
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    if quick then
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.1) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances tests in
   let results =
@@ -230,6 +253,7 @@ let benches () =
   in
   let merged = Analyze.merge ols instances results in
   Fmt.pr "@.== Bechamel micro-benchmarks (ns per run) ==@.";
+  let json_rows = ref [] in
   Hashtbl.iter
     (fun measure per_test ->
       let rows =
@@ -238,33 +262,62 @@ let benches () =
       in
       List.iter
         (fun (name, ols) ->
-          match Analyze.OLS.estimates ols with
-          | Some (est :: _) -> Fmt.pr "%-50s %12.1f %s@." name est measure
-          | Some [] | None -> Fmt.pr "%-50s %12s@." name "n/a")
+          let ns_per_run =
+            match Analyze.OLS.estimates ols with
+            | Some (est :: _) -> Some est
+            | Some [] | None -> None
+          in
+          let runs =
+            match Hashtbl.find_opt raw name with
+            | Some b -> b.Benchmark.stats.Benchmark.samples
+            | None -> 0
+          in
+          json_rows := (name, ns_per_run, runs) :: !json_rows;
+          (match ns_per_run with
+          | Some est -> Fmt.pr "%-50s %12.1f %s@." name est measure
+          | None -> Fmt.pr "%-50s %12s@." name "n/a"))
         rows)
-    merged
+    merged;
+  match json_path with
+  | None -> ()
+  | Some path -> write_bench_json path (List.sort compare !json_rows)
 
 let () =
   let args = Array.to_list Sys.argv in
   let tables_only = List.mem "--tables" args in
   let bench_only = List.mem "--bench" args in
-  let jobs =
+  let quick = List.mem "--quick" args in
+  let keyed key =
     List.fold_left
       (fun acc a ->
         match String.index_opt a '=' with
-        | Some i when String.sub a 0 i = "--jobs" ->
-            int_of_string (String.sub a (i + 1) (String.length a - i - 1))
+        | Some i when String.sub a 0 i = key ->
+            Some (String.sub a (i + 1) (String.length a - i - 1))
         | _ -> acc)
-      4 args
+      None args
   in
+  let jobs =
+    match keyed "--jobs" with Some s -> int_of_string s | None -> 4
+  in
+  let json_path = keyed "--json" in
   if not bench_only then begin
     Fmt.pr "=== Reproduction harness: every figure/experiment of the paper \
             ===@.";
-    Vv_analysis.Experiments.run_all ()
+    let profile =
+      if quick then Vv_exec.Campaign.Smoke else Vv_exec.Campaign.Full
+    in
+    Vv_analysis.Experiments.run_all ~profile ()
   end;
   if not tables_only then begin
-    memo_timing ();
-    par_timing ~jobs ();
-    chaos_timing ();
-    benches ()
+    if quick then begin
+      memo_timing ~ng:16 ~t_max:2 ~reps:2 ();
+      par_timing ~jobs ~trials:2_000 ();
+      chaos_timing ~trials:2 ()
+    end
+    else begin
+      memo_timing ();
+      par_timing ~jobs ();
+      chaos_timing ()
+    end;
+    benches ~quick ?json_path ()
   end

@@ -1,0 +1,157 @@
+(* Shared Cmdliner vocabulary for the campaign-running subcommands
+   (exp/all/chaos/check): one --format/--profile/--jobs/--seed/--progress
+   /--out bundle parsed into a single [opts] record, plus the helpers
+   that run a campaign under those options and emit the result.
+
+   Keeping the bundle here guarantees every subcommand accepts the same
+   flags with the same semantics, and that output through [--out] is
+   byte-identical to stdout (both render through the [Emit] string
+   layer). *)
+
+module C = Cmdliner
+module Emit = Vv_exec.Emit
+module Campaign = Vv_exec.Campaign
+module Executor = Vv_exec.Executor
+
+type opts = {
+  format : Emit.format;
+  profile : Campaign.profile;
+  jobs : int;
+  seed : int option;  (** [None] = the campaign's default seed *)
+  progress : bool;
+  out : string option;  (** write the report here instead of stdout *)
+}
+
+let format_term =
+  let fmt_conv =
+    C.Arg.enum (List.map (fun f -> (Emit.to_string f, f)) Emit.all)
+  in
+  C.Arg.(
+    value
+    & opt fmt_conv Emit.Table
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,table) (human-readable, default), $(b,csv) \
+           or $(b,json).")
+
+let profile_term ~default =
+  let profile_conv =
+    C.Arg.enum
+      (List.map
+         (fun p -> (Campaign.profile_label p, p))
+         Campaign.all_profiles)
+  in
+  C.Arg.(
+    value
+    & opt profile_conv default
+    & info [ "profile" ] ~docv:"P"
+        ~doc:
+          (Fmt.str
+             "Campaign tier: $(b,smoke) (CI-sized grids) or $(b,full) \
+              (paper-sized). Default $(b,%s)."
+             (Campaign.profile_label default)))
+
+let jobs_term =
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | Some _ -> Error (`Msg "--jobs must be non-negative")
+      | None -> Error (`Msg "--jobs must be an integer")
+    in
+    C.Arg.conv (parse, Fmt.int)
+  in
+  C.Arg.(
+    value
+    & opt jobs_conv 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the campaign's cell fan-out (default 1; \
+           $(b,0) = all available cores but one). Output is identical \
+           for every value.")
+
+let seed_term =
+  C.Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"S"
+        ~doc:
+          "Campaign base seed; omit to use the campaign's default (which \
+           reproduces the published tables).")
+
+let progress_term =
+  C.Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Report done/total cells, throughput and ETA on stderr.")
+
+let out_term =
+  C.Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Write the report to FILE instead of stdout (byte-identical \
+           content).")
+
+let opts_term ~default_profile =
+  let make format profile jobs seed progress out =
+    { format; profile; jobs; seed; progress; out }
+  in
+  C.Term.(
+    const make $ format_term
+    $ profile_term ~default:default_profile
+    $ jobs_term $ seed_term $ progress_term $ out_term)
+
+(* --- progress reporting --- *)
+
+(* Carriage-return ticker on stderr: done/total, cells/s and ETA from
+   wall-clock since the first tick; final tick ends the line. *)
+let progress_reporter ~label () =
+  let start = Unix.gettimeofday () in
+  fun (p : Executor.progress) ->
+    let elapsed = Unix.gettimeofday () -. start in
+    let rate =
+      if elapsed > 0. then float_of_int p.Executor.done_ /. elapsed else 0.
+    in
+    let eta =
+      if rate > 0. then
+        Fmt.str "%.0fs" (float_of_int (p.Executor.total - p.Executor.done_) /. rate)
+      else "-"
+    in
+    Printf.eprintf "\r%s: %d/%d cells (%.1f cells/s, ETA %s)%!" label
+      p.Executor.done_ p.Executor.total rate eta;
+    if p.Executor.done_ >= p.Executor.total then Printf.eprintf "\n%!"
+
+(* --- running and emitting --- *)
+
+let run_campaign opts c =
+  let on_progress =
+    if opts.progress then Some (progress_reporter ~label:(Campaign.id c) ())
+    else None
+  in
+  Campaign.run ~profile:opts.profile ~jobs:opts.jobs ?seed:opts.seed
+    ?on_progress c
+
+let emitted_string fmt (e : Campaign.emitted) =
+  let body = Emit.tables_string fmt e.Campaign.tables in
+  match (fmt, e.Campaign.verdict) with
+  | (Emit.Table | Emit.Csv), Some v -> body ^ v ^ "\n"
+  | _ -> body
+
+let output opts s =
+  match opts.out with
+  | None -> print_string s
+  | Some path ->
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Fmt.epr "[written %s]@." path
+
+(* Run one campaign end-to-end under [opts]; exits 1 when the campaign
+   reports not-ok (chaos safety violation, checker FAIL). *)
+let handle opts c =
+  let outcome = run_campaign opts c in
+  let e = outcome.Campaign.emitted in
+  output opts (emitted_string opts.format e);
+  if not e.Campaign.ok then exit 1

@@ -9,8 +9,10 @@
      check [--profile=P]         exhaustive small-model checker (vv_check)
      chaos [--profile=P]         chaos-substrate resilience campaign (E17)
 
-   Every experiment subcommand takes the shared --format=table|csv|json
-   term; all three formats render the same data. *)
+   The campaign subcommands (exp, all, chaos, check) share one flag
+   bundle — --format/--profile/--jobs/--seed/--progress/--out — parsed
+   in {!Cli}; the point subcommands (bounds, run, ledger, radio) take
+   the shared --format term only. *)
 
 module C = Cmdliner
 module Oid = Vv_ballot.Option_id
@@ -20,43 +22,9 @@ module Bounds = Vv_core.Bounds
 module Table = Vv_prelude.Table
 module Json = Vv_prelude.Json
 module Emit = Vv_exec.Emit
+module Campaign = Vv_exec.Campaign
 
-(* --- shared --format and --jobs terms --- *)
-
-let format_term =
-  let fmt_conv =
-    C.Arg.enum (List.map (fun f -> (Emit.to_string f, f)) Emit.all)
-  in
-  C.Arg.(
-    value
-    & opt fmt_conv Emit.Table
-    & info [ "format" ] ~docv:"FMT"
-        ~doc:"Output format: $(b,table) (human-readable, default), \
-              $(b,csv) or $(b,json).")
-
-(* The experiment registry is [unit -> tables], so --jobs cannot be
-   threaded through each experiment's signature; it sets the executor's
-   process-wide default instead, which every batch in the run inherits.
-   Results are byte-identical at any value (index-ordered merge,
-   per-index seeds). *)
-let jobs_term =
-  let jobs =
-    C.Arg.(
-      value
-      & opt int 1
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Worker domains for batched protocol runs (default 1; \
-                $(b,0) = all available cores but one). Output is \
-                identical for every value.")
-  in
-  let set jobs =
-    (try Vv_exec.Executor.set_default_jobs jobs
-     with Invalid_argument _ ->
-       Fmt.epr "--jobs must be non-negative@.";
-       exit 1);
-    jobs
-  in
-  C.Term.(const set $ jobs)
+let format_term = Cli.format_term
 
 (* --- list --- *)
 
@@ -64,9 +32,7 @@ let list_cmd =
   let doc = "List available experiments." in
   let run () =
     List.iter
-      (fun (e : Vv_analysis.Experiments.experiment) ->
-        Fmt.pr "%-8s %s@." e.Vv_analysis.Experiments.id
-          e.Vv_analysis.Experiments.what)
+      (fun c -> Fmt.pr "%-8s %s@." (Campaign.id c) (Campaign.what c))
       Vv_analysis.Experiments.all
   in
   C.Cmd.v (C.Cmd.info "list" ~doc) C.Term.(const run $ const ())
@@ -74,29 +40,29 @@ let list_cmd =
 (* --- exp --- *)
 
 let exp_cmd =
-  let doc = "Run one experiment and print its table(s)." in
+  let doc = "Run one experiment campaign and print its table(s)." in
   let id =
     C.Arg.(
       required
       & pos 0 (some string) None
       & info [] ~docv:"ID" ~doc:"Experiment id (see $(b,vvc list)).")
   in
-  let run id format (_jobs : int) =
+  let run id opts =
     match Vv_analysis.Experiments.find id with
     | None ->
         Fmt.epr "unknown experiment %S; try: %a@." id
           Fmt.(list ~sep:sp string)
           Vv_analysis.Experiments.ids;
         exit 1
-    | Some e -> Emit.tables format (e.Vv_analysis.Experiments.run ())
+    | Some c -> Cli.handle opts c
   in
   C.Cmd.v (C.Cmd.info "exp" ~doc)
-    C.Term.(const run $ id $ format_term $ jobs_term)
+    C.Term.(const run $ id $ Cli.opts_term ~default_profile:Campaign.Full)
 
 (* --- all --- *)
 
 let all_cmd =
-  let doc = "Run every experiment (the full reproduction harness)." in
+  let doc = "Run every experiment campaign (the full reproduction harness)." in
   let csv_dir =
     C.Arg.(value
            & opt (some string) None
@@ -104,19 +70,18 @@ let all_cmd =
                ~doc:"Additionally write every table as CSV under this \
                      directory (created if missing).")
   in
-  let run format csv_dir (_jobs : int) =
+  let run (opts : Cli.opts) csv_dir =
     (match csv_dir with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
-    let write_csvs (e : Vv_analysis.Experiments.experiment) tables =
+    let write_csvs c tables =
       match csv_dir with
       | None -> ()
       | Some dir ->
           List.iteri
             (fun i t ->
               let path =
-                Filename.concat dir
-                  (Fmt.str "%s_%d.csv" e.Vv_analysis.Experiments.id i)
+                Filename.concat dir (Fmt.str "%s_%d.csv" (Campaign.id c) i)
               in
               let oc = open_out path in
               output_string oc (Table.to_csv t);
@@ -124,36 +89,52 @@ let all_cmd =
               Fmt.epr "[written %s]@." path)
             tables
     in
-    match format with
-    | Emit.Json ->
-        (* One top-level array: [{id; what; tables}]. *)
-        let objs =
-          List.map
-            (fun (e : Vv_analysis.Experiments.experiment) ->
-              let tables = e.Vv_analysis.Experiments.run () in
-              write_csvs e tables;
-              Json.Obj
-                [
-                  ("id", Json.String e.Vv_analysis.Experiments.id);
-                  ("what", Json.String e.Vv_analysis.Experiments.what);
-                  ("tables", Json.List (List.map Table.to_json tables));
-                ])
-            Vv_analysis.Experiments.all
-        in
-        print_endline (Json.to_string (Json.List objs))
-    | (Emit.Table | Emit.Csv) as fmt ->
-        List.iter
-          (fun (e : Vv_analysis.Experiments.experiment) ->
-            if fmt = Emit.Table then
-              Fmt.pr "@.### %s — %s@.@." e.Vv_analysis.Experiments.id
-                e.Vv_analysis.Experiments.what;
-            let tables = e.Vv_analysis.Experiments.run () in
-            List.iter (Emit.table fmt) tables;
-            write_csvs e tables)
-          Vv_analysis.Experiments.all
+    let results =
+      List.map
+        (fun c ->
+          let outcome = Cli.run_campaign opts c in
+          let e = outcome.Campaign.emitted in
+          write_csvs c e.Campaign.tables;
+          (c, e))
+        Vv_analysis.Experiments.all
+    in
+    let report =
+      match opts.Cli.format with
+      | Emit.Json ->
+          (* One top-level array: [{id; what; tables}]. *)
+          let objs =
+            List.map
+              (fun (c, (e : Campaign.emitted)) ->
+                Json.Obj
+                  [
+                    ("id", Json.String (Campaign.id c));
+                    ("what", Json.String (Campaign.what c));
+                    ( "tables",
+                      Json.List (List.map Table.to_json e.Campaign.tables) );
+                  ])
+              results
+          in
+          Json.to_string (Json.List objs) ^ "\n"
+      | Emit.Table ->
+          String.concat ""
+            (List.map
+               (fun (c, (e : Campaign.emitted)) ->
+                 Fmt.str "@.### %s — %s@.@." (Campaign.id c) (Campaign.what c)
+                 ^ Emit.tables_string Emit.Table e.Campaign.tables)
+               results)
+      | Emit.Csv ->
+          String.concat ""
+            (List.map
+               (fun (_, (e : Campaign.emitted)) ->
+                 Emit.tables_string Emit.Csv e.Campaign.tables)
+               results)
+    in
+    Cli.output opts report;
+    if List.exists (fun (_, (e : Campaign.emitted)) -> not e.Campaign.ok) results
+    then exit 1
   in
   C.Cmd.v (C.Cmd.info "all" ~doc)
-    C.Term.(const run $ format_term $ csv_dir $ jobs_term)
+    C.Term.(const run $ Cli.opts_term ~default_profile:Campaign.Full $ csv_dir)
 
 (* --- bounds --- *)
 
@@ -507,30 +488,13 @@ let check_cmd =
   let doc =
     "Exhaustively model-check the small-model space: every variant, \
      substrate and communication model against the enumerated adversary \
-     universe, with the paper's bounds as the oracle."
+     universe, with the paper's bounds as the oracle. Exits nonzero on \
+     any violation of a promised guarantee, or when some bound kind has \
+     no below-bound tightness witness."
   in
-  let profile =
-    let profile_conv =
-      C.Arg.enum
-        [ ("smoke", Vv_check.Check.Smoke); ("full", Vv_check.Check.Full) ]
-    in
-    C.Arg.(
-      value
-      & opt profile_conv Vv_check.Check.Smoke
-      & info [ "profile" ] ~docv:"P"
-          ~doc:
-            "$(b,smoke) (CI tier: every variant, one substrate, t=1) or \
-             $(b,full) (every substrate, plus t=2 cells).")
-  in
-  let run format profile (jobs : int) =
-    let result = Vv_check.Check.run ~jobs profile in
-    Vv_check.Report.print format result;
-    (* Nonzero exit on any violation of a promised guarantee, or when
-       some bound kind has no below-bound tightness witness. *)
-    if not result.Vv_check.Check.ok then exit 1
-  in
+  let run opts = Cli.handle opts (Vv_check.Report.campaign ()) in
   C.Cmd.v (C.Cmd.info "check" ~doc)
-    C.Term.(const run $ format_term $ profile $ jobs_term)
+    C.Term.(const run $ Cli.opts_term ~default_profile:Campaign.Smoke)
 
 (* --- chaos --- *)
 
@@ -541,19 +505,6 @@ let chaos_cmd =
      and classify each grid cell Exact / Stall / Violation (experiment \
      E17). Exits nonzero when the safety-guaranteed variant shows any \
      Violation."
-  in
-  let module Chaos = Vv_analysis.Exp_chaos in
-  let profile =
-    let profile_conv =
-      C.Arg.enum [ ("smoke", Chaos.Smoke); ("full", Chaos.Full) ]
-    in
-    C.Arg.(
-      value
-      & opt profile_conv Chaos.Smoke
-      & info [ "profile" ] ~docv:"P"
-          ~doc:
-            "$(b,smoke) (CI tier: 3 drop rates x 3 partition scenarios, 3 \
-             trials per cell) or $(b,full) (wider axes, 5 trials).")
   in
   let retransmit =
     C.Arg.(
@@ -569,18 +520,14 @@ let chaos_cmd =
       & info [ "trials" ] ~docv:"K"
           ~doc:"Override the profile's per-cell trial count.")
   in
-  let seed =
-    C.Arg.(value & opt int 0xc4a05 & info [ "seed" ] ~doc:"Campaign seed.")
-  in
-  let run format profile retransmit trials seed (jobs : int) =
-    let result = Chaos.run ~jobs ~retransmit ?trials ~seed profile in
-    Emit.tables format (Chaos.tables result);
-    if not result.Chaos.ok then exit 1
+  let run opts retransmit trials =
+    Cli.handle opts (Vv_analysis.Exp_chaos.campaign ~retransmit ?trials ())
   in
   C.Cmd.v (C.Cmd.info "chaos" ~doc)
     C.Term.(
-      const run $ format_term $ profile $ retransmit $ trials $ seed
-      $ jobs_term)
+      const run
+      $ Cli.opts_term ~default_profile:Campaign.Smoke
+      $ retransmit $ trials)
 
 let () =
   let doc = "Exact fault-tolerant consensus with voting validity (IPDPS 2023)" in

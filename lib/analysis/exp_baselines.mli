@@ -13,3 +13,11 @@ val e8_sensor :
 
 val e9 : ?t:int -> unit -> Vv_prelude.Table.t
 (** Rounds and messages per protocol and substrate across system sizes. *)
+
+val e8_campaign : Vv_exec.Campaign.t
+(** Two coarse cells (election, sensor), each threading its own rng; the
+    default seed reproduces the legacy per-table seeds byte-for-byte.
+    Smoke tier shrinks the trial counts. *)
+
+val e9_campaign : Vv_exec.Campaign.t
+(** One cell per (protocol, substrate, N_G) triple; deterministic. *)

@@ -20,3 +20,15 @@ val e10_third_option : unit -> Vv_prelude.Table.t
 val e11_judgment_ablation : ?t:int -> unit -> Vv_prelude.Table.t
 (** Ablation of delta_P x quorum: liveness on a decisive electorate vs
     safety under the Theorem 10 tie attack. *)
+
+val e6_campaign : Vv_exec.Campaign.t
+(** One cell per (N, t) point; deterministic. *)
+
+val e7_campaign : Vv_exec.Campaign.t
+(** Lemma 2 sweep cells plus Theorem 10 demo cells; two tables. *)
+
+val e10_campaign : Vv_exec.Campaign.t
+(** Frontier grid cells plus the third-option comparison; two tables. *)
+
+val e11_campaign : Vv_exec.Campaign.t
+(** One cell per (delta_P, quorum) pair; deterministic. *)

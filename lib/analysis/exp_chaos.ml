@@ -23,12 +23,13 @@
 module Table = Vv_prelude.Table
 module Runner = Vv_core.Runner
 module Executor = Vv_exec.Executor
+module Campaign = Vv_exec.Campaign
 module Network = Vv_sim.Network
 module Retransmit = Vv_sim.Retransmit
 
-type profile = Smoke | Full
+type profile = Campaign.profile = Smoke | Full
 
-let profile_label = function Smoke -> "smoke" | Full -> "full"
+let profile_label = Campaign.profile_label
 
 type cls = Exact | Stall | Violation
 
@@ -127,85 +128,91 @@ let classify (o : Runner.outcome) =
   else if not o.Runner.termination then Stall
   else Exact
 
+let grid profile =
+  List.concat_map
+    (fun protocol ->
+      List.concat_map
+        (fun drop ->
+          List.map (fun scenario -> (protocol, drop, scenario))
+            (scenarios profile))
+        (drops profile))
+    protocols
+
+(* One grid cell's statistics.  Every trial seed is a pure function of
+   (campaign seed, cell index, trial index) — the same flat indexing the
+   pre-campaign executor used — so the whole campaign replays bit-for-bit
+   from the campaign seed at every [jobs] value. *)
+let cell_stats ~trials ~retransmit ~seed ~index (protocol, drop, scenario) =
+  let retransmit_policy = if retransmit then Some Retransmit.default else None in
+  let exact = ref 0 and stalls = ref 0 and violations = ref 0 in
+  let rounds = ref 0 and dropped = ref 0 and retrans = ref 0 in
+  for k = 0 to trials - 1 do
+    let run_seed = Executor.derive_seed ~seed ((index * trials) + k) in
+    let network = network_of ~drop ~scenario ~seed:run_seed in
+    let spec =
+      Runner.simple_spec ~protocol
+        ~delay:(Vv_sim.Delay.Uniform { lo = 1; hi = 2 })
+        ~network ?retransmit:retransmit_policy ~seed:run_seed ~max_rounds
+        ~t:t_tol ~f:f_actual honest_inputs
+    in
+    let cls, r, d, rt =
+      match Runner.run_checked spec with
+      | Ok o ->
+          ( classify o,
+            o.Runner.rounds,
+            o.Runner.trace.Vv_sim.Trace.dropped_msgs,
+            o.Runner.trace.Vv_sim.Trace.retrans_msgs )
+      | Error (`Invalid_adversary _) ->
+          (* An adversary invalidated by the fault plan is a harness
+             bug, not a protocol property — surface it loudly. *)
+          (Violation, 0, 0, 0)
+    in
+    (match cls with
+    | Exact -> incr exact
+    | Stall -> incr stalls
+    | Violation -> incr violations);
+    rounds := !rounds + r;
+    dropped := !dropped + d;
+    retrans := !retrans + rt
+  done;
+  let avg x = float_of_int x /. float_of_int trials in
+  {
+    protocol;
+    drop;
+    scenario;
+    exact = !exact;
+    stalls = !stalls;
+    violations = !violations;
+    rounds_avg = avg !rounds;
+    dropped_avg = avg !dropped;
+    retrans_avg = avg !retrans;
+  }
+
+let result_ok cells =
+  List.for_all
+    (fun c -> c.protocol <> Runner.Algo2_sct || c.violations = 0)
+    cells
+
 let run ?jobs ?(retransmit = false) ?(seed = 0xc4a05) ?trials profile =
   let trials =
     match trials with Some k -> k | None -> default_trials profile
   in
   if trials < 1 then invalid_arg "Exp_chaos.run: trials must be >= 1";
-  let grid =
-    List.concat_map
-      (fun protocol ->
-        List.concat_map
-          (fun drop ->
-            List.map (fun scenario -> (protocol, drop, scenario))
-              (scenarios profile))
-          (drops profile))
-      protocols
-    |> Array.of_list
-  in
-  let ncells = Array.length grid in
-  let count = ncells * trials in
-  let retransmit_policy = if retransmit then Some Retransmit.default else None in
-  (* Fan the whole campaign out over the domain pool; each index is a
-     pure function of (seed, index), so the result array is identical at
-     every [jobs]. *)
-  let results =
-    Executor.map ?jobs ~count (fun i ->
-        let protocol, drop, scenario = grid.(i / trials) in
-        let run_seed = Executor.derive_seed ~seed i in
-        let network = network_of ~drop ~scenario ~seed:run_seed in
-        let spec =
-          Runner.simple_spec ~protocol
-            ~delay:(Vv_sim.Delay.Uniform { lo = 1; hi = 2 })
-            ~network ?retransmit:retransmit_policy ~seed:run_seed ~max_rounds
-            ~t:t_tol ~f:f_actual honest_inputs
-        in
-        match Runner.run_checked spec with
-        | Ok o ->
-            ( classify o,
-              o.Runner.rounds,
-              o.Runner.trace.Vv_sim.Trace.dropped_msgs,
-              o.Runner.trace.Vv_sim.Trace.retrans_msgs )
-        | Error (`Invalid_adversary _) ->
-            (* An adversary invalidated by the fault plan is a harness
-               bug, not a protocol property — surface it loudly. *)
-            (Violation, 0, 0, 0))
-  in
-  (* Sequential aggregation in grid order. *)
+  let specs = Array.of_list (grid profile) in
+  let ncells = Array.length specs in
   let cells =
-    List.init ncells (fun c ->
-        let protocol, drop, scenario = grid.(c) in
-        let exact = ref 0 and stalls = ref 0 and violations = ref 0 in
-        let rounds = ref 0 and dropped = ref 0 and retrans = ref 0 in
-        for k = 0 to trials - 1 do
-          let cls, r, d, rt = results.((c * trials) + k) in
-          (match cls with
-          | Exact -> incr exact
-          | Stall -> incr stalls
-          | Violation -> incr violations);
-          rounds := !rounds + r;
-          dropped := !dropped + d;
-          retrans := !retrans + rt
-        done;
-        let avg x = float_of_int x /. float_of_int trials in
-        {
-          protocol;
-          drop;
-          scenario;
-          exact = !exact;
-          stalls = !stalls;
-          violations = !violations;
-          rounds_avg = avg !rounds;
-          dropped_avg = avg !dropped;
-          retrans_avg = avg !retrans;
-        })
+    Executor.map ?jobs ~chunk_size:1 ~count:ncells (fun i ->
+        cell_stats ~trials ~retransmit ~seed ~index:i specs.(i))
+    |> Array.to_list
   in
-  let ok =
-    List.for_all
-      (fun c -> c.protocol <> Runner.Algo2_sct || c.violations = 0)
-      cells
-  in
-  { profile; retransmit; trials; cells; runs = count; ok }
+  {
+    profile;
+    retransmit;
+    trials;
+    cells;
+    runs = ncells * trials;
+    ok = result_ok cells;
+  }
 
 (* --- tables --- *)
 
@@ -298,3 +305,35 @@ let envelope_table r =
   tab
 
 let tables r = [ grid_table r; envelope_table r ]
+
+let campaign ?(retransmit = false) ?trials () =
+  let trials_for profile =
+    match trials with Some k -> k | None -> default_trials profile
+  in
+  Campaign.v ~id:"chaos"
+    ~what:"Chaos resilience: degradation grid under lossy/partitioned links"
+    ~seed:0xc4a05
+    ~axes:
+      [ ("protocol", List.map Runner.protocol_label protocols);
+        ("drop", List.map (Fmt.str "%.2f") (drops Full));
+        ("partition", List.map scenario_label (scenarios Full)) ]
+    ~cells:grid
+    ~run_cell:(fun ctx cell ->
+      let trials = trials_for ctx.Campaign.profile in
+      if trials < 1 then invalid_arg "Exp_chaos.campaign: trials must be >= 1";
+      cell_stats ~trials ~retransmit ~seed:ctx.Campaign.base_seed
+        ~index:ctx.Campaign.index cell)
+    ~collect:(fun profile pairs ->
+      let cells = List.map snd pairs in
+      let r =
+        {
+          profile;
+          retransmit;
+          trials = trials_for profile;
+          cells;
+          runs = List.length cells * trials_for profile;
+          ok = result_ok cells;
+        }
+      in
+      { Campaign.tables = tables r; ok = r.ok; verdict = None })
+    ()

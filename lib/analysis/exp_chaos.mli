@@ -13,8 +13,8 @@
     {!Vv_exec.Executor.map} with per-index derived seeds and are
     aggregated sequentially in index order. *)
 
-type profile = Smoke | Full
-(** [Smoke] is the CI tier (3 drop rates x 3 partition scenarios x 5
+type profile = Vv_exec.Campaign.profile = Smoke | Full
+(** Re-export of {!Vv_exec.Campaign.profile}. [Smoke] is the CI tier (3 drop rates x 3 partition scenarios x 5
     protocols x 3 trials); [Full] widens every axis. *)
 
 type cls = Exact | Stall | Violation
@@ -64,3 +64,9 @@ val run :
 val tables : result -> Vv_prelude.Table.t list
 (** The per-cell degradation grid and the per-protocol envelope summary,
     for the shared {!Vv_exec.Emit} path. *)
+
+val campaign : ?retransmit:bool -> ?trials:int -> unit -> Vv_exec.Campaign.t
+(** The same grid as {!run}, packaged as a campaign: one cell per grid
+    point, per-trial seeds reconstructed from the flat (cell, trial)
+    index, [ok] wired to the emitted value so the CLI can exit non-zero
+    on a safety violation. *)

@@ -11,6 +11,7 @@ module Table = Vv_prelude.Table
 module Runner = Vv_core.Runner
 module Strategy = Vv_core.Strategy
 module Oid = Vv_ballot.Option_id
+module Campaign = Vv_exec.Campaign
 
 let describe_outputs outputs =
   let cells =
@@ -20,68 +21,96 @@ let describe_outputs outputs =
   in
   String.concat "" cells
 
-let run_row t protocol strategy ~tol ~f honest =
+let run_row protocol strategy ~tol ~f honest =
   let r = Runner.simple ~protocol ~strategy ~t:tol ~f honest in
-  Table.add_row t
-    [
-      Runner.protocol_label protocol;
-      Fmt.str "%a" Strategy.pp strategy;
-      Table.icell tol;
-      Table.icell f;
-      Table.bcell r.Runner.termination;
-      Table.bcell r.Runner.agreement;
-      Table.bcell r.Runner.voting_validity;
-      Table.bcell r.Runner.safety_admissible;
-      describe_outputs r.Runner.outputs;
-    ]
+  [
+    Runner.protocol_label protocol;
+    Fmt.str "%a" Strategy.pp strategy;
+    Table.icell tol;
+    Table.icell f;
+    Table.bcell r.Runner.termination;
+    Table.bcell r.Runner.agreement;
+    Table.bcell r.Runner.voting_validity;
+    Table.bcell r.Runner.safety_admissible;
+    describe_outputs r.Runner.outputs;
+  ]
 
-let e4 () =
+let e4_table () =
+  Table.create
+    ~title:
+      "E4: Section I example - honest {A,A,A,B,B,C,D}, N=10, t=3 vs N=13, \
+       t=3"
+    ~headers:
+      [ "protocol"; "adversary"; "t"; "f"; "term"; "agree"; "validity";
+        "safe"; "outputs" ]
+    ~aligns:
+      [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+        Table.Right; Table.Right; Table.Right; Table.Left ]
+    ()
+
+(* Below the bound (N = 10 <= 2t + 2B_G + C_G = 12): Algorithm 1 is
+   fooled; SCT stalls but stays safe.  Then the same dispersion with a
+   decisive plurality (gap > 2t): both succeed. *)
+let e4_cells =
   let honest = Witness.section1_example in
-  let t =
-    Table.create
-      ~title:
-        "E4: Section I example - honest {A,A,A,B,B,C,D}, N=10, t=3 vs N=13, \
-         t=3"
-      ~headers:
-        [ "protocol"; "adversary"; "t"; "f"; "term"; "agree"; "validity";
-          "safe"; "outputs" ]
-      ~aligns:
-        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
-          Table.Right; Table.Right; Table.Right; Table.Left ]
-      ()
-  in
-  (* Below the bound (N = 10 <= 2t + 2B_G + C_G = 12): Algorithm 1 is
-     fooled; SCT stalls but stays safe. *)
-  run_row t Runner.Algo1 Strategy.Collude_second ~tol:3 ~f:3 honest;
-  run_row t Runner.Algo2_sct Strategy.Collude_second ~tol:3 ~f:3 honest;
-  (* Same dispersion with a decisive plurality (gap > 2t): both succeed.
-     honest {A x8, B,B,C,D}: A_G=8, B_G=2, C_G=2, gap 6 > 2t = 6? need 7.
-     Use A x10: gap 8 > 7. *)
   let decisive =
     List.map Oid.of_int [ 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 1; 1; 2; 3 ]
   in
-  run_row t Runner.Algo1 Strategy.Collude_second ~tol:3 ~f:3 decisive;
-  run_row t Runner.Algo2_sct Strategy.Collude_second ~tol:3 ~f:3 decisive;
+  [
+    (Runner.Algo1, honest);
+    (Runner.Algo2_sct, honest);
+    (Runner.Algo1, decisive);
+    (Runner.Algo2_sct, decisive);
+  ]
+
+let e4_row (protocol, honest) =
+  run_row protocol Strategy.Collude_second ~tol:3 ~f:3 honest
+
+let e4 () =
+  let t = e4_table () in
+  List.iter (fun c -> Table.add_row t (e4_row c)) e4_cells;
   t
 
-let e5_firing () =
-  let t =
-    Table.create
-      ~title:
-        "E5a: Section VII-A example - incremental threshold firing point \
-         (N=10, arrivals 0,0,1,0,0,0,2,3,0,1)"
-      ~headers:[ "delta_P"; "fires after k votes"; "paper says" ]
-      ~aligns:[ Table.Right; Table.Right; Table.Left ]
-      ()
+let e4_campaign =
+  Campaign.v ~id:"e4"
+    ~what:"Section I/IV worked example: Algorithm 1 fooled, SCT safe"
+    ~axes:[ ("protocol", [ "algo1"; "algo2-sct" ]);
+            ("electorate", [ "section1"; "decisive" ]) ]
+    ~cells:(fun _ -> e4_cells)
+    ~run_cell:(fun _ c -> e4_row c)
+    ~collect:(fun _ pairs ->
+      let t = e4_table () in
+      List.iter (fun (_, row) -> Table.add_row t row) pairs;
+      Campaign.tables [ t ])
+    ()
+
+let e5a_table () =
+  Table.create
+    ~title:
+      "E5a: Section VII-A example - incremental threshold firing point \
+       (N=10, arrivals 0,0,1,0,0,0,2,3,0,1)"
+    ~headers:[ "delta_P"; "fires after k votes"; "paper says" ]
+    ~aligns:[ Table.Right; Table.Right; Table.Left ]
+    ()
+
+let e5a_row dp =
+  let fires =
+    match dp with
+    | 0 -> Witness.incremental_firing_point ~n:10 Witness.section7_sequence
+    | _ ->
+        Witness.incremental_firing_point ~delta_p:dp ~n:10
+          Witness.section7_sequence
   in
-  (match Witness.incremental_firing_point ~n:10 Witness.section7_sequence with
-  | Some k -> Table.add_row t [ "0"; Table.icell k; "7 (Section VII-A)" ]
-  | None -> Table.add_row t [ "0"; "-"; "7 (Section VII-A)" ]);
-  (match
-     Witness.incremental_firing_point ~delta_p:1 ~n:10 Witness.section7_sequence
-   with
-  | Some k -> Table.add_row t [ "1"; Table.icell k; "-" ]
-  | None -> Table.add_row t [ "1"; "-"; "-" ]);
+  let paper = if dp = 0 then "7 (Section VII-A)" else "-" in
+  [
+    Table.icell dp;
+    (match fires with Some k -> Table.icell k | None -> "-");
+    paper;
+  ]
+
+let e5_firing () =
+  let t = e5a_table () in
+  List.iter (fun dp -> Table.add_row t (e5a_row dp)) [ 0; 1 ];
   t
 
 let mean_decision_round (r : Runner.outcome) =
@@ -99,7 +128,21 @@ let mean_decision_round (r : Runner.outcome) =
    possible.  Algorithm 3 must still decide no later than Algorithm 1's
    fixed 2*delta wait — optimistic responsiveness degrades gracefully to
    the synchronous bound. *)
-let e5_adversarial_schedule ?(delta = 4) () =
+let e5c_table ~delta () =
+  Table.create
+    ~title:
+      (Fmt.str
+         "E5c: adversarial schedule (leader votes delayed to the bound \
+          delta=%d) - Algorithm 3 degrades to Algorithm 1's wait, never \
+          worse"
+         delta)
+    ~headers:[ "protocol"; "schedule"; "term"; "valid"; "rounds" ]
+    ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+    ()
+
+let e5c_cases = [ `Algo1_worst; `Algo3_starved; `Algo3_instant ]
+
+let e5c_row ~delta case =
   let honest = List.map Oid.of_int [ 0; 0; 0; 0; 0; 1 ] in
   let n = List.length honest + 1 in
   (* Senders preferring the leader get the full delay; everyone else is
@@ -111,78 +154,114 @@ let e5_adversarial_schedule ?(delta = 4) () =
          ~strategy:Vv_core.Strategy.Collude_second ~delay ~n ~t:1
          (honest @ [ Oid.of_int 0 ]))
   in
-  let t =
-    Table.create
-      ~title:
-        (Fmt.str
-           "E5c: adversarial schedule (leader votes delayed to the bound \
-            delta=%d) - Algorithm 3 degrades to Algorithm 1's wait, never \
-            worse"
-           delta)
-      ~headers:[ "protocol"; "schedule"; "term"; "valid"; "rounds" ]
-      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
-      ()
-  in
-  let add label protocol delay sched_label =
-    let r = run protocol delay in
-    Table.add_row t
-      [
-        label;
-        sched_label;
-        Table.bcell r.Runner.termination;
-        Table.bcell r.Runner.voting_validity;
-        Table.icell r.Runner.rounds;
-      ]
-  in
   let adversarial = Vv_sim.Delay.Adversarial { bound = delta; schedule } in
-  let friendly = Vv_sim.Delay.Fixed 1 in
-  add "algo1" Runner.Algo1 (Vv_sim.Delay.Fixed delta) "uniform worst";
-  add "algo3" Runner.Algo3_incremental adversarial "leader-starved";
-  add "algo3" Runner.Algo3_incremental friendly "instant";
+  let label, protocol, delay, sched_label =
+    match case with
+    | `Algo1_worst ->
+        ("algo1", Runner.Algo1, Vv_sim.Delay.Fixed delta, "uniform worst")
+    | `Algo3_starved ->
+        ("algo3", Runner.Algo3_incremental, adversarial, "leader-starved")
+    | `Algo3_instant ->
+        ("algo3", Runner.Algo3_incremental, Vv_sim.Delay.Fixed 1, "instant")
+  in
+  let r = run protocol delay in
+  [
+    label;
+    sched_label;
+    Table.bcell r.Runner.termination;
+    Table.bcell r.Runner.voting_validity;
+    Table.icell r.Runner.rounds;
+  ]
+
+let e5_adversarial_schedule ?(delta = 4) () =
+  let t = e5c_table ~delta () in
+  List.iter (fun case -> Table.add_row t (e5c_row ~delta case)) e5c_cases;
   t
 
-let e5_delay_sweep ?(seeds = 12) () =
+let e5b_table () =
+  Table.create
+    ~title:
+      "E5b: rounds to decision, Algorithm 1 (wait 2*delta) vs Algorithm 3 \
+       (incremental) - uniform delays 1..delta"
+    ~headers:
+      [ "delta"; "algo1 mean decision round"; "algo3 mean decision round";
+        "speedup" ]
+    ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+    ()
+
+let e5b_deltas = [ 1; 2; 3; 4; 5; 6 ]
+
+let e5b_row ~seeds hi =
   let honest = List.map Oid.of_int [ 0; 0; 0; 0; 0; 1 ] in
-  let t =
-    Table.create
-      ~title:
-        "E5b: rounds to decision, Algorithm 1 (wait 2*delta) vs Algorithm 3 \
-         (incremental) - uniform delays 1..delta"
-      ~headers:
-        [ "delta"; "algo1 mean decision round"; "algo3 mean decision round";
-          "speedup" ]
-      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
-      ()
+  let delay =
+    if hi = 1 then Vv_sim.Delay.Synchronous
+    else Vv_sim.Delay.Uniform { lo = 1; hi }
   in
-  List.iter
-    (fun hi ->
-      let delay =
-        if hi = 1 then Vv_sim.Delay.Synchronous
-        else Vv_sim.Delay.Uniform { lo = 1; hi }
+  let mean_of protocol =
+    let acc = ref 0.0 and cnt = ref 0 in
+    for seed = 1 to seeds do
+      let r =
+        Runner.simple ~protocol ~strategy:Strategy.Collude_second ~delay
+          ~seed:(seed * 7919) ~t:1 ~f:1 honest
       in
-      let mean_of protocol =
-        let acc = ref 0.0 and cnt = ref 0 in
-        for seed = 1 to seeds do
-          let r =
-            Runner.simple ~protocol ~strategy:Strategy.Collude_second ~delay
-              ~seed:(seed * 7919) ~t:1 ~f:1 honest
-          in
-          match mean_decision_round r with
-          | Some m ->
-              acc := !acc +. m;
-              incr cnt
-          | None -> ()
-        done;
-        if !cnt = 0 then nan else !acc /. float_of_int !cnt
-      in
-      let m1 = mean_of Runner.Algo1 in
-      let m3 = mean_of Runner.Algo3_incremental in
-      Table.add_row t
-        [
-          Table.icell hi;
-          Table.fcell ~decimals:2 m1;
-          Table.fcell ~decimals:2 m3;
-          Table.fcell ~decimals:2 (m1 /. m3);
-        ])
-    [ 1; 2; 3; 4; 5; 6 ];
+      match mean_decision_round r with
+      | Some m ->
+          acc := !acc +. m;
+          incr cnt
+      | None -> ()
+    done;
+    if !cnt = 0 then nan else !acc /. float_of_int !cnt
+  in
+  let m1 = mean_of Runner.Algo1 in
+  let m3 = mean_of Runner.Algo3_incremental in
+  [
+    Table.icell hi;
+    Table.fcell ~decimals:2 m1;
+    Table.fcell ~decimals:2 m3;
+    Table.fcell ~decimals:2 (m1 /. m3);
+  ]
+
+let e5_delay_sweep ?(seeds = 12) () =
+  let t = e5b_table () in
+  List.iter (fun hi -> Table.add_row t (e5b_row ~seeds hi)) e5b_deltas;
   t
+
+(* Three sub-tables, one campaign: the firing-point rows, the delay
+   sweep (one cell per delta; every trial seed is explicit, so the cells
+   are independent), and the adversarial schedule. *)
+type e5_cell =
+  | E5_firing of int
+  | E5_sweep of int
+  | E5_adv of [ `Algo1_worst | `Algo3_starved | `Algo3_instant ]
+
+let e5_campaign =
+  Campaign.v ~id:"e5"
+    ~what:"Section VII-A incremental threshold: firing point + delay sweep"
+    ~axes:
+      [ ("table", [ "firing"; "delay-sweep"; "adversarial" ]);
+        ("delta", List.map string_of_int e5b_deltas) ]
+    ~cells:(fun _ ->
+      List.map (fun dp -> E5_firing dp) [ 0; 1 ]
+      @ List.map (fun hi -> E5_sweep hi) e5b_deltas
+      @ List.map (fun c -> E5_adv c) e5c_cases)
+    ~run_cell:(fun ctx cell ->
+      let seeds =
+        match ctx.Campaign.profile with Campaign.Full -> 12 | Campaign.Smoke -> 4
+      in
+      match cell with
+      | E5_firing dp -> e5a_row dp
+      | E5_sweep hi -> e5b_row ~seeds hi
+      | E5_adv case -> e5c_row ~delta:4 case)
+    ~collect:(fun _ pairs ->
+      let rows p = List.filter_map (fun (c, r) -> if p c then Some r else None) pairs in
+      let ta = e5a_table () in
+      List.iter (Table.add_row ta)
+        (rows (function E5_firing _ -> true | _ -> false));
+      let tb = e5b_table () in
+      List.iter (Table.add_row tb)
+        (rows (function E5_sweep _ -> true | _ -> false));
+      let tc = e5c_table ~delta:4 () in
+      List.iter (Table.add_row tc)
+        (rows (function E5_adv _ -> true | _ -> false));
+      Campaign.tables [ ta; tb; tc ])
+    ()

@@ -14,3 +14,11 @@ val e5_delay_sweep : ?seeds:int -> unit -> Vv_prelude.Table.t
 val e5_adversarial_schedule : ?delta:int -> unit -> Vv_prelude.Table.t
 (** Worst-case scheduling: leader votes delayed to the bound. Algorithm 3
     degrades to Algorithm 1's synchronous wait, never beyond. *)
+
+val e4_campaign : Vv_exec.Campaign.t
+(** One cell per (protocol, electorate); deterministic. *)
+
+val e5_campaign : Vv_exec.Campaign.t
+(** All three E5 tables as one grid: firing-point, delay-sweep and
+    adversarial-schedule cells. Smoke tier shrinks the sweep's seed
+    count. *)

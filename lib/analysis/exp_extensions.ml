@@ -11,138 +11,195 @@
 module Table = Vv_prelude.Table
 module Oid = Vv_ballot.Option_id
 module Weighted = Vv_ballot.Weighted
+module Campaign = Vv_exec.Campaign
 
-let e14_weighted () =
-  let tab =
-    Table.create
-      ~title:
-        "E14a: stake-weighted thresholds - max tolerable adversary weight \
-         per stake profile (options A/B)"
-      ~headers:
-        [ "stake profile"; "total W"; "gap"; "max W_F exact"; "max W_F SCT" ]
-      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
-      ()
-  in
+let e14a_table () =
+  Table.create
+    ~title:
+      "E14a: stake-weighted thresholds - max tolerable adversary weight \
+       per stake profile (options A/B)"
+    ~headers:
+      [ "stake profile"; "total W"; "gap"; "max W_F exact"; "max W_F SCT" ]
+    ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ()
+
+let e14a_cells =
+  let v c w = Weighted.vote ~choice:(Oid.of_int c) ~weight:w in
+  [
+    ( "uniform: 7xA(1) 3xB(1)",
+      List.init 7 (fun _ -> v 0 1) @ List.init 3 (fun _ -> v 1 1) );
+    ("whale-for-A: A(8) + 6xB(1)", v 0 8 :: List.init 6 (fun _ -> v 1 1));
+    ( "whale-against: 8xA(1) + B(6)",
+      List.init 8 (fun _ -> v 0 1) @ [ v 1 6 ] );
+    ("two whales: A(7) B(5)", [ v 0 7; v 1 5 ]);
+  ]
+
+let e14a_row (label, votes) =
   let tie = Vv_ballot.Tie_break.default in
   let max_wf pred votes =
     let rec go w = if pred ~byz_weight:(w + 1) votes then go (w + 1) else w in
     go (-1)
   in
-  let row label votes =
-    let gap = Option.value ~default:0 (Weighted.gap ~tie votes) in
-    Table.add_row tab
-      [
-        label;
-        Table.icell (Weighted.total_weight votes);
-        Table.icell gap;
-        Table.icell (max_wf (Weighted.exactness_guaranteed ~tie) votes);
-        Table.icell (max_wf (Weighted.sct_guaranteed ~tie) votes);
-      ]
-  in
-  let v c w = Weighted.vote ~choice:(Oid.of_int c) ~weight:w in
-  row "uniform: 7xA(1) 3xB(1)"
-    (List.init 7 (fun _ -> v 0 1) @ List.init 3 (fun _ -> v 1 1));
-  row "whale-for-A: A(8) + 6xB(1)" (v 0 8 :: List.init 6 (fun _ -> v 1 1));
-  row "whale-against: 8xA(1) + B(6)" (List.init 8 (fun _ -> v 0 1) @ [ v 1 6 ]);
-  row "two whales: A(7) B(5)" [ v 0 7; v 1 5 ];
+  let gap = Option.value ~default:0 (Weighted.gap ~tie votes) in
+  [
+    label;
+    Table.icell (Weighted.total_weight votes);
+    Table.icell gap;
+    Table.icell (max_wf (Weighted.exactness_guaranteed ~tie) votes);
+    Table.icell (max_wf (Weighted.sct_guaranteed ~tie) votes);
+  ]
+
+let e14_weighted () =
+  let tab = e14a_table () in
+  List.iter (fun c -> Table.add_row tab (e14a_row c)) e14a_cells;
   tab
 
 module Approval = Vv_core.Approval.Make (Vv_bb.Plain)
 
+let e14b_table () =
+  Table.create
+    ~title:
+      "E14b: approval voting under collusion (N=7, t=f=1; endorsements \
+       listed as A/B/C)"
+    ~headers:
+      [ "honest approval sets"; "A/B/C endorsements"; "gap"; "term"; "winner" ]
+    ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Left ]
+    ()
+
+let e14b_cells =
+  [
+    ( "everyone {A}, half also {B}",
+      fun id ->
+        if id mod 2 = 0 then [ Oid.of_int 0; Oid.of_int 1 ]
+        else [ Oid.of_int 0 ] );
+    ( "split camps {A,C} vs {B,C}",
+      fun id ->
+        if id < 3 then [ Oid.of_int 0; Oid.of_int 2 ]
+        else [ Oid.of_int 1; Oid.of_int 2 ] );
+    ( "thin: {A,B} x3, {A} x1, {B} x2",
+      fun id ->
+        if id < 3 then [ Oid.of_int 0; Oid.of_int 1 ]
+        else if id = 3 then [ Oid.of_int 0 ]
+        else [ Oid.of_int 1 ] );
+  ]
+
+let e14b_row (label, approvals) =
+  let honest_approvals = List.init 6 approvals in
+  let counts =
+    List.fold_left
+      (fun acc set ->
+        List.fold_left Vv_ballot.Tally.add acc (List.sort_uniq Oid.compare set))
+      Vv_ballot.Tally.empty honest_approvals
+  in
+  let cell =
+    Fmt.str "%d/%d/%d"
+      (Vv_ballot.Tally.count counts (Oid.of_int 0))
+      (Vv_ballot.Tally.count counts (Oid.of_int 1))
+      (Vv_ballot.Tally.count counts (Oid.of_int 2))
+  in
+  let gap =
+    Option.value ~default:0
+      (Vv_ballot.Tally.gap ~tie:Vv_ballot.Tie_break.default counts)
+  in
+  let cfg = Vv_sim.Config.with_byzantine ~n:7 ~t_max:1 [ 6 ] () in
+  let r =
+    Approval.execute cfg ~speaker:0 ~subject:1 ~approvals ~quorum_gap:0
+      ~collude:true ()
+  in
+  let term = List.for_all Option.is_some r.Vv_core.Approval.outputs in
+  let winner =
+    match List.filter_map Fun.id r.Vv_core.Approval.outputs with
+    | w :: _ -> Oid.to_string w
+    | [] -> "-"
+  in
+  [ label; cell; Table.icell gap; Table.bcell term; winner ]
+
 let e14_approval () =
-  let tab =
-    Table.create
-      ~title:
-        "E14b: approval voting under collusion (N=7, t=f=1; endorsements \
-         listed as A/B/C)"
-      ~headers:
-        [ "honest approval sets"; "A/B/C endorsements"; "gap"; "term";
-          "winner" ]
-      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Left ]
-      ()
-  in
-  let run label approvals =
-    let honest_approvals = List.init 6 approvals in
-    let counts =
-      List.fold_left
-        (fun acc set ->
-          List.fold_left Vv_ballot.Tally.add acc
-            (List.sort_uniq Oid.compare set))
-        Vv_ballot.Tally.empty honest_approvals
-    in
-    let cell =
-      Fmt.str "%d/%d/%d"
-        (Vv_ballot.Tally.count counts (Oid.of_int 0))
-        (Vv_ballot.Tally.count counts (Oid.of_int 1))
-        (Vv_ballot.Tally.count counts (Oid.of_int 2))
-    in
-    let gap =
-      Option.value ~default:0
-        (Vv_ballot.Tally.gap ~tie:Vv_ballot.Tie_break.default counts)
-    in
-    let cfg = Vv_sim.Config.with_byzantine ~n:7 ~t_max:1 [ 6 ] () in
-    let r =
-      Approval.execute cfg ~speaker:0 ~subject:1 ~approvals ~quorum_gap:0
-        ~collude:true ()
-    in
-    let term = List.for_all Option.is_some r.Vv_core.Approval.outputs in
-    let winner =
-      match List.filter_map Fun.id r.Vv_core.Approval.outputs with
-      | w :: _ -> Oid.to_string w
-      | [] -> "-"
-    in
-    Table.add_row tab
-      [ label; cell; Table.icell gap; Table.bcell term; winner ]
-  in
-  run "everyone {A}, half also {B}" (fun id ->
-      if id mod 2 = 0 then [ Oid.of_int 0; Oid.of_int 1 ] else [ Oid.of_int 0 ]);
-  run "split camps {A,C} vs {B,C}" (fun id ->
-      if id < 3 then [ Oid.of_int 0; Oid.of_int 2 ]
-      else [ Oid.of_int 1; Oid.of_int 2 ]);
-  run "thin: {A,B} x3, {A} x1, {B} x2" (fun id ->
-      if id < 3 then [ Oid.of_int 0; Oid.of_int 1 ]
-      else if id = 3 then [ Oid.of_int 0 ]
-      else [ Oid.of_int 1 ]);
+  let tab = e14b_table () in
+  List.iter (fun c -> Table.add_row tab (e14b_row c)) e14b_cells;
   tab
 
-let e14_multidim () =
-  let tab =
-    Table.create
-      ~title:
-        "E14c: multi-dimensional subject (manoeuvre x speed), SCT per \
-         coordinate (N=9, t=f=1)"
-      ~headers:
-        [ "electorate"; "coord 0"; "coord 1"; "termination"; "validity";
-          "safe" ]
-      ~aligns:
-        [ Table.Left; Table.Left; Table.Left; Table.Right; Table.Right;
-          Table.Right ]
-      ()
-  in
-  let show = function
-    | Some v -> Oid.to_string v
-    | None -> "stalled"
-  in
-  let run label inputs =
-    let r =
-      Vv_core.Multidim.run ~protocol:Vv_core.Runner.Algo2_sct ~t:1 ~f:1 inputs
-    in
-    match r.Vv_core.Multidim.output_vector with
-    | [ c0; c1 ] ->
-        Table.add_row tab
-          [
-            label;
-            show c0;
-            show c1;
-            Table.bcell r.Vv_core.Multidim.termination;
-            Table.bcell r.Vv_core.Multidim.voting_validity;
-            Table.bcell r.Vv_core.Multidim.safety_admissible;
-          ]
-    | _ -> ()
-  in
+let e14c_table () =
+  Table.create
+    ~title:
+      "E14c: multi-dimensional subject (manoeuvre x speed), SCT per \
+       coordinate (N=9, t=f=1)"
+    ~headers:
+      [ "electorate"; "coord 0"; "coord 1"; "termination"; "validity"; "safe" ]
+    ~aligns:
+      [ Table.Left; Table.Left; Table.Left; Table.Right; Table.Right;
+        Table.Right ]
+    ()
+
+let e14c_cells =
   let o = Oid.of_int in
-  run "both decisive"
-    (List.init 8 (fun i -> [ o 0; o (if i = 7 then 2 else 1) ]));
-  run "coord 1 contested"
-    (List.init 8 (fun i -> [ o 0; o (if i < 4 then 1 else 2) ]));
+  [
+    ( "both decisive",
+      List.init 8 (fun i -> [ o 0; o (if i = 7 then 2 else 1) ]) );
+    ( "coord 1 contested",
+      List.init 8 (fun i -> [ o 0; o (if i < 4 then 1 else 2) ]) );
+  ]
+
+(* Returns [None] (no row) when the output vector is not two-dimensional. *)
+let e14c_row (label, inputs) =
+  let show = function Some v -> Oid.to_string v | None -> "stalled" in
+  let r =
+    Vv_core.Multidim.run ~protocol:Vv_core.Runner.Algo2_sct ~t:1 ~f:1 inputs
+  in
+  match r.Vv_core.Multidim.output_vector with
+  | [ c0; c1 ] ->
+      Some
+        [
+          label;
+          show c0;
+          show c1;
+          Table.bcell r.Vv_core.Multidim.termination;
+          Table.bcell r.Vv_core.Multidim.voting_validity;
+          Table.bcell r.Vv_core.Multidim.safety_admissible;
+        ]
+  | _ -> None
+
+let e14_multidim () =
+  let tab = e14c_table () in
+  List.iter
+    (fun c ->
+      match e14c_row c with Some row -> Table.add_row tab row | None -> ())
+    e14c_cells;
   tab
+
+type e14_cell =
+  | E14_weighted of (string * Weighted.vote list)
+  | E14_approval of (string * (int -> Oid.t list))
+  | E14_multidim of (string * Oid.t list list)
+
+let e14_campaign =
+  Campaign.v ~id:"e14"
+    ~what:"Extensions: weighted stakes, approval voting, multi-dimensional"
+    ~axes:[ ("extension", [ "weighted"; "approval"; "multidim" ]) ]
+    ~cells:(fun _ ->
+      List.map (fun c -> E14_weighted c) e14a_cells
+      @ List.map (fun c -> E14_approval c) e14b_cells
+      @ List.map (fun c -> E14_multidim c) e14c_cells)
+    ~run_cell:(fun _ cell ->
+      match cell with
+      | E14_weighted c -> Some (e14a_row c)
+      | E14_approval c -> Some (e14b_row c)
+      | E14_multidim c -> e14c_row c)
+    ~collect:(fun _ pairs ->
+      let rows p =
+        List.filter_map
+          (fun (c, row) ->
+            match row with Some r when p c -> Some r | _ -> None)
+          pairs
+      in
+      let ta = e14a_table () in
+      List.iter (Table.add_row ta)
+        (rows (function E14_weighted _ -> true | _ -> false));
+      let tb = e14b_table () in
+      List.iter (Table.add_row tb)
+        (rows (function E14_approval _ -> true | _ -> false));
+      let tc = e14c_table () in
+      List.iter (Table.add_row tc)
+        (rows (function E14_multidim _ -> true | _ -> false));
+      Campaign.tables [ ta; tb; tc ])
+    ()

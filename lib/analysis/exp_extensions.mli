@@ -10,3 +10,7 @@ val e14_approval : unit -> Vv_prelude.Table.t
 
 val e14_multidim : unit -> Vv_prelude.Table.t
 (** Multi-dimensional subjects with per-coordinate SCT verdicts. *)
+
+val e14_campaign : Vv_exec.Campaign.t
+(** Weighted, approval and multi-dimensional cells; three tables,
+    deterministic. *)

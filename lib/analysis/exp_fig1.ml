@@ -15,27 +15,42 @@ module Profiles = Vv_dist.Profiles
 module Cache = Vv_dist.Cache
 module Mc = Vv_dist.Montecarlo
 module Rng = Vv_prelude.Rng
+module Campaign = Vv_exec.Campaign
+
+let profile_names = List.map (fun (p : Profiles.t) -> p.Profiles.name) Profiles.all
+
+let fig1a_table () =
+  Table.create ~title:"Figure 1(a): preference profiles and entropy"
+    ~headers:[ "profile"; "p1"; "p2"; "p3"; "p4"; "H(p)"; "H0 (xN_G)" ]
+    ~aligns:
+      [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right; Table.Right ]
+    ()
+
+let fig1a_row ~ng (pr : Profiles.t) =
+  let cells = Array.to_list (Array.map (fun p -> Table.fcell ~decimals:2 p) pr.p) in
+  [ pr.Profiles.name ] @ cells
+  @ [
+      Table.fcell ~decimals:4 (Vv_dist.Entropy.shannon pr.Profiles.p);
+      Table.fcell ~decimals:2 (Profiles.initial_entropy ~ng pr);
+    ]
 
 let fig1a ?(ng = Profiles.default_ng) () =
-  let t =
-    Table.create ~title:"Figure 1(a): preference profiles and entropy"
-      ~headers:[ "profile"; "p1"; "p2"; "p3"; "p4"; "H(p)"; "H0 (xN_G)" ]
-      ~aligns:
-        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
-          Table.Right; Table.Right ]
-      ()
-  in
-  List.iter
-    (fun (pr : Profiles.t) ->
-      let cells = Array.to_list (Array.map (fun p -> Table.fcell ~decimals:2 p) pr.p) in
-      Table.add_row t
-        ([ pr.Profiles.name ] @ cells
-        @ [
-            Table.fcell ~decimals:4 (Vv_dist.Entropy.shannon pr.Profiles.p);
-            Table.fcell ~decimals:2 (Profiles.initial_entropy ~ng pr);
-          ]))
-    Profiles.all;
+  let t = fig1a_table () in
+  List.iter (fun pr -> Table.add_row t (fig1a_row ~ng pr)) Profiles.all;
   t
+
+let fig1a_campaign =
+  Campaign.v ~id:"fig1a"
+    ~what:"Figure 1(a): preference profiles D1-D4 and initial entropy"
+    ~axes:[ ("profile", profile_names) ]
+    ~cells:(fun _ -> Profiles.all)
+    ~run_cell:(fun _ pr -> fig1a_row ~ng:Profiles.default_ng pr)
+    ~collect:(fun _ pairs ->
+      let t = fig1a_table () in
+      List.iter (fun (_, row) -> Table.add_row t row) pairs;
+      Campaign.tables [ t ])
+    ()
 
 (* One empirical success estimate: sample honest inputs from the profile,
    run Algorithm 1 with f = t colluders on the runner-up, and read the
@@ -90,24 +105,55 @@ let fig1b ?jobs ?(ng = Profiles.default_ng) ?(t_max = 4) ?(mc_samples = 20_000)
     Profiles.all;
   t
 
-let fig1c ?(ng = Profiles.default_ng) ?(f_max = 4) () =
-  let t =
-    Table.create ~title:"Figure 1(c): system entropy H_s vs actual faults f"
-      ~headers:
-        ([ "profile"; "H0" ]
-        @ List.init (f_max + 1) (fun f -> Fmt.str "f=%d" f))
-      ~aligns:(Table.Left :: List.init (f_max + 2) (fun _ -> Table.Right))
-      ()
+(* The whole fig1b table draws Monte-Carlo samples and protocol inputs
+   from one rng shared across every profile and tolerance, so the
+   campaign is a single cell: the grid cannot fan out without changing
+   the stream, but the cell threads [ctx.jobs] into the inner
+   [run_generator] sweep, which is jobs-invariant by construction. *)
+let fig1b_campaign =
+  Campaign.v ~id:"fig1b"
+    ~what:"Figure 1(b): Pr(A_G - B_G > t) exact / Monte-Carlo / protocol runs"
+    ~seed:0xf1b
+    ~axes:[ ("profile", profile_names); ("t", [ "0"; "1"; "2"; "3"; "4" ]) ]
+    ~cells:(fun _ -> [ () ])
+    ~run_cell:(fun ctx () ->
+      match ctx.Campaign.profile with
+      | Campaign.Full ->
+          fig1b ~jobs:ctx.Campaign.jobs ~seed:ctx.Campaign.base_seed ()
+      | Campaign.Smoke ->
+          fig1b ~jobs:ctx.Campaign.jobs ~seed:ctx.Campaign.base_seed ~t_max:2
+            ~mc_samples:4_000 ~trials:30 ())
+    ~collect:(fun _ pairs -> Campaign.tables (List.map snd pairs))
+    ()
+
+let fig1c_table ~f_max () =
+  Table.create ~title:"Figure 1(c): system entropy H_s vs actual faults f"
+    ~headers:
+      ([ "profile"; "H0" ] @ List.init (f_max + 1) (fun f -> Fmt.str "f=%d" f))
+    ~aligns:(Table.Left :: List.init (f_max + 2) (fun _ -> Table.Right))
+    ()
+
+let fig1c_row ~ng ~f_max (pr : Profiles.t) =
+  let dist = Profiles.distribution ~ng pr in
+  let cells =
+    List.init (f_max + 1) (fun f -> Table.fcell (Cache.system_entropy dist ~f))
   in
-  List.iter
-    (fun (pr : Profiles.t) ->
-      let dist = Profiles.distribution ~ng pr in
-      let cells =
-        List.init (f_max + 1) (fun f ->
-            Table.fcell (Cache.system_entropy dist ~f))
-      in
-      Table.add_row t
-        ([ pr.Profiles.name; Table.fcell ~decimals:2 (Profiles.initial_entropy ~ng pr) ]
-        @ cells))
-    Profiles.all;
+  [ pr.Profiles.name; Table.fcell ~decimals:2 (Profiles.initial_entropy ~ng pr) ]
+  @ cells
+
+let fig1c ?(ng = Profiles.default_ng) ?(f_max = 4) () =
+  let t = fig1c_table ~f_max () in
+  List.iter (fun pr -> Table.add_row t (fig1c_row ~ng ~f_max pr)) Profiles.all;
   t
+
+let fig1c_campaign =
+  Campaign.v ~id:"fig1c"
+    ~what:"Figure 1(c): system entropy H_s vs actual faults"
+    ~axes:[ ("profile", profile_names); ("f", [ "0"; "1"; "2"; "3"; "4" ]) ]
+    ~cells:(fun _ -> Profiles.all)
+    ~run_cell:(fun _ pr -> fig1c_row ~ng:Profiles.default_ng ~f_max:4 pr)
+    ~collect:(fun _ pairs ->
+      let t = fig1c_table ~f_max:4 () in
+      List.iter (fun (_, row) -> Table.add_row t row) pairs;
+      Campaign.tables [ t ])
+    ()

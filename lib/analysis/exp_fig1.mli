@@ -30,3 +30,15 @@ val fig1b :
 
 val fig1c : ?ng:int -> ?f_max:int -> unit -> Vv_prelude.Table.t
 (** Figure 1(c): system entropy H_s vs actual faults f. *)
+
+val fig1a_campaign : Vv_exec.Campaign.t
+(** One cell per profile; deterministic. *)
+
+val fig1b_campaign : Vv_exec.Campaign.t
+(** A single cell (the table shares one rng across the whole grid) that
+    threads the campaign's jobs budget into the inner protocol-run sweep.
+    Smoke tier shrinks [t_max], the Monte-Carlo sample count and the
+    trial count. *)
+
+val fig1c_campaign : Vv_exec.Campaign.t
+(** One cell per profile; deterministic. *)

@@ -7,3 +7,7 @@ val e13_sct_price : ?ng:int -> ?t_max:int -> unit -> Vv_prelude.Table.t
 val e13_neiger : ?t:int -> ?m:int -> unit -> Vv_prelude.Table.t
 (** Neiger's [N > mt] strong-consensus bound, demonstrated empirically on
     the strong-consensus baseline with an alien-value flooding coalition. *)
+
+val e13_campaign : Vv_exec.Campaign.t
+(** Price-of-safety cells (one per profile) plus Neiger cells (one per
+    system size); two tables, deterministic. *)

@@ -14,6 +14,7 @@ module Table = Vv_prelude.Table
 module T = Vv_radio.Topology
 module R = Vv_radio.Radio_runner
 module Oid = Vv_ballot.Option_id
+module Campaign = Vv_exec.Campaign
 
 (* 9 nodes, one Byzantine (node 8); honest A=6 vs B=2. *)
 let inputs9 =
@@ -28,66 +29,110 @@ let topologies =
     ("geometric-9 (r=.5)", T.random_geometric ~n:9 ~radius:0.5 ~seed:12);
   ]
 
-let e12_topologies () =
-  let tab =
-    Table.create
-      ~title:
-        "E12a: multi-hop radio voting across topologies (N=9, t=f=1, \
-         colluding origin)"
-      ~headers:
-        [ "topology"; "diameter"; "min degree"; "term"; "valid"; "rounds";
-          "messages" ]
-      ~aligns:
-        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
-          Table.Right; Table.Right ]
-      ()
+let e12a_table () =
+  Table.create
+    ~title:
+      "E12a: multi-hop radio voting across topologies (N=9, t=f=1, \
+       colluding origin)"
+    ~headers:
+      [ "topology"; "diameter"; "min degree"; "term"; "valid"; "rounds";
+        "messages" ]
+    ~aligns:
+      [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right; Table.Right ]
+    ()
+
+let e12a_cells = List.filter (fun (_, topo) -> T.connected topo) topologies
+
+let e12a_row (label, topo) =
+  let r =
+    R.run ~strategy:R.Originate_second ~topology:topo ~t:1 ~byzantine:[ 8 ]
+      inputs9
   in
-  List.iter
-    (fun (label, topo) ->
-      if T.connected topo then begin
-        let r =
-          R.run ~strategy:R.Originate_second ~topology:topo ~t:1
-            ~byzantine:[ 8 ] inputs9
-        in
-        Table.add_row tab
-          [
-            label;
-            Table.icell (T.diameter topo);
-            Table.icell (T.min_degree topo);
-            Table.bcell r.R.termination;
-            Table.bcell r.R.voting_validity;
-            Table.icell r.R.rounds;
-            Table.icell r.R.messages;
-          ]
-      end)
-    topologies;
+  [
+    label;
+    Table.icell (T.diameter topo);
+    Table.icell (T.min_degree topo);
+    Table.bcell r.R.termination;
+    Table.bcell r.R.voting_validity;
+    Table.icell r.R.rounds;
+    Table.icell r.R.messages;
+  ]
+
+let e12_topologies () =
+  let tab = e12a_table () in
+  List.iter (fun c -> Table.add_row tab (e12a_row c)) e12a_cells;
   tab
 
-let e12_poison () =
-  let tab =
-    Table.create
-      ~title:
-        "E12b: relay poisoning - first-accept flooding protects one hop \
-         only (victim 0, fake on the runner-up)"
-      ~headers:[ "topology"; "attack"; "term"; "valid"; "exact" ]
-      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
-      ()
-  in
+let e12b_table () =
+  Table.create
+    ~title:
+      "E12b: relay poisoning - first-accept flooding protects one hop \
+       only (victim 0, fake on the runner-up)"
+    ~headers:[ "topology"; "attack"; "term"; "valid"; "exact" ]
+    ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+    ()
+
+let e12b_cells =
+  [
+    ("complete-8", `Complete, `Collude, "collude");
+    ("complete-8", `Complete, `Poison, "poison origin 0");
+    ("ring-8", `Ring, `Collude, "collude");
+    ("ring-8", `Ring, `Poison, "poison origin 0");
+  ]
+
+let e12b_row (label, topo, strat, attack) =
   (* Thin-but-safe margin: honest A=5, B=2 on 8 nodes, Byzantine node 5. *)
   let inputs = List.map Oid.of_int [ 0; 0; 0; 0; 1; 1; 1; 0 ] in
-  let run label topo strategy attack =
-    let r = R.run ~strategy ~topology:topo ~t:1 ~byzantine:[ 5 ] inputs in
-    Table.add_row tab
-      [
-        label;
-        attack;
-        Table.bcell r.R.termination;
-        Table.bcell r.R.voting_validity;
-        Table.bcell (r.R.termination && r.R.voting_validity);
-      ]
+  let topology =
+    match topo with `Complete -> T.complete 8 | `Ring -> T.ring ~k:1 8
   in
-  run "complete-8" (T.complete 8) R.Originate_second "collude";
-  run "complete-8" (T.complete 8) (R.Poison_origin (0, 1)) "poison origin 0";
-  run "ring-8" (T.ring ~k:1 8) R.Originate_second "collude";
-  run "ring-8" (T.ring ~k:1 8) (R.Poison_origin (0, 1)) "poison origin 0";
+  let strategy =
+    match strat with
+    | `Collude -> R.Originate_second
+    | `Poison -> R.Poison_origin (0, 1)
+  in
+  let r = R.run ~strategy ~topology ~t:1 ~byzantine:[ 5 ] inputs in
+  [
+    label;
+    attack;
+    Table.bcell r.R.termination;
+    Table.bcell r.R.voting_validity;
+    Table.bcell (r.R.termination && r.R.voting_validity);
+  ]
+
+let e12_poison () =
+  let tab = e12b_table () in
+  List.iter (fun c -> Table.add_row tab (e12b_row c)) e12b_cells;
   tab
+
+type e12_cell =
+  | E12_topo of (string * T.t)
+  | E12_poison of
+      (string * [ `Complete | `Ring ] * [ `Collude | `Poison ] * string)
+
+let e12_campaign =
+  Campaign.v ~id:"e12"
+    ~what:"Extension: multi-hop radio voting across topologies + [36] limit"
+    ~axes:
+      [ ("topology", List.map fst topologies);
+        ("attack", [ "collude"; "poison" ]) ]
+    ~cells:(fun _ ->
+      List.map (fun c -> E12_topo c) e12a_cells
+      @ List.map (fun c -> E12_poison c) e12b_cells)
+    ~run_cell:(fun _ cell ->
+      match cell with
+      | E12_topo c -> e12a_row c
+      | E12_poison c -> e12b_row c)
+    ~collect:(fun _ pairs ->
+      let rows p =
+        List.filter_map (fun (c, r) -> if p c then Some r else None) pairs
+      in
+      let ta = e12a_table () in
+      List.iter (Table.add_row ta)
+        (rows (function E12_topo _ -> true | _ -> false));
+      let tb = e12b_table () in
+      List.iter (Table.add_row tb)
+        (rows (function E12_poison _ -> true | _ -> false));
+      Campaign.tables [ ta; tb ])
+    ()

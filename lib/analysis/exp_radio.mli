@@ -8,3 +8,7 @@ val e12_poison : unit -> Vv_prelude.Table.t
 (** The relay-poisoning limit of first-accept flooding ([36]): inert on the
     complete graph, exactness-breaking (never validity-breaking) beyond one
     hop. *)
+
+val e12_campaign : Vv_exec.Campaign.t
+(** Topology cells plus relay-poisoning cells; two tables,
+    deterministic. *)

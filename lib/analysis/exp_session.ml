@@ -9,6 +9,7 @@ module Table = Vv_prelude.Table
 module Profiles = Vv_dist.Profiles
 module Rng = Vv_prelude.Rng
 module Session = Vv_core.Session
+module Campaign = Vv_exec.Campaign
 
 let e15 ?(trials = 60) ?(ng = Profiles.default_ng) ?(t = 2)
     ?(max_sessions = 8) ?(seed = 0xe15) () =
@@ -61,3 +62,24 @@ let e15 ?(trials = 60) ?(ng = Profiles.default_ng) ?(t = 2)
           ("bandwagon", Session.Bandwagon) ])
     Profiles.all;
   tab
+
+(* The whole grid draws trial inputs and seeds from one rng shared across
+   every profile and policy, so the campaign is a single cell.  Smoke tier
+   shrinks the trial count. *)
+let e15_campaign =
+  Campaign.v ~id:"e15"
+    ~what:
+      "Section V-B revote sessions: convergence per profile and policy"
+    ~seed:0xe15
+    ~axes:
+      [ ("profile",
+         List.map (fun (p : Profiles.t) -> p.Profiles.name) Profiles.all);
+        ("policy", [ "abandon-third"; "bandwagon" ]) ]
+    ~cells:(fun _ -> [ () ])
+    ~run_cell:(fun ctx () ->
+      let trials =
+        match ctx.Campaign.profile with Campaign.Full -> 60 | Campaign.Smoke -> 15
+      in
+      e15 ~trials ~seed:ctx.Campaign.base_seed ())
+    ~collect:(fun _ pairs -> Campaign.tables (List.map snd pairs))
+    ()

@@ -10,3 +10,8 @@ val e15 :
   Vv_prelude.Table.t
 (** Success rate, mean sessions to decision and first-try rate per
     preference profile and adjustment policy. *)
+
+val e15_campaign : Vv_exec.Campaign.t
+(** A single cell: the table shares one rng across the whole grid.  The
+    default seed reproduces the legacy output byte-for-byte; smoke tier
+    shrinks the trial count. *)

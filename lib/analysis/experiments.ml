@@ -1,120 +1,40 @@
 (* Facade over the experiment suite: every table/figure of the paper (and
    every quantitative claim we additionally exercise) keyed by experiment
-   id.  DESIGN.md §4 is the index; EXPERIMENTS.md records paper-vs-measured
-   for each id. *)
+   id.  Each entry is a first-class {!Vv_exec.Campaign.t}; the ids, the
+   [what] lines and the emitted tables are unchanged from the legacy
+   [unit -> Table.t list] registry.  DESIGN.md §4 is the index;
+   EXPERIMENTS.md records paper-vs-measured for each id. *)
 
 module Table = Vv_prelude.Table
+module Campaign = Vv_exec.Campaign
 
-type experiment = {
-  id : string;
-  what : string;
-  run : unit -> Table.t list;
-}
-
-let all : experiment list =
+let all : Campaign.t list =
   [
-    {
-      id = "fig1a";
-      what = "Figure 1(a): preference profiles D1-D4 and initial entropy";
-      run = (fun () -> [ Exp_fig1.fig1a () ]);
-    };
-    {
-      id = "fig1b";
-      what =
-        "Figure 1(b): Pr(A_G - B_G > t) exact / Monte-Carlo / protocol runs";
-      run = (fun () -> [ Exp_fig1.fig1b () ]);
-    };
-    {
-      id = "fig1c";
-      what = "Figure 1(c): system entropy H_s vs actual faults";
-      run = (fun () -> [ Exp_fig1.fig1c () ]);
-    };
-    {
-      id = "e4";
-      what = "Section I/IV worked example: Algorithm 1 fooled, SCT safe";
-      run = (fun () -> [ Exp_examples.e4 () ]);
-    };
-    {
-      id = "e5";
-      what = "Section VII-A incremental threshold: firing point + delay sweep";
-      run =
-        (fun () ->
-          [
-            Exp_examples.e5_firing ();
-            Exp_examples.e5_delay_sweep ();
-            Exp_examples.e5_adversarial_schedule ();
-          ]);
-    };
-    {
-      id = "e6";
-      what = "Algorithm 4 under local broadcast: the 3t term disappears";
-      run = (fun () -> [ Exp_bounds.e6 () ]);
-    };
-    {
-      id = "e7";
-      what = "Impossibility thresholds: Lemma 2 flip and Theorem 10";
-      run = (fun () -> [ Exp_bounds.e7_lemma2 (); Exp_bounds.e7_theorem10 () ]);
-    };
-    {
-      id = "e8";
-      what = "Baselines: exactness on elections; median/approx on sensors";
-      run =
-        (fun () -> [ Exp_baselines.e8_election (); Exp_baselines.e8_sensor () ]);
-    };
-    {
-      id = "e9";
-      what = "Protocol cost: rounds and messages per protocol/substrate";
-      run = (fun () -> [ Exp_baselines.e9 () ]);
-    };
-    {
-      id = "e10";
-      what = "Theorem 12: dispersion-tolerance frontier and third-option trick";
-      run =
-        (fun () ->
-          [ Exp_bounds.e10_frontier (); Exp_bounds.e10_third_option () ]);
-    };
-    {
-      id = "e11";
-      what = "Ablation: local judgment condition delta_P (liveness vs safety)";
-      run = (fun () -> [ Exp_bounds.e11_judgment_ablation () ]);
-    };
-    {
-      id = "e12";
-      what = "Extension: multi-hop radio voting across topologies + [36] limit";
-      run = (fun () -> [ Exp_radio.e12_topologies (); Exp_radio.e12_poison () ]);
-    };
-    {
-      id = "e13";
-      what = "Probability companions: SCT's price; Neiger's N > mt, empirically";
-      run =
-        (fun () ->
-          [ Exp_probability.e13_sct_price (); Exp_probability.e13_neiger () ]);
-    };
-    {
-      id = "e14";
-      what = "Extensions: weighted stakes, approval voting, multi-dimensional";
-      run =
-        (fun () ->
-          [
-            Exp_extensions.e14_weighted ();
-            Exp_extensions.e14_approval ();
-            Exp_extensions.e14_multidim ();
-          ]);
-    };
-    {
-      id = "e15";
-      what = "Section V-B revote sessions: convergence per profile and policy";
-      run = (fun () -> [ Exp_session.e15 () ]);
-    };
+    Exp_fig1.fig1a_campaign;
+    Exp_fig1.fig1b_campaign;
+    Exp_fig1.fig1c_campaign;
+    Exp_examples.e4_campaign;
+    Exp_examples.e5_campaign;
+    Exp_bounds.e6_campaign;
+    Exp_bounds.e7_campaign;
+    Exp_baselines.e8_campaign;
+    Exp_baselines.e9_campaign;
+    Exp_bounds.e10_campaign;
+    Exp_bounds.e11_campaign;
+    Exp_radio.e12_campaign;
+    Exp_probability.e13_campaign;
+    Exp_extensions.e14_campaign;
+    Exp_session.e15_campaign;
   ]
 
-let find id = List.find_opt (fun e -> String.equal e.id id) all
+let find id = List.find_opt (fun c -> String.equal (Campaign.id c) id) all
 
-let ids = List.map (fun e -> e.id) all
+let ids = List.map Campaign.id all
 
-let run_all ?(out = Fmt.stdout) () =
+let run_all ?(out = Fmt.stdout) ?(profile = Campaign.Full) () =
   List.iter
-    (fun e ->
-      Fmt.pf out "@.### %s — %s@.@." e.id e.what;
-      List.iter (fun t -> Table.pp out t) (e.run ()))
+    (fun c ->
+      Fmt.pf out "@.### %s — %s@.@." (Campaign.id c) (Campaign.what c);
+      let outcome = Campaign.run ~profile c in
+      List.iter (fun t -> Table.pp out t) outcome.Campaign.emitted.Campaign.tables)
     all

@@ -1,16 +1,16 @@
 (** The experiment registry: every figure/experiment of the paper keyed by
     id (DESIGN.md §4 is the index, EXPERIMENTS.md the paper-vs-measured
-    record). *)
+    record). Each entry is a first-class {!Vv_exec.Campaign.t}; ids and
+    emitted tables are unchanged from the legacy closure registry. *)
 
-type experiment = {
-  id : string;
-  what : string;
-  run : unit -> Vv_prelude.Table.t list;
-}
+val all : Vv_exec.Campaign.t list
+(** Registry order — fig1a..fig1c, then e4..e15. *)
 
-val all : experiment list
-val find : string -> experiment option
+val find : string -> Vv_exec.Campaign.t option
 val ids : string list
 
-val run_all : ?out:Format.formatter -> unit -> unit
-(** Print every experiment's tables (the [bench/main.exe] harness). *)
+val run_all :
+  ?out:Format.formatter -> ?profile:Vv_exec.Campaign.profile -> unit -> unit
+(** Print every campaign's tables on one domain (the [bench/main.exe]
+    harness). [profile] defaults to [Full]; [Smoke] is the CI-sized
+    tier used by [bench --quick]. *)

@@ -15,16 +15,13 @@ module Runner = Vv_core.Runner
 module Bounds = Vv_core.Bounds
 module Executor = Vv_exec.Executor
 
-type profile = Smoke | Full
+type profile = Vv_exec.Campaign.profile = Smoke | Full
 
 let dims_of = function Smoke -> Space.smoke | Full -> Space.full
 
-let profile_label = function Smoke -> "smoke" | Full -> "full"
+let profile_label = Vv_exec.Campaign.profile_label
 
-let profile_of_name = function
-  | "smoke" -> Some Smoke
-  | "full" -> Some Full
-  | _ -> None
+let profile_of_name = Vv_exec.Campaign.profile_of_string
 
 type counterexample = {
   original : Space.execution;
@@ -76,13 +73,13 @@ let counterexample_of ?max_trials exec class_ =
 
 let kinds = [ Bounds.Bft; Bounds.Cft; Bounds.Sct ]
 
-let run ?jobs ?max_shrink_trials ?(max_reported = 10) profile =
+(* The sequential tail of a check run: everything after the parallel
+   classification fan-out.  Exposed so the campaign wrapper in {!Report}
+   can fan the classification out through [Campaign.run] and still share
+   this aggregation verbatim. *)
+let aggregate ?max_shrink_trials ?(max_reported = 10) profile ~execs ~classes =
   let dims = dims_of profile in
-  let execs = Space.executions dims in
   let count = Array.length execs in
-  let classes =
-    Executor.map ?jobs ~count (fun i -> Oracle.classify_run execs.(i))
-  in
   (* Per (protocol, substrate) aggregation, in first-seen (= enumeration)
      order. *)
   let groups : (string, group_stats ref) Hashtbl.t = Hashtbl.create 16 in
@@ -216,3 +213,11 @@ let run ?jobs ?max_shrink_trials ?(max_reported = 10) profile =
     tightness;
     ok;
   }
+
+let run ?jobs ?max_shrink_trials ?max_reported profile =
+  let execs = Space.executions (dims_of profile) in
+  let classes =
+    Executor.map ?jobs ~count:(Array.length execs) (fun i ->
+        Oracle.classify_run execs.(i))
+  in
+  aggregate ?max_shrink_trials ?max_reported profile ~execs ~classes

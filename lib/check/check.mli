@@ -6,7 +6,9 @@
     byte-identical at every [?jobs] value: the fan-out is index-addressed
     and everything after it is sequential. *)
 
-type profile = Smoke | Full
+type profile = Vv_exec.Campaign.profile = Smoke | Full
+(** Re-export of {!Vv_exec.Campaign.profile}, so the checker shares the
+    CLI's tier vocabulary. *)
 
 val dims_of : profile -> Space.dims
 val profile_label : profile -> string
@@ -52,9 +54,21 @@ type result = {
           tightness witness *)
 }
 
+val aggregate :
+  ?max_shrink_trials:int ->
+  ?max_reported:int ->
+  profile ->
+  execs:Space.execution array ->
+  classes:Oracle.class_ array ->
+  result
+(** The sequential tail of a check run: fold the index-addressed
+    classification array (as produced by {!Oracle.classify_run} per
+    execution of {!Space.executions}) into the aggregated result.
+    Shared by {!run} and the campaign wrapper in {!Report}. *)
+
 val run :
   ?jobs:int -> ?max_shrink_trials:int -> ?max_reported:int -> profile -> result
-(** [jobs] follows {!Vv_exec.Executor} semantics (default
-    {!Vv_exec.Executor.default_jobs}[ ()]; [0] = all cores but one);
-    [max_reported] (default 10) caps how many violations are shrunk and
-    carried in the result — [violations_total] still counts all. *)
+(** [jobs] follows {!Vv_exec.Executor} semantics (default [1]; [0] = all
+    cores but one); [max_reported] (default 10) caps how many violations
+    are shrunk and carried in the result — [violations_total] still
+    counts all. *)

@@ -147,3 +147,30 @@ let print fmt r =
   match fmt with
   | Emit.Json -> ()
   | Emit.Table | Emit.Csv -> print_endline (verdict_line r)
+
+(* One cell per enumerated execution; classification fans out, the
+   aggregation + shrinking tail runs in [collect].  The verdict line
+   rides along in [emitted] so the shared CLI emitter prints it exactly
+   where [print] used to. *)
+let campaign ?max_shrink_trials ?max_reported () =
+  let module Campaign = Vv_exec.Campaign in
+  Campaign.v ~id:"check"
+    ~what:
+      "Exhaustive small-model check: classify every execution, shrink \
+       violations, witness tightness"
+    ~axes:
+      [ ("protocol", [ "algo1"; "algo2-sct"; "cft" ]);
+        ("dimension", [ "electorate"; "adversary"; "substrate"; "delay" ]) ]
+    ~cells:(fun profile ->
+      Array.to_list (Space.executions (Check.dims_of profile)))
+    ~run_cell:(fun _ exec -> Oracle.classify_run exec)
+    ~collect:(fun profile pairs ->
+      let execs = Array.of_list (List.map fst pairs) in
+      let classes = Array.of_list (List.map snd pairs) in
+      let r =
+        Check.aggregate ?max_shrink_trials ?max_reported profile ~execs
+          ~classes
+      in
+      { Campaign.tables = tables r; ok = r.Check.ok;
+        verdict = Some (verdict_line r) })
+    ()

@@ -8,3 +8,9 @@ val tables : Check.result -> Vv_prelude.Table.t list
 val verdict_line : Check.result -> string
 
 val print : Vv_exec.Emit.format -> Check.result -> unit
+
+val campaign :
+  ?max_shrink_trials:int -> ?max_reported:int -> unit -> Vv_exec.Campaign.t
+(** The checker as a campaign: one cell per enumerated execution, the
+    aggregation and shrinking tail in the collector, [ok] and the
+    verdict line carried in the emitted value. *)

@@ -19,19 +19,26 @@ let of_string = function
 
 let pp_format ppf f = Format.pp_print_string ppf (to_string f)
 
-let table fmt tbl =
-  match fmt with
-  | Table -> Table.print tbl
-  | Csv -> print_string (Table.to_csv tbl)
-  | Json -> print_endline (Json.to_string (Table.to_json tbl))
+(* The [*_string] renderers are the source of truth; the printing entry
+   points below emit exactly those bytes, so writing a rendering to a
+   file (vvc --out) is byte-identical to printing it. Table.pp uses no
+   break hints, so rendering through a string formatter cannot reflow. *)
 
-let tables fmt tbls =
+let table_string fmt tbl =
   match fmt with
-  | Table | Csv -> List.iter (table fmt) tbls
+  | Table -> Format.asprintf "%a" Table.pp tbl
+  | Csv -> Table.to_csv tbl
+  | Json -> Json.to_string (Table.to_json tbl) ^ "\n"
+
+let tables_string fmt tbls =
+  match fmt with
+  | Table | Csv -> String.concat "" (List.map (table_string fmt) tbls)
   | Json ->
       (* One top-level JSON value, not a stream of them. *)
-      print_endline
-        (Json.to_string (Json.List (List.map Table.to_json tbls)))
+      Json.to_string (Json.List (List.map Table.to_json tbls)) ^ "\n"
+
+let table fmt tbl = print_string (table_string fmt tbl)
+let tables fmt tbls = print_string (tables_string fmt tbls)
 
 let json fmt ~fallback value =
   match fmt with

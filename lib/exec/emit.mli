@@ -10,6 +10,15 @@ val to_string : format -> string
 val of_string : string -> format option
 val pp_format : Format.formatter -> format -> unit
 
+val table_string : format -> Vv_prelude.Table.t -> string
+(** Render one table in the chosen format (JSON on one line, trailing
+    newline included). {!table} prints exactly these bytes. *)
+
+val tables_string : format -> Vv_prelude.Table.t list -> string
+(** Render several; under [Json] they form one top-level array — one
+    top-level JSON value, not a stream. {!tables} prints exactly these
+    bytes, so a rendering written to a file matches stdout. *)
+
 val table : format -> Vv_prelude.Table.t -> unit
 (** Print one table in the chosen format (JSON on one line). *)
 

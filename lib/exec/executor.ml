@@ -37,21 +37,10 @@ let default_chunk_size = 64
    [(s lxor const, 0)] derived the same stream. *)
 let derive_seed ~seed i = Rng.bits (Rng.create (Rng.bits (Rng.create seed) lxor i))
 
-(* Process-wide default for [?jobs], so entry points that cannot thread a
-   parameter down to every executor call (the vvc experiment subcommands,
-   whose experiment registry is [unit -> table]) can still opt a whole run
-   into parallelism.  [0] means "all available cores but one". *)
-let default_jobs_setting = ref 1
-
+(* [jobs = 0] means "all available cores but one". *)
 let resolve_jobs jobs =
   if jobs < 0 then invalid_arg "Executor: negative jobs";
   if jobs = 0 then max 1 (Domain.recommended_domain_count () - 1) else jobs
-
-let set_default_jobs jobs =
-  ignore (resolve_jobs jobs);
-  default_jobs_setting := jobs
-
-let default_jobs () = !default_jobs_setting
 
 type progress = { done_ : int; total : int }
 
@@ -126,7 +115,7 @@ let run_domain_pool ~jobs ~chunk_size ~seed ?on_progress ~count gen =
 let run ?(chunk_size = default_chunk_size) ?jobs ?seed ?on_progress ~count gen =
   if chunk_size <= 0 then invalid_arg "Executor: chunk_size must be positive";
   if count < 0 then invalid_arg "Executor: negative count";
-  let jobs = resolve_jobs (Option.value jobs ~default:!default_jobs_setting) in
+  let jobs = resolve_jobs (Option.value jobs ~default:1) in
   if jobs = 1 || count <= chunk_size then
     run_one_domain ~chunk_size ~seed ?on_progress ~count gen
   else run_domain_pool ~jobs ~chunk_size ~seed ?on_progress ~count gen
@@ -147,16 +136,44 @@ let run_trials ?chunk_size ?jobs ~trials ~seed spec =
    order of chunks cannot affect the output — the array is identical at
    every [jobs] by construction.  [f] must be domain-safe (it runs on
    worker domains when [jobs > 1]) and must not rely on evaluation
-   order. *)
-let map ?(chunk_size = default_chunk_size) ?jobs ~count f =
+   order.  [on_progress] fires after every completed chunk with
+   non-decreasing [done_] counts, exactly as in [run_generator]. *)
+let map ?(chunk_size = default_chunk_size) ?jobs ?on_progress ~count f =
   if chunk_size <= 0 then invalid_arg "Executor.map: chunk_size must be positive";
   if count < 0 then invalid_arg "Executor.map: negative count";
-  let jobs = resolve_jobs (Option.value jobs ~default:!default_jobs_setting) in
-  if jobs = 1 || count <= chunk_size then Array.init count f
+  let jobs = resolve_jobs (Option.value jobs ~default:1) in
+  if jobs = 1 || count <= chunk_size then begin
+    match on_progress with
+    | None -> Array.init count f
+    | Some report ->
+        let results = Array.make count None in
+        let i = ref 0 in
+        while !i < count do
+          let stop = min count (!i + chunk_size) in
+          while !i < stop do
+            results.(!i) <- Some (f !i);
+            incr i
+          done;
+          report { done_ = !i; total = count }
+        done;
+        Array.map
+          (function Some v -> v | None -> assert false)
+          results
+  end
   else begin
     let results = Array.make count None in
     let chunks = (count + chunk_size - 1) / chunk_size in
     let next_chunk = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let progress_lock = Mutex.create () in
+    let report lo hi =
+      match on_progress with
+      | None -> ()
+      | Some f ->
+          ignore (Atomic.fetch_and_add completed (hi - lo));
+          Mutex.protect progress_lock (fun () ->
+              f { done_ = Atomic.get completed; total = count })
+    in
     let worker () =
       let rec loop () =
         let c = Atomic.fetch_and_add next_chunk 1 in
@@ -165,6 +182,7 @@ let map ?(chunk_size = default_chunk_size) ?jobs ~count f =
           for i = lo to hi - 1 do
             results.(i) <- Some (f i)
           done;
+          report lo hi;
           loop ()
         end
       in

@@ -30,15 +30,6 @@ val derive_seed : seed:int -> int -> int
     algebra. Exposed so tests and experiment code can reproduce a single
     instance of a batch in isolation. *)
 
-val set_default_jobs : int -> unit
-(** Process-wide default for [?jobs] (initially [1]; [0] means
-    [Domain.recommended_domain_count () - 1], min 1). Entry points that
-    cannot thread [?jobs] down to every executor call — the [vvc]
-    experiment subcommands' [--jobs] flag — set this once instead. Raises
-    [Invalid_argument] on negative values. *)
-
-val default_jobs : unit -> int
-
 val run_generator :
   ?chunk_size:int ->
   ?jobs:int ->
@@ -50,13 +41,12 @@ val run_generator :
 (** [run_generator ~count gen] executes [gen 0 .. gen (count-1)]; [gen] is
     always invoked in index order on the calling domain. With [?seed],
     each instance's spec is reseeded with [derive_seed ~seed i]; without
-    it, each spec's own seed is used. [?jobs] (default
-    {!default_jobs}[ ()]) sets the number of worker domains; [0] means
-    all available cores but one; the summary is byte-identical for every
-    value. [on_progress] fires after every chunk with non-decreasing
-    [done_] counts (exactly [chunk_size] apart only when [jobs = 1]).
-    Raises [Invalid_argument] when [chunk_size <= 0], [jobs < 0] or
-    [count < 0]. *)
+    it, each spec's own seed is used. [?jobs] (default [1]) sets the
+    number of worker domains; [0] means all available cores but one; the
+    summary is byte-identical for every value. [on_progress] fires after
+    every chunk with non-decreasing [done_] counts (exactly [chunk_size]
+    apart only when [jobs = 1]). Raises [Invalid_argument] when
+    [chunk_size <= 0], [jobs < 0] or [count < 0]. *)
 
 val run_specs :
   ?chunk_size:int ->
@@ -76,11 +66,18 @@ val run_trials :
 (** The common Monte-Carlo shape: the same specification [trials] times
     under derived seeds. *)
 
-val map : ?chunk_size:int -> ?jobs:int -> count:int -> (int -> 'a) -> 'a array
+val map :
+  ?chunk_size:int ->
+  ?jobs:int ->
+  ?on_progress:(progress -> unit) ->
+  count:int ->
+  (int -> 'a) ->
+  'a array
 (** [map ~count f] evaluates [f 0 .. f (count - 1)] into an
     index-addressed array, fanning chunks out over the domain pool when
     [jobs <> 1] (same [jobs] semantics as {!run_generator}). Result slots
     are disjoint, so the output is identical at every [jobs] and
     [chunk_size] by construction. [f] must be domain-safe and independent
-    of evaluation order. Raises [Invalid_argument] when [chunk_size <= 0],
-    [jobs < 0] or [count < 0]. *)
+    of evaluation order. [on_progress] fires after every completed chunk
+    with non-decreasing [done_] counts. Raises [Invalid_argument] when
+    [chunk_size <= 0], [jobs < 0] or [count < 0]. *)

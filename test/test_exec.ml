@@ -405,6 +405,62 @@ let test_emit_round_trip () =
     Emit.all;
   check_bool "unknown rejected" true (Emit.of_string "xml" = None)
 
+(* A table whose cells exercise every CSV quoting branch: commas, quotes,
+   newlines, their combinations, and the unquoted plain/empty cases. *)
+let gnarly_table () =
+  let t =
+    Vv_prelude.Table.create ~title:"gnarly"
+      ~headers:[ "plain"; "comma,head"; "quote\"head" ]
+      ()
+  in
+  Vv_prelude.Table.add_row t [ "a"; "x,y"; "say \"hi\"" ];
+  Vv_prelude.Table.add_row t [ "line\nbreak"; ""; "both,\"and\"\nmore" ];
+  t
+
+let test_csv_escaping () =
+  check Alcotest.string "rfc4180 quoting"
+    ("plain,\"comma,head\",\"quote\"\"head\"\n"
+   ^ "a,\"x,y\",\"say \"\"hi\"\"\"\n"
+   ^ "\"line\nbreak\",,\"both,\"\"and\"\"\nmore\"\n")
+    (Vv_prelude.Table.to_csv (gnarly_table ()))
+
+(* [Emit.tables_string Json] must be ONE top-level JSON value (an array),
+   not a stream of objects — consumers parse the report with a single
+   [json.load].  The invariant is structural: exactly one '\n', at the
+   end, and the payload is '[' ... ']'. *)
+let test_json_one_top_level_value () =
+  List.iter
+    (fun tbls ->
+      let s = Emit.tables_string Emit.Json tbls in
+      let n = String.length s in
+      check_bool "ends with newline" true (n > 0 && s.[n - 1] = '\n');
+      let body = String.sub s 0 (n - 1) in
+      check_bool "no interior newline" true
+        (not (String.contains body '\n'));
+      check_bool "top-level array" true
+        (String.length body >= 2
+        && body.[0] = '['
+        && body.[String.length body - 1] = ']'))
+    [ []; [ gnarly_table () ]; [ gnarly_table (); gnarly_table () ] ]
+
+(* The string renderers are the CLI's source of truth for --out: check
+   they agree with the printing formatter (Table) and the direct CSV
+   rendering, and that concatenation over a list matches per-table
+   rendering for the text formats. *)
+let test_emit_strings_agree () =
+  let t = gnarly_table () in
+  check Alcotest.string "table = pp"
+    (Format.asprintf "%a" Vv_prelude.Table.pp t)
+    (Emit.table_string Emit.Table t);
+  check Alcotest.string "csv = to_csv" (Vv_prelude.Table.to_csv t)
+    (Emit.table_string Emit.Csv t);
+  List.iter
+    (fun fmt ->
+      check Alcotest.string "tables = concat of table"
+        (String.concat "" (List.map (Emit.table_string fmt) [ t; t ]))
+        (Emit.tables_string fmt [ t; t ]))
+    [ Emit.Table; Emit.Csv ]
+
 let () =
   Alcotest.run "exec"
     [
@@ -455,5 +511,12 @@ let () =
             test_trace_consistent_with_outcome;
         ] );
       ( "emit",
-        [ Alcotest.test_case "format round-trip" `Quick test_emit_round_trip ] );
+        [
+          Alcotest.test_case "format round-trip" `Quick test_emit_round_trip;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "json: one top-level value" `Quick
+            test_json_one_top_level_value;
+          Alcotest.test_case "string renderers agree" `Quick
+            test_emit_strings_agree;
+        ] );
     ]
