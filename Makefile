@@ -1,4 +1,4 @@
-.PHONY: check check-parallel check-model chaos-smoke build test bench bench-smoke
+.PHONY: check check-parallel check-model chaos-smoke build test bench bench-smoke bench-baseline bench-gate
 
 check: ## build everything, then run the full test suite
 	dune build && dune runtest
@@ -23,3 +23,10 @@ bench:
 
 bench-smoke: ## CI-sized benchmark pass: smoke-tier tables + shrunk timings, JSON to _build/bench.json
 	dune exec bench/main.exe -- --quick --json=_build/bench.json
+
+bench-baseline: ## regenerate the committed benchmark baseline (BENCH_006.json)
+	dune exec bench/main.exe -- --bench --quick --json=BENCH_006.json
+
+bench-gate: ## quick bench run diffed against the committed baseline; exits 1 on >25% regression
+	dune exec bench/main.exe -- --bench --quick --json=_build/bench.json
+	dune exec bench/diff.exe -- BENCH_006.json _build/bench.json --tolerance=0.25

@@ -210,33 +210,51 @@ let write_bench_json path rows =
   close_out oc;
   Fmt.epr "[written %s]@." path
 
+(* The benchmark suite in its declared order — the one source of truth for
+   both the printed table and the JSON rows, so bench output (and the
+   committed baseline it is diffed against) is stable across runs instead
+   of depending on hash-table iteration or polymorphic sorting of rows
+   that carry floats. *)
+let declared_benches =
+  [
+    ("algo1-consensus-n14", consensus_run Runner.Algo1);
+    ("algo2-sct-consensus-n14", consensus_run Runner.Algo2_sct);
+    ("algo3-incremental-n14", consensus_run Runner.Algo3_incremental);
+    ("algo4-local-n14", consensus_run Runner.Algo4_local);
+    ("cft-n14", consensus_run Runner.Cft);
+    ("bb-dolev-strong-n8", bb_run Vv_bb.Bb.Dolev_strong);
+    ("bb-eig-n8", bb_run Vv_bb.Bb.Eig);
+    ("bb-phase-king-n8", bb_run Vv_bb.Bb.Phase_king);
+    ("fig1b-exact-cell", fig1b_exact_cell);
+    ("fig1b-cached-cell", fig1b_cached_cell);
+    ("fig1b-montecarlo-cell", fig1b_mc_cell);
+    ("baseline-median-n11", median_baseline);
+    ("radio-ring12-consensus", radio_ring);
+    ("ledger-slot-n9", ledger_slot);
+    ("tally-plurality-1k", tally_micro);
+  ]
+
+(* Position of a result row in the declared suite; result names may carry
+   the "voting-validity/" group prefix. *)
+let declared_rank name =
+  let base =
+    match String.rindex_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let rec go i = function
+    | [] -> List.length declared_benches
+    | (n, _) :: rest -> if n = base then i else go (i + 1) rest
+  in
+  go 0 declared_benches
+
 let benches ?(quick = false) ?json_path () =
   let open Bechamel in
   let tests =
     Test.make_grouped ~name:"voting-validity"
-      [
-        Test.make ~name:"algo1-consensus-n14"
-          (Staged.stage (consensus_run Runner.Algo1));
-        Test.make ~name:"algo2-sct-consensus-n14"
-          (Staged.stage (consensus_run Runner.Algo2_sct));
-        Test.make ~name:"algo3-incremental-n14"
-          (Staged.stage (consensus_run Runner.Algo3_incremental));
-        Test.make ~name:"algo4-local-n14"
-          (Staged.stage (consensus_run Runner.Algo4_local));
-        Test.make ~name:"cft-n14" (Staged.stage (consensus_run Runner.Cft));
-        Test.make ~name:"bb-dolev-strong-n8"
-          (Staged.stage (bb_run Vv_bb.Bb.Dolev_strong));
-        Test.make ~name:"bb-eig-n8" (Staged.stage (bb_run Vv_bb.Bb.Eig));
-        Test.make ~name:"bb-phase-king-n8"
-          (Staged.stage (bb_run Vv_bb.Bb.Phase_king));
-        Test.make ~name:"fig1b-exact-cell" (Staged.stage fig1b_exact_cell);
-        Test.make ~name:"fig1b-cached-cell" (Staged.stage fig1b_cached_cell);
-        Test.make ~name:"fig1b-montecarlo-cell" (Staged.stage fig1b_mc_cell);
-        Test.make ~name:"baseline-median-n11" (Staged.stage median_baseline);
-        Test.make ~name:"radio-ring12-consensus" (Staged.stage radio_ring);
-        Test.make ~name:"ledger-slot-n9" (Staged.stage ledger_slot);
-        Test.make ~name:"tally-plurality-1k" (Staged.stage tally_micro);
-      ]
+      (List.map
+         (fun (name, f) -> Test.make ~name (Staged.stage f))
+         declared_benches)
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -258,7 +276,10 @@ let benches ?(quick = false) ?json_path () =
     (fun measure per_test ->
       let rows =
         Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
-        |> List.sort compare
+        |> List.sort (fun (a, _) (b, _) ->
+               match Int.compare (declared_rank a) (declared_rank b) with
+               | 0 -> String.compare a b
+               | c -> c)
       in
       List.iter
         (fun (name, ols) ->
@@ -280,7 +301,14 @@ let benches ?(quick = false) ?json_path () =
     merged;
   match json_path with
   | None -> ()
-  | Some path -> write_bench_json path (List.sort compare !json_rows)
+  | Some path ->
+      write_bench_json path
+        (List.sort
+           (fun (a, _, _) (b, _, _) ->
+             match Int.compare (declared_rank a) (declared_rank b) with
+             | 0 -> String.compare a b
+             | c -> c)
+           !json_rows)
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -19,14 +19,13 @@ let raw_collude () : B.Exchange_ba.msg Adversary.t =
       if view.Adversary.round <> 0 then []
       else
         let seen = Hashtbl.create 16 in
-        List.iter
-          (fun (d : B.Exchange_ba.msg Types.delivery) ->
-            match d.Types.msg with
-            | B.Exchange_ba.Raw v ->
-                if not (Hashtbl.mem seen d.Types.src) then
-                  Hashtbl.add seen d.Types.src v
-            | B.Exchange_ba.Ba _ -> ())
-          view.Adversary.honest_sent;
+        for i = 0 to view.Adversary.sent_len - 1 do
+          match view.Adversary.sent_msg i with
+          | B.Exchange_ba.Raw v ->
+              let src = view.Adversary.sent_src i in
+              if not (Hashtbl.mem seen src) then Hashtbl.add seen src v
+          | B.Exchange_ba.Ba _ -> ()
+        done;
         let counts = Hashtbl.create 8 in
         Hashtbl.iter
           (fun _ v ->

@@ -21,8 +21,10 @@ type state = {
 
 let name = "baseline/approx"
 
+let equal_msg = Float.equal
+
 let midpoint ~t values =
-  let sorted = List.sort compare values in
+  let sorted = List.sort Float.compare values in
   let m = List.length sorted in
   let kept =
     if m <= 2 * t then sorted
@@ -34,22 +36,23 @@ let midpoint ~t values =
       let lo = List.hd l and hi = List.nth l (List.length l - 1) in
       (lo +. hi) /. 2.0
 
-let init (_ : Protocol.ctx) { value; rounds } =
+let init (_ : Protocol.ctx) { value; rounds } ~outbox =
   if rounds < 1 then invalid_arg "approx: rounds must be >= 1";
-  ( { current = value; total_rounds = rounds; decided = None },
-    [ Types.broadcast value ] )
+  Outbox.broadcast outbox value;
+  { current = value; total_rounds = rounds; decided = None }
 
-let step (ctx : Protocol.ctx) st ~round ~inbox =
-  let values = List.map snd inbox in
+let step (ctx : Protocol.ctx) st ~round ~inbox ~outbox =
+  let values = Inbox.fold (fun acc _ v -> v :: acc) [] inbox in
   if values <> [] then st.current <- midpoint ~t:ctx.t values;
-  if round < st.total_rounds then (st, [ Types.broadcast st.current ])
-  else begin
-    if st.decided = None then st.decided <- Some st.current;
-    (st, [])
-  end
+  if round < st.total_rounds then Outbox.broadcast outbox st.current
+  else if st.decided = None then st.decided <- Some st.current;
+  st
 
 let output st = st.decided
 let phase st = if st.decided <> None then "decided" else "average"
+
+(* Conservative: baseline runs are not fast-forwarded. *)
+let inert _ = false
 
 (* Maximum pairwise distance between decided honest values. *)
 let spread outputs =

@@ -12,22 +12,26 @@ type state
 
 val name : string
 
+val equal_msg : msg -> msg -> bool
+
 val midpoint : t:int -> float list -> float
 (** Midpoint of the t-trimmed list ([nan] when empty). *)
 
 val init :
-  Vv_sim.Protocol.ctx -> input -> state * msg Vv_sim.Types.envelope list
+  Vv_sim.Protocol.ctx -> input -> outbox:msg Vv_sim.Outbox.t -> state
 (** Raises [Invalid_argument] when [rounds < 1]. *)
 
 val step :
   Vv_sim.Protocol.ctx ->
   state ->
   round:int ->
-  inbox:(Vv_sim.Types.node_id * msg) list ->
-  state * msg Vv_sim.Types.envelope list
+  inbox:msg Vv_sim.Inbox.t ->
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val output : state -> output option
 val phase : state -> string
+val inert : state -> bool
 
 val spread : float option list -> float
 (** Maximum pairwise distance between decided values. *)

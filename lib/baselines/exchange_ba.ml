@@ -42,56 +42,67 @@ module Make (C : CANDIDATE) :
     own : C.input;
     raw : (Types.node_id, int) Hashtbl.t;
     mutable ba : Vv_bb.King_ba.state option;
+    ba_outbox : Vv_bb.King_ba.msg Outbox.t;  (* reusable sub-machine scratch *)
+    ba_inbox : Vv_bb.King_ba.msg Vv_bb.Bb_intf.inbox;
+        (* reusable per-round arrival buffer for the sub-machine *)
     ba_rounds : int;
     mutable decided : int option;
   }
 
   let name = C.name
 
-  let init (ctx : Protocol.ctx) own =
-    ( {
-        own;
-        raw = Hashtbl.create 16;
-        ba = None;
-        ba_rounds = Vv_bb.King_ba.rounds ~t:ctx.t;
-        decided = None;
-      },
-      [ Types.broadcast (Raw (C.encode own)) ] )
+  let equal_msg a b =
+    match (a, b) with
+    | Raw u, Raw v -> Int.equal u v
+    | Ba u, Ba v -> Vv_bb.King_ba.equal_msg u v
+    | (Raw _ | Ba _), _ -> false
 
-  let wrap (e : Vv_bb.King_ba.msg Types.envelope) =
-    { Types.dest = e.Types.dest; payload = Ba e.Types.payload }
+  let init (ctx : Protocol.ctx) own ~outbox =
+    Outbox.broadcast outbox (Raw (C.encode own));
+    {
+      own;
+      raw = Hashtbl.create 16;
+      ba = None;
+      ba_outbox = Outbox.create ();
+      ba_inbox = Vv_bb.Bb_intf.inbox_create ();
+      ba_rounds = Vv_bb.King_ba.rounds ~t:ctx.t;
+      decided = None;
+    }
 
-  let step (ctx : Protocol.ctx) st ~round ~inbox =
-    let ba_inbox = ref [] in
-    List.iter
-      (fun (src, m) ->
-        match m with
-        | Raw v ->
-            if round = 1 && not (Hashtbl.mem st.raw src) then
-              Hashtbl.add st.raw src v
-        | Ba b -> ba_inbox := (src, b) :: !ba_inbox)
-      inbox;
-    let ba_inbox = List.rev !ba_inbox in
+  let step (ctx : Protocol.ctx) st ~round ~inbox ~outbox =
+    Vv_bb.Bb_intf.inbox_clear st.ba_inbox;
+    for i = 0 to Inbox.length inbox - 1 do
+      match Inbox.msg inbox i with
+      | Raw v ->
+          let src = Inbox.src inbox i in
+          if round = 1 && not (Hashtbl.mem st.raw src) then
+            Hashtbl.add st.raw src v
+      | Ba b -> Vv_bb.Bb_intf.inbox_push st.ba_inbox (Inbox.src inbox i) b
+    done;
     if round = 1 then begin
       let received =
-        Hashtbl.fold (fun _ v acc -> v :: acc) st.raw [] |> List.sort compare
+        Hashtbl.fold (fun _ v acc -> v :: acc) st.raw []
+        |> List.sort Int.compare
       in
       let cand = C.candidate ~n:ctx.n ~t:ctx.t ~received st.own in
-      let ba, out = Vv_bb.King_ba.start cand in
+      let ba = Vv_bb.King_ba.start cand ~outbox:st.ba_outbox in
+      Outbox.transfer st.ba_outbox ~f:(fun m -> Ba m) ~into:outbox;
       st.ba <- Some ba;
-      (st, List.map wrap out)
+      st
     end
     else
       match st.ba with
       | Some ba when round - 1 <= st.ba_rounds ->
           let lround = round - 1 in
-          let ba, out =
-            Vv_bb.King_ba.step ~n:ctx.n ~t:ctx.t ~me:ctx.me ba ~lround ~inbox:ba_inbox
+          let ba =
+            Vv_bb.King_ba.step ~n:ctx.n ~t:ctx.t ~me:ctx.me ba ~lround
+              ~inbox:st.ba_inbox ~outbox:st.ba_outbox
           in
+          Outbox.transfer st.ba_outbox ~f:(fun m -> Ba m) ~into:outbox;
           st.ba <- Some ba;
           if lround = st.ba_rounds then st.decided <- Some (Vv_bb.King_ba.result ba);
-          (st, List.map wrap out)
-      | Some _ | None -> (st, [])
+          st
+      | Some _ | None -> st
 
   let output st = st.decided
 
@@ -99,4 +110,7 @@ module Make (C : CANDIDATE) :
     if st.decided <> None then "decided"
     else if st.ba <> None then "agree"
     else "exchange"
+
+  (* Conservative: baseline runs are not fast-forwarded. *)
+  let inert _ = false
 end

@@ -24,31 +24,34 @@ type state = {
 
 let name = "baseline/kset"
 
+let equal_msg = Int.equal
+
 let rounds ~t ~k = (t / k) + 1
 
-let init (ctx : Protocol.ctx) { value; k } =
+let init (ctx : Protocol.ctx) { value; k } ~outbox =
   if k < 1 then invalid_arg "kset: k must be >= 1";
   if value < 0 then invalid_arg "kset: negative input";
-  ( { k; current = value; total_rounds = rounds ~t:ctx.t ~k; decided = None },
-    [ Types.broadcast value ] )
+  Outbox.broadcast outbox value;
+  { k; current = value; total_rounds = rounds ~t:ctx.t ~k; decided = None }
 
-let step (_ : Protocol.ctx) st ~round ~inbox =
-  List.iter
-    (fun (_, v) -> if v >= 0 && v < st.current then st.current <- v)
+let step (_ : Protocol.ctx) st ~round ~inbox ~outbox =
+  Inbox.iter
+    (fun _ v -> if v >= 0 && v < st.current then st.current <- v)
     inbox;
-  if round < st.total_rounds then (st, [ Types.broadcast st.current ])
-  else begin
-    if st.decided = None && round >= st.total_rounds then
-      st.decided <- Some st.current;
-    (st, [])
-  end
+  if round < st.total_rounds then Outbox.broadcast outbox st.current
+  else if st.decided = None && round >= st.total_rounds then
+    st.decided <- Some st.current;
+  st
 
 let output st = st.decided
 let phase st = if st.decided <> None then "decided" else "exchange"
+
+(* Conservative: baseline runs are not fast-forwarded. *)
+let inert _ = false
 
 (* The weakened agreement property: number of distinct decided values. *)
 let distinct_outputs outputs =
   outputs
   |> List.filter_map Fun.id
-  |> List.sort_uniq compare
+  |> List.sort_uniq Int.compare
   |> List.length

@@ -10,10 +10,25 @@
 type signature = { signer : Vv_sim.Types.node_id; tag : int }
 
 (* Per-identity secret, derived deterministically so that signing is a pure
-   function and simulations stay reproducible. *)
-let secret signer =
+   function and simulations stay reproducible.  The derivation is pure, so
+   the per-domain memo table (signature verification re-derives the signer's
+   secret on every chain hop — a hot path under Dolev-Strong) cannot be
+   observed; domain-local storage keeps parallel campaign workers from
+   sharing a mutable table. *)
+let secret_cache = Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let derive_secret signer =
   let r = Vv_prelude.Rng.create (0x5170_0000 + signer) in
   Vv_prelude.Rng.bits r
+
+let secret signer =
+  let cache : (int, int) Hashtbl.t = Domain.DLS.get secret_cache in
+  match Hashtbl.find_opt cache signer with
+  | Some s -> s
+  | None ->
+      let s = derive_secret signer in
+      Hashtbl.add cache signer s;
+      s
 
 let sign ~signer ~data = { signer; tag = Hashtbl.hash (secret signer, data) }
 
@@ -22,35 +37,62 @@ let verify ~data s = s.tag = Hashtbl.hash (secret s.signer, data)
 let signer s = s.signer
 
 (* A signature chain over a value: the Dolev-Strong message format.  The
-   chain lists signatures in signing order (sender first). *)
+   chain lists signatures in signing order (sender first).
+
+   Chain tags use an incremental digest over (value, prior-signer prefix):
+   [mix] folds the verified prefix ids into an accumulator, so validation
+   never rebuilds the prefix list or re-hashes a growing tuple per hop —
+   the old scheme made [valid] quadratic in both time and allocation, and
+   Dolev-Strong validates a chain per delivered message. *)
 type 'a chain = { value : 'a; sigs : signature list }
 
-let chain_data value prior_signers = (value, prior_signers)
+let digest_seed = 0x9E37_79B9
+
+let mix h x = ((h * 486187739) + x + 1) land max_int
+
+let chain_tag ~signer ~hv ~prefix_h = mix (mix prefix_h hv) (secret signer)
+
+let prefix_hash sigs = List.fold_left (fun h s -> mix h s.signer) digest_seed sigs
 
 let initial ~sender value =
-  { value; sigs = [ sign ~signer:sender ~data:(chain_data value []) ] }
+  let hv = Hashtbl.hash value in
+  { value;
+    sigs = [ { signer = sender;
+               tag = chain_tag ~signer:sender ~hv ~prefix_h:digest_seed } ] }
 
 let extend chain ~signer =
-  let prior = List.map (fun s -> s.signer) chain.sigs in
+  let hv = Hashtbl.hash chain.value in
+  let prefix_h = prefix_hash chain.sigs in
   { chain with
-    sigs = chain.sigs @ [ sign ~signer ~data:(chain_data chain.value prior) ] }
+    sigs = chain.sigs @ [ { signer; tag = chain_tag ~signer ~hv ~prefix_h } ] }
 
 let signers chain = List.map (fun s -> s.signer) chain.sigs
 
+(* Membership without materialising the signer list. *)
+let mem_signer chain id = List.exists (fun s -> s.signer = id) chain.sigs
+
+let equal_signature a b = a.signer = b.signer && a.tag = b.tag
+
+let equal_chain eq_value a b =
+  eq_value a.value b.value && List.equal equal_signature a.sigs b.sigs
+
 (* A chain is valid for [sender] at relay depth [len] when it has exactly
    [len] signatures from distinct identities, the first being the sender,
-   and each signature verifies against the value and the prefix before it. *)
+   and each signature verifies against the value and the prefix before it.
+   One pass: [prefix_h] folds the already-verified prefix, [verified]
+   carries it for the distinctness check. *)
 let valid chain ~sender ~len =
   let sigs = chain.sigs in
-  List.length sigs = len
+  List.compare_length_with sigs len = 0
   && (match sigs with [] -> false | s :: _ -> s.signer = sender)
-  && (let ids = List.map (fun s -> s.signer) sigs in
-      List.length (List.sort_uniq compare ids) = len)
   &&
-  let rec check prior = function
+  let hv = Hashtbl.hash chain.value in
+  let rec check prefix_h verified = function
     | [] -> true
     | s :: rest ->
-        verify ~data:(chain_data chain.value (List.rev prior)) s
-        && check (s.signer :: prior) rest
+        (not
+           (List.exists (fun (x : signature) -> x.signer = s.signer) verified))
+        && s.tag = chain_tag ~signer:s.signer ~hv ~prefix_h
+        && check (mix prefix_h s.signer) (s :: verified) rest
   in
-  check [] sigs
+  check digest_seed [] sigs

@@ -21,6 +21,14 @@ val extend : 'a chain -> signer:Vv_sim.Types.node_id -> 'a chain
 
 val signers : 'a chain -> Vv_sim.Types.node_id list
 
+val mem_signer : 'a chain -> Vv_sim.Types.node_id -> bool
+(** [mem_signer c id] without materialising the signer list. *)
+
+val equal_signature : signature -> signature -> bool
+
+val equal_chain : ('a -> 'a -> bool) -> 'a chain -> 'a chain -> bool
+(** Structural chain equality given value equality. *)
+
 val valid : 'a chain -> sender:Vv_sim.Types.node_id -> len:int -> bool
 (** Exactly [len] distinct signers, sender first, all signatures verifying
     against the value and their prefix. *)

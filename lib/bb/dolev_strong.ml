@@ -18,6 +18,8 @@ let name = "dolev-strong"
 
 type msg = int Auth.chain
 
+let equal_msg = Auth.equal_chain Int.equal
+
 type state = {
   sender : Types.node_id;
   extracted : int list;  (* accepted values, at most 2 kept *)
@@ -26,40 +28,39 @@ type state = {
 
 let rounds ~n:_ ~t = t + 1
 
-let start ~n:_ ~t:_ ~me ~sender ~value =
+let start ~n:_ ~t:_ ~me ~sender ~value ~outbox =
   match value with
   | Some v when me = sender ->
       if v < 0 then invalid_arg "Dolev_strong.start: negative value";
-      ({ sender; extracted = [ v ]; done_ = false },
-       [ Types.broadcast (Auth.initial ~sender v) ])
-  | None when me <> sender -> ({ sender; extracted = []; done_ = false }, [])
+      Outbox.broadcast outbox (Auth.initial ~sender v);
+      { sender; extracted = [ v ]; done_ = false }
+  | None when me <> sender -> { sender; extracted = []; done_ = false }
   | Some _ -> invalid_arg "Dolev_strong.start: value supplied at non-sender"
   | None -> invalid_arg "Dolev_strong.start: sender has no value"
 
-let step ~n:_ ~t ~me st ~lround ~inbox =
-  if st.done_ then (st, [])
+let step ~n:_ ~t ~me st ~lround ~inbox ~outbox =
+  if st.done_ then st
   else begin
     let extracted = ref st.extracted in
-    let outbox = ref [] in
-    List.iter
-      (fun ((_, chain) : Types.node_id * msg) ->
-        let v = chain.Auth.value in
-        let fresh = not (List.mem v !extracted) in
-        let want_more = List.length !extracted < 2 in
-        if
-          fresh && want_more && v >= 0
-          && Auth.valid chain ~sender:st.sender ~len:lround
-          && not (List.mem me (Auth.signers chain))
-        then begin
-          extracted := !extracted @ [ v ];
-          (* Relaying after round t is pointless: the chain could not reach
-             the required t+1 signatures by the last round. *)
-          if lround <= t then
-            outbox := Types.broadcast (Auth.extend chain ~signer:me) :: !outbox
-        end)
-      inbox;
+    for i = 0 to inbox.Bb_intf.len - 1 do
+      let chain = inbox.Bb_intf.msgs.(i) in
+      let v = chain.Auth.value in
+      let fresh = not (List.exists (fun (x : int) -> x = v) !extracted) in
+      let want_more = List.compare_length_with !extracted 2 < 0 in
+      if
+        fresh && want_more && v >= 0
+        && Auth.valid chain ~sender:st.sender ~len:lround
+        && not (Auth.mem_signer chain me)
+      then begin
+        extracted := !extracted @ [ v ];
+        (* Relaying after round t is pointless: the chain could not reach
+           the required t+1 signatures by the last round. *)
+        if lround <= t then
+          Outbox.broadcast outbox (Auth.extend chain ~signer:me)
+      end
+    done;
     let done_ = lround >= t + 1 in
-    ({ st with extracted = !extracted; done_ }, List.rev !outbox)
+    { st with extracted = !extracted; done_ }
   end
 
 let result st =

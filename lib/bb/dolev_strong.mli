@@ -11,6 +11,8 @@ type msg = int Auth.chain
     adversaries can craft equivocating initial chains via
     {!Auth.initial}. *)
 
+val equal_msg : msg -> msg -> bool
+
 type state
 
 val rounds : n:int -> t:int -> int
@@ -22,7 +24,8 @@ val start :
   me:Vv_sim.Types.node_id ->
   sender:Vv_sim.Types.node_id ->
   value:int option ->
-  state * msg Vv_sim.Types.envelope list
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val step :
   n:int ->
@@ -30,8 +33,9 @@ val step :
   me:Vv_sim.Types.node_id ->
   state ->
   lround:int ->
-  inbox:(Vv_sim.Types.node_id * msg) list ->
-  state * msg Vv_sim.Types.envelope list
+  inbox:msg Bb_intf.inbox ->
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val result : state -> int
 (** The unique accepted value, or {!Bb_intf.bottom} on none/equivocation. *)

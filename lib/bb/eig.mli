@@ -12,6 +12,12 @@ type msg =
   | Init of int  (** the sender's round-0 value *)
   | Report of { path : Vv_sim.Types.node_id list; value : int }
 
+val equal_msg : msg -> msg -> bool
+
+val compare_msg : msg -> msg -> int
+(** Total order: [Init] before [Report]; [Report] by path (lexicographic),
+    then value.  The deterministic relay emission order. *)
+
 type state
 
 val tree_size : n:int -> t:int -> int
@@ -26,7 +32,8 @@ val start :
   me:Vv_sim.Types.node_id ->
   sender:Vv_sim.Types.node_id ->
   value:int option ->
-  state * msg Vv_sim.Types.envelope list
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 (** Raises [Invalid_argument] when the EIG tree would exceed
     {!max_tree_size}. *)
 
@@ -36,7 +43,8 @@ val step :
   me:Vv_sim.Types.node_id ->
   state ->
   lround:int ->
-  inbox:(Vv_sim.Types.node_id * msg) list ->
-  state * msg Vv_sim.Types.envelope list
+  inbox:msg Bb_intf.inbox ->
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val result : state -> int

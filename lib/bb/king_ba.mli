@@ -8,6 +8,8 @@ type msg =
   | Val of { phase : int; value : int }
   | King of { phase : int; value : int }
 
+val equal_msg : msg -> msg -> bool
+
 type state
 
 val rounds : t:int -> int
@@ -15,8 +17,8 @@ val rounds : t:int -> int
 
 val king_of : n:int -> int -> Vv_sim.Types.node_id
 
-val start : int -> state * msg Vv_sim.Types.envelope list
-(** [start own_value]. *)
+val start : int -> outbox:msg Vv_sim.Outbox.t -> state
+(** [start own_value ~outbox]. *)
 
 val step :
   n:int ->
@@ -24,7 +26,8 @@ val step :
   me:Vv_sim.Types.node_id ->
   state ->
   lround:int ->
-  inbox:(Vv_sim.Types.node_id * msg) list ->
-  state * msg Vv_sim.Types.envelope list
+  inbox:msg Bb_intf.inbox ->
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val result : state -> int

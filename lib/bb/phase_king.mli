@@ -11,6 +11,8 @@ type msg =
       (** phase [-1] is the sender's round-0 transmission *)
   | King of { phase : int; value : int }
 
+val equal_msg : msg -> msg -> bool
+
 type state
 
 val rounds : n:int -> t:int -> int
@@ -25,7 +27,8 @@ val start :
   me:Vv_sim.Types.node_id ->
   sender:Vv_sim.Types.node_id ->
   value:int option ->
-  state * msg Vv_sim.Types.envelope list
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val step :
   n:int ->
@@ -33,7 +36,8 @@ val step :
   me:Vv_sim.Types.node_id ->
   state ->
   lround:int ->
-  inbox:(Vv_sim.Types.node_id * msg) list ->
-  state * msg Vv_sim.Types.envelope list
+  inbox:msg Bb_intf.inbox ->
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val result : state -> int

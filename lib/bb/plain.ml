@@ -13,26 +13,29 @@ let name = "plain"
 
 type msg = int
 
+let equal_msg = Int.equal
+
 type state = { sender : Types.node_id; received : int }
 
 let rounds ~n:_ ~t:_ = 1
 
-let start ~n:_ ~t:_ ~me ~sender ~value =
+let start ~n:_ ~t:_ ~me ~sender ~value ~outbox =
   match value with
   | Some v when me = sender ->
       if v < 0 then invalid_arg "Plain.start: negative value";
-      ({ sender; received = v }, [ Types.broadcast v ])
-  | None when me <> sender -> ({ sender; received = Bb_intf.bottom }, [])
+      Outbox.broadcast outbox v;
+      { sender; received = v }
+  | None when me <> sender -> { sender; received = Bb_intf.bottom }
   | Some _ -> invalid_arg "Plain.start: value supplied at non-sender"
   | None -> invalid_arg "Plain.start: sender has no value"
 
-let step ~n:_ ~t:_ ~me:_ st ~lround:_ ~inbox =
-  let received =
-    List.fold_left
-      (fun acc (src, v) ->
-        if src = st.sender && acc = Bb_intf.bottom && v >= 0 then v else acc)
-      st.received inbox
-  in
-  ({ st with received }, [])
+let step ~n:_ ~t:_ ~me:_ st ~lround:_ ~inbox ~outbox:_ =
+  let received = ref st.received in
+  for i = 0 to inbox.Bb_intf.len - 1 do
+    let v = inbox.Bb_intf.msgs.(i) in
+    if inbox.Bb_intf.srcs.(i) = st.sender && !received = Bb_intf.bottom && v >= 0
+    then received := v
+  done;
+  { st with received = !received }
 
 let result st = st.received

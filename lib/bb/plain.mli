@@ -10,6 +10,8 @@ val name : string
 
 type msg = int
 
+val equal_msg : msg -> msg -> bool
+
 type state
 
 val rounds : n:int -> t:int -> int
@@ -21,7 +23,8 @@ val start :
   me:Vv_sim.Types.node_id ->
   sender:Vv_sim.Types.node_id ->
   value:int option ->
-  state * msg Vv_sim.Types.envelope list
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val step :
   n:int ->
@@ -29,7 +32,8 @@ val step :
   me:Vv_sim.Types.node_id ->
   state ->
   lround:int ->
-  inbox:(Vv_sim.Types.node_id * msg) list ->
-  state * msg Vv_sim.Types.envelope list
+  inbox:msg Bb_intf.inbox ->
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val result : state -> int

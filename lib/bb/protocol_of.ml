@@ -6,7 +6,9 @@
    bounded delay delta > 1 the wrapper batches engine rounds: local round r
    spans engine rounds (r-1)*delta+1 .. r*delta, buffering arrivals and
    stepping the sub-machine at the end of each batch — the standard
-   timeout-per-round realisation of a synchronous protocol. *)
+   timeout-per-round realisation of a synchronous protocol.  The engine's
+   outbox is handed straight through to the sub-machine (its message type
+   is the wrapper's message type), so the wrapper adds no per-send cost. *)
 
 open Vv_sim
 
@@ -25,13 +27,14 @@ module Make (Sub : Bb_intf.S) :
     sub : Sub.state;
     delta : int;
     total_engine_rounds : int;
-    buffer : (Types.node_id * msg) list;  (* arrivals of the current batch, reversed *)
+    buffer : msg Bb_intf.inbox;  (* arrivals of the current batch *)
     finished : bool;
   }
 
   let name = Sub.name
+  let equal_msg = Sub.equal_msg
 
-  let init (ctx : Protocol.ctx) { sender; value } =
+  let init (ctx : Protocol.ctx) { sender; value } ~outbox =
     let delta =
       match ctx.delta with
       | Some d -> d
@@ -39,31 +42,37 @@ module Make (Sub : Bb_intf.S) :
           invalid_arg
             (Sub.name ^ ": requires a known delay bound (synchronous network)")
     in
-    let sub, out = Sub.start ~n:ctx.n ~t:ctx.t ~me:ctx.me ~sender ~value in
-    ( {
-        sub;
-        delta;
-        total_engine_rounds = Sub.rounds ~n:ctx.n ~t:ctx.t * delta;
-        buffer = [];
-        finished = false;
-      },
-      out )
+    let sub = Sub.start ~n:ctx.n ~t:ctx.t ~me:ctx.me ~sender ~value ~outbox in
+    {
+      sub;
+      delta;
+      total_engine_rounds = Sub.rounds ~n:ctx.n ~t:ctx.t * delta;
+      buffer = Bb_intf.inbox_create ();
+      finished = false;
+    }
 
-  let step (ctx : Protocol.ctx) st ~round ~inbox =
-    if st.finished then (st, [])
-    else
-      let buffer = List.rev_append inbox st.buffer in
+  let step (ctx : Protocol.ctx) st ~round ~inbox ~outbox =
+    if st.finished then st
+    else begin
+      for i = 0 to Inbox.length inbox - 1 do
+        Bb_intf.inbox_push st.buffer (Inbox.src inbox i) (Inbox.msg inbox i)
+      done;
       if round mod st.delta = 0 then begin
         let lround = round / st.delta in
-        let sub, out =
-          Sub.step ~n:ctx.n ~t:ctx.t ~me:ctx.me st.sub ~lround
-            ~inbox:(List.rev buffer)
+        let sub =
+          Sub.step ~n:ctx.n ~t:ctx.t ~me:ctx.me st.sub ~lround ~inbox:st.buffer
+            ~outbox
         in
-        ( { st with sub; buffer = []; finished = round >= st.total_engine_rounds },
-          out )
+        Bb_intf.inbox_clear st.buffer;
+        { st with sub; finished = round >= st.total_engine_rounds }
       end
-      else ({ st with buffer }, [])
+      else st
+    end
 
   let output st = if st.finished then Some (Sub.result st.sub) else None
   let phase st = if st.finished then "done" else "broadcast"
+
+  (* A finished wrapper never steps its substrate again and emits
+     nothing. *)
+  let inert st = st.finished
 end

@@ -67,10 +67,18 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
       delta : int;
       bb_rounds : int;
       mutable bb : Sub.state;
-      mutable bb_buffer : (Types.node_id * Sub.msg) list;
+      bb_buffer : Sub.msg Vv_bb.Bb_intf.inbox;
+      sub_outbox : Sub.msg Outbox.t;  (* reusable sub-machine scratch *)
       mutable subject : subject option;
       ballots : (Types.node_id, subject * Oid.t list) Hashtbl.t;
       proposes : (Types.node_id, subject * Oid.t) Hashtbl.t;
+      (* Cached aggregates over the tables, maintained incrementally at
+         ingest once the subject is known (see Voting for the rationale:
+         stalled rounds must not re-fold the tables). *)
+      mutable endorse_tally : Tally.t;
+      mutable senders : int;  (* ballots matching the subject *)
+      mutable prop_tally : Tally.t;
+      mutable prop_dirty : bool;
       mutable deadline : int option;
       mutable proposed : bool;
       mutable decided : Oid.t option;
@@ -78,7 +86,16 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
 
     let name = "approval/" ^ Sub.name
 
-    let init (ctx : Protocol.ctx) cfg =
+    let equal_msg a b =
+      match (a, b) with
+      | Prepare a, Prepare b -> Sub.equal_msg a b
+      | Approve a, Approve b ->
+          a.subject = b.subject && List.equal Oid.equal a.choices b.choices
+      | Propose a, Propose b ->
+          a.subject = b.subject && Oid.equal a.choice b.choice
+      | (Prepare _ | Approve _ | Propose _), _ -> false
+
+    let init (ctx : Protocol.ctx) cfg ~outbox =
       if cfg.approvals = [] then
         invalid_arg "Approval: empty approval set";
       let delta =
@@ -87,35 +104,39 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
         | None -> invalid_arg (name ^ ": requires a known delay bound")
       in
       let value = if ctx.me = cfg.speaker then Some cfg.subject else None in
-      let bb, bb_out =
+      let sub_outbox = Outbox.create () in
+      let bb =
         Sub.start ~n:ctx.n ~t:ctx.t ~me:ctx.me ~sender:cfg.speaker ~value
+          ~outbox:sub_outbox
       in
-      let st =
-        {
-          cfg;
-          delta;
-          bb_rounds = Sub.rounds ~n:ctx.n ~t:ctx.t;
-          bb;
-          bb_buffer = [];
-          subject = None;
-          ballots = Hashtbl.create 16;
-          proposes = Hashtbl.create 16;
-          deadline = None;
-          proposed = false;
-          decided = None;
-        }
-      in
-      let wrap (e : Sub.msg Types.envelope) =
-        { Types.dest = e.Types.dest; payload = Prepare e.Types.payload }
-      in
-      (st, List.map wrap bb_out)
+      Outbox.transfer sub_outbox ~f:(fun m -> Prepare m) ~into:outbox;
+      {
+        cfg;
+        delta;
+        bb_rounds = Sub.rounds ~n:ctx.n ~t:ctx.t;
+        bb;
+        bb_buffer = Vv_bb.Bb_intf.inbox_create ();
+        sub_outbox;
+        subject = None;
+        ballots = Hashtbl.create 16;
+        proposes = Hashtbl.create 16;
+        endorse_tally = Tally.empty;
+        senders = 0;
+        prop_tally = Tally.empty;
+        prop_dirty = false;
+        deadline = None;
+        proposed = false;
+        decided = None;
+      }
 
+    let add_ballot acc choices =
+      List.fold_left Tally.add acc (List.sort_uniq Oid.compare choices)
+
+    (* From-scratch folds, used once when the subject becomes known. *)
     let endorsements st s =
       Hashtbl.fold
         (fun _src (subj, choices) acc ->
-          if subj = s then
-            List.fold_left Tally.add acc (List.sort_uniq Oid.compare choices)
-          else acc)
+          if subj = s then add_ballot acc choices else acc)
         st.ballots Tally.empty
 
     let senders_for st s =
@@ -129,69 +150,85 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
           if subj = s then Tally.add acc choice else acc)
         st.proposes Tally.empty
 
-    let step (ctx : Protocol.ctx) st ~round ~inbox =
-      let outbox = ref [] in
-      let emit e = outbox := e :: !outbox in
-      List.iter
-        (fun (src, m) ->
+    let step (ctx : Protocol.ctx) st ~round ~inbox ~outbox =
+      Inbox.iter
+        (fun src m ->
           match m with
           | Prepare b ->
-              if st.subject = None then st.bb_buffer <- (src, b) :: st.bb_buffer
+              if st.subject = None then Vv_bb.Bb_intf.inbox_push st.bb_buffer src b
           | Approve { subject; choices } ->
-              if not (Hashtbl.mem st.ballots src) then
-                Hashtbl.add st.ballots src (subject, choices)
+              if not (Hashtbl.mem st.ballots src) then begin
+                Hashtbl.add st.ballots src (subject, choices);
+                match st.subject with
+                | Some s when subject = s ->
+                    st.endorse_tally <- add_ballot st.endorse_tally choices;
+                    st.senders <- st.senders + 1
+                | Some _ | None -> ()
+              end
           | Propose { subject; choice } ->
-              if not (Hashtbl.mem st.proposes src) then
-                Hashtbl.add st.proposes src (subject, choice))
+              if not (Hashtbl.mem st.proposes src) then begin
+                Hashtbl.add st.proposes src (subject, choice);
+                match st.subject with
+                | Some s when subject = s ->
+                    st.prop_tally <- Tally.add st.prop_tally choice;
+                    st.prop_dirty <- true
+                | Some _ | None -> ()
+              end)
         inbox;
       if st.subject = None && round mod st.delta = 0 then begin
         let lround = round / st.delta in
         if lround >= 1 && lround <= st.bb_rounds then begin
-          let sub, bb_out =
+          let sub =
             Sub.step ~n:ctx.n ~t:ctx.t ~me:ctx.me st.bb ~lround
-              ~inbox:(List.rev st.bb_buffer)
+              ~inbox:st.bb_buffer ~outbox:st.sub_outbox
           in
           st.bb <- sub;
-          st.bb_buffer <- [];
-          List.iter
-            (fun (e : Sub.msg Types.envelope) ->
-              emit { Types.dest = e.Types.dest; payload = Prepare e.Types.payload })
-            bb_out;
+          Vv_bb.Bb_intf.inbox_clear st.bb_buffer;
+          Outbox.transfer st.sub_outbox ~f:(fun m -> Prepare m) ~into:outbox;
           if lround = st.bb_rounds then begin
             let s = Sub.result sub in
             st.subject <- Some s;
-            if s >= 0 then
-              emit
-                (Types.broadcast
-                   (Approve { subject = s; choices = st.cfg.approvals }))
+            if s >= 0 then begin
+              st.endorse_tally <- endorsements st s;
+              st.senders <- senders_for st s;
+              st.prop_tally <- propose_tally st s;
+              st.prop_dirty <- true;
+              Outbox.broadcast outbox
+                (Approve { subject = s; choices = st.cfg.approvals })
+            end
           end
         end
       end;
       (match st.subject with
       | Some s when s >= 0 && (not st.proposed) && st.decided = None ->
-          if st.deadline = None && senders_for st s >= ctx.t + 1 then
+          if st.deadline = None && st.senders >= ctx.t + 1 then
             st.deadline <- Some (round + (2 * st.delta));
           (match st.deadline with
           | Some d when round >= d -> begin
               st.proposed <- true;
-              match Tally.top ~tie:st.cfg.tie (endorsements st s) with
+              match Tally.top ~tie:st.cfg.tie st.endorse_tally with
               | Some { Tally.a; a_count; b_count; _ }
                 when a_count - b_count > st.cfg.quorum_gap ->
-                  emit (Types.broadcast (Propose { subject = s; choice = a }))
+                  Outbox.broadcast outbox (Propose { subject = s; choice = a })
               | Some _ | None -> ()
             end
           | Some _ | None -> ())
       | Some _ | None -> ());
       (match st.subject with
-      | Some s when s >= 0 && st.decided = None -> begin
-          match Tally.ranked ~tie:st.cfg.tie (propose_tally st s) with
+      | Some s when s >= 0 && st.decided = None && st.prop_dirty -> begin
+          ignore s;
+          st.prop_dirty <- false;
+          match Tally.ranked ~tie:st.cfg.tie st.prop_tally with
           | (choice, c) :: _ when c >= ctx.n - ctx.t -> st.decided <- Some choice
           | _ -> ()
         end
       | Some _ | None -> ());
-      (st, List.rev !outbox)
+      st
 
     let output st = st.decided
+
+    (* Conservative: approval runs are not fast-forwarded. *)
+    let inert _ = false
 
     let phase st =
       if st.decided <> None then "decided"
@@ -213,16 +250,20 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
         if !acted then []
         else
           let seen = Hashtbl.create 16 in
-          List.iter
-            (fun (d : msg Types.delivery) ->
-              match d.Types.msg with
-              | Approve { subject; choices } ->
-                  if not (Hashtbl.mem seen d.Types.src) then
-                    Hashtbl.add seen d.Types.src (subject, choices)
-              | Prepare _ | Propose _ -> ())
-            view.Adversary.honest_sent;
+          for i = 0 to view.Adversary.sent_len - 1 do
+            match view.Adversary.sent_msg i with
+            | Approve { subject; choices } ->
+                let src = view.Adversary.sent_src i in
+                if not (Hashtbl.mem seen src) then
+                  Hashtbl.add seen src (subject, choices)
+            | Prepare _ | Propose _ -> ()
+          done;
           let ballots =
-            Hashtbl.fold (fun _ b acc -> b :: acc) seen [] |> List.sort compare
+            Hashtbl.fold (fun _ b acc -> b :: acc) seen []
+            |> List.sort (fun (s1, c1) (s2, c2) ->
+                   match Int.compare s1 s2 with
+                   | 0 -> List.compare Oid.compare c1 c2
+                   | c -> c)
           in
           match ballots with
           | [] -> []

@@ -61,10 +61,24 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
       delta : int;
       bb_rounds : int;
       mutable bb : Sub.state;
-      mutable bb_buffer : (Types.node_id * Sub.msg) list;  (* reversed *)
+      bb_buffer : Sub.msg Vv_bb.Bb_intf.inbox;
+          (* arrivals of the current delta batch, in delivery order *)
+      sub_outbox : Sub.msg Outbox.t;
+          (* reusable scratch the sub-machine emits into; its entries are
+             transfer-wrapped into [Prepare] after every sub-call *)
       mutable subject : subject option;  (* set once; may be Bb_intf.bottom *)
       votes : (Types.node_id, subject * Oid.t) Hashtbl.t;  (* first per sender *)
       proposes : (Types.node_id, subject * Oid.t) Hashtbl.t;
+      (* Incrementally maintained tallies of the votes/proposes matching
+         [subject] (meaningful once the subject is known), with dirty
+         flags — so rounds without relevant arrivals skip the propose and
+         decide evaluations entirely instead of re-folding the tables.
+         This is what makes stalled executions (which burn the whole
+         round budget) cheap. *)
+      mutable vote_tally : Tally.t;
+      mutable votes_dirty : bool;
+      mutable prop_tally : Tally.t;
+      mutable prop_dirty : bool;
       mutable vote_deadline : int option;
       mutable propose_done : bool;
       mutable decided : Oid.t option;
@@ -72,139 +86,219 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
 
     let name = "voting/" ^ Sub.name
 
-    let init (ctx : Protocol.ctx) input =
+    let equal_msg a b =
+      match (a, b) with
+      | Prepare a, Prepare b -> Sub.equal_msg a b
+      | Vote a, Vote b -> a.subject = b.subject && Oid.equal a.choice b.choice
+      | Propose a, Propose b ->
+          a.subject = b.subject && Oid.equal a.choice b.choice
+      | (Prepare _ | Vote _ | Propose _), _ -> false
+
+    let init (ctx : Protocol.ctx) input ~outbox =
       let delta =
         match ctx.delta with
         | Some d -> d
         | None -> invalid_arg (name ^ ": requires a known delay bound")
       in
       let value = if ctx.me = input.speaker then Some input.subject else None in
-      let bb, bb_out =
+      let sub_outbox = Outbox.create () in
+      let bb =
         Sub.start ~n:ctx.n ~t:ctx.t ~me:ctx.me ~sender:input.speaker ~value
+          ~outbox:sub_outbox
       in
-      let st =
-        {
-          variant = input.variant;
-          preference = input.preference;
-          delta;
-          bb_rounds = Sub.rounds ~n:ctx.n ~t:ctx.t;
-          bb;
-          bb_buffer = [];
-          subject = None;
-          votes = Hashtbl.create 16;
-          proposes = Hashtbl.create 16;
-          vote_deadline = None;
-          propose_done = false;
-          decided = None;
-        }
-      in
-      let wrap (e : Sub.msg Types.envelope) =
-        { Types.dest = e.Types.dest; payload = Prepare e.Types.payload }
-      in
-      (st, List.map wrap bb_out)
+      Outbox.transfer sub_outbox ~f:(fun m -> Prepare m) ~into:outbox;
+      {
+        variant = input.variant;
+        preference = input.preference;
+        delta;
+        bb_rounds = Sub.rounds ~n:ctx.n ~t:ctx.t;
+        bb;
+        bb_buffer = Vv_bb.Bb_intf.inbox_create ();
+        sub_outbox;
+        subject = None;
+        votes = Hashtbl.create 16;
+        proposes = Hashtbl.create 16;
+        vote_tally = Tally.empty;
+        votes_dirty = false;
+        prop_tally = Tally.empty;
+        prop_dirty = false;
+        vote_deadline = None;
+        propose_done = false;
+        decided = None;
+      }
 
-    (* Tally of the first votes per sender matching subject [s]. *)
+    (* Tally of the first votes per sender matching subject [s] — the
+       from-scratch fold, used once when the subject becomes known (to
+       cover messages that arrived early); thereafter the cached tallies
+       are maintained incrementally at ingest. *)
     let tally_for table s =
       Hashtbl.fold
         (fun _src (subj, choice) acc ->
           if subj = s then Tally.add acc choice else acc)
         table Tally.empty
 
-    let step (ctx : Protocol.ctx) st ~round ~inbox =
-      let outbox = ref [] in
-      let emit e = outbox := e :: !outbox in
-      (* Ingest. *)
-      List.iter
-        (fun (src, m) ->
-          match m with
-          | Prepare b ->
-              if st.subject = None then st.bb_buffer <- (src, b) :: st.bb_buffer
-          | Vote { subject; choice } ->
-              if not (Hashtbl.mem st.votes src) then
-                Hashtbl.add st.votes src (subject, choice)
-          | Propose { subject; choice } ->
-              if not (Hashtbl.mem st.proposes src) then
-                Hashtbl.add st.proposes src (subject, choice))
-        inbox;
+    let step (ctx : Protocol.ctx) st ~round ~inbox ~outbox =
+      (* Ingest — an indexed loop rather than [Inbox.iter] so a quiet
+         round allocates no closure. *)
+      for i = 0 to Inbox.length inbox - 1 do
+        let src = Inbox.src inbox i in
+        match Inbox.msg inbox i with
+        | Prepare b -> (
+            match st.subject with
+            | None -> Vv_bb.Bb_intf.inbox_push st.bb_buffer src b
+            | Some _ -> ())
+        | Vote { subject; choice } ->
+            if not (Hashtbl.mem st.votes src) then begin
+              Hashtbl.add st.votes src (subject, choice);
+              match st.subject with
+              | Some s when subject = s ->
+                  st.vote_tally <- Tally.add st.vote_tally choice;
+                  st.votes_dirty <- true
+              | Some _ | None -> ()
+            end
+        | Propose { subject; choice } ->
+            if not (Hashtbl.mem st.proposes src) then begin
+              Hashtbl.add st.proposes src (subject, choice);
+              match st.subject with
+              | Some s when subject = s ->
+                  st.prop_tally <- Tally.add st.prop_tally choice;
+                  st.prop_dirty <- true
+              | Some _ | None -> ()
+            end
+      done;
       (* Phase 1: progress the broadcast sub-machine (batched by delta). *)
-      if st.subject = None && round mod st.delta = 0 then begin
+      let no_subject =
+        match st.subject with None -> true | Some _ -> false
+      in
+      if no_subject && round mod st.delta = 0 then begin
         let lround = round / st.delta in
         if lround >= 1 && lround <= st.bb_rounds then begin
-          let sub, bb_out =
+          let sub =
             Sub.step ~n:ctx.n ~t:ctx.t ~me:ctx.me st.bb ~lround
-              ~inbox:(List.rev st.bb_buffer)
+              ~inbox:st.bb_buffer ~outbox:st.sub_outbox
           in
           st.bb <- sub;
-          st.bb_buffer <- [];
-          List.iter
-            (fun (e : Sub.msg Types.envelope) ->
-              emit { Types.dest = e.Types.dest; payload = Prepare e.Types.payload })
-            bb_out;
+          Vv_bb.Bb_intf.inbox_clear st.bb_buffer;
+          Outbox.transfer st.sub_outbox ~f:(fun m -> Prepare m) ~into:outbox;
           if lround = st.bb_rounds then begin
             let s = Sub.result sub in
             st.subject <- Some s;
-            (* Phase 2: a valid subject triggers the vote (Line 7-9). *)
-            if s >= 0 then
-              emit (Types.broadcast (Vote { subject = s; choice = st.preference }))
+            if s >= 0 then begin
+              (* Seed the cached tallies from everything that arrived before
+                 the subject was known. *)
+              st.vote_tally <- tally_for st.votes s;
+              st.prop_tally <- tally_for st.proposes s;
+              st.votes_dirty <- true;
+              st.prop_dirty <- true;
+              (* Phase 2: a valid subject triggers the vote (Line 7-9). *)
+              Outbox.broadcast outbox
+                (Vote { subject = s; choice = st.preference })
+            end
           end
         end
       end;
       let tolerance = ctx.t in
-      (* Phase 3: propose. *)
+      (* Phase 3: propose.  Everything below depends only on the cached
+         ballot and (for After_wait) the pending deadline, so the arm is
+         entered only when a relevant vote arrived this round or a
+         deadline is armed — a quiet stalled round does no tally work. *)
+      let deadline_armed =
+        match st.vote_deadline with Some _ -> true | None -> false
+      in
       (match st.subject with
-      | Some s when s >= 0 && (not st.propose_done) && st.decided = None ->
-          let ballot = tally_for st.votes s in
-          let total = Tally.total ballot in
-          let dp = Variant.delta_p st.variant ~tolerance in
+      | Some s
+        when s >= 0
+             && (not st.propose_done)
+             && (match st.decided with None -> true | Some _ -> false)
+             && (st.votes_dirty || deadline_armed) ->
+          let ballot = st.vote_tally in
           let tie = st.variant.Variant.tie in
           (match st.variant.Variant.propose with
           | Variant.After_wait ->
-              if st.vote_deadline = None && total >= tolerance + 1 then
-                st.vote_deadline <- Some (round + (2 * st.delta));
+              if
+                (not deadline_armed)
+                && Tally.total ballot >= tolerance + 1
+              then st.vote_deadline <- Some (round + (2 * st.delta));
               (match st.vote_deadline with
               | Some d when round >= d -> begin
                   st.propose_done <- true;
+                  let dp = Variant.delta_p st.variant ~tolerance in
                   match Tally.top ~tie ballot with
                   | Some { Tally.a; a_count; b_count; _ }
                     when a_count - b_count > dp ->
-                      emit (Types.broadcast (Propose { subject = s; choice = a }))
+                      Outbox.broadcast outbox
+                        (Propose { subject = s; choice = a })
                   | Some _ | None -> ()
                 end
               | Some _ | None -> ())
           | Variant.Incremental ->
-              if total >= tolerance + 1 then begin
+              (* Inequality (14) depends only on the ballot: re-evaluate
+                 only when a relevant vote arrived. *)
+              if st.votes_dirty && Tally.total ballot >= tolerance + 1 then begin
+                let dp = Variant.delta_p st.variant ~tolerance in
                 match Tally.top ~tie ballot with
                 | Some { Tally.a; a_count; c_count; _ }
                   when Bounds.incremental_ready ~n:ctx.n ~delta_p:dp
                          ~a_i:a_count ~c_i:c_count ->
                     st.propose_done <- true;
-                    emit (Types.broadcast (Propose { subject = s; choice = a }))
+                    Outbox.broadcast outbox (Propose { subject = s; choice = a })
                 | Some _ | None -> ()
-              end)
+              end);
+          st.votes_dirty <- false
       | Some _ | None -> ());
-      (* Phase 4: decide on a quorum of matching proposes (Line 16-17). *)
+      (* Phase 4: decide on a quorum of matching proposes (Line 16-17).
+         The quorum test depends only on the propose tally, so skip it on
+         rounds where no relevant propose arrived. *)
       (match st.subject with
-      | Some s when s >= 0 && st.decided = None -> begin
+      | Some s
+        when s >= 0 && st.prop_dirty
+             && (match st.decided with None -> true | Some _ -> false) -> begin
+          ignore s;
+          st.prop_dirty <- false;
           let quorum = Variant.quorum_size st.variant ~n:ctx.n ~tolerance in
-          let counts = tally_for st.proposes s in
-          match Tally.ranked ~tie:st.variant.Variant.tie counts with
+          match Tally.ranked ~tie:st.variant.Variant.tie st.prop_tally with
           | (choice, c) :: _ when c >= quorum -> st.decided <- Some choice
           | _ -> ()
         end
       | Some _ | None -> ());
-      (st, List.rev !outbox)
+      st
 
     let output st = st.decided
 
+    (* Inert states, for the engine's stalled-run fast-forward: [step] on
+       an empty inbox is a permanent no-op exactly when the sub-machine
+       has delivered a subject (Phase 1 never re-enters), no propose
+       deadline is pending, and no unconsumed tally dirt remains — then
+       Phases 3 and 4 are gated off at every future round.  A decided
+       node trivially qualifies, as does one whose subject is invalid
+       (s < 0 disables Phases 2-4 outright). *)
+    let inert st =
+      match st.decided with
+      | Some _ -> true
+      | None -> (
+          match st.subject with
+          | None -> false
+          | Some s ->
+              s < 0
+              || ((not st.prop_dirty)
+                 && (st.propose_done
+                    || ((not st.votes_dirty)
+                       &&
+                       match st.vote_deadline with
+                       | None -> true
+                       | Some _ -> false))))
+
     (* The Section IV phase the node is in, for trace events. *)
     let phase st =
-      if st.decided <> None then "decided"
-      else if st.propose_done then "proposed"
-      else
-        match st.subject with
-        | None -> "prepare"
-        | Some s when s < 0 -> "no-subject"
-        | Some _ -> "vote"
+      match st.decided with
+      | Some _ -> "decided"
+      | None -> (
+          if st.propose_done then "proposed"
+          else
+            match st.subject with
+            | None -> "prepare"
+            | Some s when s < 0 -> "no-subject"
+            | Some _ -> "vote")
   end
 
   module E = Engine.Make (P)
@@ -212,19 +306,32 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
   (* --- Adversary strategies over this message type --- *)
 
   (* First vote per honest sender observed in the current round's traffic
-     (a broadcast appears once per recipient; deduplicate by source). *)
+     (a broadcast appears once per recipient; deduplicate by source).  The
+     scan reads the indexed view directly, so rounds whose traffic carries
+     no votes — the whole Phase-1 storm — allocate nothing here. *)
   let observed_votes (view : msg Adversary.view) =
-    let seen = Hashtbl.create 16 in
-    List.iter
-      (fun (d : msg Types.delivery) ->
-        match d.Types.msg with
-        | Vote { subject; choice } ->
-            if not (Hashtbl.mem seen d.Types.src) then
-              Hashtbl.add seen d.Types.src (subject, choice)
-        | Prepare _ | Propose _ -> ())
-      view.Adversary.honest_sent;
-    Hashtbl.fold (fun src sv acc -> (src, sv) :: acc) seen []
-    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    let len = view.Adversary.sent_len in
+    let seen = ref None in
+    for i = 0 to len - 1 do
+      match view.Adversary.sent_msg i with
+      | Vote { subject; choice } ->
+          let tbl =
+            match !seen with
+            | Some tbl -> tbl
+            | None ->
+                let tbl = Hashtbl.create 16 in
+                seen := Some tbl;
+                tbl
+          in
+          let src = view.Adversary.sent_src i in
+          if not (Hashtbl.mem tbl src) then Hashtbl.add tbl src (subject, choice)
+      | Prepare _ | Propose _ -> ()
+    done;
+    match !seen with
+    | None -> []
+    | Some tbl ->
+        Hashtbl.fold (fun src sv acc -> (src, sv) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
   let broadcast_from_all (view : msg Adversary.view) m =
     List.concat_map
@@ -255,7 +362,7 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
     | Strategy.Passive -> Adversary.passive
     | Strategy.Collude_second ->
         let acted = ref false in
-        Adversary.named "collude-second" (fun view ->
+        Adversary.named ~quiescent:(fun () -> true) "collude-second" (fun view ->
             if !acted then []
             else
               match observed_top2 ~tie (observed_votes view) with
@@ -265,7 +372,7 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
                   broadcast_from_all view (Vote { subject = s; choice = second }))
     | Strategy.Collude_fixed target ->
         let acted = ref false in
-        Adversary.named "collude-fixed" (fun view ->
+        Adversary.named ~quiescent:(fun () -> true) "collude-fixed" (fun view ->
             if !acted then []
             else
               match observed_votes view with
@@ -276,7 +383,7 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
                     (Vote { subject = s; choice = Oid.of_int target }))
     | Strategy.Split_top2 ->
         let acted = ref false in
-        Adversary.named "split-top2" (fun view ->
+        Adversary.named ~quiescent:(fun () -> true) "split-top2" (fun view ->
             if !acted then []
             else
               match observed_top2 ~tie (observed_votes view) with
@@ -295,7 +402,7 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
                     view.Adversary.byzantine)
     | Strategy.Propose_second ->
         let acted = ref false in
-        Adversary.named "propose-second" (fun view ->
+        Adversary.named ~quiescent:(fun () -> true) "propose-second" (fun view ->
             if !acted then []
             else
               match observed_top2 ~tie (observed_votes view) with
@@ -310,7 +417,10 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
            [delay_rounds] rounds before releasing them. *)
         let pending = ref None in
         let acted = ref false in
-        Adversary.named "late-collude" (fun view ->
+        Adversary.named
+          ~quiescent:(fun () ->
+            !acted || match !pending with None -> true | Some _ -> false)
+          "late-collude" (fun view ->
             (match (!pending, !acted) with
             | None, false -> (
                 match observed_top2 ~tie (observed_votes view) with
@@ -327,7 +437,7 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
     | Strategy.Random_votes seed ->
         let acted = ref false in
         let rng = Vv_prelude.Rng.create seed in
-        Adversary.named "random-votes" (fun view ->
+        Adversary.named ~quiescent:(fun () -> true) "random-votes" (fun view ->
             if !acted then []
             else
               let votes = observed_votes view in
@@ -401,7 +511,7 @@ module Make (Sub : Vv_bb.Bb_intf.S) = struct
               @ reach_broadcast view
                   (Propose { subject = s; choice = live domain j })
         in
-        Adversary.of_script
+        Adversary.of_script ~quiet_trigger:true
           ~name:(Fmt.str "%a" Strategy.pp_script actions)
           ~trigger ~interp actions
 

@@ -1,6 +1,7 @@
-(* A minimal JSON tree and printer, enough for the machine-readable
-   emitters (run traces, batch summaries, tables).  Kept dependency-free on
-   purpose: output only, no parsing. *)
+(* A minimal JSON tree, printer and parser, enough for the
+   machine-readable emitters (run traces, batch summaries, tables) and the
+   tools that read them back (the bench regression gate).  Kept
+   dependency-free on purpose. *)
 
 type t =
   | Null
@@ -77,3 +78,154 @@ let pp ppf t = Fmt.string ppf (to_string t)
 let of_int_option = function None -> Null | Some i -> Int i
 
 let of_histogram h = List (List.map (fun (v, c) -> List [ Int v; Int c ]) h)
+
+(* Recursive-descent parser for the subset this module emits (which is
+   standard JSON minus \uXXXX surrogate pairs — non-BMP escapes are
+   rejected rather than mangled).  Numbers parse as [Int] when they carry
+   no fraction, exponent or overflow, [Float] otherwise. *)
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' -> Buffer.add_char buf e; go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "invalid \\u escape"
+              in
+              (* The emitter only writes \u00XX control escapes; decoding
+                 the full BMP would need UTF-8 encoding here. *)
+              if code > 0xff then fail "unsupported \\u escape beyond latin-1";
+              Buffer.add_char buf (Char.chr code);
+              go ()
+          | _ -> fail "invalid escape")
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match int_of_string_opt lit with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> fail "invalid number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg

@@ -1,5 +1,6 @@
-(** Minimal JSON tree and printer for the machine-readable emitters (run
-    traces, batch summaries, tables). Output only — no parser. *)
+(** Minimal JSON tree, printer and parser for the machine-readable
+    emitters (run traces, batch summaries, tables) and the tools that read
+    them back (the bench regression gate). *)
 
 type t =
   | Null
@@ -21,3 +22,8 @@ val of_int_option : int option -> t
 
 val of_histogram : (int * int) list -> t
 (** A [(value, count)] histogram as a list of two-element arrays. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (standard JSON minus non-latin-1 [\u] escapes;
+    numbers without fraction or exponent parse as [Int], the rest as
+    [Float]).  [Error] carries a message with the byte offset. *)

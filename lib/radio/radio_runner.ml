@@ -32,15 +32,15 @@ type strategy =
 
 let observed_runner_up ~tie (view : Radio_voting.msg Adversary.view) =
   let ballots = Hashtbl.create 16 in
-  List.iter
-    (fun (d : Radio_voting.msg Types.delivery) ->
-      match d.Types.msg with
-      | Radio_voting.Flood
-          { origin; payload = Radio_voting.Ballot { subject; choice } }
-        when d.Types.src = origin && not (Hashtbl.mem ballots origin) ->
-          Hashtbl.add ballots origin (subject, choice)
-      | Radio_voting.Flood _ -> ())
-    view.Adversary.honest_sent;
+  for i = 0 to view.Adversary.sent_len - 1 do
+    match view.Adversary.sent_msg i with
+    | Radio_voting.Flood
+        { origin; payload = Radio_voting.Ballot { subject; choice } }
+      when view.Adversary.sent_src i = origin
+           && not (Hashtbl.mem ballots origin) ->
+        Hashtbl.add ballots origin (subject, choice)
+    | Radio_voting.Flood _ -> ()
+  done;
   let entries =
     Hashtbl.fold (fun o b acc -> (o, b) :: acc) ballots [] |> List.sort compare
   in
@@ -84,15 +84,14 @@ let adversary_of ~tie = function
       Adversary.named "radio-poison" (fun view ->
           (match !first_ballot with
           | None ->
-              List.iter
-                (fun (d : Radio_voting.msg Types.delivery) ->
-                  match d.Types.msg with
-                  | Radio_voting.Flood
-                      { payload = Radio_voting.Ballot { subject; _ }; _ }
-                    when !first_ballot = None ->
-                      first_ballot := Some (view.Adversary.round, subject)
-                  | Radio_voting.Flood _ -> ())
-                view.Adversary.honest_sent
+              for i = 0 to view.Adversary.sent_len - 1 do
+                match view.Adversary.sent_msg i with
+                | Radio_voting.Flood
+                    { payload = Radio_voting.Ballot { subject; _ }; _ }
+                  when !first_ballot = None ->
+                    first_ballot := Some (view.Adversary.round, subject)
+                | Radio_voting.Flood _ -> ()
+              done
           | Some _ -> ());
           match !first_ballot with
           | Some (r0, s) when view.Adversary.round = r0 ->

@@ -46,6 +46,11 @@ type state = {
   mutable subject : int option;
   votes : (Types.node_id, int * Oid.t) Hashtbl.t;  (* first ballot per origin *)
   endorses : (Types.node_id, int * Oid.t) Hashtbl.t;
+  (* Cached endorsement tally for the known subject, so the per-round
+     decide check does not re-fold the table (stalled partitioned runs
+     burn the whole round budget otherwise). *)
+  mutable endorse_tally : Tally.t;
+  mutable endorse_dirty : bool;
   mutable voted : bool;
   mutable proposed : bool;
   mutable decided : Oid.t option;
@@ -53,9 +58,33 @@ type state = {
 
 let name = "radio-voting"
 
-let flood ~origin payload = Types.broadcast (Flood { origin; payload })
+let equal_payload a b =
+  match (a, b) with
+  | Subject u, Subject v -> Int.equal u v
+  | Ballot a, Ballot b -> a.subject = b.subject && Oid.equal a.choice b.choice
+  | Endorse a, Endorse b -> a.subject = b.subject && Oid.equal a.choice b.choice
+  | (Subject _ | Ballot _ | Endorse _), _ -> false
 
-let init (ctx : Protocol.ctx) cfg =
+let equal_msg (Flood a) (Flood b) =
+  a.origin = b.origin && equal_payload a.payload b.payload
+
+let flood outbox ~origin payload =
+  Outbox.broadcast outbox (Flood { origin; payload })
+
+let tally_of table s =
+  Hashtbl.fold
+    (fun _origin (subj, choice) acc ->
+      if subj = s then Tally.add acc choice else acc)
+    table Tally.empty
+
+(* The subject is learned exactly once; seed the cached endorsement tally
+   from whatever endorsements arrived before it. *)
+let learn_subject st s =
+  st.subject <- Some s;
+  st.endorse_tally <- tally_of st.endorses s;
+  st.endorse_dirty <- true
+
+let init (ctx : Protocol.ctx) cfg ~outbox =
   if cfg.diameter < 1 then invalid_arg "Radio_voting: diameter must be >= 1";
   let delta =
     match ctx.delta with
@@ -69,16 +98,18 @@ let init (ctx : Protocol.ctx) cfg =
       subject = None;
       votes = Hashtbl.create 16;
       endorses = Hashtbl.create 16;
+      endorse_tally = Tally.empty;
+      endorse_dirty = false;
       voted = false;
       proposed = false;
       decided = None;
     }
   in
   if ctx.me = cfg.speaker then begin
-    st.subject <- Some cfg.subject;
-    (st, [ flood ~origin:ctx.me (Subject cfg.subject) ])
-  end
-  else (st, [])
+    learn_subject st cfg.subject;
+    flood outbox ~origin:ctx.me (Subject cfg.subject)
+  end;
+  st
 
 (* Accept an item into the local tables; true when it is new (and should
    therefore be relayed). *)
@@ -86,7 +117,7 @@ let accept st ~origin payload =
   match payload with
   | Subject s ->
       if origin = st.cfg.speaker && st.subject = None && s >= 0 then begin
-        st.subject <- Some s;
+        learn_subject st s;
         true
       end
       else false
@@ -99,36 +130,30 @@ let accept st ~origin payload =
   | Endorse { subject; choice } ->
       if not (Hashtbl.mem st.endorses origin) then begin
         Hashtbl.add st.endorses origin (subject, choice);
+        (match st.subject with
+        | Some s when subject = s ->
+            st.endorse_tally <- Tally.add st.endorse_tally choice;
+            st.endorse_dirty <- true
+        | Some _ | None -> ());
         true
       end
       else false
 
-let tally_of table s =
-  Hashtbl.fold
-    (fun _origin (subj, choice) acc ->
-      if subj = s then Tally.add acc choice else acc)
-    table Tally.empty
-
-let step (ctx : Protocol.ctx) st ~round ~inbox =
-  let outbox = ref [] in
-  let emit e = outbox := e :: !outbox in
+let step (ctx : Protocol.ctx) st ~round ~inbox ~outbox =
   (* First-accept with direct preference: copies heard from their origin
      are processed before relayed copies of the same round. *)
-  let direct, relayed =
-    List.partition (fun (src, Flood f) -> src = f.origin) inbox
-  in
-  let ingest (_, Flood { origin; payload }) =
-    if accept st ~origin payload then emit (flood ~origin payload)
-  in
-  List.iter ingest direct;
-  List.iter ingest relayed;
+  let ingest (Flood { origin; payload }) =
+    if accept st ~origin payload then flood outbox ~origin payload
+  and is_direct src (Flood f) = src = f.origin in
+  Inbox.iter (fun src m -> if is_direct src m then ingest m) inbox;
+  Inbox.iter (fun src m -> if not (is_direct src m) then ingest m) inbox;
   (* Phase 2: vote as soon as the subject is known. *)
   (match st.subject with
   | Some s when not st.voted ->
       st.voted <- true;
       let payload = Ballot { subject = s; choice = st.cfg.preference } in
       ignore (accept st ~origin:ctx.me payload);
-      emit (flood ~origin:ctx.me payload)
+      flood outbox ~origin:ctx.me payload
   | Some _ | None -> ());
   (* Phase 3: propose once every honest flood has had time to settle. *)
   let propose_round = ((2 * st.cfg.diameter) * st.delta) + 1 in
@@ -142,22 +167,27 @@ let step (ctx : Protocol.ctx) st ~round ~inbox =
         | Some { Tally.a; a_count; b_count; _ } when a_count > b_count ->
             let payload = Endorse { subject = s; choice = a } in
             ignore (accept st ~origin:ctx.me payload);
-            emit (flood ~origin:ctx.me payload)
+            flood outbox ~origin:ctx.me payload
         | Some _ | None -> ()
       end
   | Some _ | None -> ());
-  (* Phase 4: decide on N - t endorsements for one choice. *)
+  (* Phase 4: decide on N - t endorsements for one choice; the quorum test
+     depends only on the endorsement tally, so skip unchanged rounds. *)
   (match st.subject with
-  | Some s when st.decided = None -> begin
+  | Some _ when st.decided = None && st.endorse_dirty -> begin
+      st.endorse_dirty <- false;
       let quorum = ctx.n - ctx.t in
-      match Tally.ranked ~tie:st.cfg.tie (tally_of st.endorses s) with
+      match Tally.ranked ~tie:st.cfg.tie st.endorse_tally with
       | (choice, c) :: _ when c >= quorum -> st.decided <- Some choice
       | _ -> ()
     end
   | Some _ | None -> ());
-  (st, List.rev !outbox)
+  st
 
 let output st = st.decided
+
+(* Conservative: radio runs are not fast-forwarded. *)
+let inert _ = false
 
 let phase st =
   if st.decided <> None then "decided"

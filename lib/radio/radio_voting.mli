@@ -31,15 +31,19 @@ type state
 
 val name : string
 
+val equal_msg : msg -> msg -> bool
+
 val init :
-  Vv_sim.Protocol.ctx -> input -> state * msg Vv_sim.Types.envelope list
+  Vv_sim.Protocol.ctx -> input -> outbox:msg Vv_sim.Outbox.t -> state
 
 val step :
   Vv_sim.Protocol.ctx ->
   state ->
   round:int ->
-  inbox:(Vv_sim.Types.node_id * msg) list ->
-  state * msg Vv_sim.Types.envelope list
+  inbox:msg Vv_sim.Inbox.t ->
+  outbox:msg Vv_sim.Outbox.t ->
+  state
 
 val output : state -> output option
 val phase : state -> string
+val inert : state -> bool

@@ -7,13 +7,23 @@
    messages to different recipients (the paper's k -i-> A notation); the
    engine rejects that under the local broadcast model. *)
 
+(* The view is an indexed window over the engine's packed send buffer —
+   the adversary-side analogue of {!Inbox}.  The engine allocates one view
+   per run and refreshes [round]/[sent_len] each round, so observing a
+   round allocates nothing until the adversary actually asks for message
+   content.  Accessors are only valid during the [act] call. *)
 type 'msg view = {
-  round : int;
-  honest_sent : 'msg Types.delivery list;
-      (** messages actually sent by non-Byzantine nodes this round, after
+  mutable round : int;
+  mutable sent_len : int;
+      (** number of messages non-Byzantine nodes sent this round, after
           crash filtering — what a rushing adversary can observe *)
-  byz_inbox : (Types.node_id * (Types.node_id * 'msg) list) list;
-      (** per Byzantine node: messages it received this round *)
+  sent_src : int -> Types.node_id;
+  sent_dst : int -> Types.node_id;
+  sent_msg : int -> 'msg;
+      (** the i-th honest send of the round, 0 <= i < [sent_len], in
+          (node id, emission, neighbourhood) order *)
+  byz_inbox : Types.node_id -> (Types.node_id * 'msg) list;
+      (** messages the given Byzantine node received this round *)
   byzantine : Types.node_id list;
   n : int;
   reach : Types.node_id -> Types.node_id list;
@@ -21,7 +31,19 @@ type 'msg view = {
           (all nodes under the complete graph) *)
 }
 
-type 'msg t = { name : string; act : 'msg view -> 'msg delivery_plan list }
+type 'msg t = {
+  name : string;
+  act : 'msg view -> 'msg delivery_plan list;
+  passive : bool;
+      (* statically known to never inject anything: lets the engine skip
+         building the view (and validating the empty plan) every round *)
+  quiescent : unit -> bool;
+      (* [quiescent ()] promises that from now on [act], applied to any
+         view with no honest traffic and empty Byzantine inboxes, returns
+         [] without changing internal state or drawing randomness.  The
+         engine uses it to fast-forward provably-quiet executions; a
+         conservative [fun () -> false] is always sound. *)
+}
 
 and 'msg delivery_plan = {
   src : Types.node_id;  (** must be Byzantine *)
@@ -29,9 +51,14 @@ and 'msg delivery_plan = {
   msg : 'msg;
 }
 
-let passive = { name = "passive"; act = (fun _ -> []) }
+let never_quiescent () = false
 
-let named name act = { name; act }
+let passive =
+  { name = "passive"; act = (fun _ -> []); passive = true;
+    quiescent = (fun () -> true) }
+
+let named ?(quiescent = never_quiescent) name act =
+  { name; act; passive = false; quiescent }
 
 (* Broadcast [msg] from every Byzantine node to its whole neighbourhood,
    each round that [when_round] accepts.  Legal under both communication
@@ -48,11 +75,13 @@ let broadcast_each_round ~name ~when_round msg_of =
               List.map (fun dst -> { src; dst; msg }) (view.reach src))
         view.byzantine
   in
-  { name; act }
+  { name; act; passive = false; quiescent = never_quiescent }
 
 (* Compose: run both adversaries and concatenate their plans. *)
 let combine name a b =
-  { name; act = (fun view -> a.act view @ b.act view) }
+  { name; act = (fun view -> a.act view @ b.act view);
+    passive = a.passive && b.passive;
+    quiescent = (fun () -> a.quiescent () && b.quiescent ()) }
 
 (* Replay a per-round action script.  Each round before [trigger] fires the
    adversary stays silent; the round [trigger] returns a context the first
@@ -61,7 +90,7 @@ let combine name a b =
    adversary is silent again.  The context is captured once, at trigger
    time, so a script's meaning cannot drift as the execution evolves —
    that is what makes scripts enumerable as plain data by the checker. *)
-let of_script ~name ~trigger ~interp script =
+let of_script ?(quiet_trigger = false) ~name ~trigger ~interp script =
   let state = ref None (* context, remaining actions *) in
   let act view =
     (match !state with
@@ -76,4 +105,13 @@ let of_script ~name ~trigger ~interp script =
         state := Some (ctx, rest);
         interp ctx action view
   in
-  { name; act }
+  (* Quiet once the script is exhausted, and — when the caller promises a
+     traffic-reactive trigger via [quiet_trigger] — also before it fires;
+     mid-script the replay advances every round regardless of the view. *)
+  let quiescent () =
+    match !state with
+    | Some (_, []) -> true
+    | None -> quiet_trigger
+    | Some (_, _ :: _) -> false
+  in
+  { name; act; passive = false; quiescent }

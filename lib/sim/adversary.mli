@@ -5,19 +5,44 @@
     equivocate per-recipient under point-to-point (the engine enforces
     identical messages under local broadcast). *)
 
+(** The view is an indexed window over the engine's packed send buffer —
+    the adversary-side analogue of {!Inbox}.  The engine allocates one
+    view per run and refreshes [round]/[sent_len] each round, so a round
+    with an uninterested adversary allocates nothing; accessors (and the
+    view itself) are only valid for the duration of the [act] call and
+    must not be retained. *)
 type 'msg view = {
-  round : int;
-  honest_sent : 'msg Types.delivery list;
-      (** what non-Byzantine nodes actually sent this round *)
-  byz_inbox : (Types.node_id * (Types.node_id * 'msg) list) list;
-      (** per Byzantine node: this round's received messages *)
+  mutable round : int;
+  mutable sent_len : int;
+      (** how many messages non-Byzantine nodes sent this round *)
+  sent_src : int -> Types.node_id;
+  sent_dst : int -> Types.node_id;
+  sent_msg : int -> 'msg;
+      (** the i-th honest send of the round, [0 <= i < sent_len], in
+          (node id, emission, neighbourhood) order *)
+  byz_inbox : Types.node_id -> (Types.node_id * 'msg) list;
+      (** this round's deliveries to the given Byzantine node *)
   byzantine : Types.node_id list;
   n : int;
   reach : Types.node_id -> Types.node_id list;
       (** broadcast recipients of a node: its neighbourhood plus itself *)
 }
 
-type 'msg t = { name : string; act : 'msg view -> 'msg delivery_plan list }
+type 'msg t = {
+  name : string;
+  act : 'msg view -> 'msg delivery_plan list;
+  passive : bool;
+      (** statically known to inject nothing, ever; the engine then skips
+          building the per-round view and validating the (empty) plan.
+          Construct via {!passive} / {!named} — only {!passive} sets it. *)
+  quiescent : unit -> bool;
+      (** [quiescent ()] promises that, from now on, [act] applied to any
+          view with no honest traffic and empty Byzantine inboxes returns
+          [[]] without mutating internal state or drawing randomness.  The
+          engine consults it (with protocol {!Protocol.S.inert} states and
+          an empty schedule) to fast-forward provably-quiet executions to
+          their stall verdict.  [fun () -> false] is always sound. *)
+}
 
 and 'msg delivery_plan = {
   src : Types.node_id;  (** must be Byzantine; the engine validates *)
@@ -28,7 +53,12 @@ and 'msg delivery_plan = {
 val passive : 'msg t
 (** Byzantine nodes stay silent. *)
 
-val named : string -> ('msg view -> 'msg delivery_plan list) -> 'msg t
+val named :
+  ?quiescent:(unit -> bool) ->
+  string ->
+  ('msg view -> 'msg delivery_plan list) ->
+  'msg t
+(** [quiescent] defaults to [fun () -> false] (never fast-forward). *)
 
 val broadcast_each_round :
   name:string ->
@@ -43,6 +73,7 @@ val combine : string -> 'msg t -> 'msg t -> 'msg t
 (** Union of both adversaries' plans. *)
 
 val of_script :
+  ?quiet_trigger:bool ->
   name:string ->
   trigger:('msg view -> 'ctx option) ->
   interp:('ctx -> 'action -> 'msg view -> 'msg delivery_plan list) ->
@@ -53,5 +84,10 @@ val of_script :
     before that, and again after the script is exhausted).  The context is
     captured exactly once, at trigger time, and passed to every
     interpretation — so a script is pure data whose meaning is fixed by the
-    triggering view.  Statefulness warning: the returned adversary carries
-    replay state and must not be shared across runs. *)
+    triggering view.  [quiet_trigger] (default [false]) promises that
+    [trigger] reacts only to observed traffic — it returns [None] on, and
+    does not retain, views with no honest sends and empty Byzantine
+    inboxes — which makes the adversary report itself quiescent before the
+    trigger fires, not just after exhaustion.  Statefulness warning: the
+    returned adversary carries replay state and must not be shared across
+    runs. *)

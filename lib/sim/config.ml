@@ -20,6 +20,11 @@ type t = {
           enforced per neighbourhood. *)
   network : Network.t;  (** chaos substrate; [Network.none] = reliable links *)
   retransmit : Retransmit.t option;  (** [None] = no retransmission (default) *)
+  reach_arr : Types.node_id array array;
+      (** per-source broadcast recipients (neighbourhood plus self,
+          ascending), precomputed so the engine's expansion loop never
+          allocates; on the complete graph every slot shares one array *)
+  reach_list : Types.node_id list array;  (** same, as cached lists *)
 }
 
 let validate_topology ~n adj =
@@ -35,7 +40,7 @@ let validate_topology ~n adj =
           if not (List.mem u adj.(v)) then
             invalid_arg "Config.make: topology must be symmetric")
         neighbours;
-      if List.length (List.sort_uniq compare neighbours) <> List.length neighbours
+      if List.length (List.sort_uniq Int.compare neighbours) <> List.length neighbours
       then invalid_arg "Config.make: duplicate topology neighbour")
     adj
 
@@ -83,14 +88,32 @@ let make ?faults ?(comm = Types.Point_to_point) ?(delay = Delay.Synchronous)
       | Fault.Honest | Fault.Byzantine -> ())
     faults;
   let compiled = Array.map (Fault.compile ~n) faults in
+  (* Broadcast recipients per source (neighbourhood plus self, ascending),
+     compiled once: the engine's expansion loop indexes [reach_arr] and the
+     adversary view hands out the cached lists, so neither allocates. *)
+  let reach_arr, reach_list =
+    match topology with
+    | None ->
+        let all = Array.init n Fun.id in
+        let all_l = Array.to_list all in
+        (Array.make n all, Array.make n all_l)
+    | Some adj ->
+        let arrs =
+          Array.mapi
+            (fun src neighbours ->
+              let a = Array.of_list (src :: neighbours) in
+              Array.sort Int.compare a;
+              a)
+            adj
+        in
+        (arrs, Array.map Array.to_list arrs)
+  in
   { n; t_max; faults; compiled; comm; delay; max_rounds; seed;
-    topology = Option.map Array.copy topology; network; retransmit }
+    topology = Option.map Array.copy topology; network; retransmit;
+    reach_arr; reach_list }
 
 (* Recipients of a broadcast from [src]: its neighbourhood plus itself. *)
-let reach cfg src =
-  match cfg.topology with
-  | None -> List.init cfg.n Fun.id
-  | Some adj -> List.sort compare (src :: adj.(src))
+let reach cfg src = cfg.reach_list.(src)
 
 let ids_where cfg pred =
   let acc = ref [] in

@@ -20,6 +20,12 @@ type t = private {
   retransmit : Retransmit.t option;
       (** retransmission policy for chaos-destroyed deliveries; [None]
           (the default) leaves losses final *)
+  reach_arr : Types.node_id array array;
+      (** per-source broadcast recipients (neighbourhood plus self,
+          ascending), precomputed at {!make}; the engine's allocation-free
+          expansion path.  Do not mutate. *)
+  reach_list : Types.node_id list array;
+      (** the same recipients as cached lists (what {!reach} returns) *)
 }
 
 val make :

@@ -1,9 +1,14 @@
 (* Protocols are round-based state machines executed by Engine.
 
    Each honest (and, until its crash round, each crash-faulty) node holds a
-   [state]; every round the engine delivers the node's inbox and asks for
-   the next state plus outgoing envelopes.  Nodes know N and t but never f
-   or the fault plan, matching Section III-A. *)
+   [state]; every round the engine hands the node its inbox (a read-only
+   {!Inbox.t} view over the round's delivery arena) and a cleared
+   {!Outbox.t} to push sends into, and asks for the next state.  Returning
+   envelope lists was retired with the zero-allocation engine: emitting
+   into the warm outbox and reading the indexed inbox allocate nothing.
+
+   Nodes know N and t but never f or the fault plan, matching
+   Section III-A. *)
 
 type ctx = {
   n : int;
@@ -24,18 +29,21 @@ module type S = sig
 
   val name : string
 
-  val init : ctx -> input -> state * msg Types.envelope list
-  (** Initial state and round-0 messages. *)
+  val equal_msg : msg -> msg -> bool
+  (** Monomorphic message equality, used by the engine's local-broadcast
+      validator to group an adversary's sends per distinct message
+      (Property 6) without falling back to polymorphic comparison. *)
+
+  val init : ctx -> input -> outbox:msg Outbox.t -> state
+  (** Initial state; round-0 sends go into [outbox]. *)
 
   val step :
-    ctx ->
-    state ->
-    round:int ->
-    inbox:(Types.node_id * msg) list ->
-    state * msg Types.envelope list
+    ctx -> state -> round:int -> inbox:msg Inbox.t -> outbox:msg Outbox.t -> state
   (** One round transition. [round] counts from 1 (round 0 is [init]);
-      [inbox] lists the messages arriving at the start of this round in
-      deterministic (sender id, send order) order. *)
+      [inbox] views the messages arriving at the start of this round in
+      deterministic (sender id, send order) order, and is only valid for
+      the duration of the call.  Sends are pushed into [outbox], which
+      the engine clears beforehand. *)
 
   val output : state -> output option
   (** The node's decision, once made. Must be stable: once [Some v], the
@@ -46,4 +54,16 @@ module type S = sig
       "vote", "decided"). The engine records a {!Trace.phase_event}
       whenever the label changes between rounds; protocols with no phase
       structure may return a constant. *)
+
+  val inert : state -> bool
+  (** [inert st] promises that [step] on [st] with an empty inbox is a
+      no-op forever: it returns a state observably equal to [st] (same
+      [output], same [phase], still inert), emits nothing, and draws no
+      randomness — at every future round.  The engine fast-forwards a run
+      to its stall verdict once every live node is inert, the schedule is
+      empty and the adversary is {!Adversary.t.quiescent}; the skipped
+      rounds are recorded exactly as the quiet rounds they would have
+      been, so traces are unchanged.  [fun _ -> false] is always sound;
+      the promise must hold round-independently (a state waiting on a
+      timer or an unfinished sub-machine is not inert). *)
 end

@@ -95,8 +95,11 @@ let record_decide b ~round ~node =
   b.b_decides <- (node, round) :: b.b_decides;
   b.b_decided <- b.b_decided + 1
 
-let record_round ?(dropped = 0) ?(duplicated = 0) ?(retransmitted = 0) b
-    ~round ~honest_sent ~byz_sent ~newly_decided =
+(* All counters are mandatory: the engine calls this once per round, and
+   optional-argument wrapping would allocate three [Some] blocks per call
+   on an otherwise allocation-free path. *)
+let record_round b ~round ~honest_sent ~byz_sent ~dropped ~duplicated
+    ~retransmitted ~newly_decided =
   b.b_honest <- b.b_honest + honest_sent;
   b.b_byz <- b.b_byz + byz_sent;
   b.b_dropped <- b.b_dropped + dropped;
@@ -110,7 +113,7 @@ let record_round ?(dropped = 0) ?(duplicated = 0) ?(retransmitted = 0) b
       dropped;
       duplicated;
       retransmitted;
-      newly_decided = List.sort compare newly_decided;
+      newly_decided = List.sort Int.compare newly_decided;
       decided_total = b.b_decided;
     }
     :: b.b_rounds
@@ -124,7 +127,11 @@ let snapshot b ~stalled =
     t = b.b_t;
     rounds;
     phases = List.rev b.b_phases;
-    decide_rounds = List.sort compare (List.rev b.b_decides);
+    decide_rounds =
+      List.sort
+        (fun (n1, r1) (n2, r2) ->
+          match Int.compare n1 n2 with 0 -> Int.compare r1 r2 | c -> c)
+        (List.rev b.b_decides);
     honest_msgs = b.b_honest;
     byz_msgs = b.b_byz;
     dropped_msgs = b.b_dropped;

@@ -68,15 +68,18 @@ val record_phase : builder -> round:int -> node:Types.node_id -> phase:string ->
 val record_decide : builder -> round:int -> node:Types.node_id -> unit
 
 val record_round :
-  ?dropped:int ->
-  ?duplicated:int ->
-  ?retransmitted:int ->
   builder ->
   round:int ->
   honest_sent:int ->
   byz_sent:int ->
+  dropped:int ->
+  duplicated:int ->
+  retransmitted:int ->
   newly_decided:Types.node_id list ->
   unit
+(** The chaos counters are mandatory (pass [0] outside the substrate):
+    one call per round, and optional-argument wrapping would allocate on
+    the engine's hot path. *)
 
 val snapshot : builder -> stalled:bool -> snapshot
 (** Freeze. The builder may keep accumulating afterwards; the snapshot is

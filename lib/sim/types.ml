@@ -1,4 +1,12 @@
-(* Shared vocabulary of the simulator. *)
+(* Shared vocabulary of the simulator.
+
+   The envelope type that protocols used to return ([dest * payload]
+   lists) is gone: protocols now *push* sends into a reusable
+   {!Outbox.t}, and the engine reads them back positionally — no
+   per-message allocation on the hot path.  What remains here is the
+   vocabulary both sides still share: node identities, the communication
+   model, and the concrete point-to-point [delivery] record the
+   adversary observes. *)
 
 type node_id = int
 
@@ -11,13 +19,5 @@ let pp_comm_model ppf = function
   | Point_to_point -> Fmt.string ppf "point-to-point"
   | Local_broadcast -> Fmt.string ppf "local-broadcast"
 
-type dest = Unicast of node_id | Broadcast
-
-(* An addressed message as produced by a protocol step. *)
-type 'msg envelope = { dest : dest; payload : 'msg }
-
 (* A concrete src -> dst message in flight. *)
 type 'msg delivery = { src : node_id; dst : node_id; msg : 'msg }
-
-let unicast dst payload = { dest = Unicast dst; payload }
-let broadcast payload = { dest = Broadcast; payload }

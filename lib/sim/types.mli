@@ -1,5 +1,10 @@
 (** Shared simulator vocabulary: node identities, communication models and
-    message addressing. *)
+    the adversary's view of a concrete message in flight.
+
+    Message *emission* lives in {!Outbox} (protocols push sends into a
+    reusable buffer) and message *reception* in {!Inbox} (an indexed
+    read-only view over the engine's per-round delivery arena); the old
+    [envelope] list API was retired with the zero-allocation engine. *)
 
 type node_id = int
 
@@ -12,13 +17,6 @@ type comm_model =
 
 val pp_comm_model : comm_model Fmt.t
 
-type dest = Unicast of node_id | Broadcast
-
-type 'msg envelope = { dest : dest; payload : 'msg }
-(** An addressed message produced by a protocol step. *)
-
 type 'msg delivery = { src : node_id; dst : node_id; msg : 'msg }
-(** A concrete point-to-point message in flight. *)
-
-val unicast : node_id -> 'msg -> 'msg envelope
-val broadcast : 'msg -> 'msg envelope
+(** A concrete point-to-point message in flight, as observed by the
+    rushing adversary ({!Adversary.view}). *)

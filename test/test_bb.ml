@@ -267,6 +267,139 @@ let test_min_n () =
   check_int "eig min" 7 (Vv_bb.Bb.min_n Vv_bb.Bb.Eig ~t:2);
   check_int "pk min" 9 (Vv_bb.Bb.min_n Vv_bb.Bb.Phase_king ~t:2)
 
+(* Agreement of the hot-path monomorphic comparators with the polymorphic
+   structural versions they replaced: the engine's local-broadcast grouping
+   and the substrates' dedup logic must order/equate messages exactly as
+   generic compare did, or goldens drift. *)
+
+let sign c = if c < 0 then -1 else if c > 0 then 1 else 0
+
+let gen_eig_msg =
+  QCheck.Gen.(
+    let id = int_range 0 6 in
+    let value = int_range (-1) 5 in
+    oneof
+      [
+        map (fun v -> Vv_bb.Eig.Init v) value;
+        map2
+          (fun path value -> Vv_bb.Eig.Report { path; value })
+          (list_size (int_range 0 3) id)
+          value;
+      ])
+
+let arb_eig_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      let p m =
+        match m with
+        | Vv_bb.Eig.Init v -> Fmt.str "Init %d" v
+        | Vv_bb.Eig.Report { path; value } ->
+            Fmt.str "Report {path=%a; value=%d}" Fmt.(Dump.list int) path value
+      in
+      Fmt.str "(%s, %s)" (p a) (p b))
+    QCheck.Gen.(pair gen_eig_msg gen_eig_msg)
+
+let prop_eig_compare_agrees =
+  QCheck.Test.make ~name:"Eig.compare_msg agrees with polymorphic compare"
+    arb_eig_pair (fun (a, b) ->
+      sign (Vv_bb.Eig.compare_msg a b) = sign (Stdlib.compare a b))
+
+let prop_eig_equal_agrees =
+  QCheck.Test.make ~name:"Eig.equal_msg agrees with structural equality"
+    arb_eig_pair (fun (a, b) ->
+      Vv_bb.Eig.equal_msg a b = (a = b)
+      && Vv_bb.Eig.equal_msg a b = (Vv_bb.Eig.compare_msg a b = 0))
+
+let gen_pk_msg =
+  QCheck.Gen.(
+    let phase = int_range (-1) 3 and value = int_range (-1) 5 in
+    oneof
+      [
+        map2 (fun phase value -> Vv_bb.Phase_king.Val { phase; value }) phase
+          value;
+        map2 (fun phase value -> Vv_bb.Phase_king.King { phase; value }) phase
+          value;
+      ])
+
+let prop_pk_equal_agrees =
+  QCheck.Test.make ~name:"Phase_king.equal_msg agrees with structural equality"
+    (QCheck.make QCheck.Gen.(pair gen_pk_msg gen_pk_msg))
+    (fun (a, b) -> Vv_bb.Phase_king.equal_msg a b = (a = b))
+
+let gen_kb_msg =
+  QCheck.Gen.(
+    let phase = int_range (-1) 3 and value = int_range (-1) 5 in
+    oneof
+      [
+        map2 (fun phase value -> Vv_bb.King_ba.Val { phase; value }) phase value;
+        map2 (fun phase value -> Vv_bb.King_ba.King { phase; value }) phase
+          value;
+      ])
+
+let prop_kb_equal_agrees =
+  QCheck.Test.make ~name:"King_ba.equal_msg agrees with structural equality"
+    (QCheck.make QCheck.Gen.(pair gen_kb_msg gen_kb_msg))
+    (fun (a, b) -> Vv_bb.King_ba.equal_msg a b = (a = b))
+
+(* Signature-chain invariants under the incremental digest: a chain built
+   by initial+extend over distinct non-sender relays validates at exactly
+   its length, rejects every other claimed length and sender, and
+   [mem_signer] agrees with membership in [signers]. *)
+let gen_chain_shape =
+  QCheck.Gen.(
+    pair (int_range 0 6)
+      (pair (int_range 0 9) (list_size (int_range 0 5) (int_range 0 6))))
+
+let build_chain ~sender ~value relays =
+  let distinct =
+    List.fold_left
+      (fun acc r -> if r = sender || List.mem r acc then acc else acc @ [ r ])
+      [] relays
+  in
+  ( List.fold_left
+      (fun c signer -> Vv_bb.Auth.extend c ~signer)
+      (Vv_bb.Auth.initial ~sender value)
+      distinct,
+    1 + List.length distinct )
+
+let prop_auth_chain_valid =
+  QCheck.Test.make ~name:"auth chains validate at their exact length"
+    (QCheck.make gen_chain_shape)
+    (fun (sender, (value, relays)) ->
+      let chain, len = build_chain ~sender ~value relays in
+      Vv_bb.Auth.valid chain ~sender ~len
+      && (not (Vv_bb.Auth.valid chain ~sender ~len:(len + 1)))
+      && (not (Vv_bb.Auth.valid chain ~sender ~len:(len - 1)))
+      && not (Vv_bb.Auth.valid chain ~sender:(sender + 1) ~len))
+
+let prop_auth_duplicate_signer =
+  QCheck.Test.make ~name:"re-signing by an existing signer invalidates"
+    (QCheck.make gen_chain_shape)
+    (fun (sender, (value, relays)) ->
+      let chain, len = build_chain ~sender ~value relays in
+      let dup = Vv_bb.Auth.extend chain ~signer:sender in
+      not (Vv_bb.Auth.valid dup ~sender ~len:(len + 1)))
+
+let prop_auth_mem_signer =
+  QCheck.Test.make ~name:"mem_signer agrees with the signer list"
+    (QCheck.make QCheck.Gen.(pair gen_chain_shape (int_range 0 8)))
+    (fun ((sender, (value, relays)), probe) ->
+      let chain, _ = build_chain ~sender ~value relays in
+      Vv_bb.Auth.mem_signer chain probe
+      = List.mem probe (Vv_bb.Auth.signers chain))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_eig_compare_agrees;
+      prop_eig_equal_agrees;
+      prop_pk_equal_agrees;
+      prop_kb_equal_agrees;
+      prop_auth_chain_valid;
+      prop_auth_duplicate_signer;
+      prop_auth_mem_signer;
+    ]
+
 let () =
   Alcotest.run "bb"
     [
@@ -293,4 +426,5 @@ let () =
           Alcotest.test_case "signature chain validity" `Quick test_auth;
           Alcotest.test_case "substrate tolerance" `Quick test_min_n;
         ] );
+      ("comparator-agreement", qcheck_cases);
     ]

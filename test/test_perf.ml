@@ -1,0 +1,106 @@
+(* Allocation regression tests for the engine hot path.
+
+   The zero-allocation message API (Outbox emission, indexed Inbox views
+   over the per-round delivery arena, int-packed scheduling) promises that
+   a steady-state round allocates a bounded, small number of minor-heap
+   words regardless of traffic: buffers are warm after the first few
+   rounds, deliveries are packed ints, and the per-round cost reduces to
+   the trace record plus whatever the protocol itself allocates.
+
+   [Gc.minor_words] is deterministic for a fixed code path, unlike
+   wall-clock on a noisy host, so these tests pin the budget exactly: the
+   marginal words/round of a long run over a shorter one of the same
+   configuration.  A regression that re-introduces per-delivery allocation
+   (boxing deliveries, rebuilding inbox lists, per-round views) multiplies
+   the marginal cost by the traffic volume and trips the budget at once. *)
+
+open Vv_sim
+
+(* A chatty protocol that never decides and never goes inert: every node
+   broadcasts an immediate int each round and scans its inbox.  16
+   deliveries per round at n=4 — enough traffic that any per-delivery
+   allocation is visible — with zero protocol-side allocation. *)
+module Chatty = struct
+  type input = int
+  type msg = int
+  type output = int
+  type state = { mutable seen : int }
+
+  let name = "chatty"
+  let equal_msg = Int.equal
+
+  let init (_ : Protocol.ctx) v ~outbox =
+    Outbox.broadcast outbox v;
+    { seen = 0 }
+
+  let step (_ : Protocol.ctx) st ~round:_ ~inbox ~outbox =
+    let acc = ref st.seen in
+    for i = 0 to Inbox.length inbox - 1 do
+      acc := !acc lxor Inbox.msg inbox i lxor Inbox.src inbox i
+    done;
+    st.seen <- !acc;
+    Outbox.broadcast outbox st.seen;
+    st
+
+  let output _ = None
+  let phase _ = "chat"
+  let inert _ = false
+end
+
+module E = Engine.Make (Chatty)
+
+let minor_words_of_run ~max_rounds =
+  let cfg = Config.make ~n:4 ~t_max:1 ~max_rounds () in
+  let w0 = Gc.minor_words () in
+  let res = E.run_exn cfg ~inputs:(fun id -> id) () in
+  let w1 = Gc.minor_words () in
+  assert res.E.stalled;
+  int_of_float (w1 -. w0)
+
+(* The steady-state budget: the marginal allocation of one additional
+   round of 16 broadcast deliveries.  Currently dominated by the trace's
+   round record (~15 words); 64 leaves slack for representation changes
+   while still catching any per-delivery or per-view regression (16
+   deliveries at even 3 boxed words each would add ~48). *)
+let words_per_round_budget = 64
+
+let test_round_allocation () =
+  let short = minor_words_of_run ~max_rounds:100 in
+  let long = minor_words_of_run ~max_rounds:1100 in
+  let per_round = (long - short) / 1000 in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "steady-state allocation: %d words/round exceeds the %d-word budget"
+       per_round words_per_round_budget)
+    true
+    (per_round <= words_per_round_budget);
+  (* And the budget is not vacuously loose: a warm round costs something
+     (the trace record), so a zero reading would mean the measurement is
+     broken (e.g. the run fast-forwarded instead of executing rounds). *)
+  Alcotest.(check bool) "rounds actually execute and allocate" true
+    (per_round > 0)
+
+(* Same measurement with the run's fixed costs included: whole-run words
+   divided by rounds must stay within a small multiple of the marginal
+   budget, so per-run setup (engine arrays, scheduler buckets, trace
+   buffer) cannot silently balloon either. *)
+let test_run_allocation () =
+  let total = minor_words_of_run ~max_rounds:1000 in
+  let per_round = total / 1000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "whole-run allocation: %d words/round (budget %d)"
+       per_round (2 * words_per_round_budget))
+    true
+    (per_round <= 2 * words_per_round_budget)
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "allocation",
+        [
+          Alcotest.test_case "steady-state words/round" `Quick
+            test_round_allocation;
+          Alcotest.test_case "whole-run words/round" `Quick
+            test_run_allocation;
+        ] );
+    ]

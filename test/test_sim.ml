@@ -17,20 +17,25 @@ module Flood = struct
 
   let name = "flood"
   let decide_round = 6
+  let equal_msg = Int.equal
 
-  let init (_ : Protocol.ctx) v = ({ log = []; decided = None }, [ Types.broadcast v ])
+  let init (_ : Protocol.ctx) v ~outbox =
+    Outbox.broadcast outbox v;
+    { log = []; decided = None }
 
-  let step (_ : Protocol.ctx) st ~round ~inbox =
+  let step (_ : Protocol.ctx) st ~round ~inbox ~outbox:_ =
     let log =
-      st.log @ List.map (fun (src, v) -> (round, src, v)) inbox
+      st.log
+      @ List.rev (Inbox.fold (fun acc src v -> (round, src, v) :: acc) [] inbox)
     in
     let decided =
       if round >= decide_round && st.decided = None then Some log else st.decided
     in
-    ({ log; decided }, [])
+    { log; decided }
 
   let output st = st.decided
   let phase st = if st.decided = None then "flood" else "done"
+  let inert _ = false
 end
 
 module E = Engine.Make (Flood)
@@ -219,10 +224,12 @@ module Mute = struct
   type state = unit
 
   let name = "mute"
-  let init _ () = ((), [])
-  let step _ () ~round:_ ~inbox:_ = ((), [])
+  let equal_msg () () = true
+  let init _ () ~outbox:_ = ()
+  let step _ () ~round:_ ~inbox:_ ~outbox:_ = ()
   let output () = None
   let phase () = "mute"
+  let inert () = true
 end
 
 let test_stall_reported () =
@@ -261,10 +268,12 @@ let test_unicast_under_local_broadcast_rejected () =
     type state = unit
 
     let name = "uni"
-    let init _ () = ((), [ Types.unicast 0 () ])
-    let step _ () ~round:_ ~inbox:_ = ((), [])
+    let equal_msg () () = true
+    let init _ () ~outbox = Outbox.unicast outbox 0 ()
+    let step _ () ~round:_ ~inbox:_ ~outbox:_ = ()
     let output () = Some ()
     let phase () = "uni"
+    let inert () = false
   end in
   let module EU = Engine.Make (Uni) in
   let cfg = Config.make ~comm:Types.Local_broadcast ~n:3 ~t_max:0 () in
