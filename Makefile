@@ -1,4 +1,4 @@
-.PHONY: check check-parallel check-model chaos-smoke build test bench bench-smoke bench-baseline bench-gate
+.PHONY: check check-parallel check-model chaos-smoke serve-smoke build test bench bench-smoke bench-baseline bench-gate
 
 check: ## build everything, then run the full test suite
 	dune build && dune runtest
@@ -11,6 +11,19 @@ check-model: ## exhaustive small-model smoke sweep (vv_check); exits 1 on violat
 
 chaos-smoke: ## chaos-substrate resilience campaign, CI tier; exits 1 on a safety violation
 	dune build && dune exec bin/vvc.exe -- chaos --profile=smoke
+
+serve-smoke: ## boot the serve daemon, drive a scripted burst through it, verify streamed decisions, clean shutdown
+	dune build
+	rm -f _build/serve-smoke.sock _build/serve-smoke.snap
+	_build/default/bin/vvc.exe serve --socket _build/serve-smoke.sock \
+	  --batch 4 --jobs 2 --snapshot _build/serve-smoke.snap --quiet & \
+	server=$$!; \
+	_build/default/bin/vvc.exe load --socket _build/serve-smoke.sock \
+	  --clients 3 --subjects 48 --shutdown --format json; \
+	status=$$?; \
+	wait $$server || status=1; \
+	rm -f _build/serve-smoke.sock _build/serve-smoke.snap; \
+	exit $$status
 
 build:
 	dune build

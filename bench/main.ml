@@ -185,6 +185,37 @@ let ledger_slot =
     let slot = Vv_multishot.Ledger.decide ledger ~subject:1 inputs in
     assert (slot.Vv_multishot.Ledger.decision <> None)
 
+let engine_batch_run =
+  (* A filled batch of decisive electorates through the multi-shot
+     engine: submit, step, merge — the serve daemon's commit path minus
+     the sockets. *)
+  let cfg =
+    Vv_multishot.Ledger.config ~byzantine:[ 7; 8 ] ~n:9 ~t:2
+      ~protocol:Runner.Algo1 ()
+  in
+  let reqs =
+    List.init 8 (fun s ->
+        ( s,
+          List.init 7 (fun i -> Oid.of_int (if i = 6 then 1 else 0))
+          @ [ Oid.of_int 0; Oid.of_int 0 ] ))
+  in
+  fun () ->
+    let log, stats = Vv_multishot.Engine.run ~batch:4 ~jobs:1 cfg reqs in
+    assert (List.length log = 8 && stats.Vv_multishot.Engine.all_valid)
+
+let rpc_parse_micro =
+  (* The daemon's framing layer for one submission: parse + ack render. *)
+  let line =
+    {|{"id":42,"method":"submit","params":{"subject":7,"inputs":[0,1,0,2,1,0,0,0,0]}}|}
+  in
+  fun () ->
+    match Vv_serve.Rpc.parse line with
+    | Ok (Vv_serve.Rpc.Submit _) ->
+        ignore
+          (Vv_serve.Rpc.submit_ack ~id:(Vv_prelude.Json.Int 42) ~position:11
+             ~slot:2 ~lane:3)
+    | _ -> assert false
+
 let tally_micro =
   let inputs = List.init 1_000 (fun i -> Oid.of_int (i mod 5)) in
   fun () ->
@@ -231,6 +262,8 @@ let declared_benches =
     ("baseline-median-n11", median_baseline);
     ("radio-ring12-consensus", radio_ring);
     ("ledger-slot-n9", ledger_slot);
+    ("ledger-engine-batch8-n9", engine_batch_run);
+    ("serve-rpc-submit-parse", rpc_parse_micro);
     ("tally-plurality-1k", tally_micro);
   ]
 

@@ -142,11 +142,14 @@ let emitted_string fmt (e : Campaign.emitted) =
 let output opts s =
   match opts.out with
   | None -> print_string s
-  | Some path ->
-      let oc = open_out path in
-      output_string oc s;
-      close_out oc;
-      Fmt.epr "[written %s]@." path
+  | Some path -> (
+      (* Atomic: a failed or interrupted write must never leave a
+         truncated file where the previous output was. *)
+      match Vv_prelude.Io.write_atomic ~path s with
+      | Ok () -> Fmt.epr "[written %s]@." path
+      | Error msg ->
+          Fmt.epr "vvc: cannot write %s: %s@." path msg;
+          exit 1)
 
 (* Run one campaign end-to-end under [opts]; exits 1 when the campaign
    reports not-ok (chaos safety violation, checker FAIL). *)

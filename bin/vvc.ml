@@ -8,6 +8,8 @@
      run [...]                   one protocol execution with full control
      check [--profile=P]         exhaustive small-model checker (vv_check)
      chaos [--profile=P]         chaos-substrate resilience campaign (E17)
+     serve --socket S [...]      multi-shot ledger as a JSON-RPC daemon
+     load --socket S [...]       drive a running daemon, report decisions/s
 
    The campaign subcommands (exp, all, chaos, check) share one flag
    bundle — --format/--profile/--jobs/--seed/--progress/--out — parsed
@@ -83,10 +85,11 @@ let all_cmd =
               let path =
                 Filename.concat dir (Fmt.str "%s_%d.csv" (Campaign.id c) i)
               in
-              let oc = open_out path in
-              output_string oc (Table.to_csv t);
-              close_out oc;
-              Fmt.epr "[written %s]@." path)
+              match Vv_prelude.Io.write_atomic ~path (Table.to_csv t) with
+              | Ok () -> Fmt.epr "[written %s]@." path
+              | Error msg ->
+                  Fmt.epr "vvc: cannot write %s: %s@." path msg;
+                  exit 1)
             tables
     in
     let results =
@@ -529,6 +532,208 @@ let chaos_cmd =
       $ Cli.opts_term ~default_profile:Campaign.Smoke
       $ retransmit $ trials)
 
+(* --- serve / load --- *)
+
+(* Listener flags shared by serve and load: exactly one of --socket PATH
+   (Unix domain) or --port N (TCP on --host, default 127.0.0.1). *)
+let socket_arg cmd =
+  C.Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:(Fmt.str "Unix-domain socket path for %s." cmd))
+
+let port_arg cmd =
+  C.Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N" ~doc:(Fmt.str "TCP port for %s." cmd))
+
+let host_arg =
+  C.Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~doc:"TCP host to bind or connect to.")
+
+let serve_cmd =
+  let doc =
+    "Run the multi-shot ledger as a line-delimited JSON-RPC daemon: \
+     clients submit subjects, filled slots are decided (sharded across \
+     --jobs domains) and their decisions streamed back to every \
+     connected client. See README for the message shapes."
+  in
+  let n = C.Arg.(value & opt int 9 & info [ "n" ] ~doc:"Total nodes.") in
+  let t =
+    C.Arg.(value & opt int 2
+           & info [ "t" ] ~doc:"Tolerance (the last t nodes are Byzantine).")
+  in
+  let protocol =
+    C.Arg.(value & opt protocol_conv Runner.Algo2_sct
+           & info [ "protocol"; "p" ] ~doc:"Protocol: algo1|algo2|algo3|algo4|cft.")
+  in
+  let batch =
+    C.Arg.(value & opt int 4
+           & info [ "batch" ] ~doc:"Subjects per slot (the sharding unit).")
+  in
+  let jobs =
+    C.Arg.(value & opt int 1
+           & info [ "jobs"; "j" ]
+               ~doc:"Worker domains for slot fan-out; 0 = all cores but one.")
+  in
+  let seed = C.Arg.(value & opt int 0x5e12e & info [ "seed" ] ~doc:"Ledger seed.") in
+  let snapshot =
+    C.Arg.(value
+           & opt (some string) None
+           & info [ "snapshot" ] ~docv:"PATH"
+               ~doc:"Persist the committed log here (written atomically \
+                     after every commit); an existing snapshot is loaded \
+                     at startup so a restart resumes where it left off.")
+  in
+  let quiet =
+    C.Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress stderr logging.")
+  in
+  let run socket port host n t protocol batch jobs seed snapshot quiet =
+    let listen =
+      match (socket, port) with
+      | Some path, None -> Vv_serve.Server.listen_unix path
+      | None, Some p ->
+          let fd = Vv_serve.Server.listen_tcp ~host p in
+          Fmt.epr "[listening on %s:%d]@." host (Vv_serve.Server.bound_port fd);
+          fd
+      | _ ->
+          Fmt.epr "vvc serve: need exactly one of --socket or --port@.";
+          exit 1
+    in
+    let byzantine = List.init t (fun i -> n - 1 - i) in
+    let cfg =
+      Vv_multishot.Ledger.config ~byzantine ~protocol
+        ~retry:(Vv_multishot.Ledger.Rotate_and_adjust (Vv_core.Session.Bandwagon, 6))
+        ~seed ~n ~t ()
+    in
+    let log = if quiet then None else Some (Fmt.epr "[serve] %s@.") in
+    let outcome =
+      Vv_serve.Server.serve ~batch ~jobs ?snapshot ?log ~listen cfg
+    in
+    Unix.close listen;
+    (match socket with
+    | Some path when Sys.file_exists path -> Sys.remove path
+    | _ -> ());
+    Fmt.pr "served %d clients, final height %d@."
+      outcome.Vv_serve.Server.served_clients outcome.Vv_serve.Server.height
+  in
+  C.Cmd.v (C.Cmd.info "serve" ~doc)
+    C.Term.(
+      const run $ socket_arg "the daemon" $ port_arg "the daemon" $ host_arg
+      $ n $ t $ protocol $ batch $ jobs $ seed $ snapshot $ quiet)
+
+let load_cmd =
+  let doc =
+    "Drive a running serve daemon: submit a deterministic burst of \
+     random-electorate subjects round-robin across a client pool, wait \
+     for every decision to stream back, and report sustained \
+     decisions/s. Exits nonzero when any submission errors, a decision \
+     is missing, or a committed decision lacks voting validity."
+  in
+  let clients =
+    C.Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Connection pool size.")
+  in
+  let subjects =
+    C.Arg.(value & opt int 96 & info [ "subjects" ] ~doc:"Subjects to submit.")
+  in
+  let seed =
+    C.Arg.(value & opt int 0x10ad & info [ "seed" ] ~doc:"Electorate seed.")
+  in
+  let shutdown =
+    C.Arg.(value & flag
+           & info [ "shutdown" ] ~doc:"Ask the daemon to stop afterwards.")
+  in
+  let retry_for =
+    C.Arg.(value & opt float 10.
+           & info [ "retry-for" ] ~docv:"SECONDS"
+               ~doc:"Keep retrying the initial connection this long (lets \
+                     the client race a daemon that is still starting).")
+  in
+  let run format socket port host clients subjects seed shutdown retry_for =
+    let connect () =
+      match (socket, port) with
+      | Some path, None -> Vv_serve.Client.connect_unix ~retry_for path
+      | None, Some p -> Vv_serve.Client.connect_tcp ~retry_for ~host p
+      | _ ->
+          Fmt.epr "vvc load: need exactly one of --socket or --port@.";
+          exit 1
+    in
+    let conns = List.init (max 1 clients) (fun _ -> connect ()) in
+    (* The input arity comes from the daemon, not a local guess. *)
+    let n_nodes, tol =
+      match List.hd conns |> Vv_serve.Client.status with
+      | Ok (Json.Obj fields) -> (
+          match (List.assoc_opt "n" fields, List.assoc_opt "t" fields) with
+          | Some (Json.Int n), Some (Json.Int t) -> (n, t)
+          | _ ->
+              Fmt.epr "vvc load: daemon status carries no n/t@.";
+              exit 1)
+      | Ok _ | Error _ ->
+          Fmt.epr "vvc load: cannot query daemon status@.";
+          exit 1
+    in
+    let rng = Vv_prelude.Rng.create (Vv_prelude.Rng.derive seed 1) in
+    let dist =
+      Vv_dist.Multinomial.create ~n:(n_nodes - tol) ~p:[| 0.5; 0.3; 0.2 |]
+    in
+    let reqs =
+      List.init subjects (fun subject ->
+          let honest = Vv_dist.Montecarlo.sample_inputs dist rng in
+          (subject, honest @ List.init tol (fun _ -> Oid.of_int 0)))
+    in
+    let report =
+      match Vv_serve.Client.run_load ~shutdown ~conns reqs with
+      | Ok r -> r
+      | Error msg ->
+          Fmt.epr "vvc load: %s@." msg;
+          exit 1
+    in
+    List.iter Vv_serve.Client.close conns;
+    let all_valid =
+      List.for_all
+        (fun (s : Vv_multishot.Ledger.slot) ->
+          s.Vv_multishot.Ledger.decision = None || s.Vv_multishot.Ledger.valid)
+        report.Vv_serve.Client.decisions
+    in
+    (match format with
+    | Emit.Json ->
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("submitted", Json.Int report.Vv_serve.Client.submitted);
+                  ( "decided",
+                    Json.Int (List.length report.Vv_serve.Client.decisions) );
+                  ("elapsed_s", Json.Float report.Vv_serve.Client.elapsed);
+                  ("decisions_per_s", Json.Float report.Vv_serve.Client.rate);
+                  ("all_committed_valid", Json.Bool all_valid);
+                  ( "errors",
+                    Json.List
+                      (List.map
+                         (fun e -> Json.String e)
+                         report.Vv_serve.Client.errors) );
+                ]))
+    | _ ->
+        Fmt.pr "submitted=%d decided=%d elapsed=%.2fs rate=%.0f/s \
+                all-committed-valid=%b@."
+          report.Vv_serve.Client.submitted
+          (List.length report.Vv_serve.Client.decisions)
+          report.Vv_serve.Client.elapsed report.Vv_serve.Client.rate all_valid);
+    if
+      report.Vv_serve.Client.errors <> []
+      || List.length report.Vv_serve.Client.decisions
+         <> report.Vv_serve.Client.submitted
+      || not all_valid
+    then exit 1
+  in
+  C.Cmd.v (C.Cmd.info "load" ~doc)
+    C.Term.(
+      const run $ format_term $ socket_arg "the daemon" $ port_arg "the daemon"
+      $ host_arg $ clients $ subjects $ seed $ shutdown $ retry_for)
+
 let () =
   let doc = "Exact fault-tolerant consensus with voting validity (IPDPS 2023)" in
   let info = C.Cmd.info "vvc" ~version:"1.0.0" ~doc in
@@ -536,4 +741,4 @@ let () =
     (C.Cmd.eval
        (C.Cmd.group info
           [ list_cmd; exp_cmd; all_cmd; bounds_cmd; run_cmd; check_cmd;
-            chaos_cmd; ledger_cmd; radio_cmd ]))
+            chaos_cmd; ledger_cmd; radio_cmd; serve_cmd; load_cmd ]))

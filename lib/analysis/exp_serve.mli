@@ -1,0 +1,6 @@
+(** Experiment E18: boot a real serve daemon per cell, drive an
+    ack-serialized client burst over JSON-RPC, and cross-check the
+    streamed decisions byte-for-byte against an in-process engine run.
+    Wall-clock decisions/s is reported in the (unpinned) verdict line. *)
+
+val e18_campaign : Vv_exec.Campaign.t

@@ -25,6 +25,7 @@ let all : Campaign.t list =
     Exp_probability.e13_campaign;
     Exp_extensions.e14_campaign;
     Exp_session.e15_campaign;
+    Exp_serve.e18_campaign;
   ]
 
 let find id = List.find_opt (fun c -> String.equal (Campaign.id c) id) all

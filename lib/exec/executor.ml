@@ -28,14 +28,10 @@ module Runner = Vv_core.Runner
 
 let default_chunk_size = 64
 
-(* Per-instance seed: two independent splitmix64 steps.  The base seed is
-   first hashed on its own (create + one [bits] step), and the index is
-   folded into that hash before a second step.  Each step is a full
-   64-bit avalanche, so distinct (seed, index) pairs collide only if
-   [hash(seed1) lxor i1 = hash(seed2) lxor i2] — unlike the old
-   [seed lxor (i * const)] mix, where e.g. [(s, 1)] and
-   [(s lxor const, 0)] derived the same stream. *)
-let derive_seed ~seed i = Rng.bits (Rng.create (Rng.bits (Rng.create seed) lxor i))
+(* Per-instance seed: {!Vv_prelude.Rng.derive}, two independent splitmix64
+   steps — the scheme lives in the prelude so other layers (the multishot
+   ledger's slot/attempt seeds) derive from the identical function. *)
+let derive_seed ~seed i = Rng.derive seed i
 
 (* [jobs = 0] means "all available cores but one". *)
 let resolve_jobs jobs =

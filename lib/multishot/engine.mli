@@ -1,0 +1,107 @@
+(** Multi-shot throughput engine: subject batching, slot sharding across
+    Executor domains, pipelined cost accounting and snapshot/catch-up.
+
+    Submissions are assigned global positions in arrival order; position
+    [p] lands in slot [p / batch], lane [p mod batch], and is decided by
+    {!Ledger.compute} — pure per position — so groups of positions fan
+    out through {!Vv_exec.Executor.map} and merge in index order. The
+    committed log is byte-identical at every [jobs] value, and an engine
+    at [batch = 1] reproduces a sequential {!Ledger.decide} loop exactly.
+
+    The serve daemon ({!Vv_serve.Server}) drives one engine per process:
+    [submit] on every vote submission, [step] after each read burst
+    (decides full slots only), [flush] on demand, [to_snapshot] /
+    [of_snapshot] for restart catch-up. *)
+
+module Oid = Vv_ballot.Option_id
+
+type t
+
+val create : ?batch:int -> ?jobs:int -> Ledger.config -> t
+(** [batch] (default 1) subjects per slot; [jobs] (default 1) worker
+    domains for slot fan-out, [0] = all cores but one. Raises
+    [Invalid_argument] when [batch < 1] or [jobs < 0]. *)
+
+val config : t -> Ledger.config
+val batch : t -> int
+
+val height : t -> int
+(** Committed (decided) positions so far. *)
+
+val pending : t -> int
+(** Accepted submissions not yet decided. *)
+
+val slot_of : t -> int -> int
+val lane_of : t -> int -> int
+
+val submit : t -> subject:int -> Oid.t list -> int
+(** Queue one subject with its per-node inputs (length [n]); returns the
+    assigned global position. Raises [Invalid_argument] on wrong arity. *)
+
+val step : t -> Ledger.slot list
+(** Decide every pending submission that completes a full slot, in
+    position order; partial trailing slots wait. Returns the newly
+    committed decisions ([slot.index] is the global position). *)
+
+val flush : t -> Ledger.slot list
+(** Decide everything pending, including a partial final slot. *)
+
+val decisions : t -> Ledger.slot list
+(** The committed log, in position order. *)
+
+val decisions_from : t -> int -> Ledger.slot list
+(** Committed decisions at positions [>= from] (restart catch-up). *)
+
+val all_committed_valid : t -> bool
+(** Every committed decision carried voting validity. *)
+
+type stats = {
+  decided : int;
+  committed : int;
+  skipped : int;
+  slots_used : int;
+  attempts_total : int;
+  rounds_instances : int;
+      (** sum of per-instance rounds: the unbatched, unpipelined cost *)
+  rounds_sequential : int;
+      (** sum of per-slot durations: batched but not pipelined *)
+  rounds_pipelined : int;
+      (** makespan with slot [k+1]'s Phase-1 broadcast overlapping slot
+          [k]'s Phase 2 (the broadcast layer is the serial resource) *)
+  all_valid : bool;
+}
+
+val stats : t -> stats
+
+val stats_of :
+  batch:int ->
+  bb:Vv_bb.Bb.choice ->
+  n:int ->
+  t:int ->
+  Ledger.slot list ->
+  stats
+(** Pure form of {!stats}, usable on a decision log reconstructed from a
+    served decision stream. Deterministic and jobs-invariant. *)
+
+val run :
+  ?batch:int ->
+  ?jobs:int ->
+  Ledger.config ->
+  (int * Oid.t list) list ->
+  Ledger.slot list * stats
+(** Submit every [(subject, inputs)] request, flush, and return the
+    committed log with its stats. *)
+
+val to_snapshot : t -> Vv_prelude.Json.t
+(** Committed state only (config echo + decision log); pending
+    submissions are the clients' to resubmit. *)
+
+val of_snapshot :
+  ?batch:int ->
+  ?jobs:int ->
+  Ledger.config ->
+  Vv_prelude.Json.t ->
+  (t, string) result
+(** Rebuild an engine from a snapshot. Fails when the snapshot's seed,
+    [n], [t] or (if [?batch] is given) batch size disagree with the
+    requested configuration, or the decision log is malformed. *)

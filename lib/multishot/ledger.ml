@@ -13,10 +13,21 @@
      committed slot carries its validity verdict).
 
    The Byzantine set persists across slots (the same adversary keeps
-   attacking); seeds are derived per attempt so the whole ledger replays
-   bit-for-bit. *)
+   attacking).
+
+   Slots are *independent*: every random draw a slot consumes comes from
+   seeds derived as [Rng.derive (Rng.derive cfg.seed index) attempt], and
+   the slot's first speaker is [index mod n].  Nothing about a slot
+   depends on how many attempts earlier slots burned — which is what lets
+   {!Engine} shard and pipeline slots across domains while staying
+   byte-identical to the sequential ledger.  (The original implementation
+   drew each attempt's seed from one shared RNG stream and rotated one
+   shared speaker cursor, silently coupling every slot to its
+   predecessors' retry history.) *)
 
 module Oid = Vv_ballot.Option_id
+module Rng = Vv_prelude.Rng
+module Json = Vv_prelude.Json
 module Runner = Vv_core.Runner
 
 type retry =
@@ -70,13 +81,10 @@ type slot = {
 
 type t = {
   cfg : config;
-  rng : Vv_prelude.Rng.t;
   mutable slots : slot list;  (* reversed *)
-  mutable next_speaker : Vv_sim.Types.node_id;
 }
 
-let create cfg =
-  { cfg; rng = Vv_prelude.Rng.create cfg.seed; slots = []; next_speaker = 0 }
+let create cfg = { cfg; slots = [] }
 
 let height t = List.length t.slots
 let slots t = List.rev t.slots
@@ -93,30 +101,40 @@ let all_committed_valid t =
     (fun s -> match s.decision with Some _ -> s.valid | None -> true)
     (slots t)
 
-let rotate t = t.next_speaker <- (t.next_speaker + 1) mod t.cfg.n
-
 let max_attempts cfg =
   match cfg.retry with
   | No_retry -> 1
   | Rotate_speaker k | Rotate_and_adjust (_, k) ->
       if k < 1 then invalid_arg "Ledger: retry attempts must be >= 1" else k
 
-(* Decide one slot: run attempts under rotating speakers until one
-   terminates or the retry budget is exhausted. *)
-let decide t ~subject inputs =
-  if List.length inputs <> t.cfg.n then
-    invalid_arg "Ledger.decide: inputs must have length n";
-  let cfg = t.cfg in
+(* Decide one slot as a pure function of (config, index, subject, inputs):
+   run attempts under rotating speakers until one terminates or the retry
+   budget is exhausted.  Attempt [k] (from 1) speaks as
+   [(speaker_base + k - 1) mod n] under seed [derive (derive seed index) k];
+   the adjustment policy's draws come from the reserved attempt-0 child
+   stream.  Domain-safe: no shared mutable state. *)
+let compute cfg ?speaker_base ~index ~subject inputs =
+  if List.length inputs <> cfg.n then
+    invalid_arg "Ledger.compute: inputs must have length n";
+  if index < 0 then invalid_arg "Ledger.compute: negative index";
+  let base =
+    match speaker_base with
+    | Some s ->
+        if s < 0 then invalid_arg "Ledger.compute: negative speaker_base"
+        else s mod cfg.n
+    | None -> index mod cfg.n
+  in
   let budget = max_attempts cfg in
-  let index = height t in
+  let slot_seed = Rng.derive cfg.seed index in
+  (* Attempt seeds use children 1.., so child 0 is free for the policy. *)
+  let adjust_rng = Rng.create (Rng.derive slot_seed 0) in
   let rec attempt k inputs rounds_acc =
-    let speaker = t.next_speaker in
-    rotate t;
+    let speaker = (base + k - 1) mod cfg.n in
     let outcome =
       Runner.run
         (Runner.spec ~byzantine:cfg.byzantine ~crash:cfg.crash
            ~protocol:cfg.protocol ~bb:cfg.bb ~strategy:cfg.strategy
-           ~tie:cfg.tie ~seed:(Vv_prelude.Rng.bits t.rng) ~subject ~speaker
+           ~tie:cfg.tie ~seed:(Rng.derive slot_seed k) ~subject ~speaker
            ~n:cfg.n ~t:cfg.t inputs)
     in
     let rounds_acc = rounds_acc + outcome.Runner.rounds in
@@ -151,14 +169,61 @@ let decide t ~subject inputs =
         | Rotate_and_adjust (policy, _) ->
             (* Adjust honest entries only; Byzantine slots are ignored by
                the runner anyway. *)
-            Vv_core.Session.adjust ~tie:cfg.tie ~rng:t.rng policy inputs
+            Vv_core.Session.adjust ~tie:cfg.tie ~rng:adjust_rng policy inputs
         | No_retry | Rotate_speaker _ -> inputs
       in
       attempt (k + 1) inputs rounds_acc
   in
-  let slot = attempt 1 inputs 0 in
+  attempt 1 inputs 0
+
+let decide t ~subject inputs =
+  if List.length inputs <> t.cfg.n then
+    invalid_arg "Ledger.decide: inputs must have length n";
+  let slot = compute t.cfg ~index:(height t) ~subject inputs in
   t.slots <- slot :: t.slots;
   slot
+
+(* --- snapshot serialisation (used by Engine and the serve daemon) --- *)
+
+let slot_to_json s =
+  Json.Obj
+    [
+      ("index", Json.Int s.index);
+      ("subject", Json.Int s.subject);
+      ("decision", Json.of_int_option (Option.map Oid.to_int s.decision));
+      ("speaker", Json.Int s.speaker);
+      ("attempts", Json.Int s.attempts);
+      ("valid", Json.Bool s.valid);
+      ("rounds_total", Json.Int s.rounds_total);
+    ]
+
+let slot_of_json j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.Obj fields ->
+      let int key =
+        match List.assoc_opt key fields with
+        | Some (Json.Int i) -> Ok i
+        | _ -> Error (Printf.sprintf "slot: missing int field %S" key)
+      in
+      let* index = int "index" in
+      let* subject = int "subject" in
+      let* decision =
+        match List.assoc_opt "decision" fields with
+        | Some Json.Null -> Ok None
+        | Some (Json.Int i) -> Ok (Some (Oid.of_int i))
+        | _ -> Error "slot: decision must be an int or null"
+      in
+      let* speaker = int "speaker" in
+      let* attempts = int "attempts" in
+      let* valid =
+        match List.assoc_opt "valid" fields with
+        | Some (Json.Bool b) -> Ok b
+        | _ -> Error "slot: missing bool field \"valid\""
+      in
+      let* rounds_total = int "rounds_total" in
+      Ok { index; subject; decision; speaker; attempts; valid; rounds_total }
+  | _ -> Error "slot: expected an object"
 
 let pp_slot ppf s =
   Fmt.pf ppf "slot %d: subject=%d %a (speaker %d, %d attempt%s, %d rounds)"

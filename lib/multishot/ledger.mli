@@ -5,7 +5,10 @@
     (Byzantine/crashed speaker, or a safety-guaranteed protocol refusing a
     thin margin) are retried under the next speaker, optionally with the
     Section V-B electorate adjustment between attempts. Deterministic from
-    the config seed. *)
+    the config seed — and slot-independent: slot [i]'s seeds derive from
+    [(seed, i, attempt)] and its first speaker is [i mod n], so no slot
+    depends on how many attempts its predecessors consumed. {!Engine}
+    relies on this to shard slots across domains byte-identically. *)
 
 module Oid = Vv_ballot.Option_id
 
@@ -71,6 +74,21 @@ val all_committed_valid : t -> bool
 
 val decide : t -> subject:int -> Oid.t list -> slot
 (** Run one slot on the given per-node inputs (length [n]; Byzantine
-    entries ignored). Appends and returns the slot. *)
+    entries ignored). Appends and returns the slot. Equivalent to
+    {!compute} at [index = height t]. *)
+
+val compute :
+  config -> ?speaker_base:int -> index:int -> subject:int -> Oid.t list -> slot
+(** [compute cfg ~index ~subject inputs] decides the slot at [index] as a
+    pure function of its arguments: attempt [k] (from 1) runs under seed
+    [Rng.derive (Rng.derive cfg.seed index) k] with speaker
+    [(speaker_base + k - 1) mod n] ([speaker_base] defaults to
+    [index mod n]). Independent of every other slot and domain-safe, so
+    callers may fan slots out across domains and merge in index order.
+    Raises [Invalid_argument] on wrong arity or negative [index]. *)
+
+val slot_to_json : slot -> Vv_prelude.Json.t
+val slot_of_json : Vv_prelude.Json.t -> (slot, string) result
+(** Lossless slot serialisation, used by {!Engine} snapshots. *)
 
 val pp_slot : slot Fmt.t

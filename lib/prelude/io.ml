@@ -1,0 +1,35 @@
+(* Atomic file writes for report and snapshot output.
+
+   Every writer in the CLI and the serve daemon goes through
+   [write_atomic]: the payload lands in a sibling temp file first and is
+   renamed over the target only after a successful close, so an
+   interrupted or failing run never leaves a truncated report or a
+   half-written snapshot behind.  Failures come back as [Error] with a
+   human-readable message instead of an uncaught [Sys_error]. *)
+
+let write_atomic ~path content =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  match Filename.temp_file ~temp_dir:dir base ".tmp" with
+  | exception Sys_error msg -> Error msg
+  | tmp -> (
+      let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+      match open_out_bin tmp with
+      | exception Sys_error msg ->
+          cleanup ();
+          Error msg
+      | oc -> (
+          match
+            output_string oc content;
+            close_out oc
+          with
+          | exception Sys_error msg ->
+              close_out_noerr oc;
+              cleanup ();
+              Error msg
+          | () -> (
+              match Sys.rename tmp path with
+              | () -> Ok ()
+              | exception Sys_error msg ->
+                  cleanup ();
+                  Error msg)))

@@ -1,0 +1,9 @@
+(** Atomic file writes for reports and snapshots. *)
+
+val write_atomic : path:string -> string -> (unit, string) result
+(** [write_atomic ~path content] writes [content] to a unique temp file in
+    [path]'s directory and renames it over [path], so the target is never
+    observed truncated: it either keeps its previous content or holds the
+    complete new payload. [Error] carries the failing [Sys_error] message
+    (unwritable directory, full disk, rename failure); the temp file is
+    removed on every failure path. *)

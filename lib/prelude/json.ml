@@ -79,11 +79,32 @@ let of_int_option = function None -> Null | Some i -> Int i
 
 let of_histogram h = List (List.map (fun (v, c) -> List [ Int v; Int c ]) h)
 
-(* Recursive-descent parser for the subset this module emits (which is
-   standard JSON minus \uXXXX surrogate pairs — non-BMP escapes are
-   rejected rather than mangled).  Numbers parse as [Int] when they carry
-   no fraction, exponent or overflow, [Float] otherwise. *)
+(* Recursive-descent parser for standard JSON.  [\uXXXX] escapes decode
+   to UTF-8, including surrogate pairs for non-BMP code points; lone
+   surrogates are an error rather than mangled output.  Numbers parse as
+   [Int] when they carry no fraction, exponent or overflow, [Float]
+   otherwise. *)
 exception Parse_error of string
+
+(* Encode one Unicode scalar value as UTF-8. The parser never passes a
+   surrogate here (pairs are combined first, lone halves rejected). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
 
 let of_string s =
   let n = String.length s in
@@ -132,17 +153,45 @@ let of_string s =
           | 'b' -> Buffer.add_char buf '\b'; go ()
           | 'f' -> Buffer.add_char buf '\012'; go ()
           | 'u' ->
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              pos := !pos + 4;
-              let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail "invalid \\u escape"
+              (* Exactly four hex digits — [int_of_string "0x…"] would
+                 also accept underscores, so validate by hand. *)
+              let hex4 () =
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let digit c =
+                  match c with
+                  | '0' .. '9' -> Char.code c - Char.code '0'
+                  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                  | _ -> fail "invalid \\u escape"
+                in
+                let code =
+                  (digit s.[!pos] lsl 12)
+                  lor (digit s.[!pos + 1] lsl 8)
+                  lor (digit s.[!pos + 2] lsl 4)
+                  lor digit s.[!pos + 3]
+                in
+                pos := !pos + 4;
+                code
               in
-              (* The emitter only writes \u00XX control escapes; decoding
-                 the full BMP would need UTF-8 encoding here. *)
-              if code > 0xff then fail "unsupported \\u escape beyond latin-1";
-              Buffer.add_char buf (Char.chr code);
+              let code = hex4 () in
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* High surrogate: the low half must follow immediately as
+                   another \u escape; together they name one non-BMP code
+                   point. *)
+                if
+                  not
+                    (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                then fail "high surrogate without a following \\u escape";
+                pos := !pos + 2;
+                let low = hex4 () in
+                if low < 0xDC00 || low > 0xDFFF then
+                  fail "high surrogate not followed by a low surrogate";
+                add_utf8 buf
+                  (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                fail "lone low surrogate"
+              else add_utf8 buf code;
               go ()
           | _ -> fail "invalid escape")
       | c -> Buffer.add_char buf c; go ()

@@ -24,6 +24,7 @@ val of_histogram : (int * int) list -> t
 (** A [(value, count)] histogram as a list of two-element arrays. *)
 
 val of_string : string -> (t, string) result
-(** Parse one JSON document (standard JSON minus non-latin-1 [\u] escapes;
-    numbers without fraction or exponent parse as [Int], the rest as
-    [Float]).  [Error] carries a message with the byte offset. *)
+(** Parse one JSON document. [\uXXXX] escapes decode to UTF-8 — surrogate
+    pairs combine into one non-BMP code point, lone surrogates are an
+    error. Numbers without fraction or exponent parse as [Int], the rest
+    as [Float]. [Error] carries a message with the byte offset. *)

@@ -23,6 +23,15 @@ let split t =
 
 let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
+(* Two independent splitmix64 steps: hash the base seed on its own, fold
+   the index into that hash, hash again.  Each step is a full 64-bit
+   avalanche, so distinct (seed, index) pairs collide only if
+   [hash(s1) lxor i1 = hash(s2) lxor i2] — unlike a plain
+   [seed lxor (i * const)] mix.  Chaining [derive] builds seed trees
+   (batch instance seeds, ledger slot/attempt seeds) whose leaves are
+   independent of how many draws any sibling consumed. *)
+let derive seed i = bits (create (bits (create seed) lxor i))
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling to avoid modulo bias. *)

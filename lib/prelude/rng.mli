@@ -19,6 +19,15 @@ val split : t -> t
 val bits : t -> int
 (** [bits t] is a uniform non-negative 62-bit integer. *)
 
+val derive : int -> int -> int
+(** [derive seed i] is the deterministic child seed for index [i] under
+    base [seed]: two independent splitmix64 avalanche steps, so distinct
+    [(seed, i)] pairs do not collide under simple xor algebra. Chain it to
+    build seed trees ([derive (derive seed slot) attempt]) whose leaves do
+    not depend on how many draws any sibling stream consumed. The batch
+    executor's per-instance seeding ({!Vv_exec.Executor.derive_seed}) is
+    exactly this function. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
     [bound <= 0]. *)

@@ -1,0 +1,250 @@
+(* Client side of the serve protocol: blocking line-at-a-time
+   connections and the load driver behind `vvc load` / campaign E18.
+
+   The driver is deliberately ack-serialized: it never sends submission
+   k+1 before the ack for submission k has come back, even though the
+   submissions round-robin across many connections.  With concurrent
+   in-flight submissions the kernel's cross-socket scheduling would pick
+   the arrival order — and with it the position assignment — making the
+   committed ledger nondeterministic.  Serializing on acks pins the
+   position of every subject, so the same (seed, subjects) always yields
+   the same ledger and campaign tables can be golden-pinned.  Decisions
+   still stream back concurrently with the submit traffic; throughput
+   comes from the server's sharded slot computation, not from racing the
+   submit path. *)
+
+module Json = Vv_prelude.Json
+module Oid = Vv_ballot.Option_id
+module Ledger = Vv_multishot.Ledger
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t }
+
+let rec connect_retry ~deadline addr =
+  let fd =
+    Unix.socket
+      (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  match Unix.connect fd addr with
+  | () -> { fd; buf = Buffer.create 4096 }
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+    when Unix.gettimeofday () < deadline ->
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      connect_retry ~deadline addr
+  | exception e ->
+      Unix.close fd;
+      raise e
+
+let connect ?(retry_for = 0.) addr =
+  connect_retry ~deadline:(Unix.gettimeofday () +. retry_for) addr
+
+let connect_unix ?retry_for path = connect ?retry_for (Unix.ADDR_UNIX path)
+
+let connect_tcp ?retry_for ?(host = "127.0.0.1") port =
+  connect ?retry_for
+    (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let send conn line =
+  let payload = line ^ "\n" in
+  let len = String.length payload in
+  let rec push ofs =
+    if ofs < len then
+      push (ofs + Unix.write_substring conn.fd payload ofs (len - ofs))
+  in
+  push 0
+
+(* Pop a buffered complete line if one is already waiting. *)
+let take_buffered conn =
+  let data = Buffer.contents conn.buf in
+  match String.index_opt data '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear conn.buf;
+      Buffer.add_substring conn.buf data (i + 1)
+        (String.length data - i - 1);
+      Some (String.sub data 0 i)
+
+(* Blocking read of the next line, [None] on EOF or deadline. *)
+let recv_line ?(timeout = 30.) conn =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    match take_buffered conn with
+    | Some line -> Some line
+    | None -> (
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0. then None
+        else
+          match Unix.select [ conn.fd ] [] [] remaining with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | [], _, _ -> None
+          | _ -> (
+              match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+              | 0 -> None
+              | len ->
+                  Buffer.add_subbytes conn.buf chunk 0 len;
+                  loop ()))
+  in
+  loop ()
+
+(* --- the load driver --- *)
+
+type report = {
+  submitted : int;
+  decisions : Ledger.slot list;  (* in position order, deduplicated *)
+  status : Json.t option;
+  elapsed : float;
+  rate : float;  (* decisions per second of driver wall-clock *)
+  errors : string list;
+}
+
+(* Shared sink for decision notifications: every connection receives the
+   full broadcast stream, so dedupe by position. *)
+type sink = {
+  seen : (int, Ledger.slot) Hashtbl.t;
+  mutable errs : string list;
+}
+
+let absorb sink line =
+  match Rpc.decision_of_line line with
+  | Some s ->
+      if not (Hashtbl.mem sink.seen s.Ledger.index) then
+        Hashtbl.replace sink.seen s.Ledger.index s;
+      true
+  | None -> false
+
+(* Read lines off [conn] (feeding decisions to the sink) until the
+   response echoing [id] appears; returns its payload object. *)
+let wait_response ?timeout sink conn ~id =
+  let rec loop () =
+    match recv_line ?timeout conn with
+    | None -> Error "connection closed or timed out awaiting response"
+    | Some line ->
+        if absorb sink line then loop ()
+        else (
+          match Json.of_string line with
+          | Ok (Json.Obj fields) when List.assoc_opt "id" fields = Some id -> (
+              match List.assoc_opt "error" fields with
+              | Some (Json.Obj e) ->
+                  let msg =
+                    match List.assoc_opt "message" e with
+                    | Some (Json.String m) -> m
+                    | _ -> "unspecified server error"
+                  in
+                  sink.errs <- msg :: sink.errs;
+                  Ok Json.Null
+              | _ ->
+                  Ok
+                    (Option.value ~default:Json.Null
+                       (List.assoc_opt "result" fields)))
+          | _ -> loop ())
+  in
+  loop ()
+
+let request ?timeout sink conn ~id ~meth params =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [ ("id", id); ("method", Json.String meth); ("params", params) ])
+  in
+  send conn line;
+  wait_response ?timeout sink conn ~id
+
+(* One-off status query on an otherwise idle connection, for callers that
+   need the daemon's shape (n, t, batch) before building a load. *)
+let status ?timeout conn =
+  let sink = { seen = Hashtbl.create 1; errs = [] } in
+  match
+    request ?timeout sink conn ~id:(Json.String "probe") ~meth:"status"
+      (Json.Obj [])
+  with
+  | Error _ as e -> e
+  | Ok Json.Null -> Error (String.concat "; " (List.rev sink.errs))
+  | Ok payload -> Ok payload
+
+let run_load ?(timeout = 30.) ?(shutdown = false) ~conns subjects =
+  match conns with
+  | [] -> Error "run_load: need at least one connection"
+  | first :: _ ->
+      let conn_arr = Array.of_list conns in
+      let nconns = Array.length conn_arr in
+      let sink = { seen = Hashtbl.create 256; errs = [] } in
+      let started = Unix.gettimeofday () in
+      let submitted = ref 0 in
+      let rec submit_all i = function
+        | [] -> Ok ()
+        | (subject, inputs) :: rest -> (
+            let conn = conn_arr.(i mod nconns) in
+            let params =
+              Json.Obj
+                [
+                  ("subject", Json.Int subject);
+                  ( "inputs",
+                    Json.List
+                      (List.map (fun o -> Json.Int (Oid.to_int o)) inputs) );
+                ]
+            in
+            match
+              request ~timeout sink conn ~id:(Json.Int i) ~meth:"submit" params
+            with
+            | Error msg -> Error (Printf.sprintf "submit %d: %s" i msg)
+            | Ok _ ->
+                incr submitted;
+                submit_all (i + 1) rest)
+      in
+      let ( let* ) = Result.bind in
+      let* () = submit_all 0 subjects in
+      (* Force the trailing partial slot, then drain the broadcast stream
+         on the first connection until every position has decided. *)
+      let* _ =
+        request ~timeout sink first ~id:(Json.String "flush") ~meth:"flush"
+          (Json.Obj [])
+      in
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec drain () =
+        if Hashtbl.length sink.seen >= !submitted then Ok ()
+        else if Unix.gettimeofday () > deadline then
+          Error
+            (Printf.sprintf "drain: %d of %d decisions after %.0fs"
+               (Hashtbl.length sink.seen) !submitted timeout)
+        else
+          match recv_line ~timeout:(deadline -. Unix.gettimeofday ()) first with
+          | None ->
+              Error
+                (Printf.sprintf "drain: stream ended at %d of %d decisions"
+                   (Hashtbl.length sink.seen) !submitted)
+          | Some line ->
+              ignore (absorb sink line);
+              drain ()
+      in
+      let* () = drain () in
+      let elapsed = Unix.gettimeofday () -. started in
+      let* status =
+        request ~timeout sink first ~id:(Json.String "status") ~meth:"status"
+          (Json.Obj [])
+      in
+      let* () =
+        if shutdown then
+          Result.map ignore
+            (request ~timeout sink first ~id:(Json.String "shutdown")
+               ~meth:"shutdown" (Json.Obj []))
+        else Ok ()
+      in
+      let decisions =
+        Hashtbl.fold (fun _ s acc -> s :: acc) sink.seen []
+        |> List.sort (fun a b -> compare a.Ledger.index b.Ledger.index)
+      in
+      Ok
+        {
+          submitted = !submitted;
+          decisions;
+          status = (if status = Json.Null then None else Some status);
+          elapsed;
+          rate =
+            (if elapsed > 0. then float_of_int (List.length decisions) /. elapsed
+             else 0.);
+          errors = List.rev sink.errs;
+        }

@@ -1,0 +1,51 @@
+(** Client side of the serve protocol: blocking line-at-a-time
+    connections and the deterministic load driver behind `vvc load` and
+    campaign E18. *)
+
+module Json = Vv_prelude.Json
+module Oid = Vv_ballot.Option_id
+module Ledger = Vv_multishot.Ledger
+
+type conn
+
+val connect_unix : ?retry_for:float -> string -> conn
+(** Connect to a Unix-domain socket, retrying ECONNREFUSED/ENOENT for up
+    to [retry_for] seconds (default 0 — fail immediately). Lets a client
+    race a daemon that is still starting up. *)
+
+val connect_tcp : ?retry_for:float -> ?host:string -> int -> conn
+val close : conn -> unit
+
+val send : conn -> string -> unit
+(** Write one line (the newline is appended here). *)
+
+val recv_line : ?timeout:float -> conn -> string option
+(** Next complete line, [None] on EOF or after [timeout] (default 30s)
+    of silence. *)
+
+val status : ?timeout:float -> conn -> (Json.t, string) result
+(** One-off status query: the daemon's shape (n, t, batch, height, ...)
+    as the raw result object. *)
+
+type report = {
+  submitted : int;
+  decisions : Ledger.slot list;  (** in position order, deduplicated *)
+  status : Json.t option;  (** the server's final status payload *)
+  elapsed : float;
+  rate : float;  (** decisions per second of driver wall-clock *)
+  errors : string list;  (** error responses the server sent back *)
+}
+
+val run_load :
+  ?timeout:float ->
+  ?shutdown:bool ->
+  conns:conn list ->
+  (int * Oid.t list) list ->
+  (report, string) result
+(** Drive a burst of [(subject, inputs)] submissions round-robin across
+    [conns], then flush and wait until every position's decision has
+    streamed back. Submissions are ack-serialized — submission [k+1] is
+    not sent until the ack for [k] arrives — so position assignment (and
+    hence the committed ledger) is a pure function of the submission
+    list, independent of socket scheduling. With [shutdown] the server
+    is asked to stop after the final status read. *)

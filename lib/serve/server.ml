@@ -1,0 +1,220 @@
+(* The `vvc serve` daemon loop: a select-based single-threaded server
+   multiplexing line-delimited JSON-RPC clients over a Unix or TCP
+   socket, feeding one {!Vv_multishot.Engine}.
+
+   Lifecycle of a submission: a [submit] line is parsed, queued on the
+   engine (ack carries the assigned position), and after each read burst
+   the engine [step]s — every slot that filled up is decided (sharded
+   across the engine's [jobs] domains) and its decisions are broadcast to
+   every connected client as notifications.  [flush] forces a partial
+   slot; [status] reports engine stats; [catchup ~from] replays the
+   committed log to one client (how a restarted consumer resynchronises);
+   [shutdown] snapshots and stops the loop.
+
+   Durability: with [?snapshot] the committed log is written atomically
+   (tmp + rename, {!Vv_prelude.Io.write_atomic}) after every commit burst
+   and on shutdown; at startup an existing snapshot is loaded so a
+   restarted server resumes at its previous height.  Pending submissions
+   are never snapshotted — unacknowledged-by-decision traffic is the
+   clients' to resubmit.
+
+   The loop is deliberately single-threaded: determinism comes from the
+   engine (positions in arrival order, slot computation pure), and the
+   protocol work itself is what parallelises — across the engine's worker
+   domains, not across request handlers. *)
+
+module Json = Vv_prelude.Json
+module Io = Vv_prelude.Io
+module Ledger = Vv_multishot.Ledger
+module Engine = Vv_multishot.Engine
+
+(* --- listeners --- *)
+
+let listen_unix path =
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp ?(host = "127.0.0.1") port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 64;
+  fd
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> invalid_arg "Server.bound_port: unix socket"
+
+(* --- per-client connection state --- *)
+
+type client = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;  (* bytes read but not yet terminated by '\n' *)
+  mutable alive : bool;
+}
+
+let send client line =
+  if client.alive then
+    let payload = line ^ "\n" in
+    let len = String.length payload in
+    let rec push ofs =
+      if ofs < len then
+        match Unix.write_substring client.fd payload ofs (len - ofs) with
+        | written -> push (ofs + written)
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            client.alive <- false
+    in
+    push 0
+
+(* Read whatever is available; returns the complete lines and marks the
+   client dead on EOF or connection errors. *)
+let read_lines client =
+  let chunk = Bytes.create 65536 in
+  match Unix.read client.fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      client.alive <- false;
+      []
+  | 0 ->
+      client.alive <- false;
+      []
+  | len ->
+      Buffer.add_subbytes client.pending chunk 0 len;
+      let data = Buffer.contents client.pending in
+      Buffer.clear client.pending;
+      let lines = ref [] in
+      let start = ref 0 in
+      String.iteri
+        (fun i c ->
+          if c = '\n' then begin
+            lines := String.sub data !start (i - !start) :: !lines;
+            start := i + 1
+          end)
+        data;
+      Buffer.add_substring client.pending data !start
+        (String.length data - !start);
+      List.rev !lines
+
+(* --- the serve loop --- *)
+
+type outcome = { height : int; served_clients : int }
+
+let write_snapshot ?log engine = function
+  | None -> ()
+  | Some path -> (
+      let body = Json.to_string (Engine.to_snapshot engine) ^ "\n" in
+      match Io.write_atomic ~path body with
+      | Ok () -> ()
+      | Error msg -> (
+          match log with
+          | Some f -> f (Printf.sprintf "snapshot write failed: %s" msg)
+          | None -> ()))
+
+let load_engine ?batch ?jobs ~snapshot cfg =
+  match snapshot with
+  | Some path when Sys.file_exists path -> (
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let body = really_input_string ic len in
+      close_in ic;
+      match Json.of_string (String.trim body) with
+      | Error msg -> Error (Printf.sprintf "%s: not valid JSON: %s" path msg)
+      | Ok j -> (
+          match Engine.of_snapshot ?batch ?jobs cfg j with
+          | Ok engine -> Ok engine
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg)))
+  | _ -> Ok (Engine.create ?batch ?jobs cfg)
+
+let serve ?batch ?jobs ?snapshot ?log ~listen cfg =
+  (* A client that disappears mid-write must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let engine =
+    match load_engine ?batch ?jobs ~snapshot cfg with
+    | Ok e -> e
+    | Error msg -> failwith ("Server.serve: cannot load snapshot: " ^ msg)
+  in
+  let info msg = match log with Some f -> f msg | None -> () in
+  info
+    (Printf.sprintf "serving n=%d t=%d batch=%d height=%d"
+       cfg.Ledger.n cfg.Ledger.t (Engine.batch engine) (Engine.height engine));
+  let clients = ref [] in
+  let served = ref 0 in
+  let running = ref true in
+  let broadcast line =
+    List.iter (fun c -> send c line) !clients
+  in
+  let commit decided =
+    if decided <> [] then begin
+      List.iter
+        (fun s -> broadcast (Rpc.decision ~batch:(Engine.batch engine) s))
+        decided;
+      write_snapshot ?log engine snapshot
+    end
+  in
+  let handle client line =
+    if String.trim line <> "" then
+      match Rpc.parse line with
+      | Error msg -> send client (Rpc.error ~id:Json.Null msg)
+      | Ok (Rpc.Submit { id; subject; inputs }) -> (
+          match Engine.submit engine ~subject inputs with
+          | position ->
+              send client
+                (Rpc.submit_ack ~id ~position
+                   ~slot:(Engine.slot_of engine position)
+                   ~lane:(Engine.lane_of engine position))
+          | exception Invalid_argument msg -> send client (Rpc.error ~id msg))
+      | Ok (Rpc.Flush { id }) ->
+          let decided = Engine.flush engine in
+          commit decided;
+          send client
+            (Rpc.result ~id
+               (Json.Obj [ ("flushed", Json.Int (List.length decided)) ]))
+      | Ok (Rpc.Status { id }) ->
+          send client (Rpc.result ~id (Rpc.status_json engine))
+      | Ok (Rpc.Catchup { id; from }) ->
+          let replay = Engine.decisions_from engine from in
+          send client
+            (Rpc.result ~id
+               (Json.Obj [ ("replaying", Json.Int (List.length replay)) ]));
+          List.iter
+            (fun s -> send client (Rpc.decision ~batch:(Engine.batch engine) s))
+            replay
+      | Ok (Rpc.Shutdown { id }) ->
+          send client
+            (Rpc.result ~id (Json.Obj [ ("stopping", Json.Bool true) ]));
+          running := false
+  in
+  while !running do
+    let fds = listen :: List.map (fun c -> c.fd) !clients in
+    match Unix.select fds [] [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listen then begin
+              let cfd, _ = Unix.accept listen in
+              incr served;
+              clients :=
+                !clients @ [ { fd = cfd; pending = Buffer.create 256; alive = true } ]
+            end
+            else
+              match List.find_opt (fun c -> c.fd = fd) !clients with
+              | None -> ()
+              | Some client ->
+                  List.iter (handle client) (read_lines client))
+          readable;
+        (* Decide every slot the burst filled, then drop dead clients. *)
+        commit (Engine.step engine);
+        List.iter
+          (fun c -> if not c.alive then Unix.close c.fd)
+          !clients;
+        clients := List.filter (fun c -> c.alive) !clients
+  done;
+  write_snapshot ?log engine snapshot;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !clients;
+  info (Printf.sprintf "stopped at height %d" (Engine.height engine));
+  { height = Engine.height engine; served_clients = !served }

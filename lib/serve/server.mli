@@ -1,0 +1,34 @@
+(** The `vvc serve` daemon: a single-threaded select loop multiplexing
+    line-delimited JSON-RPC clients ({!Rpc}) over a Unix or TCP socket,
+    feeding one {!Vv_multishot.Engine}. Submissions queue in arrival
+    order; filled slots are decided (sharded across the engine's [jobs]
+    domains) after every read burst and their decisions broadcast to all
+    clients; [flush]/[status]/[catchup]/[shutdown] are served inline. *)
+
+val listen_unix : string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket, removing any stale file at
+    the path first. *)
+
+val listen_tcp : ?host:string -> int -> Unix.file_descr
+(** Bind and listen on [host:port] (default host 127.0.0.1); port [0]
+    picks a free port — recover it with {!bound_port}. *)
+
+val bound_port : Unix.file_descr -> int
+
+type outcome = { height : int; served_clients : int }
+
+val serve :
+  ?batch:int ->
+  ?jobs:int ->
+  ?snapshot:string ->
+  ?log:(string -> unit) ->
+  listen:Unix.file_descr ->
+  Vv_multishot.Ledger.config ->
+  outcome
+(** Run the loop until a [shutdown] request. With [?snapshot], the
+    committed log is written atomically after every commit burst and on
+    shutdown, and an existing snapshot file is loaded at startup so a
+    restarted server resumes at its previous height (raises [Failure]
+    when the file exists but disagrees with [cfg]). [batch]/[jobs] are
+    {!Vv_multishot.Engine.create} parameters. The caller owns [listen]
+    (and the socket file, for Unix sockets). *)

@@ -117,6 +117,153 @@ let test_validation () =
     (Invalid_argument "Ledger.config: byzantine id out of range") (fun () ->
       ignore (Ledger.config ~byzantine:[ 9 ] ~n:5 ~t:1 ()))
 
+(* --- slot independence (the seeding bugfix) --- *)
+
+module Engine = Vv_multishot.Engine
+module Json = Vv_prelude.Json
+
+(* A mix of decisive and thin electorates so attempt counts vary. *)
+let mixed_inputs i =
+  if i mod 3 = 2 then List.map o [ 0; 0; 0; 1; 1; 2; 3 ] @ [ o 0; o 0 ]
+  else
+    List.init 7 (fun j -> if j = 6 then o ((i + 1) mod 3) else o (i mod 3))
+    @ [ o 0; o 0 ]
+
+let mixed_cfg ?retry () =
+  Ledger.config ~byzantine:[ 7; 8 ]
+    ~retry:
+      (Option.value retry
+         ~default:(Ledger.Rotate_and_adjust (Vv_core.Session.Bandwagon, 6)))
+    ~n:9 ~t:2 ~seed:0xabc ()
+
+let test_slot_independence () =
+  (* The regression: slot k's outcome must not depend on slots < k having
+     run. Before the per-slot derive_seed fix, every attempt pulled from
+     one shared RNG stream, so a retry in slot 0 shifted every later
+     slot's seeds. *)
+  let cfg = mixed_cfg () in
+  let with_prefix prefix_len =
+    let ledger = Ledger.create cfg in
+    for i = 0 to prefix_len - 1 do
+      ignore (Ledger.decide ledger ~subject:i (mixed_inputs i))
+    done;
+    (* The probe subject lands at index [prefix_len]; compute the same
+       index directly and compare. *)
+    Ledger.decide ledger ~subject:99 (mixed_inputs 2)
+  in
+  let direct index =
+    Ledger.compute cfg ~index ~subject:99 (mixed_inputs 2)
+  in
+  List.iter
+    (fun len ->
+      let appended = with_prefix len in
+      let computed = direct len in
+      check_bool
+        (Fmt.str "decide after %d slots == pure compute" len)
+        true
+        (appended = computed))
+    [ 0; 1; 2; 3; 5 ];
+  (* And the same (index, subject, inputs) triple decides identically no
+     matter what ran before it — retries in earlier slots included. *)
+  let a = direct 4 and b = direct 4 in
+  check_bool "compute is pure" true (a = b)
+
+let test_engine_matches_sequential () =
+  (* batch=1 engine == a sequential Ledger.decide loop, byte for byte. *)
+  let cfg = mixed_cfg () in
+  let reqs = List.init 9 (fun i -> (i, mixed_inputs i)) in
+  let ledger = Ledger.create cfg in
+  let sequential =
+    List.map (fun (s, inputs) -> Ledger.decide ledger ~subject:s inputs) reqs
+  in
+  let log, stats = Engine.run ~batch:1 ~jobs:1 cfg reqs in
+  check_bool "batch=1 == sequential" true (log = sequential);
+  check_int "stats decided" 9 stats.Engine.decided
+
+let test_engine_jobs_invariance () =
+  (* Sharded across all cores == single domain, at several batch sizes. *)
+  let cfg = mixed_cfg () in
+  let reqs = List.init 13 (fun i -> (i, mixed_inputs i)) in
+  List.iter
+    (fun batch ->
+      let log1, stats1 = Engine.run ~batch ~jobs:1 cfg reqs in
+      let log0, stats0 = Engine.run ~batch ~jobs:0 cfg reqs in
+      check_bool (Fmt.str "batch %d: logs identical" batch) true (log0 = log1);
+      check_bool (Fmt.str "batch %d: stats identical" batch) true
+        (stats0 = stats1))
+    [ 1; 3; 4; 8 ]
+
+let test_engine_step_flush () =
+  let cfg = mixed_cfg () in
+  let e = Engine.create ~batch:3 cfg in
+  ignore (Engine.submit e ~subject:0 (mixed_inputs 0));
+  ignore (Engine.submit e ~subject:1 (mixed_inputs 1));
+  check_int "partial slot waits" 0 (List.length (Engine.step e));
+  check_int "pending" 2 (Engine.pending e);
+  ignore (Engine.submit e ~subject:2 (mixed_inputs 2));
+  check_int "full slot decides" 3 (List.length (Engine.step e));
+  ignore (Engine.submit e ~subject:3 (mixed_inputs 3));
+  check_int "flush forces partial" 1 (List.length (Engine.flush e));
+  check_int "height" 4 (Engine.height e);
+  check_int "positions in order" 3
+    (List.nth (Engine.decisions e) 3).Ledger.index
+
+let test_engine_retry_under_pipelining () =
+  (* Thin electorates force retries; the pipelined makespan must stay
+     within [max slot duration, sequential sum] and the decisions must
+     still match the sequential ledger. *)
+  let cfg = mixed_cfg () in
+  let reqs = List.init 12 (fun i -> (i, mixed_inputs i)) in
+  let log, stats = Engine.run ~batch:4 ~jobs:0 cfg reqs in
+  check_bool "some slot retried" true (stats.Engine.attempts_total > 12);
+  check_bool "pipelining helps" true
+    (stats.Engine.rounds_pipelined < stats.Engine.rounds_sequential);
+  check_bool "pipelining is sound" true
+    (stats.Engine.rounds_pipelined <= stats.Engine.rounds_sequential
+    && stats.Engine.rounds_sequential <= stats.Engine.rounds_instances);
+  let ledger = Ledger.create cfg in
+  let sequential =
+    List.map (fun (s, inputs) -> Ledger.decide ledger ~subject:s inputs) reqs
+  in
+  (* Batching changes slot geometry, not per-position outcomes: each
+     position's seeds derive from its global index either way. *)
+  check_bool "same decisions as sequential" true
+    (List.map (fun (s : Ledger.slot) -> (s.Ledger.index, s.Ledger.decision)) log
+    = List.map
+        (fun (s : Ledger.slot) -> (s.Ledger.index, s.Ledger.decision))
+        sequential)
+
+let test_engine_snapshot_roundtrip () =
+  let cfg = mixed_cfg () in
+  let reqs = List.init 10 (fun i -> (i, mixed_inputs i)) in
+  let e = Engine.create ~batch:4 cfg in
+  List.iter (fun (s, inputs) -> ignore (Engine.submit e ~subject:s inputs)) reqs;
+  ignore (Engine.step e);
+  ignore (Engine.flush e);
+  let snap = Engine.to_snapshot e in
+  (* Round-trip through the actual wire encoding. *)
+  let snap =
+    match Json.of_string (Json.to_string snap) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "snapshot does not re-parse: %s" m
+  in
+  let e' =
+    match Engine.of_snapshot ~batch:4 cfg snap with
+    | Ok e' -> e'
+    | Error m -> Alcotest.failf "of_snapshot: %s" m
+  in
+  check_int "height restored" (Engine.height e) (Engine.height e');
+  check_bool "log restored" true (Engine.decisions e = Engine.decisions e');
+  check_bool "stats restored" true (Engine.stats e = Engine.stats e');
+  (* Catch-up: a consumer at height 6 receives exactly positions 6.. *)
+  let tail = Engine.decisions_from e' 6 in
+  check_int "catch-up length" 4 (List.length tail);
+  check_int "catch-up starts at 6" 6 (List.hd tail).Ledger.index;
+  (* A snapshot from a different config is refused. *)
+  let other = Ledger.config ~byzantine:[ 7; 8 ] ~n:9 ~t:2 ~seed:1 () in
+  check_bool "seed mismatch refused" true
+    (match Engine.of_snapshot other snap with Error _ -> true | Ok _ -> false)
+
 let () =
   Alcotest.run "multishot"
     [
@@ -134,5 +281,20 @@ let () =
             test_algo1_ledger_can_commit_invalid;
           Alcotest.test_case "deterministic" `Quick test_determinism;
           Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "slot independence (seeding regression)" `Quick
+            test_slot_independence;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "batch=1 matches sequential ledger" `Quick
+            test_engine_matches_sequential;
+          Alcotest.test_case "jobs invariance (1 vs all cores)" `Quick
+            test_engine_jobs_invariance;
+          Alcotest.test_case "step waits, flush forces" `Quick
+            test_engine_step_flush;
+          Alcotest.test_case "retry under pipelining" `Quick
+            test_engine_retry_under_pipelining;
+          Alcotest.test_case "snapshot round-trip and catch-up" `Quick
+            test_engine_snapshot_roundtrip;
         ] );
     ]

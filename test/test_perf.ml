@@ -93,6 +93,48 @@ let test_run_allocation () =
     true
     (per_round <= 2 * words_per_round_budget)
 
+(* --- serve hot loop --- *)
+
+(* The per-request cost of the daemon's framing layer: parse one submit
+   line, render its ack.  Unlike the engine round above this path does
+   allocate (a JSON tree in, a response string out) — the pin is that the
+   cost stays proportional to one small request, not to connection
+   lifetime or ledger height.  Same marginal-words idiom: a long batch
+   over a short one cancels warmup. *)
+let submit_line =
+  {|{"id":42,"method":"submit","params":{"subject":7,"inputs":[0,1,0,2,1,0,0,0,0]}}|}
+
+let rpc_words_of ~count =
+  let sink = ref 0 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to count do
+    match Vv_serve.Rpc.parse submit_line with
+    | Ok (Vv_serve.Rpc.Submit { subject; _ }) ->
+        sink :=
+          !sink + subject
+          + String.length
+              (Vv_serve.Rpc.submit_ack ~id:(Vv_prelude.Json.Int 42)
+                 ~position:11 ~slot:2 ~lane:3)
+    | _ -> assert false
+  done;
+  let w1 = Gc.minor_words () in
+  assert (!sink > 0);
+  int_of_float (w1 -. w0)
+
+let words_per_request_budget = 1500
+
+let test_rpc_allocation () =
+  let short = rpc_words_of ~count:200 in
+  let long = rpc_words_of ~count:1200 in
+  let per_request = (long - short) / 1000 in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "serve framing: %d words/request exceeds the %d-word budget"
+       per_request words_per_request_budget)
+    true
+    (per_request <= words_per_request_budget);
+  Alcotest.(check bool) "requests actually allocate" true (per_request > 0)
+
 let () =
   Alcotest.run "perf"
     [
@@ -102,5 +144,7 @@ let () =
             test_round_allocation;
           Alcotest.test_case "whole-run words/round" `Quick
             test_run_allocation;
+          Alcotest.test_case "serve framing words/request" `Quick
+            test_rpc_allocation;
         ] );
     ]

@@ -205,6 +205,114 @@ let prop_shuffle_multiset =
 let qcheck_cases = List.map QCheck_alcotest.to_alcotest
     [ prop_percentile_monotone; prop_shuffle_multiset ]
 
+(* --- json --- *)
+
+module Json = Vv_prelude.Json
+
+let json_ok s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%S should parse: %s" s msg
+
+let json_err s =
+  match Json.of_string s with
+  | Ok _ -> Alcotest.failf "%S should be rejected" s
+  | Error msg -> msg
+
+let check_string = check Alcotest.string
+
+let json_string s =
+  match json_ok s with
+  | Json.String v -> v
+  | _ -> Alcotest.failf "%S is not a string" s
+
+let test_json_unicode_escapes () =
+  check_string "ascii escape" "A" (json_string {|"A"|});
+  check_string "two-byte" "\xc3\xa9" (json_string "\"\\u00e9\"");
+  (* BMP escape decodes to UTF-8 bytes (U+2603, snowman). *)
+  check_string "snowman" "\xe2\x98\x83" (json_string "\"\\u2603\"");
+  (* A surrogate pair combines into one astral code point (U+1D11E,
+     musical G clef). This is the regression: the parser used to reject
+     every \uD800-\uDFFF escape outright. *)
+  check_string "surrogate pair" "\xf0\x9d\x84\x9e"
+    (json_string "\"\\ud834\\udd1e\"");
+  (* Case-insensitive hex. *)
+  check_string "upper hex" "\xf0\x9d\x84\x9e"
+    (json_string "\"\\uD834\\uDD1E\"");
+  (* Raw UTF-8 passes through untouched. *)
+  check_string "raw utf-8" "\xe2\x98\x83" (json_string "\"\xe2\x98\x83\"")
+
+let test_json_lone_surrogates () =
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "lone high" true
+    (contains "surrogate" (json_err {|"\ud834"|}));
+  Alcotest.(check bool) "lone low" true
+    (contains "surrogate" (json_err {|"\udd1e"|}));
+  Alcotest.(check bool) "high then non-escape" true
+    (contains "surrogate" (json_err {|"\ud834x"|}));
+  Alcotest.(check bool) "high then non-low escape" true
+    (contains "surrogate" (json_err {|"\ud834A"|}));
+  ignore (json_err {|"\u12"|});
+  ignore (json_err {|"\u12g4"|});
+  (* int_of_string accepts underscores and 0x prefixes; the hex scanner
+     must not. *)
+  ignore (json_err {|"\u1_34"|})
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      {|"☃"|}; {|"𝄞"|}; {|"  low "|};
+      {|{"k":["😀",1,-2.5,true,null]}|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      let v = json_ok s in
+      let v' = json_ok (Json.to_string v) in
+      Alcotest.(check bool) "print/parse fixpoint" true (v = v'))
+    samples
+
+(* --- io --- *)
+
+module Io = Vv_prelude.Io
+
+let test_write_atomic () =
+  let dir = Filename.temp_file "vv_io" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "out.csv" in
+  (match Io.write_atomic ~path "first\n" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "write failed: %s" e);
+  (match Io.write_atomic ~path "second\n" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "overwrite failed: %s" e);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  check_string "overwrite wins" "second" line;
+  (* No temp droppings left next to the target. *)
+  check_int "only the target remains" 1 (Array.length (Sys.readdir dir));
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_write_atomic_unwritable () =
+  match Io.write_atomic ~path:"/nonexistent-dir/sub/out.csv" "x" with
+  | Ok () -> Alcotest.fail "write into a missing directory should fail"
+  | Error msg -> Alcotest.(check bool) "message nonempty" true (msg <> "")
+
+let test_rng_derive () =
+  (* Stable values: Engine slot seeding and Executor.derive_seed both sit
+     on this function, so its outputs are load-bearing for goldens. *)
+  check_int "matches two-step avalanche" (Rng.bits (Rng.create (Rng.bits (Rng.create 7) lxor 3)))
+    (Rng.derive 7 3);
+  Alcotest.(check bool) "indices separate" true
+    (Rng.derive 7 0 <> Rng.derive 7 1)
+
 let () =
   Alcotest.run "prelude"
     [
@@ -236,6 +344,23 @@ let () =
         [
           Alcotest.test_case "render and csv" `Quick test_table;
           Alcotest.test_case "cell formatting" `Quick test_cells;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "unicode escapes decode to UTF-8" `Quick
+            test_json_unicode_escapes;
+          Alcotest.test_case "lone surrogates and bad hex rejected" `Quick
+            test_json_lone_surrogates;
+          Alcotest.test_case "print/parse round-trip" `Quick test_json_roundtrip;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "write_atomic replaces without droppings" `Quick
+            test_write_atomic;
+          Alcotest.test_case "write_atomic surfaces unwritable paths" `Quick
+            test_write_atomic_unwritable;
+          Alcotest.test_case "rng derive is the pinned avalanche" `Quick
+            test_rng_derive;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -1,0 +1,207 @@
+(* End-to-end tests of the serve daemon: a real server domain, real Unix
+   sockets, multiple clients, snapshot restart and catch-up. *)
+
+module Json = Vv_prelude.Json
+module Oid = Vv_ballot.Option_id
+module Ledger = Vv_multishot.Ledger
+module Engine = Vv_multishot.Engine
+module Rpc = Vv_serve.Rpc
+module Server = Vv_serve.Server
+module Client = Vv_serve.Client
+
+let o = Oid.of_int
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let cfg ?(seed = 0x5e7e) () =
+  Ledger.config ~byzantine:[ 7; 8 ]
+    ~retry:(Ledger.Rotate_and_adjust (Vv_core.Session.Bandwagon, 6))
+    ~n:9 ~t:2 ~seed ()
+
+let mixed_inputs i =
+  if i mod 3 = 2 then List.map o [ 0; 0; 0; 1; 1; 2; 3 ] @ [ o 0; o 0 ]
+  else
+    List.init 7 (fun j -> if j = 6 then o ((i + 1) mod 3) else o (i mod 3))
+    @ [ o 0; o 0 ]
+
+let fresh_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "%s/vv-test-serve-%d-%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) !counter
+
+(* Boot a daemon on a fresh socket, run [f path], always join the server
+   (f is responsible for sending shutdown). *)
+let with_server ?batch ?jobs ?snapshot f =
+  let path = fresh_path () in
+  let listen = Server.listen_unix path in
+  let daemon =
+    Domain.spawn (fun () -> Server.serve ?batch ?jobs ?snapshot ~listen (cfg ()))
+  in
+  let result = f path in
+  let outcome = Domain.join daemon in
+  Unix.close listen;
+  if Sys.file_exists path then Sys.remove path;
+  (result, outcome)
+
+(* --- rpc parsing --- *)
+
+let test_rpc_parse () =
+  (match Rpc.parse {|{"id":7,"method":"submit","params":{"subject":3,"inputs":[0,1,0]}}|} with
+  | Ok (Rpc.Submit { id; subject; inputs }) ->
+      check_bool "id echoed" true (id = Json.Int 7);
+      check_int "subject" 3 subject;
+      check_int "arity" 3 (List.length inputs)
+  | _ -> Alcotest.fail "submit should parse");
+  (match Rpc.parse {|{"id":1,"method":"catchup"}|} with
+  | Ok (Rpc.Catchup { from; _ }) -> check_int "default from" 0 from
+  | _ -> Alcotest.fail "catchup should parse");
+  check_bool "unknown method rejected" true
+    (Result.is_error (Rpc.parse {|{"id":1,"method":"frobnicate"}|}));
+  check_bool "non-object rejected" true (Result.is_error (Rpc.parse "[1,2]"));
+  check_bool "bad inputs rejected" true
+    (Result.is_error
+       (Rpc.parse {|{"id":1,"method":"submit","params":{"subject":1,"inputs":["a"]}}|}))
+
+let test_rpc_decision_roundtrip () =
+  let slot = Ledger.compute (cfg ()) ~index:5 ~subject:42 (mixed_inputs 0) in
+  match Rpc.decision_of_line (Rpc.decision ~batch:4 slot) with
+  | Some slot' -> check_bool "slot round-trips the wire" true (slot = slot')
+  | None -> Alcotest.fail "decision line should reconstruct"
+
+(* --- end-to-end --- *)
+
+let test_load_matches_local () =
+  let reqs = List.init 17 (fun i -> (i, mixed_inputs i)) in
+  let (report : Client.report), outcome =
+    with_server ~batch:4 ~jobs:2 (fun path ->
+        let conns =
+          List.init 3 (fun _ -> Client.connect_unix ~retry_for:10. path)
+        in
+        let r =
+          match Client.run_load ~shutdown:true ~conns reqs with
+          | Ok r -> r
+          | Error msg -> Alcotest.failf "run_load: %s" msg
+        in
+        List.iter Client.close conns;
+        r)
+  in
+  check_int "all submitted" 17 report.Client.submitted;
+  check_int "all decided" 17 (List.length report.Client.decisions);
+  check_bool "no errors" true (report.Client.errors = []);
+  check_int "server height" 17 outcome.Server.height;
+  check_int "server saw the pool" 3 outcome.Server.served_clients;
+  (* The socket path changes nothing: same log as an in-process engine. *)
+  let expected, _ = Engine.run ~batch:4 ~jobs:1 (cfg ()) reqs in
+  check_bool "socket == local engine" true (report.Client.decisions = expected)
+
+let test_snapshot_restart_catchup () =
+  let snapshot = Filename.temp_file "vv-serve" ".snap" in
+  Sys.remove snapshot;
+  let first = List.init 8 (fun i -> (i, mixed_inputs i)) in
+  let second = List.init 6 (fun i -> (i + 8, mixed_inputs (i + 8))) in
+  (* First life: commit 8 positions, shut down. *)
+  let _, outcome1 =
+    with_server ~batch:4 ~snapshot (fun path ->
+        let conn = Client.connect_unix ~retry_for:10. path in
+        (match Client.run_load ~shutdown:true ~conns:[ conn ] first with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "first life: %s" msg);
+        Client.close conn)
+  in
+  check_int "first life height" 8 outcome1.Server.height;
+  (* Second life: resumes at 8, serves catch-up from 0, extends to 14. *)
+  let catchup_count, outcome2 =
+    with_server ~batch:4 ~snapshot (fun path ->
+        let conn = Client.connect_unix ~retry_for:10. path in
+        Client.send conn
+          {|{"id":"cu","method":"catchup","params":{"from":0}}|};
+        let replayed = ref 0 in
+        let rec drain () =
+          match Client.recv_line ~timeout:10. conn with
+          | None -> Alcotest.fail "catch-up stream ended early"
+          | Some line -> (
+              match Rpc.decision_of_line line with
+              | Some _ ->
+                  incr replayed;
+                  if !replayed < 8 then drain ()
+              | None -> drain ())
+        in
+        drain ();
+        (match Client.run_load ~shutdown:true ~conns:[ conn ] second with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "second life: %s" msg);
+        Client.close conn;
+        !replayed)
+  in
+  check_int "full catch-up replayed" 8 catchup_count;
+  check_int "restart resumed and extended" 14 outcome2.Server.height;
+  (* The combined run equals one uninterrupted engine run: restart is
+     invisible in the committed log. *)
+  let snap_json =
+    let ic = open_in_bin snapshot in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string (String.trim body) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "snapshot unreadable: %s" m
+  in
+  let restored =
+    match Engine.of_snapshot ~batch:4 (cfg ()) snap_json with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "snapshot rejected: %s" m
+  in
+  let expected, _ = Engine.run ~batch:4 ~jobs:1 (cfg ()) (first @ second) in
+  check_bool "two lives == one uninterrupted run" true
+    (Engine.decisions restored = expected);
+  Sys.remove snapshot
+
+let test_bad_requests_get_errors () =
+  let (errors : string list), _ =
+    with_server ~batch:2 (fun path ->
+        let conn = Client.connect_unix ~retry_for:10. path in
+        let errs = ref [] in
+        let roundtrip line =
+          Client.send conn line;
+          match Client.recv_line ~timeout:10. conn with
+          | None -> Alcotest.fail "no response"
+          | Some resp -> (
+              match Json.of_string resp with
+              | Ok (Json.Obj fields) -> (
+                  match List.assoc_opt "error" fields with
+                  | Some _ -> errs := resp :: !errs
+                  | None -> ())
+              | _ -> ())
+        in
+        roundtrip "not json at all";
+        roundtrip {|{"id":1,"method":"frobnicate"}|};
+        roundtrip {|{"id":2,"method":"submit","params":{"subject":1,"inputs":[0]}}|};
+        Client.send conn {|{"id":3,"method":"shutdown"}|};
+        ignore (Client.recv_line ~timeout:10. conn);
+        Client.close conn;
+        !errs)
+  in
+  check_int "every bad request answered with an error" 3 (List.length errors)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "rpc",
+        [
+          Alcotest.test_case "parse" `Quick test_rpc_parse;
+          Alcotest.test_case "decision line round-trip" `Quick
+            test_rpc_decision_roundtrip;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "load matches local engine" `Quick
+            test_load_matches_local;
+          Alcotest.test_case "snapshot restart and catch-up" `Quick
+            test_snapshot_restart_catchup;
+          Alcotest.test_case "bad requests get error responses" `Quick
+            test_bad_requests_get_errors;
+        ] );
+    ]
