@@ -1,4 +1,4 @@
-.PHONY: check check-parallel check-model chaos-smoke serve-smoke build test bench bench-smoke bench-baseline bench-gate
+.PHONY: check check-parallel check-model chaos-smoke serve-smoke serve-replica-smoke build test bench bench-smoke bench-baseline bench-gate
 
 check: ## build everything, then run the full test suite
 	dune build && dune runtest
@@ -23,6 +23,41 @@ serve-smoke: ## boot the serve daemon, drive a scripted burst through it, verify
 	status=$$?; \
 	wait $$server || status=1; \
 	rm -f _build/serve-smoke.sock _build/serve-smoke.snap; \
+	exit $$status
+
+serve-replica-smoke: ## crash-recovery soak: primary + follower, kill -9 the primary, restart from snapshot, racy second burst, require byte-identical snapshots
+	dune build
+	rm -f _build/srs-p.sock _build/srs-f.sock _build/srs-p.snap _build/srs-f.snap
+	_build/default/bin/vvc.exe serve --socket _build/srs-p.sock \
+	  --batch 4 --snapshot _build/srs-p.snap --quiet & \
+	primary=$$!; \
+	_build/default/bin/vvc.exe serve --socket _build/srs-f.sock \
+	  --follow _build/srs-p.sock --batch 4 --snapshot _build/srs-f.snap --quiet & \
+	follower=$$!; \
+	status=0; \
+	_build/default/bin/vvc.exe load --socket _build/srs-p.sock \
+	  --clients 3 --subjects 48 --format json || status=1; \
+	for i in $$(seq 1 100); do \
+	  cmp -s _build/srs-p.snap _build/srs-f.snap && break; sleep 0.1; \
+	done; \
+	cmp _build/srs-p.snap _build/srs-f.snap || status=1; \
+	kill -9 $$primary; wait $$primary 2>/dev/null; \
+	_build/default/bin/vvc.exe serve --socket _build/srs-p.sock \
+	  --batch 4 --snapshot _build/srs-p.snap --quiet & \
+	primary=$$!; \
+	_build/default/bin/vvc.exe load --socket _build/srs-p.sock \
+	  --clients 3 --subjects 48 --racy --format json || status=1; \
+	for i in $$(seq 1 100); do \
+	  cmp -s _build/srs-p.snap _build/srs-f.snap && break; sleep 0.1; \
+	done; \
+	cmp _build/srs-p.snap _build/srs-f.snap || status=1; \
+	_build/default/bin/vvc.exe load --socket _build/srs-p.sock \
+	  --subjects 0 --shutdown > /dev/null || status=1; \
+	_build/default/bin/vvc.exe load --socket _build/srs-f.sock \
+	  --subjects 0 --shutdown > /dev/null || status=1; \
+	wait $$primary || status=1; \
+	wait $$follower || status=1; \
+	rm -f _build/srs-p.sock _build/srs-f.sock _build/srs-p.snap _build/srs-f.snap; \
 	exit $$status
 
 build:

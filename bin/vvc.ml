@@ -591,10 +591,47 @@ let serve_cmd =
   let quiet =
     C.Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress stderr logging.")
   in
-  let run socket port host n t protocol batch jobs seed snapshot quiet =
+  let follow =
+    C.Arg.(value
+           & opt (some string) None
+           & info [ "follow" ] ~docv:"ADDR"
+               ~doc:"Run as a read-only follower of the primary daemon at \
+                     \\$(docv) (a Unix socket path, or HOST:PORT): resync \
+                     its committed log via catchup, apply its decision \
+                     stream, and reconnect with retry when it dies. \
+                     $(b,submit) is refused on a follower.")
+  in
+  let max_outq =
+    C.Arg.(value
+           & opt int Vv_serve.Server.default_max_outq
+           & info [ "max-outq" ] ~docv:"BYTES"
+               ~doc:"Per-client outbound queue bound; a client that stays \
+                     this far behind the decision stream is disconnected.")
+  in
+  let parse_follow addr =
+    match String.rindex_opt addr ':' with
+    | Some i
+      when i > 0 && i < String.length addr - 1
+           && String.for_all
+                (fun c -> c >= '0' && c <= '9')
+                (String.sub addr (i + 1) (String.length addr - i - 1)) -> (
+        let host = String.sub addr 0 i in
+        let port = int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) in
+        try Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+        with Failure _ ->
+          Fmt.epr "vvc serve: --follow %s: bad host address@." addr;
+          exit 1)
+    | _ -> Unix.ADDR_UNIX addr
+  in
+  let run socket port host n t protocol batch jobs seed snapshot quiet follow
+      max_outq =
     let listen =
       match (socket, port) with
-      | Some path, None -> Vv_serve.Server.listen_unix path
+      | Some path, None -> (
+          try Vv_serve.Server.listen_unix path
+          with Failure msg ->
+            Fmt.epr "vvc serve: %s@." msg;
+            exit 1)
       | None, Some p ->
           let fd = Vv_serve.Server.listen_tcp ~host p in
           Fmt.epr "[listening on %s:%d]@." host (Vv_serve.Server.bound_port fd);
@@ -609,21 +646,39 @@ let serve_cmd =
         ~retry:(Vv_multishot.Ledger.Rotate_and_adjust (Vv_core.Session.Bandwagon, 6))
         ~seed ~n ~t ()
     in
-    let log = if quiet then None else Some (Fmt.epr "[serve] %s@.") in
-    let outcome =
-      Vv_serve.Server.serve ~batch ~jobs ?snapshot ?log ~listen cfg
+    let cleanup () =
+      Unix.close listen;
+      match socket with
+      | Some path when Sys.file_exists path -> Sys.remove path
+      | _ -> ()
     in
-    Unix.close listen;
-    (match socket with
-    | Some path when Sys.file_exists path -> Sys.remove path
-    | _ -> ());
-    Fmt.pr "served %d clients, final height %d@."
-      outcome.Vv_serve.Server.served_clients outcome.Vv_serve.Server.height
+    match follow with
+    | Some addr ->
+        let log = if quiet then None else Some (Fmt.epr "[follow] %s@.") in
+        let outcome =
+          Vv_serve.Replica.run ~batch ~jobs ?snapshot ?log ~max_outq
+            ~primary:(parse_follow addr) ~listen cfg
+        in
+        cleanup ();
+        Fmt.pr "served %d clients, final height %d, %d catchups@."
+          outcome.Vv_serve.Replica.served_clients
+          outcome.Vv_serve.Replica.height outcome.Vv_serve.Replica.catchups
+    | None ->
+        let log = if quiet then None else Some (Fmt.epr "[serve] %s@.") in
+        let outcome =
+          Vv_serve.Server.serve ~batch ~jobs ?snapshot ?log ~max_outq ~listen
+            cfg
+        in
+        cleanup ();
+        Fmt.pr "served %d clients, final height %d, %d slow disconnects@."
+          outcome.Vv_serve.Server.served_clients outcome.Vv_serve.Server.height
+          outcome.Vv_serve.Server.slow_disconnects
   in
   C.Cmd.v (C.Cmd.info "serve" ~doc)
     C.Term.(
       const run $ socket_arg "the daemon" $ port_arg "the daemon" $ host_arg
-      $ n $ t $ protocol $ batch $ jobs $ seed $ snapshot $ quiet)
+      $ n $ t $ protocol $ batch $ jobs $ seed $ snapshot $ quiet $ follow
+      $ max_outq)
 
 let load_cmd =
   let doc =
@@ -652,7 +707,17 @@ let load_cmd =
                ~doc:"Keep retrying the initial connection this long (lets \
                      the client race a daemon that is still starting).")
   in
-  let run format socket port host clients subjects seed shutdown retry_for =
+  let racy =
+    C.Arg.(value & flag
+           & info [ "racy" ]
+               ~doc:"Fire every submission without awaiting acks, so \
+                     position assignment races across connections. The \
+                     committed log is then scheduling-dependent; the check \
+                     becomes set-equality of decided subjects instead of \
+                     per-position determinism.")
+  in
+  let run format socket port host clients subjects seed shutdown retry_for racy
+      =
     let connect () =
       match (socket, port) with
       | Some path, None -> Vv_serve.Client.connect_unix ~retry_for path
@@ -684,8 +749,11 @@ let load_cmd =
           let honest = Vv_dist.Montecarlo.sample_inputs dist rng in
           (subject, honest @ List.init tol (fun _ -> Oid.of_int 0)))
     in
+    let driver =
+      if racy then Vv_serve.Client.run_load_racy else Vv_serve.Client.run_load
+    in
     let report =
-      match Vv_serve.Client.run_load ~shutdown ~conns reqs with
+      match driver ~shutdown ~conns reqs with
       | Ok r -> r
       | Error msg ->
           Fmt.epr "vvc load: %s@." msg;
@@ -698,18 +766,27 @@ let load_cmd =
           s.Vv_multishot.Ledger.decision = None || s.Vv_multishot.Ledger.valid)
         report.Vv_serve.Client.decisions
     in
+    (* In racy mode positions are scheduling-dependent, so the invariant
+       is set-equality of decided subjects against what was submitted. *)
+    let subjects_match =
+      (not racy)
+      || Vv_serve.Client.subjects_decided report
+         = List.sort compare (List.map fst reqs)
+    in
     (match format with
     | Emit.Json ->
         print_endline
           (Json.to_string
              (Json.Obj
                 [
+                  ("racy", Json.Bool racy);
                   ("submitted", Json.Int report.Vv_serve.Client.submitted);
                   ( "decided",
                     Json.Int (List.length report.Vv_serve.Client.decisions) );
                   ("elapsed_s", Json.Float report.Vv_serve.Client.elapsed);
                   ("decisions_per_s", Json.Float report.Vv_serve.Client.rate);
                   ("all_committed_valid", Json.Bool all_valid);
+                  ("subjects_match", Json.Bool subjects_match);
                   ( "errors",
                     Json.List
                       (List.map
@@ -718,21 +795,22 @@ let load_cmd =
                 ]))
     | _ ->
         Fmt.pr "submitted=%d decided=%d elapsed=%.2fs rate=%.0f/s \
-                all-committed-valid=%b@."
+                all-committed-valid=%b subjects-match=%b@."
           report.Vv_serve.Client.submitted
           (List.length report.Vv_serve.Client.decisions)
-          report.Vv_serve.Client.elapsed report.Vv_serve.Client.rate all_valid);
+          report.Vv_serve.Client.elapsed report.Vv_serve.Client.rate all_valid
+          subjects_match);
     if
       report.Vv_serve.Client.errors <> []
       || List.length report.Vv_serve.Client.decisions
          <> report.Vv_serve.Client.submitted
-      || not all_valid
+      || (not all_valid) || not subjects_match
     then exit 1
   in
   C.Cmd.v (C.Cmd.info "load" ~doc)
     C.Term.(
       const run $ format_term $ socket_arg "the daemon" $ port_arg "the daemon"
-      $ host_arg $ clients $ subjects $ seed $ shutdown $ retry_for)
+      $ host_arg $ clients $ subjects $ seed $ shutdown $ retry_for $ racy)
 
 let () =
   let doc = "Exact fault-tolerant consensus with voting validity (IPDPS 2023)" in

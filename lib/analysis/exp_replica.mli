@@ -1,0 +1,7 @@
+(** Experiment E19: boot a primary and a follower daemon per cell, drive
+    a burst, crash and restart the primary from its snapshot, drive a
+    second burst (optionally racy), and verify the follower's replicated
+    log converges byte-identically to the primary's with exactly two
+    catchups. Racy cells pin subject-set equality instead of positions. *)
+
+val e19_campaign : Vv_exec.Campaign.t

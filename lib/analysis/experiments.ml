@@ -26,6 +26,7 @@ let all : Campaign.t list =
     Exp_extensions.e14_campaign;
     Exp_session.e15_campaign;
     Exp_serve.e18_campaign;
+    Exp_replica.e19_campaign;
   ]
 
 let find id = List.find_opt (fun c -> String.equal (Campaign.id c) id) all

@@ -118,6 +118,23 @@ let step t =
 
 let flush t = decide_group t t.npending
 
+(* Follower replication: append a slot decided elsewhere (a primary's
+   decision stream) instead of computing it. Only meaningful on an
+   engine that never takes submissions of its own. *)
+let append_committed t (s : Ledger.slot) =
+  if t.npending > 0 then
+    Error "append_committed: engine has local pending submissions"
+  else if s.Ledger.index < t.ndecided then Ok `Stale
+  else if s.Ledger.index > t.ndecided then
+    Error
+      (Printf.sprintf "append_committed: gap (log height %d, slot index %d)"
+         t.ndecided s.Ledger.index)
+  else begin
+    t.decided_rev <- s :: t.decided_rev;
+    t.ndecided <- t.ndecided + 1;
+    Ok `Applied
+  end
+
 let all_committed_valid t =
   List.for_all
     (fun (s : Ledger.slot) ->

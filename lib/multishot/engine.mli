@@ -46,6 +46,15 @@ val step : t -> Ledger.slot list
 val flush : t -> Ledger.slot list
 (** Decide everything pending, including a partial final slot. *)
 
+val append_committed :
+  t -> Ledger.slot -> ([ `Applied | `Stale ], string) result
+(** Append a slot decided elsewhere — how a {!Vv_serve.Replica} follower
+    applies its primary's decision stream. [`Applied] extends the log
+    (the slot's index must equal the current height), [`Stale] ignores a
+    replayed slot below the height; a gap above the height, or an engine
+    holding local pending submissions, is an [Error] (the follower must
+    re-catchup). *)
+
 val decisions : t -> Ledger.slot list
 (** The committed log, in position order. *)
 

@@ -1,32 +1,52 @@
 (* Client side of the serve protocol: blocking line-at-a-time
-   connections and the load driver behind `vvc load` / campaign E18.
+   connections and the load drivers behind `vvc load` / campaigns
+   E18–E19.
 
-   The driver is deliberately ack-serialized: it never sends submission
+   Two drivers.  [run_load] is ack-serialized: it never sends submission
    k+1 before the ack for submission k has come back, even though the
-   submissions round-robin across many connections.  With concurrent
-   in-flight submissions the kernel's cross-socket scheduling would pick
-   the arrival order — and with it the position assignment — making the
-   committed ledger nondeterministic.  Serializing on acks pins the
-   position of every subject, so the same (seed, subjects) always yields
-   the same ledger and campaign tables can be golden-pinned.  Decisions
-   still stream back concurrently with the submit traffic; throughput
-   comes from the server's sharded slot computation, not from racing the
-   submit path. *)
+   submissions round-robin across many connections.  Serializing on acks
+   pins the position of every subject, so the same (seed, subjects)
+   always yields the same ledger and campaign tables can be
+   golden-pinned.  [run_load_racy] embraces the race instead: every
+   submission is fired without waiting, the kernel's cross-socket
+   scheduling picks the arrival order — and with it the position
+   assignment — so only the *set* of decided subjects is reproducible,
+   not their positions.  That is the mode that exercises the daemon's
+   concurrent submit path hardest; callers verify set-equality of
+   subjects rather than a byte-identical log.
+
+   Responses that arrive while waiting for a different id (pipelined
+   requests, an out-of-order server) are stashed per connection and
+   handed back when their id is finally awaited — never silently
+   dropped.  Connection errors (a server dying mid-read) surface as
+   [None]/[Error], never as exceptions escaping the driver. *)
 
 module Json = Vv_prelude.Json
 module Oid = Vv_ballot.Option_id
 module Ledger = Vv_multishot.Ledger
 
-type conn = { fd : Unix.file_descr; buf : Buffer.t }
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  stash : (string, Json.t) Hashtbl.t;
+      (* responses read while awaiting a different id, keyed by
+         rendered id *)
+}
+
+let make_conn fd = { fd; buf = Buffer.create 4096; stash = Hashtbl.create 8 }
 
 let rec connect_retry ~deadline addr =
+  (* A server dying mid-send must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let fd =
     Unix.socket
       (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
       Unix.SOCK_STREAM 0
   in
   match Unix.connect fd addr with
-  | () -> { fd; buf = Buffer.create 4096 }
+  | () -> make_conn fd
   | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
     when Unix.gettimeofday () < deadline ->
       Unix.close fd;
@@ -52,7 +72,9 @@ let send conn line =
   let len = String.length payload in
   let rec push ofs =
     if ofs < len then
-      push (ofs + Unix.write_substring conn.fd payload ofs (len - ofs))
+      match Unix.write_substring conn.fd payload ofs (len - ofs) with
+      | written -> push (ofs + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> push ofs
   in
   push 0
 
@@ -67,7 +89,9 @@ let take_buffered conn =
         (String.length data - i - 1);
       Some (String.sub data 0 i)
 
-(* Blocking read of the next line, [None] on EOF or deadline. *)
+(* Blocking read of the next line, [None] on EOF, deadline, or a
+   connection error (the server dying mid-read must not escape the load
+   driver as an exception). *)
 let recv_line ?(timeout = 30.) conn =
   let deadline = Unix.gettimeofday () +. timeout in
   let chunk = Bytes.create 65536 in
@@ -86,11 +110,13 @@ let recv_line ?(timeout = 30.) conn =
               | 0 -> None
               | len ->
                   Buffer.add_subbytes conn.buf chunk 0 len;
-                  loop ()))
+                  loop ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+              | exception Unix.Unix_error (_, _, _) -> None))
   in
   loop ()
 
-(* --- the load driver --- *)
+(* --- the load drivers --- *)
 
 type report = {
   submitted : int;
@@ -108,6 +134,8 @@ type sink = {
   mutable errs : string list;
 }
 
+let fresh_sink () = { seen = Hashtbl.create 256; errs = [] }
+
 let absorb sink line =
   match Rpc.decision_of_line line with
   | Some s ->
@@ -116,54 +144,178 @@ let absorb sink line =
       true
   | None -> false
 
-(* Read lines off [conn] (feeding decisions to the sink) until the
-   response echoing [id] appears; returns its payload object. *)
-let wait_response ?timeout sink conn ~id =
-  let rec loop () =
-    match recv_line ?timeout conn with
-    | None -> Error "connection closed or timed out awaiting response"
-    | Some line ->
-        if absorb sink line then loop ()
-        else (
-          match Json.of_string line with
-          | Ok (Json.Obj fields) when List.assoc_opt "id" fields = Some id -> (
-              match List.assoc_opt "error" fields with
-              | Some (Json.Obj e) ->
-                  let msg =
-                    match List.assoc_opt "message" e with
-                    | Some (Json.String m) -> m
-                    | _ -> "unspecified server error"
-                  in
-                  sink.errs <- msg :: sink.errs;
-                  Ok Json.Null
-              | _ ->
-                  Ok
-                    (Option.value ~default:Json.Null
-                       (List.assoc_opt "result" fields)))
-          | _ -> loop ())
-  in
-  loop ()
+(* Interpret a response object: error payloads are recorded in the sink
+   and collapse to [Ok Null], results pass through. *)
+let interpret sink fields =
+  match List.assoc_opt "error" fields with
+  | Some (Json.Obj e) ->
+      let msg =
+        match List.assoc_opt "message" e with
+        | Some (Json.String m) -> m
+        | _ -> "unspecified server error"
+      in
+      sink.errs <- msg :: sink.errs;
+      Ok Json.Null
+  | _ ->
+      Ok (Option.value ~default:Json.Null (List.assoc_opt "result" fields))
 
-let request ?timeout sink conn ~id ~meth params =
+(* Read lines off [conn] (feeding decisions to the sink) until the
+   response echoing [id] appears; well-formed responses carrying a
+   different id are stashed on the connection, not discarded, so a later
+   wait for that id finds them. *)
+let wait_response_sink ?timeout sink conn ~id =
+  let key = Json.to_string id in
+  match Hashtbl.find_opt conn.stash key with
+  | Some stashed -> (
+      Hashtbl.remove conn.stash key;
+      match stashed with
+      | Json.Obj fields -> interpret sink fields
+      | _ -> Error "malformed stashed response")
+  | None ->
+      let rec loop () =
+        match recv_line ?timeout conn with
+        | None -> Error "connection closed or timed out awaiting response"
+        | Some line ->
+            if absorb sink line then loop ()
+            else (
+              match Json.of_string line with
+              | Ok (Json.Obj fields) -> (
+                  match List.assoc_opt "id" fields with
+                  | Some rid when rid = id -> interpret sink fields
+                  | Some rid ->
+                      Hashtbl.replace conn.stash (Json.to_string rid)
+                        (Json.Obj fields);
+                      loop ()
+                  | None -> loop ())
+              | _ -> loop ())
+      in
+      loop ()
+
+let request_sink ?timeout sink conn ~id ~meth params =
   let line =
     Json.to_string
       (Json.Obj
          [ ("id", id); ("method", Json.String meth); ("params", params) ])
   in
-  send conn line;
-  wait_response ?timeout sink conn ~id
+  match send conn line with
+  | () -> wait_response_sink ?timeout sink conn ~id
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send %s: %s" meth (Unix.error_message e))
+
+(* Public one-off forms: decision notifications are dropped, server error
+   responses surface as [Error]. *)
+let lift_errs sink = function
+  | Ok Json.Null when sink.errs <> [] ->
+      Error (String.concat "; " (List.rev sink.errs))
+  | r -> r
+
+let wait_response ?timeout conn ~id =
+  let sink = fresh_sink () in
+  lift_errs sink (wait_response_sink ?timeout sink conn ~id)
+
+let request ?timeout conn ~id ~meth params =
+  let sink = fresh_sink () in
+  lift_errs sink (request_sink ?timeout sink conn ~id ~meth params)
 
 (* One-off status query on an otherwise idle connection, for callers that
    need the daemon's shape (n, t, batch) before building a load. *)
 let status ?timeout conn =
-  let sink = { seen = Hashtbl.create 1; errs = [] } in
+  request ?timeout conn ~id:(Json.String "probe") ~meth:"status"
+    (Json.Obj [])
+
+(* Replay the committed log from [from]: the decisions stream in order
+   immediately after the response, so the next [replaying] decision lines
+   are exactly the replay. *)
+let catchup ?timeout ?(from = 0) conn =
+  let sink = fresh_sink () in
   match
-    request ?timeout sink conn ~id:(Json.String "probe") ~meth:"status"
-      (Json.Obj [])
+    request_sink ?timeout sink conn ~id:(Json.String "catchup")
+      ~meth:"catchup"
+      (Json.Obj [ ("from", Json.Int from) ])
   with
   | Error _ as e -> e
-  | Ok Json.Null -> Error (String.concat "; " (List.rev sink.errs))
-  | Ok payload -> Ok payload
+  | Ok (Json.Obj fields) -> (
+      match List.assoc_opt "replaying" fields with
+      | Some (Json.Int count) ->
+          let rec take acc k =
+            if k = 0 then Ok (List.rev acc)
+            else
+              match recv_line ?timeout conn with
+              | None -> Error "catchup: replay stream ended early"
+              | Some line -> (
+                  match Rpc.decision_of_line line with
+                  | Some s -> take (s :: acc) (k - 1)
+                  | None -> take acc k)
+          in
+          take [] count
+      | _ -> Error "catchup: response carries no replaying count")
+  | Ok _ -> Error (String.concat "; " (List.rev sink.errs))
+
+let sorted_decisions sink =
+  Hashtbl.fold (fun _ s acc -> s :: acc) sink.seen []
+  |> List.sort (fun (a : Ledger.slot) b -> compare a.Ledger.index b.Ledger.index)
+
+(* Flush the trailing partial slot, drain the broadcast stream on [first]
+   until [target] distinct positions have decided, then read the final
+   status (and optionally ask the server to stop). *)
+let finish ~timeout ~shutdown ~target sink first =
+  let ( let* ) = Result.bind in
+  let* _ =
+    request_sink ~timeout sink first ~id:(Json.String "flush") ~meth:"flush"
+      (Json.Obj [])
+  in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec drain () =
+    if Hashtbl.length sink.seen >= target then Ok ()
+    else if Unix.gettimeofday () > deadline then
+      Error
+        (Printf.sprintf "drain: %d of %d decisions after %.0fs"
+           (Hashtbl.length sink.seen) target timeout)
+    else
+      match recv_line ~timeout:(deadline -. Unix.gettimeofday ()) first with
+      | None ->
+          Error
+            (Printf.sprintf "drain: stream ended at %d of %d decisions"
+               (Hashtbl.length sink.seen) target)
+      | Some line ->
+          ignore (absorb sink line);
+          drain ()
+  in
+  let* () = drain () in
+  let* status =
+    request_sink ~timeout sink first ~id:(Json.String "status") ~meth:"status"
+      (Json.Obj [])
+  in
+  let* () =
+    if shutdown then
+      Result.map ignore
+        (request_sink ~timeout sink first ~id:(Json.String "shutdown")
+           ~meth:"shutdown" (Json.Obj []))
+    else Ok ()
+  in
+  Ok status
+
+let submit_params (subject, inputs) =
+  Json.Obj
+    [
+      ("subject", Json.Int subject);
+      ( "inputs",
+        Json.List (List.map (fun o -> Json.Int (Oid.to_int o)) inputs) );
+    ]
+
+let report_of ~submitted ~status ~started sink =
+  let decisions = sorted_decisions sink in
+  let elapsed = Unix.gettimeofday () -. started in
+  {
+    submitted;
+    decisions;
+    status = (if status = Json.Null then None else Some status);
+    elapsed;
+    rate =
+      (if elapsed > 0. then float_of_int (List.length decisions) /. elapsed
+       else 0.);
+    errors = List.rev sink.errs;
+  }
 
 let run_load ?(timeout = 30.) ?(shutdown = false) ~conns subjects =
   match conns with
@@ -171,24 +323,16 @@ let run_load ?(timeout = 30.) ?(shutdown = false) ~conns subjects =
   | first :: _ ->
       let conn_arr = Array.of_list conns in
       let nconns = Array.length conn_arr in
-      let sink = { seen = Hashtbl.create 256; errs = [] } in
+      let sink = fresh_sink () in
       let started = Unix.gettimeofday () in
       let submitted = ref 0 in
       let rec submit_all i = function
         | [] -> Ok ()
-        | (subject, inputs) :: rest -> (
+        | req :: rest -> (
             let conn = conn_arr.(i mod nconns) in
-            let params =
-              Json.Obj
-                [
-                  ("subject", Json.Int subject);
-                  ( "inputs",
-                    Json.List
-                      (List.map (fun o -> Json.Int (Oid.to_int o)) inputs) );
-                ]
-            in
             match
-              request ~timeout sink conn ~id:(Json.Int i) ~meth:"submit" params
+              request_sink ~timeout sink conn ~id:(Json.Int i) ~meth:"submit"
+                (submit_params req)
             with
             | Error msg -> Error (Printf.sprintf "submit %d: %s" i msg)
             | Ok _ ->
@@ -197,54 +341,127 @@ let run_load ?(timeout = 30.) ?(shutdown = false) ~conns subjects =
       in
       let ( let* ) = Result.bind in
       let* () = submit_all 0 subjects in
-      (* Force the trailing partial slot, then drain the broadcast stream
-         on the first connection until every position has decided. *)
-      let* _ =
-        request ~timeout sink first ~id:(Json.String "flush") ~meth:"flush"
-          (Json.Obj [])
+      let* status =
+        finish ~timeout ~shutdown ~target:!submitted sink first
       in
+      Ok (report_of ~submitted:!submitted ~status ~started sink)
+
+(* --- the racy driver --- *)
+
+(* Read whatever one connection has ready, without blocking: at most one
+   read syscall, then every complete buffered line. *)
+let poll_lines conn =
+  let chunk = Bytes.create 65536 in
+  (match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> ()
+  | len -> Buffer.add_subbytes conn.buf chunk 0 len
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> ());
+  let rec take acc =
+    match take_buffered conn with
+    | Some line -> take (line :: acc)
+    | None -> List.rev acc
+  in
+  take []
+
+let run_load_racy ?(timeout = 30.) ?(shutdown = false) ~conns subjects =
+  match conns with
+  | [] -> Error "run_load_racy: need at least one connection"
+  | first :: _ ->
+      let conn_arr = Array.of_list conns in
+      let nconns = Array.length conn_arr in
+      let fds = List.map (fun c -> c.fd) conns in
+      let sink = fresh_sink () in
+      let answered = Hashtbl.create 256 in  (* submit id -> accepted? *)
+      let started = Unix.gettimeofday () in
+      let process line =
+        if not (absorb sink line) then
+          match Json.of_string line with
+          | Ok (Json.Obj fields) -> (
+              match List.assoc_opt "id" fields with
+              | Some (Json.Int i) -> (
+                  match List.assoc_opt "error" fields with
+                  | Some (Json.Obj e) ->
+                      let msg =
+                        match List.assoc_opt "message" e with
+                        | Some (Json.String m) -> m
+                        | _ -> "unspecified server error"
+                      in
+                      sink.errs <-
+                        (Printf.sprintf "submit %d: %s" i msg) :: sink.errs;
+                      Hashtbl.replace answered i false
+                  | _ -> Hashtbl.replace answered i true)
+              | _ -> ())
+          | _ -> ()
+      in
+      let rec sweep () =
+        match Unix.select fds [] [] 0. with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> sweep ()
+        | [], _, _ -> ()
+        | readable, _, _ ->
+            List.iter
+              (fun c ->
+                if List.mem c.fd readable then
+                  List.iter process (poll_lines c))
+              conns;
+            sweep ()
+      in
+      (* Fire every submission without waiting for acks; the kernel's
+         cross-socket scheduling picks the arrival order. Opportunistic
+         sweeps keep our receive buffers drained while we send. *)
+      let total = List.length subjects in
+      List.iteri
+        (fun i req ->
+          let conn = conn_arr.(i mod nconns) in
+          let line =
+            Json.to_string
+              (Json.Obj
+                 [
+                   ("id", Json.Int i);
+                   ("method", Json.String "submit");
+                   ("params", submit_params req);
+                 ])
+          in
+          (match send conn line with
+          | () -> ()
+          | exception Unix.Unix_error (e, _, _) ->
+              sink.errs <-
+                (Printf.sprintf "submit %d: send: %s" i
+                   (Unix.error_message e))
+                :: sink.errs;
+              Hashtbl.replace answered i false);
+          if i mod 32 = 31 then sweep ())
+        subjects;
+      (* Collect the stragglers: every submission must be answered. *)
       let deadline = Unix.gettimeofday () +. timeout in
-      let rec drain () =
-        if Hashtbl.length sink.seen >= !submitted then Ok ()
+      let rec collect () =
+        if Hashtbl.length answered >= total then Ok ()
         else if Unix.gettimeofday () > deadline then
           Error
-            (Printf.sprintf "drain: %d of %d decisions after %.0fs"
-               (Hashtbl.length sink.seen) !submitted timeout)
+            (Printf.sprintf "racy: %d of %d submissions answered after %.0fs"
+               (Hashtbl.length answered) total timeout)
         else
-          match recv_line ~timeout:(deadline -. Unix.gettimeofday ()) first with
-          | None ->
-              Error
-                (Printf.sprintf "drain: stream ended at %d of %d decisions"
-                   (Hashtbl.length sink.seen) !submitted)
-          | Some line ->
-              ignore (absorb sink line);
-              drain ()
+          match Unix.select fds [] [] 0.05 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> collect ()
+          | [], _, _ -> collect ()
+          | readable, _, _ ->
+              List.iter
+                (fun c ->
+                  if List.mem c.fd readable then
+                    List.iter process (poll_lines c))
+                conns;
+              collect ()
       in
-      let* () = drain () in
-      let elapsed = Unix.gettimeofday () -. started in
+      let ( let* ) = Result.bind in
+      let* () = collect () in
+      let accepted =
+        Hashtbl.fold (fun _ ok n -> if ok then n + 1 else n) answered 0
+      in
       let* status =
-        request ~timeout sink first ~id:(Json.String "status") ~meth:"status"
-          (Json.Obj [])
+        finish ~timeout ~shutdown ~target:accepted sink first
       in
-      let* () =
-        if shutdown then
-          Result.map ignore
-            (request ~timeout sink first ~id:(Json.String "shutdown")
-               ~meth:"shutdown" (Json.Obj []))
-        else Ok ()
-      in
-      let decisions =
-        Hashtbl.fold (fun _ s acc -> s :: acc) sink.seen []
-        |> List.sort (fun a b -> compare a.Ledger.index b.Ledger.index)
-      in
-      Ok
-        {
-          submitted = !submitted;
-          decisions;
-          status = (if status = Json.Null then None else Some status);
-          elapsed;
-          rate =
-            (if elapsed > 0. then float_of_int (List.length decisions) /. elapsed
-             else 0.);
-          errors = List.rev sink.errs;
-        }
+      Ok (report_of ~submitted:accepted ~status ~started sink)
+
+let subjects_decided report =
+  List.sort compare
+    (List.map (fun (s : Ledger.slot) -> s.Ledger.subject) report.decisions)

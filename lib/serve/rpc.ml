@@ -119,11 +119,12 @@ let decision_of_line line =
       | _ -> None)
   | _ -> None
 
-let status_json engine =
+let status_json ?(extra = []) engine =
   let st = Engine.stats engine in
   let cfg = Engine.config engine in
   Json.Obj
-    [
+    (extra
+    @ [
       ("n", Json.Int cfg.Ledger.n);
       ("t", Json.Int cfg.Ledger.t);
       ("batch", Json.Int (Engine.batch engine));
@@ -137,4 +138,4 @@ let status_json engine =
       ("rounds_sequential", Json.Int st.Engine.rounds_sequential);
       ("rounds_pipelined", Json.Int st.Engine.rounds_pipelined);
       ("all_committed_valid", Json.Bool st.Engine.all_valid);
-    ]
+    ])

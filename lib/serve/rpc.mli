@@ -27,4 +27,7 @@ val decision_of_line : string -> Vv_multishot.Ledger.slot option
 (** Reconstruct the slot record from a streamed decision line; [None]
     for any other line. *)
 
-val status_json : Vv_multishot.Engine.t -> Json.t
+val status_json :
+  ?extra:(string * Json.t) list -> Vv_multishot.Engine.t -> Json.t
+(** The status result payload; [extra] fields (a daemon's role, follower
+    link state) are prepended to the engine figures. *)

@@ -8,8 +8,15 @@
    across the engine's [jobs] domains) and its decisions are broadcast to
    every connected client as notifications.  [flush] forces a partial
    slot; [status] reports engine stats; [catchup ~from] replays the
-   committed log to one client (how a restarted consumer resynchronises);
-   [shutdown] snapshots and stops the loop.
+   committed log to one client (how a restarted consumer or a {!Replica}
+   follower resynchronises); [shutdown] snapshots and stops the loop.
+
+   Write path: every connection is a {!Chan} — a non-blocking fd with a
+   bounded outbound queue flushed when select reports writability — so a
+   stalled consumer can never block decision broadcast to anyone else.
+   A client whose unsent queue passes [max_outq] bytes is disconnected
+   (the slow-consumer policy, counted in the outcome); it can reconnect
+   and [catchup] from wherever it left off.
 
    Durability: with [?snapshot] the committed log is written atomically
    (tmp + rename, {!Vv_prelude.Io.write_atomic}) after every commit burst
@@ -28,10 +35,32 @@ module Io = Vv_prelude.Io
 module Ledger = Vv_multishot.Ledger
 module Engine = Vv_multishot.Engine
 
+let default_max_outq = 1 lsl 20
+
 (* --- listeners --- *)
 
+(* An existing file at [path] is only removed when it is provably a stale
+   socket (connect refused); a live daemon's socket must not be stolen
+   out from under it. *)
 let listen_unix path =
-  if Sys.file_exists path then Sys.remove path;
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () ->
+        Unix.close probe;
+        failwith
+          (Printf.sprintf
+             "%s: a live daemon is already listening on this socket; stop \
+              it first or choose another path"
+             path)
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+        Unix.close probe;
+        Sys.remove path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Unix.close probe
+    | exception e ->
+        Unix.close probe;
+        raise e
+  end;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
   Unix.listen fd 64;
@@ -49,58 +78,9 @@ let bound_port fd =
   | Unix.ADDR_INET (_, port) -> port
   | Unix.ADDR_UNIX _ -> invalid_arg "Server.bound_port: unix socket"
 
-(* --- per-client connection state --- *)
-
-type client = {
-  fd : Unix.file_descr;
-  pending : Buffer.t;  (* bytes read but not yet terminated by '\n' *)
-  mutable alive : bool;
-}
-
-let send client line =
-  if client.alive then
-    let payload = line ^ "\n" in
-    let len = String.length payload in
-    let rec push ofs =
-      if ofs < len then
-        match Unix.write_substring client.fd payload ofs (len - ofs) with
-        | written -> push (ofs + written)
-        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-            client.alive <- false
-    in
-    push 0
-
-(* Read whatever is available; returns the complete lines and marks the
-   client dead on EOF or connection errors. *)
-let read_lines client =
-  let chunk = Bytes.create 65536 in
-  match Unix.read client.fd chunk 0 (Bytes.length chunk) with
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      client.alive <- false;
-      []
-  | 0 ->
-      client.alive <- false;
-      []
-  | len ->
-      Buffer.add_subbytes client.pending chunk 0 len;
-      let data = Buffer.contents client.pending in
-      Buffer.clear client.pending;
-      let lines = ref [] in
-      let start = ref 0 in
-      String.iteri
-        (fun i c ->
-          if c = '\n' then begin
-            lines := String.sub data !start (i - !start) :: !lines;
-            start := i + 1
-          end)
-        data;
-      Buffer.add_substring client.pending data !start
-        (String.length data - !start);
-      List.rev !lines
-
 (* --- the serve loop --- *)
 
-type outcome = { height : int; served_clients : int }
+type outcome = { height : int; served_clients : int; slow_disconnects : int }
 
 let write_snapshot ?log engine = function
   | None -> ()
@@ -128,7 +108,8 @@ let load_engine ?batch ?jobs ~snapshot cfg =
           | Error msg -> Error (Printf.sprintf "%s: %s" path msg)))
   | _ -> Ok (Engine.create ?batch ?jobs cfg)
 
-let serve ?batch ?jobs ?snapshot ?log ~listen cfg =
+let serve ?batch ?jobs ?snapshot ?log ?(max_outq = default_max_outq) ?sndbuf
+    ~listen cfg =
   (* A client that disappears mid-write must not kill the daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
@@ -141,12 +122,21 @@ let serve ?batch ?jobs ?snapshot ?log ~listen cfg =
   info
     (Printf.sprintf "serving n=%d t=%d batch=%d height=%d"
        cfg.Ledger.n cfg.Ledger.t (Engine.batch engine) (Engine.height engine));
-  let clients = ref [] in
+  let clients : (Unix.file_descr, Chan.t) Hashtbl.t = Hashtbl.create 64 in
   let served = ref 0 in
+  let slow = ref 0 in
   let running = ref true in
-  let broadcast line =
-    List.iter (fun c -> send c line) !clients
+  let send ch line =
+    match Chan.enqueue ch ~max_outq line with
+    | `Ok -> ()
+    | `Overflow ->
+        incr slow;
+        info
+          (Printf.sprintf
+             "disconnecting slow consumer (%d unsent bytes > %d budget)"
+             (Chan.unsent ch) max_outq)
   in
+  let broadcast line = Hashtbl.iter (fun _ ch -> send ch line) clients in
   let commit decided =
     if decided <> [] then begin
       List.iter
@@ -155,66 +145,110 @@ let serve ?batch ?jobs ?snapshot ?log ~listen cfg =
       write_snapshot ?log engine snapshot
     end
   in
-  let handle client line =
+  let handle ch line =
     if String.trim line <> "" then
       match Rpc.parse line with
-      | Error msg -> send client (Rpc.error ~id:Json.Null msg)
+      | Error msg -> send ch (Rpc.error ~id:Json.Null msg)
       | Ok (Rpc.Submit { id; subject; inputs }) -> (
           match Engine.submit engine ~subject inputs with
           | position ->
-              send client
+              send ch
                 (Rpc.submit_ack ~id ~position
                    ~slot:(Engine.slot_of engine position)
                    ~lane:(Engine.lane_of engine position))
-          | exception Invalid_argument msg -> send client (Rpc.error ~id msg))
+          | exception Invalid_argument msg -> send ch (Rpc.error ~id msg))
       | Ok (Rpc.Flush { id }) ->
           let decided = Engine.flush engine in
           commit decided;
-          send client
+          send ch
             (Rpc.result ~id
                (Json.Obj [ ("flushed", Json.Int (List.length decided)) ]))
       | Ok (Rpc.Status { id }) ->
-          send client (Rpc.result ~id (Rpc.status_json engine))
+          send ch
+            (Rpc.result ~id
+               (Rpc.status_json
+                  ~extra:[ ("role", Json.String "primary") ]
+                  engine))
       | Ok (Rpc.Catchup { id; from }) ->
           let replay = Engine.decisions_from engine from in
-          send client
+          send ch
             (Rpc.result ~id
                (Json.Obj [ ("replaying", Json.Int (List.length replay)) ]));
           List.iter
-            (fun s -> send client (Rpc.decision ~batch:(Engine.batch engine) s))
+            (fun s -> send ch (Rpc.decision ~batch:(Engine.batch engine) s))
             replay
       | Ok (Rpc.Shutdown { id }) ->
-          send client
+          send ch
             (Rpc.result ~id (Json.Obj [ ("stopping", Json.Bool true) ]));
           running := false
   in
+  let accept () =
+    match Unix.accept listen with
+    | cfd, _ ->
+        (match sndbuf with
+        | Some bytes -> (
+            try Unix.setsockopt_int cfd Unix.SO_SNDBUF bytes
+            with Unix.Unix_error _ -> ())
+        | None -> ());
+        incr served;
+        Hashtbl.replace clients cfd (Chan.of_fd cfd)
+    | exception
+        Unix.Unix_error
+          ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED),
+           _, _) ->
+        ()
+  in
   while !running do
-    let fds = listen :: List.map (fun c -> c.fd) !clients in
-    match Unix.select fds [] [] 1.0 with
+    let rfds =
+      Hashtbl.fold
+        (fun fd ch acc -> if Chan.alive ch then fd :: acc else acc)
+        clients [ listen ]
+    in
+    let wfds =
+      Hashtbl.fold
+        (fun fd ch acc -> if Chan.want_write ch then fd :: acc else acc)
+        clients []
+    in
+    match Unix.select rfds wfds [] 1.0 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _, _ ->
+    | readable, writable, _ ->
         List.iter
           (fun fd ->
-            if fd = listen then begin
-              let cfd, _ = Unix.accept listen in
-              incr served;
-              clients :=
-                !clients @ [ { fd = cfd; pending = Buffer.create 256; alive = true } ]
-            end
+            match Hashtbl.find_opt clients fd with
+            | Some ch -> Chan.flush_write ch
+            | None -> ())
+          writable;
+        List.iter
+          (fun fd ->
+            if fd = listen then accept ()
             else
-              match List.find_opt (fun c -> c.fd = fd) !clients with
+              match Hashtbl.find_opt clients fd with
               | None -> ()
-              | Some client ->
-                  List.iter (handle client) (read_lines client))
+              | Some ch -> List.iter (handle ch) (Chan.read_lines ch))
           readable;
         (* Decide every slot the burst filled, then drop dead clients. *)
         commit (Engine.step engine);
+        let dead =
+          Hashtbl.fold
+            (fun fd ch acc -> if Chan.alive ch then acc else (fd, ch) :: acc)
+            clients []
+        in
         List.iter
-          (fun c -> if not c.alive then Unix.close c.fd)
-          !clients;
-        clients := List.filter (fun c -> c.alive) !clients
+          (fun (fd, ch) ->
+            Chan.close ch;
+            Hashtbl.remove clients fd)
+          dead
   done;
   write_snapshot ?log engine snapshot;
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !clients;
+  (* Last-gasp flush so shutdown responses reach clients that are reading. *)
+  Hashtbl.iter
+    (fun _ ch ->
+      Chan.flush_write ch;
+      Chan.close ch)
+    clients;
   info (Printf.sprintf "stopped at height %d" (Engine.height engine));
-  { height = Engine.height engine; served_clients = !served }
+  {
+    height = Engine.height engine;
+    served_clients = !served;
+    slow_disconnects = !slow;
+  }

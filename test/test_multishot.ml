@@ -264,6 +264,42 @@ let test_engine_snapshot_roundtrip () =
   check_bool "seed mismatch refused" true
     (match Engine.of_snapshot other snap with Error _ -> true | Ok _ -> false)
 
+let test_engine_append_committed () =
+  (* A follower building its log purely from a primary's decision stream
+     must converge to the same committed list. *)
+  let cfg = mixed_cfg () in
+  let reqs = List.init 10 (fun i -> (i, mixed_inputs i)) in
+  let log, _ = Engine.run ~batch:4 ~jobs:1 cfg reqs in
+  let follower = Engine.create ~batch:4 cfg in
+  List.iter
+    (fun s ->
+      match Engine.append_committed follower s with
+      | Ok `Applied -> ()
+      | Ok `Stale -> Alcotest.fail "fresh slot marked stale"
+      | Error m -> Alcotest.failf "append: %s" m)
+    log;
+  check_bool "replicated log identical" true (Engine.decisions follower = log);
+  check_int "height follows" 10 (Engine.height follower);
+  (* Replaying an already-applied slot is stale, not an error (overlap
+     after a re-catchup). *)
+  (match Engine.append_committed follower (List.hd log) with
+  | Ok `Stale -> ()
+  | _ -> Alcotest.fail "replay should be stale");
+  check_int "stale replay does not grow the log" 10 (Engine.height follower);
+  (* A gap means the stream desynced and must be refused. *)
+  let far = Ledger.compute cfg ~index:15 ~subject:15 (mixed_inputs 15) in
+  check_bool "gap refused" true
+    (match Engine.append_committed follower far with
+    | Error _ -> true
+    | Ok _ -> false);
+  (* Mixing local pending submissions with replication is refused. *)
+  ignore (Engine.submit follower ~subject:99 (mixed_inputs 0));
+  let next = Ledger.compute cfg ~index:10 ~subject:10 (mixed_inputs 10) in
+  check_bool "pending guard" true
+    (match Engine.append_committed follower next with
+    | Error _ -> true
+    | Ok _ -> false)
+
 let () =
   Alcotest.run "multishot"
     [
@@ -294,6 +330,8 @@ let () =
             test_engine_step_flush;
           Alcotest.test_case "retry under pipelining" `Quick
             test_engine_retry_under_pipelining;
+          Alcotest.test_case "append_committed replication" `Quick
+            test_engine_append_committed;
           Alcotest.test_case "snapshot round-trip and catch-up" `Quick
             test_engine_snapshot_roundtrip;
         ] );

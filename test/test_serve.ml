@@ -7,6 +7,7 @@ module Ledger = Vv_multishot.Ledger
 module Engine = Vv_multishot.Engine
 module Rpc = Vv_serve.Rpc
 module Server = Vv_serve.Server
+module Replica = Vv_serve.Replica
 module Client = Vv_serve.Client
 
 let o = Oid.of_int
@@ -35,11 +36,12 @@ let fresh_path =
 
 (* Boot a daemon on a fresh socket, run [f path], always join the server
    (f is responsible for sending shutdown). *)
-let with_server ?batch ?jobs ?snapshot f =
+let with_server ?batch ?jobs ?snapshot ?max_outq ?sndbuf f =
   let path = fresh_path () in
   let listen = Server.listen_unix path in
   let daemon =
-    Domain.spawn (fun () -> Server.serve ?batch ?jobs ?snapshot ~listen (cfg ()))
+    Domain.spawn (fun () ->
+        Server.serve ?batch ?jobs ?snapshot ?max_outq ?sndbuf ~listen (cfg ()))
   in
   let result = f path in
   let outcome = Domain.join daemon in
@@ -186,6 +188,210 @@ let test_bad_requests_get_errors () =
   in
   check_int "every bad request answered with an error" 3 (List.length errors)
 
+(* A server dying under a client must surface as [Error] from the load
+   driver — not as an uncaught EPIPE/ECONNRESET escaping [send] or
+   [recv_line] (the pre-fix behaviour). *)
+let test_server_death_is_an_error () =
+  let result, _ =
+    with_server ~batch:2 (fun path ->
+        let victim = Client.connect_unix ~retry_for:10. path in
+        let killer = Client.connect_unix ~retry_for:10. path in
+        (match
+           Client.request killer ~id:(Json.String "k") ~meth:"shutdown"
+             (Json.Obj [])
+         with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "shutdown request: %s" msg);
+        Client.close killer;
+        (* Give the daemon time to exit so the victim's socket is dead. *)
+        Unix.sleepf 0.1;
+        let reqs = List.init 6 (fun i -> (i, mixed_inputs i)) in
+        let r = Client.run_load ~timeout:5. ~conns:[ victim ] reqs in
+        Client.close victim;
+        r)
+  in
+  match result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "load against a dead server should be an Error"
+
+(* Pipelined requests: a response read while awaiting a different id is
+   stashed on the connection and handed back later, never dropped. *)
+let test_out_of_order_responses_stashed () =
+  let (), _ =
+    with_server ~batch:2 (fun path ->
+        let conn = Client.connect_unix ~retry_for:10. path in
+        Client.send conn {|{"id":"a","method":"status"}|};
+        Client.send conn {|{"id":"b","method":"status"}|};
+        (* Await b first: a's response arrives first on the wire and must
+           be stashed, then found by the later wait. *)
+        (match Client.wait_response conn ~id:(Json.String "b") with
+        | Ok (Json.Obj _) -> ()
+        | Ok _ | Error _ -> Alcotest.fail "response b lost");
+        (match Client.wait_response conn ~id:(Json.String "a") with
+        | Ok (Json.Obj _) -> ()
+        | Ok _ | Error _ -> Alcotest.fail "response a dropped");
+        (match
+           Client.request conn ~id:(Json.String "s") ~meth:"shutdown"
+             (Json.Obj [])
+         with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "shutdown: %s" msg);
+        Client.close conn)
+  in
+  ()
+
+(* A client that never reads must not stall decisions to anyone else:
+   its outbound queue hits the bound, it is disconnected, the burst
+   completes for the live clients. Small sndbuf + small max_outq keep
+   the data volume test-sized (AF_UNIX limits in-flight bytes by the
+   sender's SO_SNDBUF). *)
+let test_stalled_consumer_disconnected () =
+  let reqs = List.init 160 (fun i -> (i, mixed_inputs i)) in
+  let (report : Client.report), outcome =
+    with_server ~batch:4 ~max_outq:8192 ~sndbuf:4096 (fun path ->
+        let stalled = Client.connect_unix ~retry_for:10. path in
+        let conns =
+          List.init 2 (fun _ -> Client.connect_unix ~retry_for:10. path)
+        in
+        let r =
+          match Client.run_load ~shutdown:true ~conns reqs with
+          | Ok r -> r
+          | Error msg -> Alcotest.failf "run_load under a stalled peer: %s" msg
+        in
+        List.iter Client.close (stalled :: conns);
+        r)
+  in
+  check_int "every position decided" 160 (List.length report.Client.decisions);
+  check_bool "no errors" true (report.Client.errors = []);
+  check_int "server height" 160 outcome.Server.height;
+  check_bool "the stalled client was disconnected" true
+    (outcome.Server.slow_disconnects >= 1)
+
+let test_listen_unix_socket_hygiene () =
+  (* A live daemon on the path: claiming it must fail loudly. *)
+  let (), _ =
+    with_server ~batch:2 (fun path ->
+        (match Server.listen_unix path with
+        | _ -> Alcotest.fail "claiming a live socket should fail"
+        | exception Failure _ -> ());
+        let conn = Client.connect_unix ~retry_for:10. path in
+        (match
+           Client.request conn ~id:(Json.String "s") ~meth:"shutdown"
+             (Json.Obj [])
+         with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "shutdown: %s" msg);
+        Client.close conn)
+  in
+  (* A stale file from a dead listener: silently reclaimed. *)
+  let path = fresh_path () in
+  let dead = Server.listen_unix path in
+  Unix.close dead;
+  check_bool "stale socket file left behind" true (Sys.file_exists path);
+  let reclaimed = Server.listen_unix path in
+  Unix.close reclaimed;
+  Sys.remove path
+
+(* --- follower replication --- *)
+
+let await_follower_height ~timeout conn target =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec poll () =
+    match Client.status conn with
+    | Ok (Json.Obj fields)
+      when List.assoc_opt "height" fields = Some (Json.Int target) ->
+        true
+    | _ when Unix.gettimeofday () > deadline -> false
+    | _ ->
+        Unix.sleepf 0.02;
+        poll ()
+  in
+  poll ()
+
+let test_follower_replicates () =
+  let path_p = fresh_path () and path_f = fresh_path () in
+  let listen_p = Server.listen_unix path_p in
+  let primary =
+    Domain.spawn (fun () -> Server.serve ~batch:4 ~listen:listen_p (cfg ()))
+  in
+  let listen_f = Server.listen_unix path_f in
+  let follower =
+    Domain.spawn (fun () ->
+        Replica.run ~batch:4 ~retry_every:0.05
+          ~primary:(Unix.ADDR_UNIX path_p) ~listen:listen_f (cfg ()))
+  in
+  let reqs = List.init 12 (fun i -> (i, mixed_inputs i)) in
+  let conn = Client.connect_unix ~retry_for:10. path_p in
+  (match Client.run_load ~conns:[ conn ] reqs with
+  | Ok r -> check_int "primary decided" 12 (List.length r.Client.decisions)
+  | Error msg -> Alcotest.failf "load: %s" msg);
+  let fconn = Client.connect_unix ~retry_for:10. path_f in
+  (* Followers are read-only. *)
+  (match
+     Client.request fconn ~id:(Json.Int 0) ~meth:"submit"
+       (Json.Obj
+          [ ("subject", Json.Int 99);
+            ("inputs", Json.List (List.map (fun i -> Json.Int (Oid.to_int i)) (mixed_inputs 0))) ])
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "follower accepted a submit");
+  check_bool "follower converged" true
+    (await_follower_height ~timeout:15. fconn 12);
+  let primary_log =
+    match Client.catchup ~from:0 conn with
+    | Ok l -> l
+    | Error msg -> Alcotest.failf "primary catchup: %s" msg
+  in
+  let follower_log =
+    match Client.catchup ~from:0 fconn with
+    | Ok l -> l
+    | Error msg -> Alcotest.failf "follower catchup: %s" msg
+  in
+  check_int "replicated everything" 12 (List.length follower_log);
+  check_bool "follower log == primary log" true (follower_log = primary_log);
+  (match
+     Client.request fconn ~id:(Json.String "s") ~meth:"shutdown" (Json.Obj [])
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "follower shutdown: %s" msg);
+  let f_out = Domain.join follower in
+  check_int "one catchup" 1 f_out.Replica.catchups;
+  check_int "follower height" 12 f_out.Replica.height;
+  (match
+     Client.request conn ~id:(Json.String "s") ~meth:"shutdown" (Json.Obj [])
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "primary shutdown: %s" msg);
+  let (_ : Server.outcome) = Domain.join primary in
+  Client.close conn;
+  Client.close fconn;
+  Unix.close listen_p;
+  Unix.close listen_f;
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ path_p; path_f ]
+
+(* Racy load: positions race across connections, so only the set of
+   decided subjects is pinned — every submitted subject, exactly once. *)
+let test_racy_load_subject_set () =
+  let reqs = List.init 24 (fun i -> (i, mixed_inputs i)) in
+  let (report : Client.report), outcome =
+    with_server ~batch:4 (fun path ->
+        let conns =
+          List.init 3 (fun _ -> Client.connect_unix ~retry_for:10. path)
+        in
+        let r =
+          match Client.run_load_racy ~shutdown:true ~conns reqs with
+          | Ok r -> r
+          | Error msg -> Alcotest.failf "run_load_racy: %s" msg
+        in
+        List.iter Client.close conns;
+        r)
+  in
+  check_int "all accepted" 24 report.Client.submitted;
+  check_bool "no errors" true (report.Client.errors = []);
+  check_int "server height" 24 outcome.Server.height;
+  check_bool "decided subjects == submitted subjects" true
+    (Client.subjects_decided report = List.init 24 Fun.id)
+
 let () =
   Alcotest.run "serve"
     [
@@ -203,5 +409,20 @@ let () =
             test_snapshot_restart_catchup;
           Alcotest.test_case "bad requests get error responses" `Quick
             test_bad_requests_get_errors;
+          Alcotest.test_case "server death surfaces as Error" `Quick
+            test_server_death_is_an_error;
+          Alcotest.test_case "out-of-order responses stashed" `Quick
+            test_out_of_order_responses_stashed;
+          Alcotest.test_case "stalled consumer disconnected" `Quick
+            test_stalled_consumer_disconnected;
+          Alcotest.test_case "unix socket hygiene" `Quick
+            test_listen_unix_socket_hygiene;
+          Alcotest.test_case "racy load decides the subject set" `Quick
+            test_racy_load_subject_set;
+        ] );
+      ( "replica",
+        [
+          Alcotest.test_case "follower replicates the primary" `Quick
+            test_follower_replicates;
         ] );
     ]
