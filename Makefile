@@ -1,4 +1,4 @@
-.PHONY: check check-parallel check-model chaos-smoke serve-smoke serve-replica-smoke build test bench bench-smoke bench-baseline bench-gate
+.PHONY: check check-parallel check-model chaos-smoke gst-smoke serve-smoke serve-replica-smoke build test bench bench-smoke bench-baseline bench-gate
 
 check: ## build everything, then run the full test suite
 	dune build && dune runtest
@@ -11,6 +11,9 @@ check-model: ## exhaustive small-model smoke sweep (vv_check); exits 1 on violat
 
 chaos-smoke: ## chaos-substrate resilience campaign, CI tier; exits 1 on a safety violation
 	dune build && dune exec bin/vvc.exe -- chaos --profile=smoke
+
+gst-smoke: ## network-agnostic validity campaign (E20), CI tier; exits 1 on a violation in a predicted-achievable cell
+	dune build && dune exec bin/vvc.exe -- gst --profile=smoke --jobs=0
 
 serve-smoke: ## boot the serve daemon, drive a scripted burst through it, verify streamed decisions, clean shutdown
 	dune build

@@ -216,6 +216,49 @@ let rpc_parse_micro =
              ~slot:2 ~lane:3)
     | _ -> assert false
 
+let gst_scheduler_step =
+  (* A full run of a chatty flood under the GST scheduler: pre-GST
+     admissibility caps spread deliveries across scheduler buckets, then
+     bounded delay from GST on — the per-round scheduling cost the E20
+     campaign leans on. *)
+  let module Chatty = struct
+    type input = int
+    type msg = int
+    type output = int
+    type state = { mutable seen : int }
+
+    let name = "chatty-gst"
+    let equal_msg = Int.equal
+
+    let init (_ : Vv_sim.Protocol.ctx) v ~outbox =
+      Vv_sim.Outbox.broadcast outbox v;
+      { seen = 0 }
+
+    let step (_ : Vv_sim.Protocol.ctx) st ~round:_ ~inbox ~outbox =
+      let acc = ref st.seen in
+      for i = 0 to Vv_sim.Inbox.length inbox - 1 do
+        acc := !acc lxor Vv_sim.Inbox.msg inbox i lxor Vv_sim.Inbox.src inbox i
+      done;
+      st.seen <- !acc;
+      Vv_sim.Outbox.broadcast outbox st.seen;
+      st
+
+    let output _ = None
+    let phase _ = "chat"
+    let inert _ = false
+  end in
+  let module E = Vv_sim.Engine.Make (Chatty) in
+  let cfg =
+    Vv_sim.Config.make ~n:6 ~t_max:1 ~max_rounds:64
+      ~delay:
+        (Vv_sim.Delay.Eventually_synchronous
+           { gst = 8; bound = 2; schedule = None })
+      ~seed:0x6057 ()
+  in
+  fun () ->
+    let r = E.run_exn cfg ~inputs:(fun id -> id) () in
+    assert r.E.stalled
+
 let tally_micro =
   let inputs = List.init 1_000 (fun i -> Oid.of_int (i mod 5)) in
   fun () ->
@@ -264,6 +307,7 @@ let declared_benches =
     ("ledger-slot-n9", ledger_slot);
     ("ledger-engine-batch8-n9", engine_batch_run);
     ("serve-rpc-submit-parse", rpc_parse_micro);
+    ("gst-scheduler-step", gst_scheduler_step);
     ("tally-plurality-1k", tally_micro);
   ]
 

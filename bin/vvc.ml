@@ -8,6 +8,7 @@
      run [...]                   one protocol execution with full control
      check [--profile=P]         exhaustive small-model checker (vv_check)
      chaos [--profile=P]         chaos-substrate resilience campaign (E17)
+     gst [--profile=P]           network-agnostic validity campaign (E20)
      serve --socket S [...]      multi-shot ledger as a JSON-RPC daemon
      load --socket S [...]       drive a running daemon, report decisions/s
 
@@ -532,6 +533,31 @@ let chaos_cmd =
       $ Cli.opts_term ~default_profile:Campaign.Smoke
       $ retransmit $ trials)
 
+(* --- gst --- *)
+
+let gst_cmd =
+  let doc =
+    "Network-agnostic validity campaign across synchrony models: sweep \
+     (t_s, t_a) tolerance pairs and GST placement over synchronous, \
+     eventually-synchronous and asynchronous schedulers, and map the \
+     achievable region against N > max{3t, 2t + 2*B_G + C_G} (experiment \
+     E20). Exits nonzero when a predicted-achievable cell shows any \
+     violation or stall."
+  in
+  let trials =
+    C.Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"K"
+          ~doc:"Override the profile's per-cell trial count.")
+  in
+  let run opts trials =
+    Cli.handle opts (Vv_analysis.Exp_gst.campaign ?trials ())
+  in
+  C.Cmd.v (C.Cmd.info "gst" ~doc)
+    C.Term.(
+      const run $ Cli.opts_term ~default_profile:Campaign.Smoke $ trials)
+
 (* --- serve / load --- *)
 
 (* Listener flags shared by serve and load: exactly one of --socket PATH
@@ -819,4 +845,4 @@ let () =
     (C.Cmd.eval
        (C.Cmd.group info
           [ list_cmd; exp_cmd; all_cmd; bounds_cmd; run_cmd; check_cmd;
-            chaos_cmd; ledger_cmd; radio_cmd; serve_cmd; load_cmd ]))
+            chaos_cmd; gst_cmd; ledger_cmd; radio_cmd; serve_cmd; load_cmd ]))

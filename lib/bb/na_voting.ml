@@ -1,0 +1,269 @@
+(* Network-agnostic voting (after Constantinescu–Dufay–Ghinea–Wattenhofer,
+   arXiv 2410.19721): one protocol that must survive both a synchronous
+   network (tolerating [t_s] Byzantine nodes) and an asynchronous one
+   (tolerating [t_a <= t_s]), with validity achievable exactly when
+   N > max{3t, 2t + 2B_G + C_G} for the network's tolerance t.
+
+   Structure (scaled down to the simulator's round model):
+
+   - Synchronous path, clocked in multiples of the timeout [sync_delta]
+     (the realisation of the known bound delta_t — under an asynchronous
+     network the timeouts still fire but their thresholds may not be met):
+       round 0            broadcast Inp(input)
+       round delta        broadcast Vote(v): the plurality of received
+                          inputs if >= n - t_s arrived, else bottom
+       round 2*delta      broadcast Comm(v) if some value has >= n - t_s
+                          votes, else Comm(bottom)
+       round 3*delta      decide v and broadcast Fin(v) on >= n - t_s
+                          commits for v
+   - Asynchronous fallback, threshold-clocked (no delay bound needed):
+       Lock(v)            on >= t_s + t_a + 1 commits for v (the sync
+                          path's progress certificate, adopted into the
+                          fallback's vote priority)
+       FbVote(w)          once, at the first round >= 3*delta with
+                          >= n - t_a inputs received; w is the first of:
+                          own decision, own lock, a lock certified by
+                          >= t_a + 1 Lock messages, own non-bottom
+                          commit, the plurality of received inputs
+       decide v           on >= n - t_a fallback votes for v
+   - Fin adoption (both paths): decide v on >= t_s + 1 Fin(v) — safe
+     while f <= t_s because some Fin is then from an honest decider, and
+     exactly the lever a (t_s + 1)-strong adversary pulls to break cells
+     beyond the tolerance.
+
+   Safety of the commit threshold needs n > 2*t_s + t_a (two conflicting
+   commit quorums would intersect in an honest voter); [init] rejects a
+   system smaller than that.  Decided nodes keep
+   participating in the fallback (their FbVote carries the decided
+   value), so a partial synchronous-path decision — possible around GST —
+   still drives the fallback quorum to the same value.
+
+   Timeouts make states time-triggered, so [inert] is conservatively
+   false: a stalled run is a real stall, never a fast-forward. *)
+
+open Vv_sim
+
+type kind = Inp | Vote | Comm | Lock | FbVote | Fin
+
+type msg = { kind : kind; value : int }
+
+(* "No message recorded from this sender yet" — distinct from
+   [Bb_intf.bottom], which is a legal message payload. *)
+let none = min_int
+
+module type Params = sig
+  val t_s : int
+  (** synchronous-network fault tolerance *)
+
+  val t_a : int
+  (** asynchronous-network fault tolerance, [t_a <= t_s] *)
+
+  val sync_delta : int
+  (** the timeout realising the synchronous path's delta_t, in engine
+      rounds *)
+end
+
+module Make (P : Params) :
+  Protocol.S
+    with type input = int
+     and type output = int
+     and type msg = msg = struct
+  let () =
+    if P.t_a < 0 || P.t_s < P.t_a then
+      invalid_arg "Na_voting: need 0 <= t_a <= t_s";
+    if P.sync_delta < 1 then invalid_arg "Na_voting: sync_delta must be >= 1"
+
+  type input = int
+  type output = int
+
+  type nonrec msg = msg
+
+  type state = {
+    input : int;
+    (* first value received per sender, per message kind; [none] = none *)
+    inp : int array;
+    vote : int array;
+    comm : int array;
+    lock_msg : int array;
+    fbvote : int array;
+    fin : int array;
+    mutable lock : int;  (* own lock, [none] until set *)
+    mutable decided : int;  (* stable once <> [none] *)
+    mutable vote_sent : bool;
+    mutable comm_sent : bool;
+    mutable lock_sent : bool;
+    mutable fbvote_sent : bool;
+    mutable fin_sent : bool;
+  }
+
+  let name = Fmt.str "na-voting(ts=%d,ta=%d,delta=%d)" P.t_s P.t_a P.sync_delta
+
+  let equal_msg a b = a.kind = b.kind && a.value = b.value
+
+  let delta = P.sync_delta
+
+  (* --- tallies over the per-sender arrays (no allocation) --- *)
+
+  let received arr =
+    let c = ref 0 in
+    Array.iter (fun v -> if v <> none then incr c) arr;
+    !c
+
+  let count_of arr v =
+    let c = ref 0 in
+    Array.iter (fun w -> if w = v then incr c) arr;
+    !c
+
+  (* Plurality over recorded values, [Bb_intf.bottom] excluded; highest
+     count wins, ties to the smaller value (a strict total order, so the
+     scan order cannot matter). *)
+  let plurality arr =
+    let n = Array.length arr in
+    let bv = ref Bb_intf.bottom and bc = ref 0 in
+    for i = 0 to n - 1 do
+      let v = arr.(i) in
+      if v <> none && v <> Bb_intf.bottom then begin
+        (* count v only at its first occurrence *)
+        let rec first j = if arr.(j) = v then j else first (j + 1) in
+        if first 0 = i then begin
+          let c = count_of arr v in
+          if c > !bc || (c = !bc && v < !bv) then begin
+            bv := v;
+            bc := c
+          end
+        end
+      end
+    done;
+    (!bv, !bc)
+
+  (* The unique non-bottom value with at least [threshold] recorded
+     supporters, or [none].  (For thresholds above n/2 uniqueness is
+     automatic; for lower ones the plurality's strict order makes the
+     answer deterministic.) *)
+  let supported arr ~threshold =
+    let v, c = plurality arr in
+    if v <> Bb_intf.bottom && c >= threshold then v else none
+
+  let init (ctx : Protocol.ctx) input ~outbox =
+    if ctx.Protocol.n <= (2 * P.t_s) + P.t_a then
+      invalid_arg
+        (Fmt.str "%s: need n > 2*t_s + t_a (n = %d)" name ctx.Protocol.n);
+    Outbox.broadcast outbox { kind = Inp; value = input };
+    {
+      input;
+      inp = Array.make ctx.Protocol.n none;
+      vote = Array.make ctx.Protocol.n none;
+      comm = Array.make ctx.Protocol.n none;
+      lock_msg = Array.make ctx.Protocol.n none;
+      fbvote = Array.make ctx.Protocol.n none;
+      fin = Array.make ctx.Protocol.n none;
+      lock = none;
+      decided = none;
+      vote_sent = false;
+      comm_sent = false;
+      lock_sent = false;
+      fbvote_sent = false;
+      fin_sent = false;
+    }
+
+  let absorb st ~inbox =
+    for i = 0 to Inbox.length inbox - 1 do
+      let src = Inbox.src inbox i in
+      let { kind; value } = Inbox.msg inbox i in
+      let arr =
+        match kind with
+        | Inp -> st.inp
+        | Vote -> st.vote
+        | Comm -> st.comm
+        | Lock -> st.lock_msg
+        | FbVote -> st.fbvote
+        | Fin -> st.fin
+      in
+      (* first message per sender per kind wins *)
+      if arr.(src) = none then arr.(src) <- value
+    done
+
+  let decide st ~outbox v =
+    if st.decided = none then begin
+      st.decided <- v;
+      if not st.fin_sent then begin
+        st.fin_sent <- true;
+        Outbox.broadcast outbox { kind = Fin; value = v }
+      end
+    end
+
+  let step (ctx : Protocol.ctx) st ~round ~inbox ~outbox =
+    let n = ctx.Protocol.n in
+    absorb st ~inbox;
+    (* synchronous path: timeout-clocked sends *)
+    if round = delta && not st.vote_sent then begin
+      st.vote_sent <- true;
+      let v =
+        if received st.inp >= n - P.t_s then fst (plurality st.inp)
+        else Bb_intf.bottom
+      in
+      Outbox.broadcast outbox { kind = Vote; value = v }
+    end;
+    if round = 2 * delta && not st.comm_sent then begin
+      st.comm_sent <- true;
+      let v =
+        match supported st.vote ~threshold:(n - P.t_s) with
+        | v when v <> none -> v
+        | _ -> Bb_intf.bottom
+      in
+      Outbox.broadcast outbox { kind = Comm; value = v }
+    end;
+    if round >= 3 * delta then begin
+      match supported st.comm ~threshold:(n - P.t_s) with
+      | v when v <> none -> decide st ~outbox v
+      | _ -> ()
+    end;
+    (* asynchronous fallback: threshold-clocked *)
+    (match supported st.comm ~threshold:(P.t_s + P.t_a + 1) with
+    | v when v <> none && not st.lock_sent ->
+        st.lock_sent <- true;
+        st.lock <- v;
+        Outbox.broadcast outbox { kind = Lock; value = v }
+    | _ -> ());
+    if
+      round >= 3 * delta && (not st.fbvote_sent)
+      && received st.inp >= n - P.t_a
+    then begin
+      st.fbvote_sent <- true;
+      let certified_lock = supported st.lock_msg ~threshold:(P.t_a + 1) in
+      let own_comm =
+        if st.comm_sent then
+          let c = st.comm.(ctx.Protocol.me) in
+          if c = Bb_intf.bottom then none else c
+        else none
+      in
+      let w =
+        if st.decided <> none then st.decided
+        else if st.lock <> none then st.lock
+        else if certified_lock <> none then certified_lock
+        else if own_comm <> none then own_comm
+        else fst (plurality st.inp)
+      in
+      Outbox.broadcast outbox { kind = FbVote; value = w }
+    end;
+    (match supported st.fbvote ~threshold:(n - P.t_a) with
+    | v when v <> none -> decide st ~outbox v
+    | _ -> ());
+    (match supported st.fin ~threshold:(P.t_s + 1) with
+    | v when v <> none -> decide st ~outbox v
+    | _ -> ());
+    st
+
+  let output st = if st.decided = none then None else Some st.decided
+
+  let phase st =
+    if st.decided <> none then "decided"
+    else if st.fbvote_sent then "fallback"
+    else if st.comm_sent then "commit"
+    else if st.vote_sent then "vote"
+    else "input"
+
+  (* Time-triggered sends (the delta timeouts) mean an undecided state is
+     never a provable no-op. *)
+  let inert _ = false
+end

@@ -1,0 +1,39 @@
+(** Network-agnostic voting (after arXiv 2410.19721): one protocol run
+    unchanged on a synchronous network (tolerating [t_s] Byzantine
+    nodes) and an asynchronous one (tolerating [t_a <= t_s]).
+
+    A timeout-clocked synchronous path (input / vote / commit in
+    [sync_delta]-round steps, deciding on [n - t_s] matching commits)
+    composes with a threshold-clocked asynchronous fallback (lock
+    certificates from the sync path's commits, fallback votes once
+    [n - t_a] inputs arrived, deciding on [n - t_a] matching fallback
+    votes) and a [t_s + 1]-threshold Fin adoption bridging both.
+    Validity in the simulator's voting sense is achievable exactly when
+    [N > max{3t, 2t + 2B_G + C_G}] for the network's tolerance [t] —
+    campaign E20 ({!Vv_analysis.Exp_gst}) maps that region empirically
+    across the {!Vv_sim.Delay} synchrony models.
+
+    Safety requires [n > 2*t_s + t_a] ([init] raises below that). Inputs
+    are option ids (ints >= 0); the output is the decided option. *)
+
+type kind = Inp | Vote | Comm | Lock | FbVote | Fin
+
+type msg = { kind : kind; value : int }
+
+module type Params = sig
+  val t_s : int
+  (** synchronous-network fault tolerance *)
+
+  val t_a : int
+  (** asynchronous-network fault tolerance, [0 <= t_a <= t_s] *)
+
+  val sync_delta : int
+  (** the timeout realising the synchronous path's delta_t, in engine
+      rounds; [>= 1] *)
+end
+
+module Make (P : Params) :
+  Vv_sim.Protocol.S
+    with type input = int
+     and type output = int
+     and type msg = msg

@@ -35,7 +35,29 @@ type conn = {
 
 let make_conn fd = { fd; buf = Buffer.create 4096; stash = Hashtbl.create 8 }
 
-let rec connect_retry ~deadline addr =
+(* Connect-retry pacing: capped exponential backoff with deterministic
+   seeded jitter.  The base delay doubles per attempt up to [retry_cap];
+   each slot is then scaled by a jitter factor in [0.5, 1.0) derived
+   purely from (seed, attempt), so a fleet of clients racing a
+   restarting daemon (`vvc load` with many connections, `vvc serve
+   --follow`) de-synchronizes instead of thundering-herding the listen
+   backlog — while any single client's schedule stays reproducible. *)
+let retry_base = 0.05
+
+let retry_cap = 1.0
+
+let retry_delay ~seed ~attempt =
+  if attempt < 1 then invalid_arg "Client.retry_delay: attempt must be >= 1";
+  let slot =
+    (* min over floats of the doubling series, without overflowing at
+       large attempt counts *)
+    if float_of_int (attempt - 1) > 40. then retry_cap
+    else Float.min (retry_base *. (2. ** float_of_int (attempt - 1))) retry_cap
+  in
+  let rng = Vv_prelude.Rng.create (Vv_prelude.Rng.derive seed attempt) in
+  slot *. (0.5 +. (0.5 *. Vv_prelude.Rng.float rng))
+
+let rec connect_retry ~deadline ~seed ~attempt addr =
   (* A server dying mid-send must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -50,19 +72,32 @@ let rec connect_retry ~deadline addr =
   | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
     when Unix.gettimeofday () < deadline ->
       Unix.close fd;
-      Unix.sleepf 0.05;
-      connect_retry ~deadline addr
+      let pause = retry_delay ~seed ~attempt in
+      let remaining = deadline -. Unix.gettimeofday () in
+      Unix.sleepf (Float.min pause (Float.max remaining 0.));
+      connect_retry ~deadline ~seed ~attempt:(attempt + 1) addr
   | exception e ->
       Unix.close fd;
       raise e
 
-let connect ?(retry_for = 0.) addr =
-  connect_retry ~deadline:(Unix.gettimeofday () +. retry_for) addr
+let connect ?(retry_for = 0.) ?retry_seed addr =
+  (* Default jitter seed: distinct per process and address, so
+     concurrent clients spread out; pass [retry_seed] for a
+     reproducible schedule. *)
+  let seed =
+    match retry_seed with
+    | Some s -> s
+    | None -> Hashtbl.hash (Unix.getpid (), addr)
+  in
+  connect_retry
+    ~deadline:(Unix.gettimeofday () +. retry_for)
+    ~seed ~attempt:1 addr
 
-let connect_unix ?retry_for path = connect ?retry_for (Unix.ADDR_UNIX path)
+let connect_unix ?retry_for ?retry_seed path =
+  connect ?retry_for ?retry_seed (Unix.ADDR_UNIX path)
 
-let connect_tcp ?retry_for ?(host = "127.0.0.1") port =
-  connect ?retry_for
+let connect_tcp ?retry_for ?retry_seed ?(host = "127.0.0.1") port =
+  connect ?retry_for ?retry_seed
     (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
 
 let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()

@@ -8,14 +8,26 @@ module Ledger = Vv_multishot.Ledger
 
 type conn
 
-val connect : ?retry_for:float -> Unix.sockaddr -> conn
-(** Connect to any socket address, retrying ECONNREFUSED/ENOENT for up
-    to [retry_for] seconds (default 0 — fail immediately). Lets a client
-    race a daemon that is still starting up. SIGPIPE is set to ignore so
-    a dying server surfaces as EPIPE, not process death. *)
+val retry_delay : seed:int -> attempt:int -> float
+(** The connect-retry pause before retry [attempt] (1-based): capped
+    exponential backoff (base 0.05s doubling up to 1s) scaled by a
+    deterministic jitter factor in [0.5, 1.0) derived purely from
+    [(seed, attempt)] — a pure function, so a client's whole schedule
+    replays from its seed while distinct seeds de-synchronize a fleet
+    racing a restarting daemon. Raises [Invalid_argument] when
+    [attempt < 1]. *)
 
-val connect_unix : ?retry_for:float -> string -> conn
-val connect_tcp : ?retry_for:float -> ?host:string -> int -> conn
+val connect : ?retry_for:float -> ?retry_seed:int -> Unix.sockaddr -> conn
+(** Connect to any socket address, retrying ECONNREFUSED/ENOENT for up
+    to [retry_for] seconds (default 0 — fail immediately), pacing
+    retries by {!retry_delay} (never sleeping past the deadline). Lets a
+    client race a daemon that is still starting up without
+    thundering-herding it. [retry_seed] fixes the jitter schedule; the
+    default derives it from the process id and address. SIGPIPE is set
+    to ignore so a dying server surfaces as EPIPE, not process death. *)
+
+val connect_unix : ?retry_for:float -> ?retry_seed:int -> string -> conn
+val connect_tcp : ?retry_for:float -> ?retry_seed:int -> ?host:string -> int -> conn
 val close : conn -> unit
 
 val send : conn -> string -> unit

@@ -24,6 +24,14 @@ type 'msg view = {
           (node id, emission, neighbourhood) order *)
   byz_inbox : Types.node_id -> (Types.node_id * 'msg) list;
       (** messages the given Byzantine node received this round *)
+  in_flight : unit -> (int * Types.node_id * Types.node_id) list;
+      (** the engine's pending schedule: every delivery already routed but
+          not yet handed to its recipient, as (arrival round, src, dst)
+          triples sorted ascending — the full-information adversary's
+          window onto in-flight scheduling, so a scripted adversary can
+          time its injections against worst-case delivery orders under
+          [Asynchronous]/[Eventually_synchronous] delays.  Allocates a
+          fresh list per call; only valid during [act]. *)
   byzantine : Types.node_id list;
   n : int;
   reach : Types.node_id -> Types.node_id list;

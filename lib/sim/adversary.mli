@@ -22,6 +22,13 @@ type 'msg view = {
           (node id, emission, neighbourhood) order *)
   byz_inbox : Types.node_id -> (Types.node_id * 'msg) list;
       (** this round's deliveries to the given Byzantine node *)
+  in_flight : unit -> (int * Types.node_id * Types.node_id) list;
+      (** every delivery already routed but not yet delivered, as
+          (arrival round, src, dst) triples sorted ascending — in-flight
+          scheduling exposed to the full-information adversary, so scripts
+          can pick worst-case delivery orders under the asynchronous and
+          GST delay models.  Allocates per call; valid only during
+          [act]. *)
   byzantine : Types.node_id list;
   n : int;
   reach : Types.node_id -> Types.node_id list;

@@ -4,7 +4,17 @@
    r + delay, with delay >= 1.  [Synchronous] is the paper's lock-step
    model; [Uniform] provides the staggered arrivals that make the
    incremental-threshold protocol (Algorithm 3) interesting and models a
-   partially synchronous network with unknown-but-bounded delay. *)
+   partially synchronous network with unknown-but-bounded delay.
+
+   The synchrony axis (Tseng, arXiv 1608.07923) is first-class:
+   [Asynchronous] has no protocol-visible bound at all — the scheduler
+   (or an adversary-supplied schedule) picks per-message delays freely
+   under a fairness cap guaranteeing every message is eventually
+   delivered — and [Eventually_synchronous] is the GST model: arbitrary
+   scheduling before a global stabilization time, [Adversarial]-style
+   bounded delay after it, with every pre-GST message forced to land by
+   gst + bound (the classic "messages sent before GST arrive by
+   GST + delta" convention). *)
 
 type schedule = round:int -> src:Types.node_id -> dst:Types.node_id -> int
 
@@ -16,6 +26,18 @@ type t =
   | Adversarial of { bound : int; schedule : schedule }
       (** a schedule that must respect a declared bound delta_t — the
           strong adversary's message-delaying power under synchrony *)
+  | Asynchronous of { fairness : int; schedule : schedule option }
+      (** no protocol-visible bound ([bound] is [None]); the scheduler
+          (or the supplied schedule) picks each delay in [1, fairness].
+          The cap is the fairness guarantee — every message is delivered
+          within [fairness] rounds of its send — not a synchrony
+          assumption protocols may rely on. *)
+  | Eventually_synchronous of { gst : int; bound : int; schedule : schedule option }
+      (** the GST model: a message sent at round r < gst may be delayed
+          arbitrarily as long as it arrives by [gst + bound]; a message
+          sent at r >= gst arrives within [bound] rounds.  Without a
+          schedule, delays are drawn uniformly over the admissible
+          range. *)
 
 let validate = function
   | Synchronous -> ()
@@ -25,20 +47,59 @@ let validate = function
   | Per_message _ -> ()
   | Adversarial { bound; _ } ->
       if bound < 1 then invalid_arg "Delay.Adversarial: bound must be >= 1"
+  | Asynchronous { fairness; _ } ->
+      if fairness < 1 then
+        invalid_arg "Delay.Asynchronous: fairness must be >= 1"
+  | Eventually_synchronous { gst; bound; _ } ->
+      if gst < 0 then
+        invalid_arg "Delay.Eventually_synchronous: gst must be >= 0";
+      if bound < 1 then
+        invalid_arg "Delay.Eventually_synchronous: bound must be >= 1"
 
 (* The known delay upper bound delta_t (in rounds) honest protocols may rely
-   on under synchrony; [None] for unbounded user-supplied models. *)
+   on under synchrony; [None] for unbounded user-supplied models and for
+   genuine asynchrony (the fairness cap is a liveness guarantee, not a
+   synchrony assumption).  Under GST this is the *eventual* bound — what a
+   partially-synchronous protocol knows holds from some unknown round on. *)
 let bound = function
   | Synchronous -> Some 1
   | Fixed d -> Some d
   | Uniform { hi; _ } -> Some hi
   | Per_message _ -> None
   | Adversarial { bound; _ } -> Some bound
+  | Asynchronous _ -> None
+  | Eventually_synchronous { bound; _ } -> Some bound
 
-let schedule_error what d ~round ~src ~dst =
+(* The largest delay any message sent at [round] may be assigned — the
+   engine's clamp for chaos jitter, so substrate reordering cannot break
+   the model's own delivery guarantee.  Equal to [bound] for every
+   round-independent model; for GST it shrinks toward the bound as the
+   send round approaches gst (a pre-GST message must still land by
+   gst + bound); for [Asynchronous] it is the fairness cap. *)
+let max_delay t ~round =
+  match t with
+  | Synchronous -> Some 1
+  | Fixed d -> Some d
+  | Uniform { hi; _ } -> Some hi
+  | Per_message _ -> None
+  | Adversarial { bound; _ } -> Some bound
+  | Asynchronous { fairness; _ } -> Some fairness
+  | Eventually_synchronous { gst; bound; _ } ->
+      Some (if round >= gst then bound else gst + bound - round)
+
+let schedule_error ?bound what d ~round ~src ~dst =
   invalid_arg
-    (Fmt.str "Delay.%s: schedule returned %d at (round %d, src %d, dst %d)"
-       what d round src dst)
+    (Fmt.str "Delay.%s: schedule returned %d%s at (round %d, src %d, dst %d)"
+       what d
+       (match bound with
+       | None -> ""
+       | Some b -> Fmt.str " against declared bound %d" b)
+       round src dst)
+
+(* The admissible delay range cap at [round] for the schedule-carrying
+   models (the per-round face of the declared bound). *)
+let es_cap ~gst ~bound ~round =
+  if round >= gst then bound else gst + bound - round
 
 let resolve t rng ~round ~src ~dst =
   match t with
@@ -52,36 +113,66 @@ let resolve t rng ~round ~src ~dst =
   | Adversarial { bound; schedule } ->
       let d = schedule ~round ~src ~dst in
       if d < 1 || d > bound then
-        schedule_error
-          (Fmt.str "Adversarial(bound %d)" bound)
-          d ~round ~src ~dst;
+        schedule_error "Adversarial" ~bound d ~round ~src ~dst;
       d
+  | Asynchronous { fairness; schedule } -> (
+      match schedule with
+      | None -> 1 + Vv_prelude.Rng.int rng fairness
+      | Some f ->
+          let d = f ~round ~src ~dst in
+          if d < 1 || d > fairness then
+            schedule_error "Asynchronous" ~bound:fairness d ~round ~src ~dst;
+          d)
+  | Eventually_synchronous { gst; bound; schedule } -> (
+      let cap = es_cap ~gst ~bound ~round in
+      match schedule with
+      | None -> 1 + Vv_prelude.Rng.int rng cap
+      | Some f ->
+          let d = f ~round ~src ~dst in
+          if d < 1 || d > cap then
+            schedule_error
+              (Fmt.str "Eventually_synchronous(gst %d)" gst)
+              ~bound d ~round ~src ~dst;
+          d)
 
 (* Probe sweep: exercise a user-supplied schedule over every (round, src,
    dst) the engine could ask about, so an ill-formed schedule is rejected
-   when the configuration is built — with the offending point named —
-   instead of exploding from [resolve] in the middle of a run.  Requires
-   schedules to be pure functions of their arguments (they always were in
-   spirit: the engine gives no other determinism guarantee). *)
+   when the configuration is built — with the offending point and the
+   declared bound named — instead of exploding from [resolve] in the
+   middle of a run.  Requires schedules to be pure functions of their
+   arguments (they always were in spirit: the engine gives no other
+   determinism guarantee). *)
 let validate_schedule t ~n ~max_rounds =
-  let probe what check f =
+  let probe ?bound what check f =
     for round = 0 to max_rounds - 1 do
       for src = 0 to n - 1 do
         for dst = 0 to n - 1 do
           let d = f ~round ~src ~dst in
-          if not (check d) then schedule_error what d ~round ~src ~dst
+          if not (check ~round d) then
+            schedule_error ?bound what d ~round ~src ~dst
         done
       done
     done
   in
   match t with
   | Synchronous | Fixed _ | Uniform _ -> ()
-  | Per_message f -> probe "Per_message" (fun d -> d >= 1) f
+  | Asynchronous { schedule = None; _ }
+  | Eventually_synchronous { schedule = None; _ } ->
+      ()
+  | Per_message f -> probe "Per_message" (fun ~round:_ d -> d >= 1) f
   | Adversarial { bound; schedule } ->
-      probe
-        (Fmt.str "Adversarial(bound %d)" bound)
-        (fun d -> d >= 1 && d <= bound)
+      probe "Adversarial" ~bound (fun ~round:_ d -> d >= 1 && d <= bound)
         schedule
+  | Asynchronous { fairness; schedule = Some f } ->
+      probe "Asynchronous" ~bound:fairness
+        (fun ~round:_ d -> d >= 1 && d <= fairness)
+        f
+  | Eventually_synchronous { gst; bound; schedule = Some f } ->
+      probe
+        (Fmt.str "Eventually_synchronous(gst %d)" gst)
+        ~bound
+        (fun ~round d -> d >= 1 && d <= es_cap ~gst ~bound ~round)
+        f
 
 let pp ppf = function
   | Synchronous -> Fmt.string ppf "synchronous"
@@ -89,3 +180,6 @@ let pp ppf = function
   | Uniform { lo; hi } -> Fmt.pf ppf "uniform:%d..%d" lo hi
   | Per_message _ -> Fmt.string ppf "per-message"
   | Adversarial { bound; _ } -> Fmt.pf ppf "adversarial<=%d" bound
+  | Asynchronous { fairness; _ } -> Fmt.pf ppf "async(fair<=%d)" fairness
+  | Eventually_synchronous { gst; bound; _ } ->
+      Fmt.pf ppf "gst:%d+<=%d" gst bound

@@ -195,6 +195,19 @@ module Sched = struct
     else None
 
   let is_empty t = t.live = 0
+
+  (* Fold over every delivery still scheduled, across all live buckets,
+     in no particular order (callers sort).  Feeds the adversary's
+     in-flight view; allocates nothing itself. *)
+  let fold t f acc =
+    let acc = ref acc in
+    Array.iter
+      (fun b ->
+        for i = 0 to b.buf.blen - 1 do
+          acc := f !acc b.round b.buf.meta.(i)
+        done)
+      t.buckets;
+    !acc
 end
 
 module Make (P : Protocol.S) = struct
@@ -365,11 +378,16 @@ module Make (P : Protocol.S) = struct
     let base_delay ~round ~src ~dst =
       Delay.resolve cfg.Config.delay delay_rng ~round ~src ~dst
     in
-    (* Jitter must stay within the declared synchrony bound delta_t: the
-       substrate reorders arrivals but cannot break the assumption honest
-       protocols rely on. *)
-    let clamp d =
-      match delta with Some b -> if d < b then d else b | None -> d
+    (* Jitter must stay within the delay model's own delivery guarantee:
+       the substrate reorders arrivals but cannot break the assumption
+       honest protocols rely on.  The cap is per send round — constant
+       (= delta_t) for the bounded models, the fairness cap under
+       [Asynchronous], and the shrinking [gst + bound - round] admissible
+       window pre-GST under [Eventually_synchronous]. *)
+    let clamp ~round d =
+      match Delay.max_delay cfg.Config.delay ~round with
+      | Some b -> if d < b then d else b
+      | None -> d
     in
     (* [route] is the send->delivery path: chaos verdict, delay
        assignment, arrival-time cut check, retransmission queuing.  The
@@ -380,28 +398,37 @@ module Make (P : Protocol.S) = struct
         let arrival = round + base_delay ~round ~src ~dst in
         schedule ~arrival ~src ~dst msg
       else
-        match Network.transit network chaos_rng ~round ~src ~dst with
-        | Network.Dropped ->
+        (* Packed verdict ([Network.transit_i]): no allocation per chaos
+           delivery, identical draw order to the record form. *)
+        let v = Network.transit_i network chaos_rng ~round ~src ~dst in
+        if v = Network.dropped_i then begin
+          incr dropped;
+          queue_retry ~round ~attempt ~src ~dst msg
+        end
+        else begin
+          let extra_delay = v lsr 1 in
+          let arrival =
+            round + clamp ~round (base_delay ~round ~src ~dst + extra_delay)
+          in
+          (* A message in flight into a partition/outage window is lost
+             at the receiver. *)
+          if Network.cut network ~round:arrival ~src ~dst then begin
             incr dropped;
             queue_retry ~round ~attempt ~src ~dst msg
-        | Network.Deliver { extra_delay; duplicate } ->
-            let arrival = round + clamp (base_delay ~round ~src ~dst + extra_delay) in
-            (* A message in flight into a partition/outage window is lost
-               at the receiver. *)
-            if Network.cut network ~round:arrival ~src ~dst then begin
-              incr dropped;
-              queue_retry ~round ~attempt ~src ~dst msg
-            end
-            else schedule ~arrival ~src ~dst msg;
-            if duplicate then begin
-              incr duplicated;
-              (* The duplicate gets its own delay draws and is never
-                 retried — the original covers the retransmission. *)
-              let extra = Network.extra_delay network chaos_rng in
-              let arrival = round + clamp (base_delay ~round ~src ~dst + extra) in
-              if Network.cut network ~round:arrival ~src ~dst then incr dropped
-              else schedule ~arrival ~src ~dst msg
-            end
+          end
+          else schedule ~arrival ~src ~dst msg;
+          if v land 1 = 1 then begin
+            incr duplicated;
+            (* The duplicate gets its own delay draws and is never
+               retried — the original covers the retransmission. *)
+            let extra = Network.extra_delay network chaos_rng in
+            let arrival =
+              round + clamp ~round (base_delay ~round ~src ~dst + extra)
+            in
+            if Network.cut network ~round:arrival ~src ~dst then incr dropped
+            else schedule ~arrival ~src ~dst msg
+          end
+        end
     in
     (* Delivery arena: each round's bucket is counting-sorted by key
        [dst * n + src] (stable in scheduling order), reproducing the old
@@ -515,6 +542,13 @@ module Make (P : Protocol.S) = struct
         sent_dst = (fun i -> honest_buf.meta.(i) land id_mask);
         sent_msg = (fun i -> (Obj.obj honest_buf.bmsgs.(i) : P.msg));
         byz_inbox = segment_list;
+        in_flight =
+          (fun () ->
+            Sched.fold pending
+              (fun acc r m ->
+                (r, (m lsr dst_bits) land id_mask, m land id_mask) :: acc)
+              []
+            |> List.sort compare);
         byzantine;
         n;
         reach = reach_fn;

@@ -70,17 +70,27 @@ let is_none t =
 
 let window_active w ~round = round >= w.from_round && round < w.until_round
 
+(* Explicit recursion instead of [List.exists fun ...]: the closures would
+   capture (round, src, dst) and so allocate on every call, putting heap
+   traffic on the engine's per-delivery hot path even for an inert
+   substrate (test_perf.ml pins the inert path at zero words). *)
+let rec partition_cut ~round ~src ~dst = function
+  | [] -> false
+  | (p : partition) :: rest ->
+      (window_active p.window ~round
+      && List.mem src p.isolated <> List.mem dst p.isolated)
+      || partition_cut ~round ~src ~dst rest
+
+let rec outage_cut ~round ~src ~dst = function
+  | [] -> false
+  | (o : outage) :: rest ->
+      (window_active o.window ~round && (o.node = src || o.node = dst))
+      || outage_cut ~round ~src ~dst rest
+
 let cut t ~round ~src ~dst =
   src <> dst
-  && (List.exists
-        (fun (p : partition) ->
-          window_active p.window ~round
-          && List.mem src p.isolated <> List.mem dst p.isolated)
-        t.partitions
-     || List.exists
-          (fun (o : outage) ->
-            window_active o.window ~round && (o.node = src || o.node = dst))
-          t.outages)
+  && (partition_cut ~round ~src ~dst t.partitions
+     || outage_cut ~round ~src ~dst t.outages)
 
 let rng t = Vv_prelude.Rng.create (0x1dea7 lxor (t.seed * 0x9e3779b9))
 
@@ -89,16 +99,28 @@ type verdict = Dropped | Deliver of { extra_delay : int; duplicate : bool }
 let extra_delay t rng =
   if t.jitter = 0 then 0 else Vv_prelude.Rng.int rng (t.jitter + 1)
 
-let transit t rng ~round ~src ~dst =
-  if src = dst then Deliver { extra_delay = 0; duplicate = false }
-  else if cut t ~round ~src ~dst then Dropped
-  else if t.drop > 0.0 && Vv_prelude.Rng.float rng < t.drop then Dropped
+let dropped_i = -1
+
+(* The packed form of [transit]: the engine's hot path calls this so a
+   chaos delivery costs zero allocations.  Draw order is identical to
+   [transit] (which is now a thin decoder over this), so traces and
+   goldens are unchanged.  Layout: [extra_delay lsl 1 lor duplicate];
+   [dropped_i] for a destroyed delivery. *)
+let transit_i t rng ~round ~src ~dst =
+  if src = dst then 0
+  else if cut t ~round ~src ~dst then dropped_i
+  else if t.drop > 0.0 && Vv_prelude.Rng.float rng < t.drop then dropped_i
   else
     let extra = extra_delay t rng in
     let duplicate =
       t.duplicate > 0.0 && Vv_prelude.Rng.float rng < t.duplicate
     in
-    Deliver { extra_delay = extra; duplicate }
+    (extra lsl 1) lor (if duplicate then 1 else 0)
+
+let transit t rng ~round ~src ~dst =
+  match transit_i t rng ~round ~src ~dst with
+  | v when v = dropped_i -> Dropped
+  | v -> Deliver { extra_delay = v lsr 1; duplicate = v land 1 = 1 }
 
 let pp ppf t =
   if is_none t then Fmt.string ppf "none"

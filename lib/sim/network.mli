@@ -96,6 +96,16 @@ val transit : t -> Vv_prelude.Rng.t -> round:int -> src:Types.node_id -> dst:Typ
     engine additionally re-checks {!cut} at the arrival round: a message
     in flight into a partition or outage window is lost. *)
 
+val dropped_i : int
+(** The {!transit_i} encoding of [Dropped] ([-1]). *)
+
+val transit_i : t -> Vv_prelude.Rng.t -> round:int -> src:Types.node_id -> dst:Types.node_id -> int
+(** [transit] without the allocation: returns {!dropped_i} for a destroyed
+    delivery, otherwise [extra_delay lsl 1 lor duplicate_bit].  Identical
+    RNG draw order to {!transit} (which decodes this function), so traces
+    and goldens are unchanged; the engine's hot path uses this form so a
+    chaos delivery allocates nothing. *)
+
 val extra_delay : t -> Vv_prelude.Rng.t -> int
 (** An independent jitter draw (0 when [jitter = 0], without consuming
     randomness) — used for the duplicate copy's own delay. *)

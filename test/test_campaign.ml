@@ -55,6 +55,20 @@ let test_chaos_golden () =
   Alcotest.(check string) "chaos_smoke.csv" (golden "chaos_smoke.csv")
     (Emit.tables_string Emit.Csv e.Campaign.tables)
 
+(* E20 pinned at both tiers: smoke at jobs=0 (the CI invocation), full at
+   jobs=1 — together with the byte-identity of the emitted CSV this pins
+   the campaign's determinism contract across jobs values. *)
+let test_gst_golden () =
+  let c = Vv_analysis.Exp_gst.campaign () in
+  let e = (Campaign.run ~profile:Campaign.Smoke ~jobs:0 c).Campaign.emitted in
+  Alcotest.(check bool) "gst smoke ok" true e.Campaign.ok;
+  Alcotest.(check string) "gst_smoke.csv" (golden "gst_smoke.csv")
+    (Emit.tables_string Emit.Csv e.Campaign.tables);
+  let e = (Campaign.run ~profile:Campaign.Full ~jobs:1 c).Campaign.emitted in
+  Alcotest.(check bool) "gst full ok" true e.Campaign.ok;
+  Alcotest.(check string) "gst_full.csv" (golden "gst_full.csv")
+    (Emit.tables_string Emit.Csv e.Campaign.tables)
+
 (* The check golden ends with the verdict line, exactly as the CLI prints
    it in CSV mode. *)
 let test_check_golden () =
@@ -201,6 +215,7 @@ let () =
           Alcotest.test_case "registry vs pins, jobs=0" `Quick
             (test_registry_golden ~jobs:0);
           Alcotest.test_case "chaos smoke vs pin" `Quick test_chaos_golden;
+          Alcotest.test_case "gst smoke+full vs pins" `Quick test_gst_golden;
           Alcotest.test_case "check smoke vs pin" `Quick test_check_golden;
         ] );
       ( "registry",

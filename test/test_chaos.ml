@@ -198,6 +198,128 @@ let test_retransmission_rescues () =
   check_bool "exact with retransmission" true with_r.Runner.voting_validity_tb;
   check_bool "retries fired" true (with_r.Runner.trace.Trace.retrans_msgs > 0)
 
+(* --- retransmission under asynchrony and GST (E20's substrate) --- *)
+
+let test_sync_protocol_rejects_async () =
+  (* The synchronous voting pipeline relies on a known delta_t; genuine
+     asynchrony advertises none (Delay.bound = None), and the protocol
+     refuses to run rather than silently miscounting rounds.  The
+     network-agnostic variant in lib/bb (E20) is the protocol for this
+     regime. *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  match
+    Runner.simple ~t:2 ~f:2 ~seed:1
+      ~delay:(Delay.Asynchronous { fairness = 3; schedule = None })
+      golden_inputs
+  with
+  | exception Invalid_argument msg ->
+      check_bool
+        (Fmt.str "names the missing bound (got %S)" msg)
+        true
+        (contains msg "requires a known delay bound")
+  | _ -> Alcotest.fail "bound-free delay must be rejected by the sync path"
+
+let test_retransmission_under_gst () =
+  (* Before GST a message has no per-send bound — only "land by
+     gst + bound" — so at 25% omission the losses pile up and the run
+     stalls without retransmission.  With GST at round 1 the capped
+     backoff lands its retries inside the post-GST bound and every node
+     decides exactly; with GST at round 6 — past the sync protocol's
+     decision window — even retransmission cannot rescue a protocol that
+     was promised only the eventual bound, and the stall is deterministic
+     (safety still holds: nobody decides wrongly, nobody decides at
+     all). *)
+  let run ~gst ?retransmit () =
+    let network = Network.make ~drop:0.25 ~jitter:1 ~seed:5 () in
+    Runner.simple ~t:2 ~f:2 ~seed:5 ~max_rounds:80
+      ~delay:(Delay.Eventually_synchronous { gst; bound = 2; schedule = None })
+      ~network ?retransmit golden_inputs
+  in
+  let policy = Retransmit.make ~max_attempts:8 () in
+  let without = run ~gst:1 () in
+  check_bool "stalls without retransmission" true without.Runner.stalled;
+  check_int "no retries without a policy" 0
+    without.Runner.trace.Trace.retrans_msgs;
+  let rescued = run ~gst:1 ~retransmit:policy () in
+  check_bool "terminates with retransmission" true rescued.Runner.termination;
+  check_bool "exact with retransmission" true rescued.Runner.voting_validity_tb;
+  check_bool "retries fired" true (rescued.Runner.trace.Trace.retrans_msgs > 0);
+  let late = run ~gst:6 ~retransmit:policy () in
+  check_bool "late GST stalls even with retries" true late.Runner.stalled;
+  check_bool "late GST stays safe" true late.Runner.safety_admissible
+
+(* A bound-free flood protocol for driving the engine under genuine
+   asynchrony: broadcast the input once, accumulate everything heard,
+   report the log late enough for the fairness cap and the retries to
+   play out. *)
+module Relay = struct
+  type input = int
+  type msg = int
+  type output = (int * int) list (* sorted (src, value) pairs seen *)
+  type state = { seen : (int * int) list; decided : output option }
+
+  let name = "relay"
+  let decide_round = 30
+  let equal_msg = Int.equal
+
+  let init (_ : Vv_sim.Protocol.ctx) v ~outbox =
+    Vv_sim.Outbox.broadcast outbox v;
+    { seen = []; decided = None }
+
+  let step (_ : Vv_sim.Protocol.ctx) st ~round ~inbox ~outbox:_ =
+    let seen =
+      Vv_sim.Inbox.fold
+        (fun acc src v -> if List.mem (src, v) acc then acc else (src, v) :: acc)
+        st.seen inbox
+    in
+    let decided =
+      if round >= decide_round && st.decided = None then
+        Some (List.sort compare seen)
+      else st.decided
+    in
+    { seen; decided }
+
+  let output st = st.decided
+  let phase st = if st.decided = None then "relay" else "done"
+  let inert _ = false
+end
+
+let test_async_retransmission_floods () =
+  (* Under Asynchronous delay with 40% omission, the capped backoff turns
+     every loss into an eventual delivery (each retry re-enters the
+     substrate, each arrival lands within the fairness cap of its
+     re-send), so every node hears every input; at the pinned seed the
+     same run without a policy provably loses traffic. *)
+  let module E = Vv_sim.Engine.Make (Relay) in
+  let run ?retransmit () =
+    let cfg =
+      Config.make ~n:4 ~t_max:0 ~max_rounds:40
+        ~delay:(Delay.Asynchronous { fairness = 3; schedule = None })
+        ~network:(Network.make ~drop:0.4 ~seed:9 ())
+        ?retransmit ~seed:9 ()
+    in
+    E.run_exn cfg ~inputs:(fun id -> 100 + id) ()
+  in
+  let full = List.init 4 (fun i -> (i, 100 + i)) in
+  let pair = Alcotest.(list (pair int int)) in
+  let with_r = run ~retransmit:(Retransmit.make ~max_attempts:8 ()) () in
+  check_bool "retries fired" true (with_r.E.trace.Trace.retrans_msgs > 0);
+  List.iter
+    (fun out ->
+      match out with
+      | Some seen -> check pair "full delivery under async + retries" full seen
+      | None -> Alcotest.fail "undecided under async + retries")
+    (E.honest_outputs with_r);
+  let without = run () in
+  check_bool "pinned loss is final without retries" true
+    (List.exists
+       (fun out -> match out with Some seen -> seen <> full | None -> true)
+       (E.honest_outputs without))
+
 (* --- compiled crash filter vs the list oracle --- *)
 
 let plan_gen n =
@@ -269,6 +391,85 @@ let prop_resolve_within_bound =
                 (List.init 4 Fun.id))
             (List.init 4 Fun.id))
         (List.init 6 Fun.id))
+
+(* The synchrony-axis models, with and without adversary-supplied
+   schedules.  Kept out of [delay_gen]: pre-GST resolutions legitimately
+   exceed [Delay.bound] (the *eventual* bound), so these models are
+   checked against the per-round [Delay.max_delay] instead. *)
+let async_delay_gen =
+  QCheck.Gen.(
+    bool >>= fun scheduled ->
+    bool >>= function
+    | true ->
+        int_range 1 6 >>= fun fairness ->
+        let schedule =
+          if scheduled then
+            Some
+              (fun ~round ~src ~dst ->
+                1 + ((round + (2 * src) + dst) mod fairness))
+          else None
+        in
+        return (Delay.Asynchronous { fairness; schedule })
+    | false ->
+        int_range 0 6 >>= fun gst ->
+        int_range 1 4 >>= fun bound ->
+        let schedule =
+          if scheduled then
+            Some
+              (fun ~round ~src ~dst ->
+                let cap = if round >= gst then bound else gst + bound - round in
+                1 + ((round + (2 * src) + dst) mod cap))
+          else None
+        in
+        return (Delay.Eventually_synchronous { gst; bound; schedule }))
+
+(* Satellite of E20: a retransmission scheduled by the capped backoff is
+   just another send at its retry round, so its resolved delay must obey
+   the same per-round admissibility cap as a fresh message — a retry of a
+   pre-GST loss may land late (by gst + bound), but any retry fired at or
+   after GST must arrive within the post-GST bound.  [Delay.max_delay]
+   states exactly that cap, and the engine clamps substrate jitter with
+   it; here we check [Delay.resolve] never exceeds it at any retry round
+   the backoff can reach. *)
+let prop_retransmit_respects_post_gst_bound =
+  QCheck.Test.make ~count:300
+    ~name:"retransmitted arrivals never violate the post-GST bound"
+    (QCheck.make
+       ~print:(fun (d, seed, base, cap) ->
+         Fmt.str "%a seed=%d base=%d cap=%d" Delay.pp d seed base cap)
+       QCheck.Gen.(
+         async_delay_gen >>= fun d ->
+         int_range 0 9999 >>= fun seed ->
+         int_range 1 3 >>= fun base ->
+         int_range 0 3 >>= fun extra -> return (d, seed, base, base + extra)))
+    (fun (delay, seed, base, cap) ->
+      let p = Retransmit.make ~base ~cap ~max_attempts:5 () in
+      let rng = Rng.create seed in
+      List.for_all
+        (fun send ->
+          let retry_round = ref send in
+          List.for_all
+            (fun attempt ->
+              retry_round := !retry_round + Retransmit.backoff p ~attempt;
+              let round = !retry_round in
+              List.for_all
+                (fun src ->
+                  List.for_all
+                    (fun dst ->
+                      let d = Delay.resolve delay rng ~round ~src ~dst in
+                      d >= 1
+                      && (match Delay.max_delay delay ~round with
+                         | Some m -> d <= m
+                         | None -> false (* both models declare a cap *))
+                      &&
+                      match delay with
+                      | Delay.Eventually_synchronous { gst; bound; _ } ->
+                          round + d <= max (gst + bound) (round + bound)
+                      | _ -> true)
+                    (List.init 3 Fun.id))
+                (List.init 3 Fun.id))
+            (List.init 5 (fun a -> a + 1)))
+        (List.init 4 Fun.id))
 
 let test_schedule_probe_names_offender () =
   let contains hay needle =
@@ -371,12 +572,19 @@ let () =
             test_permanent_outage_stalls;
           Alcotest.test_case "retransmission rescues" `Quick
             test_retransmission_rescues;
+          Alcotest.test_case "sync path rejects bound-free delay" `Quick
+            test_sync_protocol_rejects_async;
+          Alcotest.test_case "retransmission under GST" `Quick
+            test_retransmission_under_gst;
+          Alcotest.test_case "async retransmission floods" `Quick
+            test_async_retransmission_floods;
         ] );
       ( "fault",
         [ QCheck_alcotest.to_alcotest prop_compile_matches_delivers ] );
       ( "delay",
         [
           QCheck_alcotest.to_alcotest prop_resolve_within_bound;
+          QCheck_alcotest.to_alcotest prop_retransmit_respects_post_gst_bound;
           Alcotest.test_case "schedule probe names offender" `Quick
             test_schedule_probe_names_offender;
           Alcotest.test_case "chaos ids validated" `Quick

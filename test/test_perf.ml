@@ -93,6 +93,84 @@ let test_run_allocation () =
     true
     (per_round <= 2 * words_per_round_budget)
 
+(* --- GST scheduler hot path --- *)
+
+(* The same marginal measurement under the Eventually_synchronous model.
+   Any RNG-drawing delay model pays for its draws (the splitmix state is
+   a boxed int64, so each draw allocates a few words — 16 deliveries make
+   that the dominant per-round cost), so the GST pin is relative: one
+   additional round under ES, post-GST, must cost no more than the same
+   round under Uniform over the same delay range plus the synchronous
+   budget.  That catches the synchrony axis reintroducing per-delivery
+   structure (boxed verdicts, per-round views, option churn in the clamp)
+   without re-litigating the RNG's own allocation.  GST sits past the
+   short run's horizon so both runs cross it identically warmed. *)
+let minor_words_of_delay_run ~delay ~max_rounds =
+  let cfg = Config.make ~n:4 ~t_max:1 ~max_rounds ~delay () in
+  let w0 = Gc.minor_words () in
+  let res = E.run_exn cfg ~inputs:(fun id -> id) () in
+  let w1 = Gc.minor_words () in
+  assert res.E.stalled;
+  int_of_float (w1 -. w0)
+
+let marginal_words_per_round ~delay =
+  let short = minor_words_of_delay_run ~delay ~max_rounds:100 in
+  let long = minor_words_of_delay_run ~delay ~max_rounds:1100 in
+  (long - short) / 1000
+
+let test_gst_round_allocation () =
+  let uniform =
+    marginal_words_per_round ~delay:(Delay.Uniform { lo = 1; hi = 2 })
+  in
+  let gst =
+    marginal_words_per_round
+      ~delay:
+        (Delay.Eventually_synchronous { gst = 50; bound = 2; schedule = None })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "gst scheduler: %d words/round vs uniform %d + budget %d" gst uniform
+       words_per_round_budget)
+    true
+    (gst <= uniform + words_per_round_budget);
+  Alcotest.(check bool) "gst rounds actually execute and allocate" true
+    (gst > 0)
+
+(* --- chaos transit verdicts --- *)
+
+(* The packed transit verdict ([Network.transit_i]) keeps the per-link
+   chaos decision off the heap: an inert link consumes neither randomness
+   nor words, and an active one costs at most the RNG draws (a float draw
+   may box).  The variant-returning [Network.transit] stays available for
+   callers that want the decoded record. *)
+let transit_words net ~count =
+  let rng = Network.rng net in
+  let sink = ref 0 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to count do
+    sink := !sink lxor Network.transit_i net rng ~round:(i land 15) ~src:0 ~dst:2
+  done;
+  let w1 = Gc.minor_words () in
+  ignore !sink;
+  int_of_float (w1 -. w0)
+
+let test_transit_allocation () =
+  (* Inert substrate: the guard short-circuits before any draw — exactly
+     zero words across 10k calls. *)
+  let inert = Network.make ~seed:3 () in
+  Alcotest.(check int) "inert transit allocates nothing" 0
+    (transit_words inert ~count:10_000);
+  (* Active substrate: marginal cost per verdict stays within a few boxed
+     RNG draws (at most three per verdict: drop, jitter, duplicate). *)
+  let active = Network.make ~drop:0.3 ~jitter:1 ~duplicate:0.1 ~seed:3 () in
+  let short = transit_words active ~count:1_000 in
+  let long = transit_words active ~count:11_000 in
+  let per_call = (long - short) / 10_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "active transit: %d words/call (budget 64)" per_call)
+    true
+    (per_call <= 64)
+
 (* --- serve hot loop --- *)
 
 (* The per-request cost of the daemon's framing layer: parse one submit
@@ -144,6 +222,10 @@ let () =
             test_round_allocation;
           Alcotest.test_case "whole-run words/round" `Quick
             test_run_allocation;
+          Alcotest.test_case "gst scheduler words/round" `Quick
+            test_gst_round_allocation;
+          Alcotest.test_case "chaos transit words/verdict" `Quick
+            test_transit_allocation;
           Alcotest.test_case "serve framing words/request" `Quick
             test_rpc_allocation;
         ] );

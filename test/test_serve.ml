@@ -392,6 +392,68 @@ let test_racy_load_subject_set () =
   check_bool "decided subjects == submitted subjects" true
     (Client.subjects_decided report = List.init 24 Fun.id)
 
+(* --- connect-retry backoff --- *)
+
+(* The retry pacing is a pure function of (seed, attempt): capped
+   exponential slots (0.05s doubling to 1s) scaled by jitter in
+   [0.5, 1.0).  Pin determinism, the envelope, monotone slot growth, the
+   cap, and that distinct seeds actually de-synchronize. *)
+let test_retry_backoff () =
+  let slot attempt = Float.min (0.05 *. (2. ** float_of_int (attempt - 1))) 1.0 in
+  (* deterministic: same (seed, attempt) -> same delay *)
+  List.iter
+    (fun attempt ->
+      check (Alcotest.float 0.) "replayable"
+        (Client.retry_delay ~seed:7 ~attempt)
+        (Client.retry_delay ~seed:7 ~attempt))
+    [ 1; 2; 3; 8; 40; 100 ];
+  (* envelope: slot/2 <= delay < slot, hence never above the 1s cap *)
+  List.iter
+    (fun attempt ->
+      let d = Client.retry_delay ~seed:11 ~attempt in
+      let s = slot attempt in
+      check_bool
+        (Printf.sprintf "attempt %d in [slot/2, slot)" attempt)
+        true
+        (d >= (s /. 2.) -. 1e-9 && d < s);
+      check_bool (Printf.sprintf "attempt %d capped" attempt) true (d <= 1.0))
+    (List.init 64 (fun i -> i + 1));
+  (* first slots grow: un-jittered lower bound of attempt k+2 exceeds the
+     upper bound of attempt k while below the cap *)
+  check_bool "slots double below the cap" true
+    (slot 3 /. 2. >= slot 1 && slot 5 /. 2. >= slot 3);
+  (* distinct seeds de-synchronize: two clients' schedules differ
+     somewhere early *)
+  let schedule seed =
+    List.init 8 (fun i -> Client.retry_delay ~seed ~attempt:(i + 1))
+  in
+  check_bool "seeds de-synchronize" true (schedule 1 <> schedule 2);
+  (* attempt 0 is rejected loudly *)
+  Alcotest.check_raises "attempt 0"
+    (Invalid_argument "Client.retry_delay: attempt must be >= 1") (fun () ->
+      ignore (Client.retry_delay ~seed:1 ~attempt:0))
+
+(* The retrying connect still works end-to-end: a client started before
+   the socket exists connects (with backoff pacing) once the listener
+   comes up. *)
+let test_retry_connect_races_startup () =
+  let path = fresh_path () in
+  let listener =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.15;
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 1;
+        let c, _ = Unix.accept fd in
+        Unix.close c;
+        Unix.close fd)
+  in
+  let conn = Client.connect_unix ~retry_for:5.0 ~retry_seed:42 path in
+  Domain.join listener;
+  Client.close conn;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  check_bool "connected after startup race" true true
+
 let () =
   Alcotest.run "serve"
     [
@@ -424,5 +486,11 @@ let () =
         [
           Alcotest.test_case "follower replicates the primary" `Quick
             test_follower_replicates;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "retry delay schedule" `Quick test_retry_backoff;
+          Alcotest.test_case "retrying connect races startup" `Quick
+            test_retry_connect_races_startup;
         ] );
     ]

@@ -351,9 +351,64 @@ let test_delay_validation () =
   Alcotest.check_raises "uniform bounds"
     (Invalid_argument "Delay.Uniform: need 1 <= lo <= hi") (fun () ->
       Delay.validate (Delay.Uniform { lo = 2; hi = 1 }));
+  Alcotest.check_raises "async fairness >= 1"
+    (Invalid_argument "Delay.Asynchronous: fairness must be >= 1") (fun () ->
+      Delay.validate (Delay.Asynchronous { fairness = 0; schedule = None }));
+  Alcotest.check_raises "gst >= 0"
+    (Invalid_argument "Delay.Eventually_synchronous: gst must be >= 0")
+    (fun () ->
+      Delay.validate
+        (Delay.Eventually_synchronous { gst = -1; bound = 2; schedule = None }));
+  Alcotest.check_raises "gst bound >= 1"
+    (Invalid_argument "Delay.Eventually_synchronous: bound must be >= 1")
+    (fun () ->
+      Delay.validate
+        (Delay.Eventually_synchronous { gst = 3; bound = 0; schedule = None }));
   check (Alcotest.option Alcotest.int) "bound sync" (Some 1) (Delay.bound Delay.Synchronous);
   check (Alcotest.option Alcotest.int) "bound uniform" (Some 4)
-    (Delay.bound (Delay.Uniform { lo = 2; hi = 4 }))
+    (Delay.bound (Delay.Uniform { lo = 2; hi = 4 }));
+  (* The synchrony axis: asynchrony exposes no protocol-visible bound at
+     all; under GST the bound is the eventual one, while the engine-facing
+     [max_delay] shrinks toward it as the send round approaches gst. *)
+  let async = Delay.Asynchronous { fairness = 5; schedule = None } in
+  check (Alcotest.option Alcotest.int) "bound async" None (Delay.bound async);
+  check (Alcotest.option Alcotest.int) "max_delay async = fairness" (Some 5)
+    (Delay.max_delay async ~round:7);
+  let es = Delay.Eventually_synchronous { gst = 4; bound = 2; schedule = None } in
+  check (Alcotest.option Alcotest.int) "bound gst = eventual bound" (Some 2)
+    (Delay.bound es);
+  check (Alcotest.option Alcotest.int) "max_delay pre-GST" (Some 6)
+    (Delay.max_delay es ~round:0);
+  check (Alcotest.option Alcotest.int) "max_delay at GST-1" (Some 3)
+    (Delay.max_delay es ~round:3);
+  check (Alcotest.option Alcotest.int) "max_delay post-GST" (Some 2)
+    (Delay.max_delay es ~round:9)
+
+let test_in_flight_view () =
+  (* The rushing adversary can inspect the scheduler's pending deliveries.
+     Under Fixed 2 delay the round-0 broadcasts are still in flight
+     (arrival round 2) when the adversary acts in round 1, and have been
+     drained by the time it acts in round 2.  Flood only sends at init, so
+     the expected pending set is exactly the two honest broadcasts. *)
+  let seen = ref [] in
+  let adversary =
+    Adversary.named "observer" (fun view ->
+        seen := (view.Adversary.round, view.Adversary.in_flight ()) :: !seen;
+        [])
+  in
+  let cfg =
+    Config.with_byzantine ~delay:(Delay.Fixed 2) ~max_rounds:8 ~n:3 ~t_max:1
+      [ 2 ] ()
+  in
+  ignore (E.run_exn cfg ~inputs:(fun id -> id) ~adversary ());
+  let at r = List.assoc r !seen in
+  let triples = Alcotest.(list (triple int int int)) in
+  (* Round 0: the adversary acts before any send has been routed. *)
+  check triples "nothing in flight at round 0" [] (at 0);
+  check triples "round-0 broadcasts pending at round 1"
+    [ (2, 0, 0); (2, 0, 1); (2, 0, 2); (2, 1, 0); (2, 1, 1); (2, 1, 2) ]
+    (at 1);
+  check triples "drained once delivered" [] (at 2)
 
 let () =
   Alcotest.run "sim"
@@ -379,6 +434,7 @@ let () =
             `Quick test_local_broadcast_two_distinct_broadcasts_ok;
           Alcotest.test_case "impersonating honest rejected" `Quick
             test_adversary_from_honest_rejected;
+          Alcotest.test_case "in-flight view" `Quick test_in_flight_view;
         ] );
       ( "engine",
         [
