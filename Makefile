@@ -1,4 +1,4 @@
-.PHONY: check check-parallel check-model chaos-smoke gst-smoke serve-smoke serve-replica-smoke build test bench bench-smoke bench-baseline bench-gate
+.PHONY: check check-parallel check-model chaos-smoke gst-smoke validity-smoke serve-smoke serve-replica-smoke build test bench bench-smoke bench-baseline bench-gate
 
 check: ## build everything, then run the full test suite
 	dune build && dune runtest
@@ -14,6 +14,9 @@ chaos-smoke: ## chaos-substrate resilience campaign, CI tier; exits 1 on a safet
 
 gst-smoke: ## network-agnostic validity campaign (E20), CI tier; exits 1 on a violation in a predicted-achievable cell
 	dune build && dune exec bin/vvc.exe -- gst --profile=smoke --jobs=0
+
+validity-smoke: ## validity-hierarchy campaign (E21), CI tier; exits 1 if a predicted-solvable (impl, config, property) triple violates or stalls
+	dune build && dune exec bin/vvc.exe -- validity --profile=smoke --jobs=0
 
 serve-smoke: ## boot the serve daemon, drive a scripted burst through it, verify streamed decisions, clean shutdown
 	dune build

@@ -266,6 +266,17 @@ let tally_micro =
       (Vv_ballot.Tally.plurality ~tie:Vv_ballot.Tie_break.default
          (Vv_ballot.Tally.of_list inputs))
 
+(* The parametric oracle: one pre-run checker execution classified
+   against every first-class validity property — the per-property cost
+   of `vvc check --validity=all` with the engine run factored out. *)
+let oracle_classify_micro =
+  let exec = (Vv_check.Space.executions Vv_check.Space.smoke).(0) in
+  let outcome = Runner.run_checked (Vv_check.Space.spec_of exec) in
+  fun () ->
+    List.iter
+      (fun p -> ignore (Vv_check.Oracle.classify ~property:p exec outcome))
+      Vv_ballot.Property.all
+
 (* Serialise the merged OLS table (ns/run per test) plus the raw sample
    counts as one JSON array, for tracking bench results across commits. *)
 let write_bench_json path rows =
@@ -309,6 +320,7 @@ let declared_benches =
     ("serve-rpc-submit-parse", rpc_parse_micro);
     ("gst-scheduler-step", gst_scheduler_step);
     ("tally-plurality-1k", tally_micro);
+    ("oracle-classify-parametric", oracle_classify_micro);
   ]
 
 (* Position of a result row in the declared suite; result names may carry

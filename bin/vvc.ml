@@ -488,17 +488,56 @@ let radio_cmd =
 
 (* --- check --- *)
 
+let validity_list_conv =
+  let module Property = Vv_ballot.Property in
+  let parse s =
+    let names =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+    in
+    let names = if List.mem "all" names then Property.names else names in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          match Property.of_name n with
+          | Some p -> resolve (p :: acc) rest
+          | None ->
+              Error
+                (`Msg
+                   (Fmt.str "unknown validity %S (one of: %s, or all)" n
+                      (String.concat ", " Property.names))))
+    in
+    resolve [] names
+  in
+  C.Arg.conv
+    (parse, fun ppf ps -> Fmt.(list ~sep:comma Vv_ballot.Property.pp) ppf ps)
+
 let check_cmd =
   let doc =
     "Exhaustively model-check the small-model space: every variant, \
      substrate and communication model against the enumerated adversary \
      universe, with the paper's bounds as the oracle. Exits nonzero on \
      any violation of a promised guarantee, or when some bound kind has \
-     no below-bound tightness witness."
+     no below-bound tightness witness. --validity sweeps other validity \
+     properties (one engine run per execution, classified against each)."
   in
-  let run opts = Cli.handle opts (Vv_check.Report.campaign ()) in
+  let validity =
+    C.Arg.(
+      value
+      & opt validity_list_conv [ Vv_ballot.Property.voting ]
+      & info [ "validity" ] ~docv:"P1,P2,..."
+          ~doc:
+            (Fmt.str
+               "Comma-separated validity properties to sweep (%s, or \
+                $(b,all)). Default: voting, the paper's property."
+               (String.concat ", " Vv_ballot.Property.names)))
+  in
+  let run opts properties =
+    Cli.handle opts (Vv_check.Report.campaign ~properties ())
+  in
   C.Cmd.v (C.Cmd.info "check" ~doc)
-    C.Term.(const run $ Cli.opts_term ~default_profile:Campaign.Smoke)
+    C.Term.(
+      const run $ Cli.opts_term ~default_profile:Campaign.Smoke $ validity)
 
 (* --- chaos --- *)
 
@@ -555,6 +594,32 @@ let gst_cmd =
     Cli.handle opts (Vv_analysis.Exp_gst.campaign ?trials ())
   in
   C.Cmd.v (C.Cmd.info "gst" ~doc)
+    C.Term.(
+      const run $ Cli.opts_term ~default_profile:Campaign.Smoke $ trials)
+
+(* --- validity --- *)
+
+let validity_cmd =
+  let doc =
+    "Validity-hierarchy campaign (experiment E21): run every \
+     implementation (voting-validity protocol variants plus the \
+     strong/median/interval baselines) on wide / tie / over-fault \
+     electorates and judge each outcome against every first-class \
+     validity property. Exits nonzero when any predicted-solvable \
+     (impl, config, validity) cell shows a violation or stall — the \
+     executable form of the arXiv 2301.04920 solvability hierarchy."
+  in
+  let trials =
+    C.Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"K"
+          ~doc:"Override the profile's per-cell trial count.")
+  in
+  let run opts trials =
+    Cli.handle opts (Vv_analysis.Exp_validity.campaign ?trials ())
+  in
+  C.Cmd.v (C.Cmd.info "validity" ~doc)
     C.Term.(
       const run $ Cli.opts_term ~default_profile:Campaign.Smoke $ trials)
 
@@ -845,4 +910,5 @@ let () =
     (C.Cmd.eval
        (C.Cmd.group info
           [ list_cmd; exp_cmd; all_cmd; bounds_cmd; run_cmd; check_cmd;
-            chaos_cmd; gst_cmd; ledger_cmd; radio_cmd; serve_cmd; load_cmd ]))
+            chaos_cmd; gst_cmd; validity_cmd; ledger_cmd; radio_cmd;
+            serve_cmd; load_cmd ]))

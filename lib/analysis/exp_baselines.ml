@@ -16,11 +16,8 @@ module Strategy = Vv_core.Strategy
 module Oid = Vv_ballot.Option_id
 module Rng = Vv_prelude.Rng
 module Validity = Vv_ballot.Validity
+module Property = Vv_ballot.Property
 module Campaign = Vv_exec.Campaign
-
-let plurality_of honest =
-  Validity.honest_plurality ~tie:Vv_ballot.Tie_break.default
-    ~honest_inputs:honest
 
 type rates = {
   mutable exact : int;
@@ -33,20 +30,17 @@ let new_rates trials = { exact = 0; agree = 0; term = 0; trials }
 
 let rate n r = float_of_int n /. float_of_int r.trials
 
+(* Judge a run through the shared predicates: [Validity] for liveness and
+   agreement, the first-class voting property for exactness (with
+   termination, a non-empty decided list all equal to the plurality is
+   exactly the old first-decided-equals-target check). *)
 let record r ~honest ~outputs =
-  let target = plurality_of honest in
-  let decided = List.filter_map Fun.id outputs in
-  let term = List.length decided = List.length outputs in
-  let agree =
-    match decided with
-    | [] -> true
-    | x :: rest -> List.for_all (Oid.equal x) rest
-  in
+  let term = Validity.termination ~outputs in
+  let agree = Validity.agreement ~outputs in
   let exact =
     term && agree
-    && match (decided, target) with
-       | x :: _, Some p -> Oid.equal x p
-       | _ -> false
+    && Property.admissible Property.voting ~tie:Vv_ballot.Tie_break.default
+         ~t_tol:0 ~honest_inputs:honest ~outputs
   in
   if term then r.term <- r.term + 1;
   if agree then r.agree <- r.agree + 1;

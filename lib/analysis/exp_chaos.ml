@@ -26,6 +26,10 @@ module Executor = Vv_exec.Executor
 module Campaign = Vv_exec.Campaign
 module Network = Vv_sim.Network
 module Retransmit = Vv_sim.Retransmit
+module Config = Vv_sim.Config
+module Adversary = Vv_sim.Adversary
+module Trace = Vv_sim.Trace
+module Na_voting = Vv_bb.Na_voting
 
 type profile = Campaign.profile = Smoke | Full
 
@@ -40,8 +44,17 @@ let cls_label = function
 
 type scenario = { width : int; heal : int }
 
+(* The grid's protocol axis: the synchronous voting pipeline variants,
+   plus the network-agnostic broadcast protocol of E20 run through the
+   very same substrate faults. *)
+type variant = Std of Runner.protocol | Na
+
+let variant_label = function
+  | Std p -> Runner.protocol_label p
+  | Na -> "na-voting"
+
 type cell = {
-  protocol : Runner.protocol;
+  variant : variant;
   drop : float;
   scenario : scenario;
   exact : int;
@@ -74,6 +87,8 @@ let protocols =
     Runner.Algo4_local;
     Runner.Cft;
   ]
+
+let variants = List.map (fun p -> Std p) protocols @ [ Na ]
 
 let drops = function
   | Smoke -> [ 0.0; 0.2; 0.4 ]
@@ -128,44 +143,116 @@ let classify (o : Runner.outcome) =
   else if not o.Runner.termination then Stall
   else Exact
 
+(* --- the network-agnostic variant ------------------------------------ *)
+
+(* Na_voting's timeout multiple; covers the Uniform {lo=1; hi=2} engine
+   delay the whole grid runs under. *)
+let na_delta = 2
+
+(* Same electorate as the sync variants: A=9/B=2/C=1, f = t = 2.  Option
+   0 is the strict-plurality winner every honest node must decide. *)
+let na_input id =
+  if id < 9 then 0 else if id < 11 then 1 else if id < 12 then 2 else 0
+
+(* The E20 forger, rephased to this cell's delta: a time-based script
+   broadcasting forged quorum fragments for the runner-up at every phase
+   boundary.  Two Byzantine nodes cannot complete a (t_s + 1) = 3 Fin
+   quorum on their own, so any decision for option 1 needs honest help —
+   which the substrate can only withhold, never fabricate. *)
+let na_adversary =
+  let msgs_for round =
+    if round = 0 then
+      [ { Na_voting.kind = Inp; value = 1 }; { Na_voting.kind = Fin; value = 1 } ]
+    else if round = na_delta then [ { Na_voting.kind = Vote; value = 1 } ]
+    else if round = 2 * na_delta then [ { Na_voting.kind = Comm; value = 1 } ]
+    else if round = 3 * na_delta then [ { Na_voting.kind = FbVote; value = 1 } ]
+    else []
+  in
+  Adversary.named "chaos-forger" (fun view ->
+      List.concat_map
+        (fun src ->
+          List.concat_map
+            (fun msg ->
+              List.map
+                (fun dst -> { Adversary.src; dst; msg })
+                (view.Adversary.reach src))
+            (msgs_for view.Adversary.round))
+        view.Adversary.byzantine)
+
+(* Safety for the network-agnostic run: every decided honest value is
+   the true plurality (0) and all decided values agree; undecided honest
+   nodes are a stall, never a violation. *)
+let na_classify ~honest outputs =
+  let decided = List.filter_map (fun id -> outputs.(id)) honest in
+  let wrong = List.exists (fun v -> v <> 0) decided in
+  let disagree =
+    match decided with [] -> false | v :: rest -> List.exists (( <> ) v) rest
+  in
+  if wrong || disagree then Violation
+  else if List.length decided < List.length honest then Stall
+  else Exact
+
+let na_trial ~retransmit ~network ~seed =
+  let module P = Na_voting.Make (struct
+    let t_s = t_tol
+    let t_a = t_tol
+    let sync_delta = na_delta
+  end) in
+  let module E = Vv_sim.Engine.Make (P) in
+  let n = 12 + f_actual in
+  let byz = List.init f_actual (fun i -> n - f_actual + i) in
+  let cfg =
+    Config.with_byzantine
+      ~delay:(Vv_sim.Delay.Uniform { lo = 1; hi = 2 })
+      ~network ?retransmit ~max_rounds ~seed ~n ~t_max:t_tol byz ()
+  in
+  let res = E.run_exn cfg ~inputs:na_input ~adversary:na_adversary () in
+  ( na_classify ~honest:(Config.honest_ids cfg) res.E.outputs,
+    res.E.rounds_used,
+    res.E.trace.Trace.dropped_msgs,
+    res.E.trace.Trace.retrans_msgs )
+
 let grid profile =
   List.concat_map
-    (fun protocol ->
+    (fun variant ->
       List.concat_map
         (fun drop ->
-          List.map (fun scenario -> (protocol, drop, scenario))
+          List.map (fun scenario -> (variant, drop, scenario))
             (scenarios profile))
         (drops profile))
-    protocols
+    variants
 
 (* One grid cell's statistics.  Every trial seed is a pure function of
    (campaign seed, cell index, trial index) — the same flat indexing the
    pre-campaign executor used — so the whole campaign replays bit-for-bit
    from the campaign seed at every [jobs] value. *)
-let cell_stats ~trials ~retransmit ~seed ~index (protocol, drop, scenario) =
+let cell_stats ~trials ~retransmit ~seed ~index (variant, drop, scenario) =
   let retransmit_policy = if retransmit then Some Retransmit.default else None in
   let exact = ref 0 and stalls = ref 0 and violations = ref 0 in
   let rounds = ref 0 and dropped = ref 0 and retrans = ref 0 in
   for k = 0 to trials - 1 do
     let run_seed = Executor.derive_seed ~seed ((index * trials) + k) in
     let network = network_of ~drop ~scenario ~seed:run_seed in
-    let spec =
-      Runner.simple_spec ~protocol
-        ~delay:(Vv_sim.Delay.Uniform { lo = 1; hi = 2 })
-        ~network ?retransmit:retransmit_policy ~seed:run_seed ~max_rounds
-        ~t:t_tol ~f:f_actual honest_inputs
-    in
     let cls, r, d, rt =
-      match Runner.run_checked spec with
-      | Ok o ->
-          ( classify o,
-            o.Runner.rounds,
-            o.Runner.trace.Vv_sim.Trace.dropped_msgs,
-            o.Runner.trace.Vv_sim.Trace.retrans_msgs )
-      | Error (`Invalid_adversary _) ->
-          (* An adversary invalidated by the fault plan is a harness
-             bug, not a protocol property — surface it loudly. *)
-          (Violation, 0, 0, 0)
+      match variant with
+      | Na -> na_trial ~retransmit:retransmit_policy ~network ~seed:run_seed
+      | Std protocol -> (
+          let spec =
+            Runner.simple_spec ~protocol
+              ~delay:(Vv_sim.Delay.Uniform { lo = 1; hi = 2 })
+              ~network ?retransmit:retransmit_policy ~seed:run_seed ~max_rounds
+              ~t:t_tol ~f:f_actual honest_inputs
+          in
+          match Runner.run_checked spec with
+          | Ok o ->
+              ( classify o,
+                o.Runner.rounds,
+                o.Runner.trace.Vv_sim.Trace.dropped_msgs,
+                o.Runner.trace.Vv_sim.Trace.retrans_msgs )
+          | Error (`Invalid_adversary _) ->
+              (* An adversary invalidated by the fault plan is a harness
+                 bug, not a protocol property — surface it loudly. *)
+              (Violation, 0, 0, 0))
     in
     (match cls with
     | Exact -> incr exact
@@ -177,7 +264,7 @@ let cell_stats ~trials ~retransmit ~seed ~index (protocol, drop, scenario) =
   done;
   let avg x = float_of_int x /. float_of_int trials in
   {
-    protocol;
+    variant;
     drop;
     scenario;
     exact = !exact;
@@ -188,9 +275,16 @@ let cell_stats ~trials ~retransmit ~seed ~index (protocol, drop, scenario) =
     retrans_avg = avg !retrans;
   }
 
+(* The safety contract of the grid: the safety-guaranteed sync variant
+   and the network-agnostic protocol must never decide wrongly, whatever
+   the substrate does — a single Violation trial on either fails the
+   campaign (and `vvc chaos` exits nonzero). *)
 let result_ok cells =
   List.for_all
-    (fun c -> c.protocol <> Runner.Algo2_sct || c.violations = 0)
+    (fun c ->
+      match c.variant with
+      | Std Runner.Algo2_sct | Na -> c.violations = 0
+      | Std _ -> true)
     cells
 
 let run ?jobs ?(retransmit = false) ?(seed = 0xc4a05) ?trials profile =
@@ -236,7 +330,7 @@ let grid_table r =
     (fun c ->
       Table.add_row tab
         [
-          Runner.protocol_label c.protocol;
+          variant_label c.variant;
           Table.fcell ~decimals:2 c.drop;
           scenario_label c.scenario;
           cls_label (cell_class c);
@@ -265,8 +359,8 @@ let envelope_table r =
       ()
   in
   List.iter
-    (fun protocol ->
-      let cs = List.filter (fun c -> c.protocol = protocol) r.cells in
+    (fun variant ->
+      let cs = List.filter (fun c -> c.variant = variant) r.cells in
       let count f = List.length (List.filter f cs) in
       let clean_envelope =
         (* Largest prefix of the ascending drop axis whose
@@ -291,7 +385,7 @@ let envelope_table r =
       in
       Table.add_row tab
         [
-          Runner.protocol_label protocol;
+          variant_label variant;
           Table.icell (List.length cs);
           Table.icell (count (fun c -> cell_class c = Exact));
           Table.icell (count (fun c -> cell_class c = Stall));
@@ -301,7 +395,7 @@ let envelope_table r =
           | None -> "-");
           Table.icell violations;
         ])
-    protocols;
+    variants;
   tab
 
 let tables r = [ grid_table r; envelope_table r ]
@@ -314,7 +408,7 @@ let campaign ?(retransmit = false) ?trials () =
     ~what:"Chaos resilience: degradation grid under lossy/partitioned links"
     ~seed:0xc4a05
     ~axes:
-      [ ("protocol", List.map Runner.protocol_label protocols);
+      [ ("protocol", List.map variant_label variants);
         ("drop", List.map (Fmt.str "%.2f") (drops Full));
         ("partition", List.map scenario_label (scenarios Full)) ]
     ~cells:grid

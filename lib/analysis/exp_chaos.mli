@@ -1,7 +1,9 @@
 (** Experiment E17: resilience campaigns on the chaos network substrate.
 
     Sweeps fault intensity — per-link drop rate x transient-partition
-    width x recovery lag — across every protocol variant, classifying
+    width x recovery lag — across every protocol variant (the
+    synchronous pipeline plus the network-agnostic {!Vv_bb.Na_voting}
+    under the E20 forging adversary), classifying
     each grid cell as Exact (all honest nodes decide the true plurality),
     Stall (some honest node never decides) or Violation (a decided value
     breaks safety-guaranteed admissibility, Definition V.1, or
@@ -14,8 +16,8 @@
     aggregated sequentially in index order. *)
 
 type profile = Vv_exec.Campaign.profile = Smoke | Full
-(** Re-export of {!Vv_exec.Campaign.profile}. [Smoke] is the CI tier (3 drop rates x 3 partition scenarios x 5
-    protocols x 3 trials); [Full] widens every axis. *)
+(** Re-export of {!Vv_exec.Campaign.profile}. [Smoke] is the CI tier (3 drop rates x 3 partition scenarios x 6
+    variants x 3 trials); [Full] widens every axis. *)
 
 type cls = Exact | Stall | Violation
 
@@ -26,8 +28,18 @@ type scenario = {
   heal : int;  (** rounds until the partition heals (recovery lag) *)
 }
 
+type variant =
+  | Std of Vv_core.Runner.protocol
+      (** a synchronous voting pipeline variant *)
+  | Na
+      (** {!Vv_bb.Na_voting} — the network-agnostic broadcast protocol
+          of E20 — run through the same substrate faults under the E20
+          forging adversary *)
+
+val variant_label : variant -> string
+
 type cell = {
-  protocol : Vv_core.Runner.protocol;
+  variant : variant;
   drop : float;
   scenario : scenario;
   exact : int;  (** trials classified Exact *)
@@ -46,11 +58,12 @@ type result = {
   profile : profile;
   retransmit : bool;
   trials : int;
-  cells : cell list;  (** grid order: protocol, then drop, then scenario *)
+  cells : cell list;  (** grid order: variant, then drop, then scenario *)
   runs : int;  (** total protocol executions *)
   ok : bool;
-      (** the safety-guaranteed variant (Algo2_sct) had zero Violation
-          trials on the whole grid *)
+      (** the safety-guaranteed variant (Algo2_sct) and the
+          network-agnostic variant ([Na]) had zero Violation trials on
+          the whole grid *)
 }
 
 val run :

@@ -55,11 +55,12 @@ let cls_label = function
   | Stall -> "stall"
   | Violation -> "violation"
 
-type sched = Sync | Gst of int | Async
+type sched = Sync | Gst of int | Gst_adv of int | Async
 
 let sched_label = function
   | Sync -> "sync"
   | Gst g -> Fmt.str "gst=%d" g
+  | Gst_adv g -> Fmt.str "gst-adv=%d" g
   | Async -> "async"
 
 (* The engine delay model and the protocol's timeout per network.  The
@@ -69,16 +70,33 @@ let es_bound = 2
 
 let async_fairness = 4
 
+(* The adversary-supplied GST schedule: every message is held to the
+   admissibility cap — pre-GST messages land at the last legal round
+   (gst + bound), post-GST ones take the full eventual bound.  This is
+   the worst schedule the model admits, uniformly across links, and it
+   is a pure function of its arguments as Config.make demands. *)
+let worst_case_schedule ~gst ~round ~src:_ ~dst:_ =
+  if round < gst then max 1 (gst + es_bound - round) else es_bound
+
 let delay_of = function
   | Sync -> Delay.Synchronous
   | Gst gst -> Delay.Eventually_synchronous { gst; bound = es_bound; schedule = None }
+  | Gst_adv gst ->
+      Delay.Eventually_synchronous
+        { gst; bound = es_bound;
+          schedule = Some (fun ~round ~src ~dst -> worst_case_schedule ~gst ~round ~src ~dst) }
   | Async -> Delay.Asynchronous { fairness = async_fairness; schedule = None }
 
-let sync_delta_of = function Sync -> 1 | Gst _ -> es_bound | Async -> 1
+let sync_delta_of = function
+  | Sync -> 1
+  | Gst _ | Gst_adv _ -> es_bound
+  | Async -> 1
 
 (* Governing tolerance: the synchronous path's only when the network
    really is synchronous; the fallback's everywhere else. *)
-let t_mode ~t_s ~t_a = function Sync -> t_s | Gst _ | Async -> t_a
+let t_mode ~t_s ~t_a = function
+  | Sync -> t_s
+  | Gst _ | Gst_adv _ | Async -> t_a
 
 type probe = Wide | Overfault | Margin
 
@@ -170,8 +188,8 @@ let pairs = function
   | Full -> [ (1, 1); (2, 1); (2, 2); (3, 1) ]
 
 let scheds = function
-  | Smoke -> [ Sync; Gst 3; Async ]
-  | Full -> [ Sync; Gst 0; Gst 3; Gst 6; Async ]
+  | Smoke -> [ Sync; Gst 3; Gst_adv 3; Async ]
+  | Full -> [ Sync; Gst 0; Gst 3; Gst_adv 3; Gst 6; Async ]
 
 let probes = [ Wide; Overfault; Margin ]
 

@@ -20,7 +20,15 @@ type cls = Exact | Stall | Violation
 
 val cls_label : cls -> string
 
-type sched = Sync | Gst of int  (** GST round *) | Async
+type sched =
+  | Sync
+  | Gst of int  (** GST round, uniform admissible scheduler *)
+  | Gst_adv of int
+      (** GST round, adversary-supplied schedule: every message held to
+          the admissibility cap (pre-GST messages land at [gst + bound],
+          post-GST ones take the full eventual bound) — the worst
+          schedule the model admits *)
+  | Async
 
 val sched_label : sched -> string
 

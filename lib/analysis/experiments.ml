@@ -27,6 +27,7 @@ let all : Campaign.t list =
     Exp_session.e15_campaign;
     Exp_serve.e18_campaign;
     Exp_replica.e19_campaign;
+    Exp_validity.campaign ();
   ]
 
 let find id = List.find_opt (fun c -> String.equal (Campaign.id c) id) all

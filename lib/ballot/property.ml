@@ -1,0 +1,207 @@
+(* Validity as a first-class value (after Civit et al., "On the Validity
+   of Consensus", arXiv 2301.04920): a property is data — an id, an
+   admissibility predicate over (honest inputs, outputs), an optional
+   mandated output, and the hierarchy edges to the properties it
+   entails — so the checker's oracle, the baselines and the campaigns
+   can all quantify over *which* validity they are asked about instead
+   of hard-coding the paper's voting validity.
+
+   The two voting instances delegate to {!Validity} verbatim, so they
+   are byte-equivalent to the legacy predicates (test_ballot pins this
+   with qcheck); the remaining instances are the baselines' guarantees
+   (strong/Neiger, weak unanimity, interval, t-trimmed median) stated
+   over the same (inputs, outputs) vocabulary.
+
+   Hierarchy edges, each a theorem over non-empty honest multisets:
+
+     voting ─→ voting-strict   (the tie-break-aware form only adds
+                                constraints when no strict plurality
+                                exists)
+     voting ─→ strong          (the plurality winner is an honest input)
+     strong ─→ weak            (unanimity makes every honest input the
+                                unanimous value)
+     strong ─→ interval        (honest inputs lie in the honest range)
+     median ─→ interval        (positions m±t of the sorted honest
+                                multiset lie between its extremes)
+     interval ─→ weak          (a unanimous multiset has a one-point
+                                range)
+
+   [voting-strict] entails nothing: it is vacuous whenever no strict
+   plurality exists, so its admissible outputs are then unconstrained —
+   in particular not necessarily honest inputs. *)
+
+type t = {
+  id : string;
+  description : string;
+  admissible :
+    tie:Tie_break.t ->
+    t_tol:int ->
+    honest_inputs:Option_id.t list ->
+    outputs:Option_id.t option list ->
+    bool;
+  required_output :
+    (tie:Tie_break.t -> honest_inputs:Option_id.t list -> Option_id.t option)
+    option;
+  stronger_than : string list;
+}
+
+let id p = p.id
+
+let admissible p = p.admissible
+
+let pp ppf p = Fmt.string ppf p.id
+
+let decided_all_satisfy pred outputs =
+  List.for_all (function None -> true | Some v -> pred v) outputs
+
+let voting =
+  {
+    id = "voting";
+    description =
+      "tie-break-aware voting validity: every decided output is the \
+       established-rule plurality of honest inputs (Definition III.3)";
+    admissible =
+      (fun ~tie ~t_tol:_ ~honest_inputs ~outputs ->
+        Validity.voting_validity_tb ~tie ~honest_inputs ~outputs);
+    required_output =
+      Some (fun ~tie ~honest_inputs -> Validity.honest_plurality ~tie ~honest_inputs);
+    stronger_than = [ "voting-strict"; "strong" ];
+  }
+
+let voting_strict =
+  {
+    id = "voting-strict";
+    description =
+      "strict voting validity: whenever one option strictly beats every \
+       other among honest inputs, every decided output is that option \
+       (Definition III.3, no tie-break)";
+    admissible =
+      (fun ~tie ~t_tol:_ ~honest_inputs ~outputs ->
+        Validity.voting_validity ~tie ~honest_inputs ~outputs);
+    required_output =
+      Some
+        (fun ~tie ~honest_inputs ->
+          if Validity.has_strict_plurality ~honest_inputs then
+            Validity.honest_plurality ~tie ~honest_inputs
+          else None);
+    stronger_than = [];
+  }
+
+let strong =
+  {
+    id = "strong";
+    description =
+      "strong validity (Neiger): every decided output is some honest input";
+    admissible =
+      (fun ~tie:_ ~t_tol:_ ~honest_inputs ~outputs ->
+        Validity.strong_validity ~honest_inputs ~outputs);
+    required_output = None;
+    stronger_than = [ "weak"; "interval" ];
+  }
+
+let unanimous_value = function
+  | [] -> None
+  | v :: rest -> if List.for_all (Option_id.equal v) rest then Some v else None
+
+let weak =
+  {
+    id = "weak";
+    description =
+      "weak (unanimity) validity: if every honest input is the same value, \
+       every decided output is that value";
+    admissible =
+      (fun ~tie:_ ~t_tol:_ ~honest_inputs ~outputs ->
+        match unanimous_value honest_inputs with
+        | None -> true
+        | Some v -> decided_all_satisfy (Option_id.equal v) outputs);
+    required_output =
+      Some (fun ~tie:_ ~honest_inputs -> unanimous_value honest_inputs);
+    stronger_than = [];
+  }
+
+(* The range-valued instances read option ids as integers — the same
+   convention the interval/median baselines use for their workloads. *)
+let honest_range honest_inputs =
+  match List.map Option_id.to_int honest_inputs with
+  | [] -> None
+  | v :: rest ->
+      Some (List.fold_left min v rest, List.fold_left max v rest)
+
+let interval =
+  {
+    id = "interval";
+    description =
+      "interval validity (Melnyk-Wattenhofer): every decided output lies \
+       within [min, max] of the honest inputs, read as integers";
+    admissible =
+      (fun ~tie:_ ~t_tol:_ ~honest_inputs ~outputs ->
+        match honest_range honest_inputs with
+        | None -> true
+        | Some (lo, hi) ->
+            decided_all_satisfy
+              (fun v ->
+                let v = Option_id.to_int v in
+                lo <= v && v <= hi)
+              outputs);
+    required_output = None;
+    stronger_than = [ "weak" ];
+  }
+
+(* Positions [m - t, m + t] (clamped) of the ascending honest multiset,
+   m = k/2 — the Stolz-Wattenhofer "within t positions of the median"
+   guarantee the median baseline's t-trim realises. *)
+let median_window ~t_tol honest_inputs =
+  match honest_inputs with
+  | [] -> None
+  | _ ->
+      let sorted =
+        List.sort Int.compare (List.map Option_id.to_int honest_inputs)
+        |> Array.of_list
+      in
+      let k = Array.length sorted in
+      let m = k / 2 in
+      Some (sorted.(max 0 (m - t_tol)), sorted.(min (k - 1) (m + t_tol)))
+
+let median =
+  {
+    id = "median";
+    description =
+      "median validity (Stolz-Wattenhofer): every decided output lies \
+       within t positions of the median of the sorted honest inputs, \
+       read as integers";
+    admissible =
+      (fun ~tie:_ ~t_tol ~honest_inputs ~outputs ->
+        match median_window ~t_tol honest_inputs with
+        | None -> true
+        | Some (lo, hi) ->
+            decided_all_satisfy
+              (fun v ->
+                let v = Option_id.to_int v in
+                lo <= v && v <= hi)
+              outputs);
+    required_output = None;
+    stronger_than = [ "interval" ];
+  }
+
+let all = [ voting; voting_strict; strong; weak; interval; median ]
+
+let names = List.map id all
+
+let find id = List.find_opt (fun p -> String.equal p.id id) all
+
+let of_name = find
+
+let equal a b = String.equal a.id b.id
+
+(* Reflexive-transitive closure of [stronger_than]; unknown ids in an
+   edge list simply contribute nothing. *)
+let implies p q =
+  let rec reaches seen id =
+    String.equal id q.id
+    || (not (List.mem id seen))
+       &&
+       match find id with
+       | None -> false
+       | Some p' -> List.exists (reaches (id :: seen)) p'.stronger_than
+  in
+  reaches [] p.id

@@ -23,3 +23,5 @@ include Exchange_ba.Make (struct
         let idx = min (max 0 (own.k - 1)) (List.length l - 1) in
         List.nth l idx
 end)
+
+let property = Vv_ballot.Property.interval

@@ -12,3 +12,7 @@ include
     with type input = query
      and type msg = Exchange_ba.msg
      and type output = int
+
+val property : Vv_ballot.Property.t
+(** {!Vv_ballot.Property.interval} — the shared first-class instance of
+    the guarantee this baseline realises. *)

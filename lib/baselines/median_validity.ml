@@ -26,3 +26,8 @@ include Exchange_ba.Make (struct
 
   let candidate ~n:_ ~t ~received _own = median_of (trim ~t received)
 end)
+
+(* The guarantee this baseline realises, as the shared first-class
+   instance — campaigns and tests judge runs through it rather than a
+   private predicate. *)
+let property = Vv_ballot.Property.median

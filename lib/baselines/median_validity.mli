@@ -18,3 +18,8 @@ include
     with type input = int
      and type msg = Exchange_ba.msg
      and type output = int
+
+val property : Vv_ballot.Property.t
+(** {!Vv_ballot.Property.median} — the shared first-class instance of the
+    guarantee this baseline realises; judge its runs through this, not a
+    private predicate. *)

@@ -29,3 +29,5 @@ include Exchange_ba.Make (struct
 
   let candidate ~n:_ ~t:_ ~received _own = plurality received
 end)
+
+let property = Vv_ballot.Property.strong

@@ -15,3 +15,7 @@ include
     with type input = int
      and type msg = Exchange_ba.msg
      and type output = int
+
+val property : Vv_ballot.Property.t
+(** {!Vv_ballot.Property.strong} — the shared first-class instance of the
+    guarantee this baseline realises. *)

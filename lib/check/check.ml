@@ -64,8 +64,8 @@ type result = {
           tightness witness *)
 }
 
-let counterexample_of ?max_trials exec class_ =
-  let shrunk = Shrink.shrink ?max_trials exec class_ in
+let counterexample_of ?max_trials ?property exec class_ =
+  let shrunk = Shrink.shrink ?max_trials ?property exec class_ in
   let outcome =
     Result.to_option (Runner.run_checked (Space.spec_of shrunk.Shrink.execution))
   in
@@ -77,7 +77,8 @@ let kinds = [ Bounds.Bft; Bounds.Cft; Bounds.Sct ]
    classification fan-out.  Exposed so the campaign wrapper in {!Report}
    can fan the classification out through [Campaign.run] and still share
    this aggregation verbatim. *)
-let aggregate ?max_shrink_trials ?(max_reported = 10) profile ~execs ~classes =
+let aggregate ?max_shrink_trials ?(max_reported = 10)
+    ?(property = Vv_ballot.Property.voting) profile ~execs ~classes =
   let dims = dims_of profile in
   let count = Array.length execs in
   (* Per (protocol, substrate) aggregation, in first-seen (= enumeration)
@@ -162,7 +163,8 @@ let aggregate ?max_shrink_trials ?(max_reported = 10) profile ~execs ~classes =
   let violations =
     List.filteri (fun i _ -> i < max_reported) violation_idx
     |> List.map (fun i ->
-           counterexample_of ?max_trials:max_shrink_trials execs.(i) classes.(i))
+           counterexample_of ?max_trials:max_shrink_trials ~property execs.(i)
+             classes.(i))
   in
   let below_cells kind =
     List.length
@@ -177,8 +179,8 @@ let aggregate ?max_shrink_trials ?(max_reported = 10) profile ~execs ~classes =
         let witness =
           Option.map
             (fun i ->
-              counterexample_of ?max_trials:max_shrink_trials execs.(i)
-                classes.(i))
+              counterexample_of ?max_trials:max_shrink_trials ~property
+                execs.(i) classes.(i))
             (List.assoc_opt kind !witness_idx)
         in
         {
@@ -199,9 +201,12 @@ let aggregate ?max_shrink_trials ?(max_reported = 10) profile ~execs ~classes =
   let groups =
     List.rev_map (fun key -> !(Hashtbl.find groups key)) !group_order
   in
+  (* Tightness is a statement about the *voting* bounds; when sweeping a
+     different property only freedom from violations is demanded. *)
   let ok =
     violations_total = 0
-    && List.for_all (fun t -> Option.is_some t.witness) tightness
+    && ((not (Vv_ballot.Property.equal property Vv_ballot.Property.voting))
+       || List.for_all (fun t -> Option.is_some t.witness) tightness)
   in
   {
     profile;
@@ -221,3 +226,21 @@ let run ?jobs ?max_shrink_trials ?max_reported profile =
         Oracle.classify_run execs.(i))
   in
   aggregate ?max_shrink_trials ?max_reported profile ~execs ~classes
+
+(* Multi-validity sweep: one engine run per execution, classified against
+   every property; then one sequential aggregation per property.  The
+   fan-out stays index-addressed, so output is byte-identical at every
+   [?jobs] just like [run]. *)
+let run_sweep ?jobs ?max_shrink_trials ?max_reported ~properties profile =
+  let execs = Space.executions (dims_of profile) in
+  let sweep =
+    Executor.map ?jobs ~count:(Array.length execs) (fun i ->
+        Oracle.classify_run_sweep ~properties execs.(i))
+  in
+  List.mapi
+    (fun pi property ->
+      let classes = Array.map (fun cs -> List.nth cs pi) sweep in
+      ( property,
+        aggregate ?max_shrink_trials ?max_reported ~property profile ~execs
+          ~classes ))
+    properties

@@ -57,6 +57,7 @@ type result = {
 val aggregate :
   ?max_shrink_trials:int ->
   ?max_reported:int ->
+  ?property:Vv_ballot.Property.t ->
   profile ->
   execs:Space.execution array ->
   classes:Oracle.class_ array ->
@@ -64,6 +65,10 @@ val aggregate :
 (** The sequential tail of a check run: fold the index-addressed
     classification array (as produced by {!Oracle.classify_run} per
     execution of {!Space.executions}) into the aggregated result.
+    [property] (default {!Vv_ballot.Property.voting}) is the property
+    the classes were computed against; shrinking re-classifies under it,
+    and for non-voting properties [ok] demands only freedom from
+    violations (tightness is a statement about the voting bounds).
     Shared by {!run} and the campaign wrapper in {!Report}. *)
 
 val run :
@@ -72,3 +77,16 @@ val run :
     cores but one); [max_reported] (default 10) caps how many violations
     are shrunk and carried in the result — [violations_total] still
     counts all. *)
+
+val run_sweep :
+  ?jobs:int ->
+  ?max_shrink_trials:int ->
+  ?max_reported:int ->
+  properties:Vv_ballot.Property.t list ->
+  profile ->
+  (Vv_ballot.Property.t * result) list
+(** Sweep several validity properties in one pass: each execution's
+    engine run happens once and is classified against every property
+    ({!Oracle.classify_run_sweep}), then one {!aggregate} per property.
+    Results are in [properties] order; byte-identical at every [?jobs].
+    [run_sweep ~properties:[Property.voting]] agrees with {!run}. *)

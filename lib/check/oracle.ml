@@ -1,4 +1,4 @@
-(* Classify one execution's outcome against the paper's guarantees.
+(* Classify one execution's outcome against a supplied validity property.
 
    Each cell sits in exactly one bound regime, decided statically from its
    surviving honest multiset:
@@ -6,13 +6,18 @@
    - [expected_exact]: the variant's bound (Bounds.kind via [kind_of]) is
      satisfied AND the Phase-1 substrate's own tolerance holds.  Here the
      paper promises exactness — termination, agreement, and
-     tie-break-aware voting validity — for every adversary, so any failure
-     is a [Violation].
+     tie-break-aware voting validity — for every adversary.  Because an
+     in-bound run decides the strict honest plurality, exactness entails
+     every property that voting validity implies in the hierarchy
+     (Property.implies), so any failure against such a property is a
+     [Violation].  For properties voting validity does *not* entail
+     (e.g. median), nothing is promised and a miss is a [Defeated].
    - below bound, safety-guaranteed kind (Sct): the protocol may stall
      forever but must never decide against the established rule
-     (Definition V.1).  A stall is [Admissible_stall] — and is exactly the
-     non-exactness the lower bound predicts — while a safety breach is a
-     [Violation] even below the bound.
+     (Definition V.1) — a standing promise independent of the property
+     under test.  A stall is [Admissible_stall] — and is exactly the
+     non-exactness the lower bound predicts — while a Definition V.1
+     breach is a [Violation] even below the bound.
    - below bound, Bft/Cft kinds: nothing is promised; an execution where
      exactness fails is a [Defeated] — a constructive tightness witness
      generalizing the hand-built Lemma 2 scenarios of
@@ -28,18 +33,23 @@
 module Runner = Vv_core.Runner
 module Bounds = Vv_core.Bounds
 module Bb = Vv_bb.Bb
+module Property = Vv_ballot.Property
+
+type violation = { property : string; detail : string }
 
 type class_ =
   | Exact
   | Admissible_stall
   | Defeated
-  | Violation of string  (** the violated property *)
+  | Violation of violation
+
+let violation_label v = "VIOLATION:" ^ v.property ^ ":" ^ v.detail
 
 let class_label = function
   | Exact -> "exact"
   | Admissible_stall -> "stall-admissible"
   | Defeated -> "defeated"
-  | Violation p -> "VIOLATION:" ^ p
+  | Violation v -> violation_label v
 
 let pp_class ppf c = Fmt.string ppf (class_label c)
 
@@ -47,7 +57,8 @@ let equal_class a b =
   match (a, b) with
   | Exact, Exact | Admissible_stall, Admissible_stall | Defeated, Defeated ->
       true
-  | Violation p, Violation q -> String.equal p q
+  | Violation p, Violation q ->
+      String.equal p.property q.property && String.equal p.detail q.detail
   | (Exact | Admissible_stall | Defeated | Violation _), _ -> false
 
 (* Which tolerance bound governs each protocol.  Algorithm 4 runs under
@@ -72,33 +83,55 @@ let bound_holds (cell : Space.cell) =
 
 let expected_exact cell = bound_holds cell && substrate_ok cell
 
-let classify (exec : Space.execution) outcome =
+let classify ?(property = Property.voting) (exec : Space.execution) outcome =
   let cell = exec.Space.cell in
   match outcome with
   | Error (`Invalid_adversary reason) ->
-      Violation ("invalid-adversary: " ^ reason)
+      Violation
+        { property = property.Property.id;
+          detail = "invalid-adversary: " ^ reason }
   | Ok (o : Runner.outcome) ->
-      let exact =
-        o.Runner.termination && o.Runner.agreement
-        && o.Runner.voting_validity_tb
+      let admissible =
+        property.Property.admissible ~tie:Vv_ballot.Tie_break.default
+          ~t_tol:cell.Space.t ~honest_inputs:o.Runner.honest_inputs
+          ~outputs:o.Runner.outputs
       in
-      if expected_exact cell then
-        if not o.Runner.termination then Violation "termination"
-        else if not o.Runner.agreement then Violation "agreement"
-        else if not o.Runner.voting_validity_tb then Violation "voting-validity"
+      let exact = o.Runner.termination && o.Runner.agreement && admissible in
+      (* In bound, exactness decides the strict honest plurality, which
+         carries every property voting validity entails; outside that
+         cone the promise does not extend to [property]. *)
+      if expected_exact cell && Property.implies Property.voting property then
+        if not o.Runner.termination then
+          Violation { property = property.Property.id; detail = "termination" }
+        else if not o.Runner.agreement then
+          Violation { property = property.Property.id; detail = "agreement" }
+        else if not admissible then
+          Violation { property = property.Property.id; detail = "validity" }
         else Exact
       else begin
         match kind_of cell.Space.protocol with
         | Bounds.Sct ->
+            (* Definition V.1 is the Sct variants' own standing promise,
+               phrased over voting validity regardless of the swept
+               property. *)
             if not o.Runner.safety_admissible then
-              Violation "safety-guaranteed admissibility"
+              Violation
+                { property = Property.voting.Property.id;
+                  detail = "safety-guaranteed admissibility" }
             else if exact then Exact
             else Admissible_stall
         | Bounds.Bft | Bounds.Cft -> if exact then Exact else Defeated
       end
 
 (* Run the engine and classify; the checker's unit of work. *)
-let classify_run exec = classify exec (Runner.run_checked (Space.spec_of exec))
+let classify_run ?property exec =
+  classify ?property exec (Runner.run_checked (Space.spec_of exec))
+
+(* Run the engine once, classify against every property in [properties];
+   the multi-validity sweep's unit of work. *)
+let classify_run_sweep ~properties exec =
+  let outcome = Runner.run_checked (Space.spec_of exec) in
+  List.map (fun property -> classify ~property exec outcome) properties
 
 (* Whether the execution witnesses its cell's lower bound: a below-bound
    run where the adversary (or fault) actually defeated exactness.  For

@@ -1,18 +1,32 @@
-(** Outcome classification against the paper's guarantees.
+(** Outcome classification against a supplied validity property.
 
-    Above its bound a variant must be exact for every adversary (any
-    failure is a violation); below it, safety-guaranteed variants may
-    stall but never decide wrongly, and the other kinds' defeats are
-    constructive tightness witnesses. *)
+    Above its bound a variant must be exact for every adversary — and,
+    because exactness decides the strict honest plurality, the promise
+    extends to every property voting validity implies
+    ({!Vv_ballot.Property.implies}); any failure there is a violation
+    tagged with the property's id.  Below the bound, safety-guaranteed
+    variants may stall but never decide against Definition V.1, and the
+    other kinds' defeats are constructive tightness witnesses.  The
+    default property is {!Vv_ballot.Property.voting}, under which the
+    classification is identical to the historical hard-coded oracle. *)
+
+type violation = {
+  property : string;  (** {!Vv_ballot.Property.id} of the violated property *)
+  detail : string;  (** which clause failed (termination/agreement/...) *)
+}
 
 type class_ =
-  | Exact  (** terminated, agreed, tie-break-aware voting validity *)
+  | Exact  (** terminated, agreed, admissible under the swept property *)
   | Admissible_stall
       (** below-bound safety-guaranteed stall — the predicted
           non-exactness, safety intact (Definition V.1) *)
   | Defeated
-      (** below-bound Bft/Cft exactness failure — a tightness witness *)
-  | Violation of string  (** the violated property *)
+      (** exactness failure where nothing was promised — below-bound
+          Bft/Cft, or a property outside voting validity's cone *)
+  | Violation of violation  (** a promised guarantee broken *)
+
+val violation_label : violation -> string
+(** ["VIOLATION:<property>:<detail>"]. *)
 
 val class_label : class_ -> string
 val pp_class : class_ Fmt.t
@@ -36,17 +50,24 @@ val expected_exact : Space.cell -> bool
     exactness for every adversary. *)
 
 val classify :
+  ?property:Vv_ballot.Property.t ->
   Space.execution ->
   (Vv_core.Runner.outcome, [ `Invalid_adversary of string ]) result ->
   class_
-(** Classify one outcome. An [`Invalid_adversary] rejection is always a
-    violation: the checker only enumerates scripts legal under the cell's
-    communication model, so a rejection is a checker or interpreter bug
-    and must not silently shrink the universe. *)
+(** Classify one outcome against [property] (default
+    {!Vv_ballot.Property.voting}). An [`Invalid_adversary] rejection is
+    always a violation: the checker only enumerates scripts legal under
+    the cell's communication model, so a rejection is a checker or
+    interpreter bug and must not silently shrink the universe. *)
 
-val classify_run : Space.execution -> class_
+val classify_run : ?property:Vv_ballot.Property.t -> Space.execution -> class_
 (** Run the engine on [Space.spec_of] and classify — the checker's unit
     of work; domain-safe. *)
+
+val classify_run_sweep :
+  properties:Vv_ballot.Property.t list -> Space.execution -> class_ list
+(** Run the engine once and classify the single outcome against every
+    property, in order — the multi-validity sweep's unit of work. *)
 
 val witnesses_tightness : Space.execution -> class_ -> bool
 (** Whether this run witnesses its cell's lower bound: strictly below the

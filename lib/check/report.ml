@@ -13,13 +13,16 @@ module Runner = Vv_core.Runner
 module Bounds = Vv_core.Bounds
 module Emit = Vv_exec.Emit
 
-let summary_table (r : Check.result) =
+let summary_table ?validity (r : Check.result) =
   let t =
     Table.create
       ~title:
-        (Fmt.str "vv_check %s: %d cells, %d runs"
+        (Fmt.str "vv_check %s: %d cells, %d runs%s"
            (Check.profile_label r.Check.profile)
-           r.Check.total_cells r.Check.total_runs)
+           r.Check.total_cells r.Check.total_runs
+           (match validity with
+           | None -> ""
+           | Some id -> " [validity=" ^ id ^ "]"))
       ~headers:
         [
           "protocol"; "substrate"; "cells"; "runs"; "exact"; "stall-ok";
@@ -142,35 +145,78 @@ let verdict_line (r : Check.result) =
       r.Check.violations_total
   else "FAIL: some bound kind has no tightness witness"
 
+module Property = Vv_ballot.Property
+
+(* One property's slice of a multi-validity sweep: the labeled summary,
+   the tightness ledger only where it means something (the voting
+   bounds), and any violations. *)
+let property_tables (p, (r : Check.result)) =
+  (summary_table ~validity:p.Property.id r
+  ::
+  (if Property.equal p Property.voting then [ tightness_table r ] else []))
+  @ (if r.Check.violations = [] then [] else [ violations_table r ])
+
+let sweep_verdict_line (p, (r : Check.result)) =
+  let base =
+    if r.Check.ok then
+      if Property.equal p Property.voting then verdict_line r
+      else
+        Fmt.str "OK: %d runs, no %s violations where promised"
+          r.Check.total_runs p.Property.id
+    else verdict_line r
+  in
+  Fmt.str "validity=%s %s" p.Property.id base
+
 let print fmt r =
   Emit.tables fmt (tables r);
   match fmt with
   | Emit.Json -> ()
   | Emit.Table | Emit.Csv -> print_endline (verdict_line r)
 
-(* One cell per enumerated execution; classification fans out, the
-   aggregation + shrinking tail runs in [collect].  The verdict line
+(* One cell per enumerated execution; classification fans out (a single
+   engine run per execution classified against every swept property),
+   the aggregation + shrinking tail runs in [collect].  The verdict line
    rides along in [emitted] so the shared CLI emitter prints it exactly
-   where [print] used to. *)
-let campaign ?max_shrink_trials ?max_reported () =
+   where [print] used to.  With the default single-voting sweep the
+   rendered output is byte-identical to the historical fixed-validity
+   checker. *)
+let campaign ?max_shrink_trials ?max_reported
+    ?(properties = [ Property.voting ]) () =
   let module Campaign = Vv_exec.Campaign in
+  let properties = if properties = [] then [ Property.voting ] else properties in
   Campaign.v ~id:"check"
     ~what:
       "Exhaustive small-model check: classify every execution, shrink \
        violations, witness tightness"
     ~axes:
       [ ("protocol", [ "algo1"; "algo2-sct"; "cft" ]);
-        ("dimension", [ "electorate"; "adversary"; "substrate"; "delay" ]) ]
+        ("dimension", [ "electorate"; "adversary"; "substrate"; "delay" ]);
+        ("validity", List.map Property.id properties) ]
     ~cells:(fun profile ->
       Array.to_list (Space.executions (Check.dims_of profile)))
-    ~run_cell:(fun _ exec -> Oracle.classify_run exec)
+    ~run_cell:(fun _ exec -> Oracle.classify_run_sweep ~properties exec)
     ~collect:(fun profile pairs ->
       let execs = Array.of_list (List.map fst pairs) in
-      let classes = Array.of_list (List.map snd pairs) in
-      let r =
-        Check.aggregate ?max_shrink_trials ?max_reported profile ~execs
-          ~classes
+      let sweep = Array.of_list (List.map snd pairs) in
+      let results =
+        List.mapi
+          (fun pi p ->
+            let classes = Array.map (fun cs -> List.nth cs pi) sweep in
+            ( p,
+              Check.aggregate ?max_shrink_trials ?max_reported ~property:p
+                profile ~execs ~classes ))
+          properties
       in
-      { Campaign.tables = tables r; ok = r.Check.ok;
-        verdict = Some (verdict_line r) })
+      match results with
+      | [ (p, r) ] when Property.equal p Property.voting ->
+          { Campaign.tables = tables r; ok = r.Check.ok;
+            verdict = Some (verdict_line r) }
+      | _ ->
+          {
+            Campaign.tables = List.concat_map property_tables results;
+            ok = List.for_all (fun (_, r) -> r.Check.ok) results;
+            verdict =
+              Some
+                (String.concat "\n" (List.map sweep_verdict_line results));
+          })
     ()

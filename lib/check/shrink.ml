@@ -167,5 +167,5 @@ let minimise ?(max_trials = 500) ~classify target e =
   in
   fixpoint e
 
-let shrink ?max_trials e target =
-  minimise ?max_trials ~classify:Oracle.classify_run target e
+let shrink ?max_trials ?property e target =
+  minimise ?max_trials ~classify:(Oracle.classify_run ?property) target e

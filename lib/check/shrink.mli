@@ -25,5 +25,11 @@ val minimise :
     returning [target] (compared with {!Oracle.equal_class}).
     [max_trials] (default 500) caps the total re-runs. *)
 
-val shrink : ?max_trials:int -> Space.execution -> Oracle.class_ -> result
-(** [minimise] with the real engine ({!Oracle.classify_run}). *)
+val shrink :
+  ?max_trials:int ->
+  ?property:Vv_ballot.Property.t ->
+  Space.execution ->
+  Oracle.class_ ->
+  result
+(** [minimise] with the real engine ({!Oracle.classify_run}), classifying
+    against [property] (default {!Vv_ballot.Property.voting}). *)

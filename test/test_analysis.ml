@@ -269,7 +269,7 @@ let test_e14_shapes () =
     (Table.rows m)
 
 let test_experiments_registry () =
-  check_int "seventeen experiments" 17 (List.length Vv_analysis.Experiments.all);
+  check_int "eighteen experiments" 18 (List.length Vv_analysis.Experiments.all);
   List.iter
     (fun id ->
       check_bool (Fmt.str "find %s" id) true

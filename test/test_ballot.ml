@@ -364,6 +364,139 @@ let prop_compare_ranked_consistent_with_wins =
           lt = Tie_break.wins tb (o x) (o y))
         conventions)
 
+(* --- the first-class property layer --- *)
+
+(* A random classification scene: tie convention, tolerance, a non-empty
+   honest multiset and an arbitrary (possibly partial, possibly absurd)
+   output vector. *)
+let gen_property_case =
+  QCheck.make
+    ~print:(fun (tie, t_tol, honest, outs) ->
+      Fmt.str "tie=%s t=%d honest=%a outputs=%a"
+        (match tie with
+        | Tie_break.Prefer_larger -> "larger"
+        | Tie_break.Prefer_smaller -> "smaller"
+        | Tie_break.Custom _ -> "custom")
+        t_tol
+        Fmt.(Dump.list int)
+        honest
+        Fmt.(Dump.list (Dump.option int))
+        outs)
+    QCheck.Gen.(
+      bool >>= fun larger ->
+      int_range 0 4 >>= fun t_tol ->
+      list_size (int_range 1 20) (int_range 0 5) >>= fun honest ->
+      list_size (int_range 0 12) (opt (int_range 0 7)) >>= fun outs ->
+      return
+        ( (if larger then Tie_break.Prefer_larger else Tie_break.Prefer_smaller),
+          t_tol,
+          honest,
+          outs ))
+
+let scene_of (tie, t_tol, honest, outs) =
+  (tie, t_tol, List.map o honest, List.map (Option.map o) outs)
+
+(* The byte-equivalence contract of the refactor: the two voting
+   instances are the legacy predicates, on every input. *)
+let prop_property_voting_matches_legacy =
+  QCheck.Test.make ~name:"Property voting instances = legacy Validity"
+    gen_property_case (fun case ->
+      let tie, t_tol, honest_inputs, outputs = scene_of case in
+      Property.admissible Property.voting ~tie ~t_tol ~honest_inputs ~outputs
+      = Validity.voting_validity_tb ~tie ~honest_inputs ~outputs
+      && Property.admissible Property.voting_strict ~tie ~t_tol ~honest_inputs
+           ~outputs
+         = Validity.voting_validity ~tie ~honest_inputs ~outputs)
+
+(* Every declared hierarchy edge is a theorem: admissibility under the
+   stronger property forces admissibility under everything it implies,
+   on arbitrary output vectors. *)
+let prop_hierarchy_sound =
+  QCheck.Test.make ~name:"admissibility respects the hierarchy edges"
+    gen_property_case (fun case ->
+      let tie, t_tol, honest_inputs, outputs = scene_of case in
+      List.for_all
+        (fun p ->
+          (not (Property.admissible p ~tie ~t_tol ~honest_inputs ~outputs))
+          || List.for_all
+               (fun q ->
+                 (not (Property.implies p q))
+                 || Property.admissible q ~tie ~t_tol ~honest_inputs ~outputs)
+               Property.all)
+        Property.all)
+
+(* Non-vacuous soundness: deciding a property's mandated output is
+   admissible for the property itself and all the way down its cone. *)
+let prop_required_output_admissible =
+  QCheck.Test.make ~name:"required_output admissible down the cone"
+    gen_property_case (fun case ->
+      let tie, t_tol, honest_inputs, _ = scene_of case in
+      List.for_all
+        (fun p ->
+          match p.Property.required_output with
+          | None -> true
+          | Some f -> (
+              match f ~tie ~honest_inputs with
+              | None -> true
+              | Some v ->
+                  let outputs = [ Some v; None; Some v ] in
+                  List.for_all
+                    (fun q ->
+                      (not (Property.implies p q))
+                      || Property.admissible q ~tie ~t_tol ~honest_inputs
+                           ~outputs)
+                    Property.all))
+        Property.all)
+
+let test_property_hierarchy () =
+  let imp = Property.implies in
+  check_bool "implies is reflexive" true
+    (List.for_all (fun p -> imp p p) Property.all);
+  check_bool "voting -> voting-strict" true
+    (imp Property.voting Property.voting_strict);
+  check_bool "voting -> strong" true (imp Property.voting Property.strong);
+  check_bool "voting -> weak" true (imp Property.voting Property.weak);
+  check_bool "voting -> interval" true (imp Property.voting Property.interval);
+  check_bool "voting -/-> median" false (imp Property.voting Property.median);
+  check_bool "median -> interval" true (imp Property.median Property.interval);
+  check_bool "median -> weak" true (imp Property.median Property.weak);
+  check_bool "median -/-> strong" false (imp Property.median Property.strong);
+  check_bool "strong -/-> voting" false (imp Property.strong Property.voting);
+  check_bool "voting-strict entails only itself" true
+    (List.for_all
+       (fun q ->
+         Property.equal q Property.voting_strict
+         || not (imp Property.voting_strict q))
+       Property.all);
+  (* The missing voting -> median edge is semantic, not an omission:
+     honest inputs {0,0,3,4,5} have plurality 0, yet at t = 0 the median
+     window of the sorted multiset is [3, 3]. *)
+  let honest_inputs = List.map o [ 0; 0; 3; 4; 5 ] in
+  let outputs = [ Some (o 0) ] in
+  let adm p =
+    Property.admissible p ~tie:Tie_break.default ~t_tol:0 ~honest_inputs
+      ~outputs
+  in
+  check_bool "plurality decision is voting-admissible" true
+    (adm Property.voting);
+  check_bool "but not median-admissible" false (adm Property.median)
+
+let test_property_registry () =
+  check_int "six properties" 6 (List.length Property.all);
+  check
+    Alcotest.(list string)
+    "names"
+    [ "voting"; "voting-strict"; "strong"; "weak"; "interval"; "median" ]
+    Property.names;
+  List.iter
+    (fun p ->
+      match Property.of_name (Property.id p) with
+      | Some q ->
+          check_bool (Property.id p ^ " round-trips") true (Property.equal p q)
+      | None -> Alcotest.failf "of_name %s returned None" (Property.id p))
+    Property.all;
+  check_bool "unknown name" true (Property.of_name "nope" = None)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -379,6 +512,9 @@ let qcheck_cases =
       prop_compare_ranked_antisym;
       prop_compare_ranked_transitive;
       prop_compare_ranked_consistent_with_wins;
+      prop_property_voting_matches_legacy;
+      prop_hierarchy_sound;
+      prop_required_output_admissible;
     ]
 
 let () =
@@ -414,6 +550,12 @@ let () =
             test_differential_validity;
           Alcotest.test_case "voting implies strong" `Quick
             test_voting_implies_strong;
+        ] );
+      ( "property",
+        [
+          Alcotest.test_case "hierarchy shape" `Quick test_property_hierarchy;
+          Alcotest.test_case "registry round-trip" `Quick
+            test_property_registry;
         ] );
       ("properties", qcheck_cases);
     ]

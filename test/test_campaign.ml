@@ -88,7 +88,7 @@ let test_registry_ids () =
     "ids"
     [
       "fig1a"; "fig1b"; "fig1c"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10";
-      "e11"; "e12"; "e13"; "e14"; "e15"; "e18"; "e19";
+      "e11"; "e12"; "e13"; "e14"; "e15"; "e18"; "e19"; "e21";
     ]
     Experiments.ids;
   List.iter

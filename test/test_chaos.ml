@@ -540,7 +540,7 @@ let test_campaign_jobs_invariant () =
   let b = Chaos.run ~jobs:2 ~trials:1 Chaos.Smoke in
   check_bool "identical cells at any jobs" true
     (a.Chaos.cells = b.Chaos.cells);
-  check_int "grid fully classified" 45 (List.length a.Chaos.cells);
+  check_int "grid fully classified" 54 (List.length a.Chaos.cells);
   check_bool "safety-guaranteed variant clean" true a.Chaos.ok;
   (* Tables render without raising and agree across jobs. *)
   let render r =

@@ -162,8 +162,9 @@ let test_engine_multi_broadcast_regression () =
     { Space.cell; script = [ Strategy.Vote_and_propose (0, 1) ] }
   in
   match Oracle.classify_run e with
-  | Oracle.Violation reason ->
-      Alcotest.failf "multi-broadcast script rejected: %s" reason
+  | Oracle.Violation v ->
+      Alcotest.failf "multi-broadcast script rejected: %s"
+        (Oracle.violation_label v)
   | Oracle.Exact | Oracle.Admissible_stall | Oracle.Defeated -> ()
 
 (* --- shrinking --------------------------------------------------------- *)
